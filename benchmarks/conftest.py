@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+All figure benches run the ``smoke`` preset by default so the whole suite
+finishes in a couple of minutes; set ``REPRO_BENCH_PRESET=scaled`` (or
+``paper``) to regenerate publication-scale data through the same harness.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    """The world-size preset benchmarks run at."""
+    return os.environ.get("REPRO_BENCH_PRESET", "smoke")
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    """Root seed for benchmark runs."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))

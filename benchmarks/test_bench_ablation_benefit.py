@@ -1,0 +1,49 @@
+"""Ablation: benefit-function choice (DESIGN.md's benefit ablation).
+
+The paper argues the benefit function "should capture the general goals and
+characteristics of the system" and picks ``B/R`` for music sharing. This
+bench compares the three implemented candidates on the identical world.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.common import preset_config
+from repro.gnutella.simulation import run_simulation
+
+BENEFITS = ("bandwidth-share", "hit-count", "latency")
+
+
+def test_bench_ablation_benefit(benchmark, seed):
+    base = preset_config("smoke", seed=seed).as_dynamic()
+
+    def sweep():
+        rows = {}
+        for benefit in BENEFITS:
+            result = run_simulation(replace(base, benefit=benefit))
+            rows[benefit] = result
+        rows["static"] = run_simulation(base.as_static())
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    warmup = base.warmup_hours
+    print("\n=== benefit-function ablation ===")
+    print(f"{'benefit':<18}{'hits':>8}{'delay ms':>10}{'clustering':>12}")
+    for name, result in rows.items():
+        print(
+            f"{name:<18}{result.metrics.hits_total(warmup):>8,}"
+            f"{result.metrics.mean_first_result_delay_ms():>10.0f}"
+            f"{result.taste_clustering:>12.3f}"
+        )
+
+    static_hits = rows["static"].metrics.hits_total(warmup)
+    for benefit in BENEFITS:
+        assert rows[benefit].metrics.hits_total(warmup) > static_hits, (
+            f"{benefit} must still beat the static baseline"
+        )
+    # The paper's B/R favours fast links; it must not lose to plain counting
+    # on delay (that is its whole point).
+    assert (
+        rows["bandwidth-share"].metrics.mean_first_result_delay_ms()
+        <= 1.1 * rows["hit-count"].metrics.mean_first_result_delay_ms()
+    )

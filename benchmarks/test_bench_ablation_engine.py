@@ -1,0 +1,45 @@
+"""Ablation: fast (atomic-query) engine vs detailed (message-level) engine.
+
+DESIGN.md commits to quantifying what the fast engine's approximation costs
+and buys. This bench runs both engines on the identical world and prints the
+speed ratio together with the metric agreement.
+"""
+
+import time
+
+from repro.experiments.common import preset_config
+from repro.gnutella.simulation import run_simulation
+
+
+def test_bench_ablation_engine(benchmark, seed):
+    config = preset_config(
+        "smoke", seed=seed, n_users=100, n_items=5000, mean_library=40.0,
+        std_library=10.0,
+    )
+
+    def run_fast():
+        return run_simulation(config.as_dynamic(), engine="fast")
+
+    fast_result = benchmark.pedantic(run_fast, rounds=1, iterations=1)
+
+    started = time.perf_counter()
+    detailed_result = run_simulation(config.as_dynamic(), engine="detailed")
+    detailed_seconds = time.perf_counter() - started
+
+    fm, dm = fast_result.metrics, detailed_result.metrics
+    print("\n=== engine ablation (dynamic scheme, identical world) ===")
+    print(f"{'metric':<28}{'fast':>14}{'detailed':>14}")
+    for name, f, d in [
+        ("total queries", fm.total_queries, dm.total_queries),
+        ("total hits", fm.total_hits, dm.total_hits),
+        ("query messages", fm.messages_total(), dm.messages_total()),
+        ("mean first delay ms",
+         round(fm.mean_first_result_delay_ms(), 1),
+         round(dm.mean_first_result_delay_ms(), 1)),
+    ]:
+        print(f"{name:<28}{f:>14,}{d:>14,}")
+    print(f"detailed-engine wall time: {detailed_seconds:.2f}s")
+
+    # Agreement: the approximation must track the message-level truth.
+    assert abs(fm.total_hits - dm.total_hits) <= 0.12 * max(dm.total_hits, 1)
+    assert abs(fm.messages_total() - dm.messages_total()) <= 0.12 * dm.messages_total()

@@ -1,0 +1,63 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each bench fixes the smoke-scale world and varies exactly one protocol knob,
+printing a comparison table and asserting the directional claim recorded in
+EXPERIMENTS.md:
+
+* ``max_swaps_per_update``: the paper's one-swap-per-reconfiguration vs the
+  literal full-list Algo 5 swap;
+* ``evicted_refill_immediate``: prompt random refill vs Algo 5's deferred
+  replacement;
+* ``stats_decay_on_update``: windowed vs cumulative benefit statistics;
+* ``downloads_grow_libraries``: replication along query paths on/off.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.common import preset_config
+from repro.gnutella.simulation import run_simulation
+
+
+def _hits(config):
+    result = run_simulation(config)
+    return result.metrics.hits_total(config.warmup_hours), result
+
+
+def test_bench_ablation_protocol_knobs(benchmark, seed):
+    base = preset_config("smoke", seed=seed).as_dynamic()
+
+    def run_default():
+        return _hits(base)[0]
+
+    default_hits = benchmark.pedantic(run_default, rounds=1, iterations=1)
+
+    variants = {
+        "default (paper calibration)": base,
+        "full-list swap (literal Algo 5)": replace(base, max_swaps_per_update=None),
+        "deferred evictee refill": replace(base, evicted_refill_immediate=False),
+        "cumulative stats (no decay)": replace(base, stats_decay_on_update=1.0),
+        "windowed stats (full clear)": replace(base, stats_decay_on_update=0.0),
+        "no downloads": replace(base, downloads_grow_libraries=False),
+        "static baseline": base.as_static(),
+    }
+    rows = {}
+    for name, config in variants.items():
+        if name == "default (paper calibration)":
+            rows[name] = default_hits
+        else:
+            rows[name] = _hits(config)[0]
+
+    print("\n=== protocol-knob ablation (total hits after warm-up) ===")
+    for name, hits in rows.items():
+        print(f"{name:<36} {hits:>10,}")
+
+    static_hits = rows["static baseline"]
+    assert rows["default (paper calibration)"] > static_hits, (
+        "the calibrated dynamic scheme must beat static"
+    )
+    assert rows["default (paper calibration)"] >= rows["deferred evictee refill"], (
+        "prompt refill must not lose to deferred replacement"
+    )
+    assert rows["no downloads"] <= rows["default (paper calibration)"], (
+        "download replication must not hurt"
+    )

@@ -1,0 +1,43 @@
+"""Ablation: query-rate sensitivity.
+
+The paper never states its per-user query rate; DESIGN.md argues the
+dynamic-vs-static ordering is insensitive to it. This bench sweeps the rate
+and asserts the ordering holds at every point.
+"""
+
+from repro.experiments.common import paired_run, preset_config
+
+RATES = (4.0, 8.0, 16.0)
+
+
+def test_bench_ablation_query_rate(benchmark, seed):
+    def sweep():
+        rows = []
+        for rate in RATES:
+            config = preset_config("smoke", seed=seed, queries_per_hour=rate)
+            static, dynamic = paired_run(config)
+            warmup = config.warmup_hours
+            rows.append(
+                (
+                    rate,
+                    static.metrics.hits_total(warmup),
+                    dynamic.metrics.hits_total(warmup),
+                    static.metrics.messages_total(warmup),
+                    dynamic.metrics.messages_total(warmup),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n=== query-rate sensitivity (hits and messages after warm-up) ===")
+    print(f"{'rate/q/h':>9}{'static hits':>13}{'dyn hits':>10}"
+          f"{'static msgs':>13}{'dyn msgs':>11}")
+    for rate, sh, dh, sm, dm in rows:
+        print(f"{rate:>9}{sh:>13,}{dh:>10,}{sm:>13,}{dm:>11,}")
+
+    for rate, static_hits, dynamic_hits, static_msgs, dynamic_msgs in rows:
+        assert dynamic_hits > static_hits, f"ordering must hold at rate {rate}"
+        assert dynamic_msgs <= 1.05 * static_msgs, (
+            f"overhead must not blow up at rate {rate}"
+        )

@@ -1,0 +1,45 @@
+"""Ablation: search-strategy choice (the Section 2 orthogonal techniques).
+
+Runs flood (the paper's protocol), random-K, directed BFT and iterative
+deepening through the dynamic Gnutella engine on one world and prints the
+recall/overhead frontier each strategy occupies.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.common import preset_config
+from repro.gnutella.simulation import run_simulation
+
+STRATEGIES = ("flood", "random:2", "directed-bft:2", "iterative-deepening")
+
+
+def test_bench_ablation_selection(benchmark, seed):
+    base = preset_config("smoke", seed=seed).as_dynamic()
+
+    def sweep():
+        return {
+            spec: run_simulation(replace(base, search_strategy=spec))
+            for spec in STRATEGIES
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    warmup = base.warmup_hours
+    print("\n=== search-strategy ablation (dynamic scheme) ===")
+    print(f"{'strategy':<22}{'hits':>8}{'messages':>12}{'hits/kmsg':>11}")
+    for spec, result in rows.items():
+        hits = result.metrics.hits_total(warmup)
+        msgs = result.metrics.messages_total(warmup)
+        print(f"{spec:<22}{hits:>8,}{msgs:>12,}{1000 * hits / max(msgs, 1):>11.2f}")
+
+    flood = rows["flood"].metrics
+    for spec in ("random:2", "directed-bft:2"):
+        selective = rows[spec].metrics
+        assert selective.messages_total(warmup) < flood.messages_total(warmup)
+        eff_flood = flood.hits_total(warmup) / max(flood.messages_total(warmup), 1)
+        eff_sel = selective.hits_total(warmup) / max(
+            selective.messages_total(warmup), 1
+        )
+        assert eff_sel > eff_flood, f"{spec} must beat flooding per message"
+    deepening = rows["iterative-deepening"].metrics
+    assert deepening.hits_total(warmup) >= 0.9 * flood.hits_total(warmup)

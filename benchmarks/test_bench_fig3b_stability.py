@@ -1,0 +1,36 @@
+"""Seed stability of the Figure 3(b) shape.
+
+EXPERIMENTS.md records the peak landing on T=2 or T=4 depending on the seed;
+this bench replays the threshold sweep across seeds and asserts the claims
+that must hold at *every* seed: unimodal-ish (peak at a small threshold),
+every threshold above static, and T=16 decayed from the peak.
+"""
+
+from repro.experiments import figure3b
+
+SEEDS = (0, 1, 2)
+
+
+def test_bench_fig3b_seed_stability(benchmark, preset):
+    def sweep_all_seeds():
+        return {seed: figure3b.run(preset=preset, seed=seed) for seed in SEEDS}
+
+    results = benchmark.pedantic(sweep_all_seeds, rounds=1, iterations=1)
+
+    print("\n=== Figure 3(b) across seeds ===")
+    header = "seed  static " + " ".join(f"T={t:<6}" for t in results[SEEDS[0]].thresholds)
+    print(header)
+    for seed, result in results.items():
+        row = f"{seed:<5} {result.static_hits:<7,}" + " ".join(
+            f"{h:<8,}" for h in result.dynamic_hits
+        )
+        print(row + f"  peak=T{result.best_threshold}")
+
+    for seed, result in results.items():
+        assert result.best_threshold <= 8, f"seed {seed}: peak must be small-T"
+        assert max(result.dynamic_hits) > result.static_hits, (
+            f"seed {seed}: dynamic peak must beat static"
+        )
+        assert result.dynamic_hits[-1] < max(result.dynamic_hits), (
+            f"seed {seed}: T=16 must decay from the peak"
+        )

@@ -1,0 +1,24 @@
+"""Benchmark + regeneration harness for Figure 1 (hits & overhead, TTL 2).
+
+Prints the same two per-hour series the paper plots and asserts the shape:
+dynamic above static on hits, at-or-below on messages.
+"""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, preset, seed):
+    result = benchmark.pedantic(
+        figure1.run, kwargs=dict(preset=preset, seed=seed), rounds=1, iterations=1
+    )
+    figure1.print_report(result)
+
+    warmup = result.static.config.warmup_hours
+    static_hits = result.static.metrics.hits_total(warmup)
+    dynamic_hits = result.dynamic.metrics.hits_total(warmup)
+    assert dynamic_hits > static_hits, "Fig 1(a): dynamic must satisfy more queries"
+    static_msgs = result.static.metrics.messages_total(warmup)
+    dynamic_msgs = result.dynamic.metrics.messages_total(warmup)
+    assert dynamic_msgs <= 1.02 * static_msgs, (
+        "Fig 1(b): dynamic must not increase query overhead"
+    )

@@ -1,0 +1,29 @@
+"""Benchmark + regeneration harness for Figure 2 (hits & overhead, TTL 4).
+
+Prints both per-hour series and asserts the shape: dynamic at-or-above
+static on hits, below on messages, clearly below on delay. (See
+EXPERIMENTS.md for the magnitude comparison against the paper's 50 %
+message reduction.)
+"""
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, preset, seed):
+    result = benchmark.pedantic(
+        figure2.run, kwargs=dict(preset=preset, seed=seed), rounds=1, iterations=1
+    )
+    figure2.print_report(result)
+
+    warmup = result.static.config.warmup_hours
+    static = result.static.metrics
+    dynamic = result.dynamic.metrics
+    assert dynamic.hits_total(warmup) >= 0.97 * static.hits_total(warmup), (
+        "Fig 2(a): dynamic hits must stay at least on par with static"
+    )
+    assert dynamic.messages_total(warmup) < static.messages_total(warmup), (
+        "Fig 2(b): dynamic must reduce query overhead at TTL 4"
+    )
+    assert (
+        dynamic.mean_first_result_delay_ms() < static.mean_first_result_delay_ms()
+    ), "dynamic must answer faster at TTL 4"

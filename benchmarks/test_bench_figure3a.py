@@ -1,0 +1,31 @@
+"""Benchmark + regeneration harness for Figure 3(a) (delay vs TTL).
+
+Prints the per-TTL delay columns with their result-count annotations and
+asserts the shape: static delay grows steeply with the terminating
+condition; dynamic stays below it at every TTL >= 2.
+"""
+
+from repro.experiments import figure3a
+
+
+def test_bench_figure3a(benchmark, preset, seed):
+    result = benchmark.pedantic(
+        figure3a.run, kwargs=dict(preset=preset, seed=seed), rounds=1, iterations=1
+    )
+    figure3a.print_report(result)
+
+    # Static delay must increase monotonically with the hop limit.
+    assert all(
+        a < b for a, b in zip(result.static_delay_ms, result.static_delay_ms[1:])
+    ), "Fig 3(a): static delay must grow with the terminating condition"
+    # Dynamic answers faster at every extensive-search setting.
+    for hops, s, d in zip(result.hops, result.static_delay_ms, result.dynamic_delay_ms):
+        if hops >= 2:
+            assert d < s, f"dynamic must be faster at hops={hops}"
+    # Results grow with TTL for both schemes.
+    assert all(
+        a < b for a, b in zip(result.static_results, result.static_results[1:])
+    )
+    assert all(
+        a < b for a, b in zip(result.dynamic_results, result.dynamic_results[1:])
+    )

@@ -1,0 +1,26 @@
+"""Benchmark + regeneration harness for Figure 3(b) (threshold sweep).
+
+Prints total hits per reconfiguration threshold against the static baseline
+and asserts the shape: every threshold beats static, the optimum sits at a
+small threshold, and the largest threshold has decayed from the peak back
+toward the static line.
+"""
+
+from repro.experiments import figure3b
+
+
+def test_bench_figure3b(benchmark, preset, seed):
+    result = benchmark.pedantic(
+        figure3b.run, kwargs=dict(preset=preset, seed=seed), rounds=1, iterations=1
+    )
+    figure3b.print_report(result)
+
+    peak = max(result.dynamic_hits)
+    last = result.dynamic_hits[-1]
+    assert result.best_threshold <= 8, (
+        "Fig 3(b): the optimum must sit at a small threshold"
+    )
+    assert peak > result.static_hits, "the peak must beat the static baseline"
+    assert last < peak, (
+        "Fig 3(b): the largest threshold must decay from the peak toward static"
+    )

@@ -1,0 +1,126 @@
+"""Microbenchmarks of the simulation substrates.
+
+These are classic pytest-benchmark measurements (repeated rounds): event
+queue throughput, process switching, the search hot path and the latency
+cache. Regressions here translate directly into slower figure regeneration.
+"""
+
+import numpy as np
+
+from repro.core.search import generic_search
+from repro.core.termination import TTLTermination
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.sim import Simulator, Store, Timeout
+
+
+def test_bench_event_queue_throughput(benchmark):
+    """Schedule and drain 20k no-op callbacks."""
+
+    def run():
+        sim = Simulator()
+        rng = np.random.default_rng(0)
+        delays = rng.random(20_000)
+        noop = lambda: None  # noqa: E731
+        for d in delays:
+            sim.schedule(float(d), noop)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 20_000
+
+
+def test_bench_process_switching(benchmark):
+    """1k coroutine processes x 20 timeouts each."""
+
+    def run():
+        sim = Simulator()
+        done = []
+
+        def body():
+            for _ in range(20):
+                yield Timeout(sim, 1.0)
+            done.append(True)
+
+        for _ in range(1000):
+            sim.process(body())
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 1000
+
+
+def test_bench_store_producer_consumer(benchmark):
+    """A producer/consumer pair pushing 5k items through a bounded store."""
+
+    def run():
+        sim = Simulator()
+        store = Store(sim, capacity=16)
+        got = []
+
+        def producer():
+            for i in range(5000):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(5000):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        return len(got)
+
+    assert benchmark(run) == 5000
+
+
+class _GridView:
+    """A 40x40 torus grid network, all items at the far corner."""
+
+    def __init__(self, side=40):
+        self.side = side
+
+    def holds(self, node, item):
+        return node == self.side * self.side - 1
+
+    def neighbors(self, node):
+        side = self.side
+        r, c = divmod(node, side)
+        return [
+            ((r + 1) % side) * side + c,
+            ((r - 1) % side) * side + c,
+            r * side + (c + 1) % side,
+            r * side + (c - 1) % side,
+        ]
+
+    def link_delay(self, a, b):
+        return 0.05
+
+
+def test_bench_search_flood_ttl6(benchmark):
+    """One TTL-6 flood over a 1600-node grid (the query hot path)."""
+    view = _GridView()
+    term = TTLTermination(6)
+
+    def run():
+        return generic_search(view, 0, 7, term)
+
+    outcome = benchmark(run)
+    assert outcome.nodes_contacted > 50
+
+
+def test_bench_latency_cache(benchmark):
+    """First-touch sampling plus cached lookups over 500 nodes."""
+    bw = BandwidthModel(500, np.random.default_rng(0))
+
+    def run():
+        latency = LatencyModel(bw, np.random.default_rng(1))
+        total = 0.0
+        for a in range(0, 500, 7):
+            for b in range(0, 500, 11):
+                if a != b:
+                    total += latency.one_way_delay(a, b)
+        return total
+
+    assert benchmark(run) > 0

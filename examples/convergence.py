@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Watching the network converge: clustering and degree over time.
+
+The paper's explanation of its gains — "as the time evolves, new beneficial
+neighbors are being discovered ... the dynamic approach groups nodes with
+similar content together" — is a statement about convergence. This example
+attaches runtime probes to both schemes and prints the resulting curves:
+taste clustering rises steadily for the dynamic scheme and stays flat for
+static, while both maintain their neighbor degree.
+
+Run with::
+
+    python examples/convergence.py
+"""
+
+from repro.experiments.report import format_sparkline
+from repro.gnutella import ClusteringProbe, DegreeProbe, FastGnutellaEngine, GnutellaConfig
+from repro.types import HOUR
+
+
+def main() -> None:
+    config = GnutellaConfig(
+        n_users=300,
+        n_items=30_000,
+        mean_library=100.0,
+        std_library=25.0,
+        horizon=24 * HOUR,
+        warmup_hours=0,
+        queries_per_hour=8.0,
+        max_hops=2,
+        seed=0,
+    )
+
+    curves = {}
+    for label, cfg in (("static", config.as_static()), ("dynamic", config.as_dynamic())):
+        engine = FastGnutellaEngine(cfg)
+        clustering = ClusteringProbe(engine, interval=HOUR)
+        degree = DegreeProbe(engine, interval=HOUR)
+        print(f"running {label} scheme ...")
+        engine.run()
+        curves[label] = (clustering.series, degree.series)
+
+    print("\ntaste clustering over 24 h (fraction of links joining same-genre fans)")
+    for label, (clustering, _) in curves.items():
+        values = clustering.values
+        print(
+            f"  {label:<8} {format_sparkline(values)}  "
+            f"start={values[0]:.2f} end={values[-1]:.2f}"
+        )
+
+    print("\nmean neighbor degree over 24 h (capacity 4)")
+    for label, (_, degree) in curves.items():
+        values = degree.values
+        print(
+            f"  {label:<8} {format_sparkline(values)}  "
+            f"min={min(values):.2f} end={values[-1]:.2f}"
+        )
+
+    dyn_end = curves["dynamic"][0].values[-1]
+    sta_end = curves["static"][0].values[-1]
+    print(
+        f"\nafter a simulated day the dynamic network links same-genre fans "
+        f"{dyn_end / max(sta_end, 1e-9):.1f}x more often than the static one — "
+        "that clustering is where the extra hits come from."
+    )
+
+
+if __name__ == "__main__":
+    main()

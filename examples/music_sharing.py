@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The paper's case study at example scale: static vs dynamic Gnutella.
+
+Builds the full Section 4.2 world — Zipf music catalog, Gaussian libraries,
+exponential churn, three access-bandwidth classes — at a small scale, runs
+both schemes on the *identical* workload, and prints the comparison the
+paper's figures make.
+
+Run with::
+
+    python examples/music_sharing.py
+"""
+
+from repro.analysis import compare_runs
+from repro.gnutella import GnutellaConfig, run_simulation
+from repro.types import HOUR
+
+
+def main() -> None:
+    config = GnutellaConfig(
+        n_users=300,
+        n_items=30_000,          # scaled with the population: ~2 copies/song
+        n_categories=50,
+        mean_library=100.0,
+        std_library=25.0,
+        horizon=24 * HOUR,
+        warmup_hours=6,
+        queries_per_hour=8.0,
+        max_hops=2,              # the Figure 1 setting
+        neighbor_slots=4,
+        reconfiguration_threshold=2,
+        seed=0,
+    )
+
+    print("running static Gnutella (random neighbors) ...")
+    static = run_simulation(config.as_static())
+    print("running dynamic Gnutella (framework reconfiguration) ...")
+    dynamic = run_simulation(config.as_dynamic())
+
+    print("\n--- static vs dynamic, after the warm-up period ---")
+    print(f"{'metric':<28}{'static':>15}{'dynamic':>15}{'change':>9}")
+    for row in compare_runs(static, dynamic):
+        print(row.format())
+
+    print(
+        f"\nwhy it works: {dynamic.taste_clustering:.0%} of dynamic links join "
+        f"users with the same favorite genre (static: "
+        f"{static.taste_clustering:.0%}) — the framework groups nodes with "
+        "similar content together, so queries resolve nearby."
+    )
+    print(
+        f"reconfigurations performed: {dynamic.metrics.reconfigurations:,} "
+        f"({dynamic.metrics.invitations:,} invitations, "
+        f"{dynamic.metrics.evictions:,} evictions)"
+    )
+
+
+if __name__ == "__main__":
+    main()

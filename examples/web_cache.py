@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Cooperative web proxies: the framework's pure-asymmetric instantiation.
+
+Twenty Squid-style proxies serve Zipf web traffic with interest locality.
+Search stops after one hop (the origin server is the fallback, so deep
+flooding buys nothing — Section 3.2), exploration probes deeper about
+recently missed objects, and Algo 3 updates rewire each proxy toward the
+peers whose caches keep answering.
+
+Run with::
+
+    python examples/web_cache.py
+"""
+
+from dataclasses import replace
+
+from repro.webcache import WebCacheConfig, run_webcache_simulation
+from repro.workload.webtrace import WebTraceConfig
+
+
+def main() -> None:
+    base = WebCacheConfig(
+        trace=WebTraceConfig(n_proxies=20, n_objects=10_000, n_sites=50,
+                             locality=0.6),
+        cache_capacity=200,
+        neighbor_slots=3,
+        n_rounds=400,
+        seed=2,
+    )
+
+    print("running static proxy mesh (random fixed neighbors) ...")
+    static = run_webcache_simulation(replace(base, adaptive=False))
+    print("running adaptive proxy mesh (explore + Algo 3 updates) ...")
+    adaptive = run_webcache_simulation(base)
+    print("running adaptive mesh with Squid-style cache digests ...")
+    digests = run_webcache_simulation(replace(base, use_digests=True))
+
+    print(f"\n{'metric':<26}{'static':>12}{'adaptive':>12}{'+digests':>12}")
+    rows = [
+        ("local hit rate", *(f"{r.local_hit_rate:.3f}" for r in (static, adaptive, digests))),
+        ("neighbor hit rate", *(f"{r.neighbor_hit_rate:.3f}" for r in (static, adaptive, digests))),
+        ("origin fetches", *(f"{r.origin_fetches:,}" for r in (static, adaptive, digests))),
+        ("mean latency (s)", *(f"{r.mean_latency:.3f}" for r in (static, adaptive, digests))),
+        ("search messages", *(f"{r.search_messages:,}" for r in (static, adaptive, digests))),
+        ("exploration messages", *(f"{r.exploration_messages:,}" for r in (static, adaptive, digests))),
+    ]
+    for name, s, a, d in rows:
+        print(f"{name:<26}{s:>12}{a:>12}{d:>12}")
+
+    saved = static.origin_fetches - adaptive.origin_fetches
+    print(
+        f"\nadaptation redirected {saved:,} requests from the origin servers to "
+        "nearby proxy caches — the paper's web-caching scenario, where the "
+        "benefit function is retrieved pages over end-to-end latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment has setuptools but no ``wheel`` package (and no network to
+fetch it), so PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``. Keeping a minimal ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` use the legacy
+develop path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — reproduction of Bakiras et al., *A General Framework for Searching
+in Distributed Data Repositories* (IPDPS 2003).
+
+The package is organized as the paper is:
+
+* :mod:`repro.core` — the contribution: generic **search**, **exploration**
+  and **neighbor update** mechanisms over symmetric/asymmetric neighbor
+  relations, parameterized by benefit functions, selection policies and
+  termination conditions.
+* :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.workload` — the substrates:
+  a discrete-event kernel, a latency/bandwidth network model, and the paper's
+  synthetic music-sharing workload (plus web-trace and OLAP workloads).
+* :mod:`repro.gnutella` — the Section 4 case study: static vs. dynamic
+  (adaptive) Gnutella.
+* :mod:`repro.webcache`, :mod:`repro.olap` — the other two framework
+  instantiations the paper discusses (Squid-style cooperative proxies,
+  PeerOlap-style distributed OLAP caching).
+* :mod:`repro.experiments` — runners that regenerate every figure of the
+  paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro.experiments import figure1
+>>> result = figure1.run(preset="smoke", seed=0)   # doctest: +SKIP
+"""
+
+from repro._version import __version__
+from repro.rng import RngStreams
+from repro.types import DAY, HOUR, QueryOutcome, QueryResult
+
+__all__ = [
+    "DAY",
+    "HOUR",
+    "QueryOutcome",
+    "QueryResult",
+    "RngStreams",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Post-run analysis helpers: series smoothing and run comparison."""
+
+from repro.analysis.export import result_to_jsonable, write_csv, write_json
+from repro.analysis.summary import ComparisonRow, compare_runs
+from repro.analysis.timeseries import align_series, moving_average, relative_change
+
+__all__ = [
+    "ComparisonRow",
+    "align_series",
+    "compare_runs",
+    "moving_average",
+    "relative_change",
+    "result_to_jsonable",
+    "write_csv",
+    "write_json",
+]

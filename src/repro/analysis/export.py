@@ -1,0 +1,87 @@
+"""JSON export of experiment results.
+
+Figure results are frozen dataclasses holding numpy arrays and nested
+results; this module flattens them into plain-JSON structures so runs can be
+archived and diffed (``python -m repro.experiments fig1 --json out.json``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["result_to_jsonable", "write_csv", "write_json"]
+
+
+def result_to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses/arrays/metrics into JSON-safe values.
+
+    Objects exposing a ``summary()`` mapping (e.g.
+    :class:`~repro.gnutella.metrics.SimulationMetrics`) export that summary;
+    unknown objects fall back to ``repr`` so exports never fail.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (list, tuple)):
+        return [result_to_jsonable(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): result_to_jsonable(v) for k, v in obj.items()}
+    if hasattr(obj, "summary") and callable(obj.summary):
+        return result_to_jsonable(obj.summary())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: result_to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    return repr(obj)
+
+
+def write_json(obj: Any, path: str | Path) -> Path:
+    """Serialize ``obj`` (via :func:`result_to_jsonable`) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_jsonable(obj), indent=2, sort_keys=True))
+    return path
+
+
+def write_csv(
+    columns: dict[str, Any],
+    path: str | Path,
+    index_label: str | None = None,
+) -> Path:
+    """Write aligned series columns as CSV (for external plotting tools).
+
+    ``columns`` maps column name to an equal-length sequence. When
+    ``index_label`` is given, the first column is ``range(len)`` row indices
+    under that label. Raises if the columns have unequal lengths.
+    """
+    names = list(columns)
+    if not names:
+        raise ValueError("write_csv needs at least one column")
+    series = [list(columns[name]) for name in names]
+    lengths = {len(s) for s in series}
+    if len(lengths) != 1:
+        raise ValueError(f"columns have unequal lengths: { {n: len(list(columns[n])) for n in names} }")
+    n_rows = lengths.pop()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    header = ([index_label] if index_label else []) + names
+    lines.append(",".join(header))
+    for row in range(n_rows):
+        cells = ([str(row)] if index_label else []) + [
+            str(series[c][row]) for c in range(len(names))
+        ]
+        lines.append(",".join(cells))
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,58 @@
+"""Run-pair comparison tables (the paper's static-vs-dynamic framing)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timeseries import relative_change
+from repro.gnutella.simulation import SimulationResult
+
+__all__ = ["ComparisonRow", "compare_runs"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One metric compared across the two schemes."""
+
+    metric: str
+    static: float
+    dynamic: float
+
+    @property
+    def change(self) -> float:
+        """Relative change of dynamic over static."""
+        return relative_change(self.static, self.dynamic)
+
+    def format(self) -> str:
+        """One aligned text row (metric, static, dynamic, +x.x %)."""
+        return (
+            f"{self.metric:<28} {self.static:>14,.1f} {self.dynamic:>14,.1f} "
+            f"{self.change:>+8.1%}"
+        )
+
+
+def compare_runs(
+    static: SimulationResult, dynamic: SimulationResult, warmup_hours: int | None = None
+) -> list[ComparisonRow]:
+    """The headline metric table for a static/dynamic pair.
+
+    ``warmup_hours`` defaults to the runs' configured warm-up.
+    """
+    warmup = static.config.warmup_hours if warmup_hours is None else warmup_hours
+    sm, dm = static.metrics, dynamic.metrics
+    return [
+        ComparisonRow("total hits", sm.hits_total(warmup), dm.hits_total(warmup)),
+        ComparisonRow(
+            "query messages", sm.messages_total(warmup), dm.messages_total(warmup)
+        ),
+        ComparisonRow("total results", sm.total_results, dm.total_results),
+        ComparisonRow(
+            "mean first-result delay ms",
+            sm.mean_first_result_delay_ms(),
+            dm.mean_first_result_delay_ms(),
+        ),
+        ComparisonRow("hit rate", sm.hit_rate(), dm.hit_rate()),
+        ComparisonRow(
+            "taste clustering", static.taste_clustering, dynamic.taste_clustering
+        ),
+    ]

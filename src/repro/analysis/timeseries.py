@@ -1,0 +1,49 @@
+"""Time-series utilities for the hourly figure data."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["align_series", "moving_average", "relative_change"]
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered-ish moving average with edge shrinkage.
+
+    The paper's per-hour curves are noisy at scaled-down populations; a small
+    window makes the figures readable without hiding trends. Window 1 returns
+    the input unchanged.
+    """
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    kernel = np.ones(window) / window
+    smoothed = np.convolve(values, kernel, mode="same")
+    # Correct the shrunken edges (convolve pads with zeros).
+    counts = np.convolve(np.ones_like(values), kernel, mode="same")
+    return smoothed / counts
+
+
+def align_series(
+    a_idx: np.ndarray, a_val: np.ndarray, b_idx: np.ndarray, b_val: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Restrict two (index, value) series to their common index range.
+
+    Returns ``(index, a_values, b_values)``. Raises if the series share no
+    indices.
+    """
+    common = np.intersect1d(a_idx, b_idx)
+    if common.size == 0:
+        raise ValueError("series share no indices")
+    a_sel = np.isin(a_idx, common)
+    b_sel = np.isin(b_idx, common)
+    return common, np.asarray(a_val)[a_sel], np.asarray(b_val)[b_sel]
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """``(value - baseline) / baseline``; 0 for a zero baseline and value."""
+    if baseline == 0:
+        return 0.0 if value == 0 else float("inf")
+    return (value - baseline) / baseline

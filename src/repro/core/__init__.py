@@ -1,0 +1,111 @@
+"""The paper's contribution: the general search framework.
+
+Three mechanisms (Section 3), each generic over pluggable policies:
+
+* **Search** (:mod:`~repro.core.search`, Algo 1) — propagate a request
+  through the neighbor network until results are found or a
+  :mod:`~repro.core.termination` condition fires; forwarding targets are
+  chosen by a :mod:`~repro.core.selection` policy.
+* **Exploration** (:mod:`~repro.core.exploration`, Algo 2) — metadata-only
+  probes that feed the :mod:`~repro.core.statistics` tables.
+* **Neighbor update** (:mod:`~repro.core.update`, Algos 3-4) — re-rank known
+  nodes by a :mod:`~repro.core.benefit` function; the symmetric case goes
+  through an invitation/eviction handshake that keeps the network
+  *consistent* (:mod:`~repro.core.relations`).
+
+:mod:`~repro.core.framework` assembles the pieces into
+:class:`~repro.core.framework.RepositoryNetwork`, the public synchronous API
+that the web-caching and OLAP instantiations (and user code) build on.
+"""
+
+from repro.core.benefit import (
+    BandwidthShareBenefit,
+    BenefitFunction,
+    HitCountBenefit,
+    LatencyBenefit,
+    ProcessingTimeBenefit,
+    ResultObservation,
+)
+from repro.core.config import NodeConfig
+from repro.core.digest import (
+    BloomDigest,
+    DigestDirectory,
+    SelectByDigest,
+    digest_similarity,
+)
+from repro.core.exploration import ExplorationReport, generic_explore
+from repro.core.framework import Repository, RepositoryNetwork
+from repro.core.localindex import LocalIndex
+from repro.core.neighbors import NeighborList, NeighborState
+from repro.core.relations import (
+    AllToAllRelation,
+    AsymmetricRelation,
+    PureAsymmetricRelation,
+    RelationPolicy,
+    SymmetricRelation,
+)
+from repro.core.search import NetworkView, generic_search
+from repro.core.selection import (
+    SelectAll,
+    SelectionPolicy,
+    SelectRandomK,
+    SelectTopKBenefit,
+)
+from repro.core.statistics import StatsTable
+from repro.core.termination import (
+    IterativeDeepening,
+    MaxResultsTermination,
+    Termination,
+    TTLTermination,
+)
+from repro.core.update import (
+    EvictAction,
+    InviteAction,
+    asymmetric_update,
+    plan_reconfiguration,
+    process_invitation,
+    reconfiguration_actions,
+)
+
+__all__ = [
+    "AllToAllRelation",
+    "AsymmetricRelation",
+    "BandwidthShareBenefit",
+    "BenefitFunction",
+    "BloomDigest",
+    "DigestDirectory",
+    "EvictAction",
+    "ExplorationReport",
+    "HitCountBenefit",
+    "InviteAction",
+    "IterativeDeepening",
+    "LatencyBenefit",
+    "LocalIndex",
+    "MaxResultsTermination",
+    "NeighborList",
+    "NeighborState",
+    "NetworkView",
+    "NodeConfig",
+    "ProcessingTimeBenefit",
+    "PureAsymmetricRelation",
+    "RelationPolicy",
+    "Repository",
+    "RepositoryNetwork",
+    "ResultObservation",
+    "SelectAll",
+    "SelectByDigest",
+    "SelectRandomK",
+    "SelectTopKBenefit",
+    "SelectionPolicy",
+    "StatsTable",
+    "SymmetricRelation",
+    "TTLTermination",
+    "Termination",
+    "asymmetric_update",
+    "digest_similarity",
+    "generic_explore",
+    "generic_search",
+    "plan_reconfiguration",
+    "process_invitation",
+    "reconfiguration_actions",
+]

@@ -1,0 +1,42 @@
+"""Framework node configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NodeConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeConfig:
+    """Tunables every repository node carries (Section 3's parameters).
+
+    Attributes
+    ----------
+    neighbor_slots:
+        Outgoing-list capacity (and, for symmetric relations, the number of
+        mutual slots). The case study uses 4.
+    reconfiguration_threshold:
+        Number of own requests between periodic neighbor updates (the ``T``
+        swept in Figure 3(b); default 2, the paper's steady setting).
+    always_accept_invitations:
+        Algo 5 policy (iv): invited nodes always accept, evicting the least
+        beneficial neighbor if necessary. ``False`` switches to Algo 4's
+        benefit-gated acceptance.
+    update_on_logoff:
+        Whether a neighbor's log-off triggers the update process (Section
+        4.1 "forced reconfiguration").
+    """
+
+    neighbor_slots: int = 4
+    reconfiguration_threshold: int = 2
+    always_accept_invitations: bool = True
+    update_on_logoff: bool = True
+
+    def __post_init__(self) -> None:
+        if self.neighbor_slots < 1:
+            raise ConfigurationError("neighbor_slots must be >= 1")
+        if self.reconfiguration_threshold < 1:
+            raise ConfigurationError("reconfiguration_threshold must be >= 1")

@@ -1,0 +1,42 @@
+"""Consistency checking over collections of neighbor states.
+
+Bridges :mod:`repro.core.neighbors` to the snapshot predicate in
+:mod:`repro.net.topology`. Used pervasively by tests (and available to user
+code as an invariant check after custom rewiring).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.neighbors import NeighborState
+from repro.net.topology import find_inconsistencies
+from repro.types import NodeId
+
+__all__ = ["check_consistent", "state_inconsistencies", "symmetric_violations"]
+
+
+def state_inconsistencies(
+    states: Mapping[NodeId, NeighborState],
+) -> list[tuple[NodeId, NodeId]]:
+    """All ``(i, j)`` with ``j in Out(i)`` but ``i not in In(j)``."""
+    outgoing = {n: s.outgoing.as_tuple() for n, s in states.items()}
+    incoming = {n: s.incoming.as_tuple() for n, s in states.items()}
+    return find_inconsistencies(outgoing, incoming)
+
+
+def check_consistent(states: Mapping[NodeId, NeighborState]) -> bool:
+    """Whether the Section 3.1 consistency predicate holds."""
+    return not state_inconsistencies(states)
+
+
+def symmetric_violations(
+    states: Mapping[NodeId, NeighborState],
+) -> list[NodeId]:
+    """Nodes whose outgoing and incoming lists differ (symmetric relations
+    require ``Out == In`` as *sets* at every node)."""
+    return [
+        n
+        for n, s in states.items()
+        if set(s.outgoing.as_tuple()) != set(s.incoming.as_tuple())
+    ]

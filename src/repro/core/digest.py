@@ -1,0 +1,233 @@
+"""Content digests: compact summaries of a repository's holdings.
+
+The paper repeatedly gestures at *summarized information* without requiring
+it: Algo 1 forwards "use summary info if available", exploration replies
+carry "statistics and summarized information" (Algo 2), and Section 3.4's
+invitation-assessment option (b) is "the exchange of summarized information,
+according to which the invitee can assess the potential benefit". Squid's
+cache digests are the classic realization: a Bloom filter over the cache
+keys.
+
+This module provides that substrate:
+
+* :class:`BloomDigest` — a from-scratch Bloom filter over item ids (double
+  hashing over stable 64-bit mixes; no false negatives, tunable false-
+  positive rate);
+* :class:`DigestDirectory` — per-node digests with staleness tracking;
+* :class:`SelectByDigest` — a selection policy that forwards a query
+  preferentially to neighbors whose digest claims the item (falling back to
+  flooding when nobody claims it), i.e. digest-guided search;
+* :func:`digest_similarity` — estimated holdings overlap between two nodes,
+  the summarized-information benefit proxy for invitation gating.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.statistics import StatsTable
+from repro.errors import FrameworkError
+from repro.types import ItemId, NodeId
+
+__all__ = [
+    "BloomDigest",
+    "DigestDirectory",
+    "SelectByDigest",
+    "digest_similarity",
+]
+
+
+def _mix(value: int) -> int:
+    """SplitMix64 finalizer: a fast, well-distributed 64-bit mix."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+class BloomDigest:
+    """A Bloom filter over item ids.
+
+    Parameters
+    ----------
+    capacity:
+        Expected number of distinct items to be added.
+    fp_rate:
+        Target false-positive probability at ``capacity`` items.
+
+    Guarantees: :meth:`might_hold` never returns ``False`` for an added item
+    (no false negatives); false positives occur at roughly ``fp_rate``.
+    """
+
+    def __init__(self, capacity: int, fp_rate: float = 0.02) -> None:
+        if capacity < 1:
+            raise FrameworkError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < fp_rate < 1.0:
+            raise FrameworkError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        # Standard sizing: m = -n ln p / (ln 2)^2, k = m/n ln 2.
+        self.n_bits = max(8, int(math.ceil(-capacity * math.log(fp_rate) / math.log(2) ** 2)))
+        self.n_hashes = max(1, int(round(self.n_bits / capacity * math.log(2))))
+        self._bits = np.zeros(self.n_bits, dtype=bool)
+        self.n_added = 0
+
+    def _positions(self, item: ItemId) -> list[int]:
+        # Double hashing: h_i = h1 + i*h2 (Kirsch-Mitzenmacher).
+        h1 = _mix(int(item))
+        h2 = _mix(h1 ^ 0xDEADBEEFCAFEF00D) | 1  # odd => full period
+        return [((h1 + i * h2) & 0xFFFFFFFFFFFFFFFF) % self.n_bits
+                for i in range(self.n_hashes)]
+
+    def add(self, item: ItemId) -> None:
+        """Record ``item`` in the digest."""
+        for pos in self._positions(item):
+            self._bits[pos] = True
+        self.n_added += 1
+
+    def update(self, items: Iterable[ItemId]) -> None:
+        """Record every item of ``items``."""
+        for item in items:
+            self.add(item)
+
+    def might_hold(self, item: ItemId) -> bool:
+        """True if ``item`` *may* have been added (never a false negative)."""
+        return all(self._bits[pos] for pos in self._positions(item))
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of set bits — a saturation warning signal."""
+        return float(self._bits.mean())
+
+    def estimated_fp_rate(self) -> float:
+        """Current false-positive probability estimate, ``fill^k``."""
+        return self.fill_ratio ** self.n_hashes
+
+    def intersection_bits(self, other: "BloomDigest") -> int:
+        """Number of bit positions set in both digests (same geometry only)."""
+        if self.n_bits != other.n_bits or self.n_hashes != other.n_hashes:
+            raise FrameworkError("digests have different geometries")
+        return int(np.logical_and(self._bits, other._bits).sum())
+
+    @staticmethod
+    def from_items(items: Sequence[ItemId], fp_rate: float = 0.02) -> "BloomDigest":
+        """Build a digest sized for exactly ``items``."""
+        digest = BloomDigest(max(1, len(items)), fp_rate)
+        digest.update(items)
+        return digest
+
+
+def digest_similarity(a: BloomDigest, b: BloomDigest) -> float:
+    """Chance-corrected overlap estimate of two same-geometry digests.
+
+    The raw bit-level Jaccard of two independent Bloom filters has a large
+    floor (two half-full random bitmaps already share ~1/3 of their set
+    bits), so the observed Jaccard is corrected by the value expected from
+    the fill ratios alone::
+
+        adjusted = (J_obs - J_chance) / (1 - J_chance)
+
+    clamped to [0, 1]: ~0 for disjoint holdings, ~1 for identical ones. This
+    is the "summarized information" an invitee can use to assess an unknown
+    inviter's potential benefit (Section 3.4 option (b)).
+    """
+    inter = a.intersection_bits(b)
+    union = int(np.logical_or(a._bits, b._bits).sum())
+    if union == 0:
+        return 0.0
+    observed = inter / union
+    pa, pb = a.fill_ratio, b.fill_ratio
+    expected_inter = pa * pb
+    expected_union = pa + pb - expected_inter
+    chance = expected_inter / expected_union if expected_union else 0.0
+    if chance >= 1.0:
+        return 1.0
+    return max(0.0, min(1.0, (observed - chance) / (1.0 - chance)))
+
+
+class DigestDirectory:
+    """Per-node digests with staleness accounting.
+
+    A node refreshing its neighbors' digests every ``max_age`` operations
+    models Squid's periodic cache-digest exchange; the search layer treats a
+    stale entry as absent (fall back to flooding rather than trust it).
+    """
+
+    def __init__(self, max_age: int = 1000) -> None:
+        if max_age < 1:
+            raise FrameworkError("max_age must be >= 1")
+        self.max_age = max_age
+        self._digests: dict[NodeId, BloomDigest] = {}
+        self._stamped_at: dict[NodeId, int] = {}
+        self._clock = 0
+
+    def tick(self, amount: int = 1) -> None:
+        """Advance the staleness clock."""
+        self._clock += amount
+
+    def publish(self, node: NodeId, digest: BloomDigest) -> None:
+        """Store ``node``'s fresh digest."""
+        self._digests[node] = digest
+        self._stamped_at[node] = self._clock
+
+    def get_fresh(self, node: NodeId) -> BloomDigest | None:
+        """The node's digest if present and not stale, else ``None``."""
+        digest = self._digests.get(node)
+        if digest is None:
+            return None
+        if self._clock - self._stamped_at[node] > self.max_age:
+            return None
+        return digest
+
+    def forget(self, node: NodeId) -> None:
+        """Drop a node's digest (e.g. it logged off)."""
+        self._digests.pop(node, None)
+        self._stamped_at.pop(node, None)
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+
+class SelectByDigest:
+    """Digest-guided forwarding: send first to neighbors claiming the item.
+
+    This is Algo 1's "use summary info if available" turned into a selection
+    policy. Because Bloom digests have no false negatives, a neighbor whose
+    fresh digest rejects the item *cannot* hold it — those neighbors are only
+    contacted when nobody claims the item (pure exploration fallback,
+    bounded by ``fallback_k``).
+    """
+
+    def __init__(self, directory: DigestDirectory, item: ItemId, fallback_k: int = 2):
+        if fallback_k < 0:
+            raise FrameworkError("fallback_k must be non-negative")
+        self.directory = directory
+        self.item = item
+        self.fallback_k = fallback_k
+
+    def select(
+        self,
+        candidates: Sequence[NodeId],
+        stats: StatsTable,
+        rng: np.random.Generator,
+    ) -> list[NodeId]:
+        claiming: list[NodeId] = []
+        unknown: list[NodeId] = []
+        for node in candidates:
+            digest = self.directory.get_fresh(node)
+            if digest is None:
+                unknown.append(node)
+            elif digest.might_hold(self.item):
+                claiming.append(node)
+        if claiming:
+            return claiming + unknown
+        # Nobody claims it: probe the unknowns plus a bounded random sample
+        # of the rejecting neighbors is pointless (no false negatives), so
+        # only unknowns are worth contacting; cap the fan-out.
+        if len(unknown) <= self.fallback_k:
+            return unknown
+        picks = rng.choice(len(unknown), size=self.fallback_k, replace=False)
+        return [unknown[i] for i in sorted(picks)]

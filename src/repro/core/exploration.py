@@ -1,0 +1,139 @@
+"""The generic exploration mechanism (Algo 2).
+
+Exploration queries "involve querying (without fetching) about collections of
+data": the initiator probes nodes beyond its immediate neighborhood, the
+probed nodes "return statistics and summarized information", and the
+initiator updates the statistics according to which neighbor selection is
+performed.
+
+``generic_explore`` propagates a probe exactly like a search (same
+termination/selection machinery, same duplicate suppression) but instead of
+fetching content it returns, per reached node, a summary: which of the asked
+items the node holds. The caller folds the reports into its
+:class:`~repro.core.statistics.StatsTable` with whatever benefit it deems
+appropriate (the framework default credits coverage over round-trip delay).
+
+The Gnutella case study does not run a separate exploration step (Section
+4.1: "the absence of a central repository and directory information enforces
+an extensive search process and there is no need for a separate exploration
+step") — there, search doubles as exploration. The web-caching and OLAP
+instantiations, which terminate search at 1 hop, rely on this module to
+discover distant candidates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.search import NetworkView
+from repro.core.selection import SelectAll, SelectionPolicy
+from repro.core.statistics import StatsTable
+from repro.core.termination import Termination
+from repro.types import ItemId, NodeId
+
+__all__ = ["ExplorationOutcome", "ExplorationReport", "generic_explore"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExplorationReport:
+    """Summary returned by one probed node.
+
+    Attributes
+    ----------
+    node:
+        The probed node.
+    held_items:
+        Which of the probe's items the node holds.
+    hops:
+        Distance along the probe's discovery path.
+    delay:
+        Round-trip seconds for the summary to reach the initiator.
+    """
+
+    node: NodeId
+    held_items: frozenset[ItemId]
+    hops: int
+    delay: float
+
+    @property
+    def coverage(self) -> int:
+        """How many of the asked items the node held."""
+        return len(self.held_items)
+
+
+@dataclass(frozen=True, slots=True)
+class ExplorationOutcome:
+    """Everything one exploration round produced."""
+
+    initiator: NodeId
+    reports: tuple[ExplorationReport, ...]
+    messages: int
+    nodes_contacted: int
+
+
+def generic_explore(
+    view: NetworkView,
+    initiator: NodeId,
+    items: Iterable[ItemId],
+    termination: Termination,
+    selection: SelectionPolicy | None = None,
+    stats: StatsTable | None = None,
+    rng: np.random.Generator | None = None,
+) -> ExplorationOutcome:
+    """Probe the neighborhood about ``items``; return per-node summaries.
+
+    Every reached node reports (there is no short-circuit: exploration wants
+    the map, not the first hit), and propagation is bounded only by
+    ``termination``. Reports come back for *every* reached node, including
+    ones holding none of the items — knowing a node is unhelpful is also
+    information.
+    """
+    if selection is None:
+        selection = SelectAll()
+    if stats is None:
+        stats = StatsTable()
+    if rng is None:
+        rng = np.random.default_rng(0)
+    item_set = frozenset(items)
+
+    reports: list[ExplorationReport] = []
+    messages = 0
+    seen: set[NodeId] = {initiator}
+    frontier: deque[tuple[NodeId, NodeId, int, float]] = deque()
+
+    for target in selection.select(view.neighbors(initiator), stats, rng):
+        messages += 1
+        frontier.append((target, initiator, 1, view.link_delay(initiator, target)))
+
+    while frontier:
+        node, sender, hops, delay = frontier.popleft()
+        if node in seen:
+            continue
+        seen.add(node)
+
+        held = frozenset(i for i in item_set if view.holds(node, i))
+        reports.append(
+            ExplorationReport(node=node, held_items=held, hops=hops, delay=2.0 * delay)
+        )
+
+        if not termination.should_forward(hops, 0):
+            continue
+        for target in selection.select(view.neighbors(node), stats, rng):
+            if target == sender:
+                continue
+            messages += 1
+            if target not in seen:
+                frontier.append(
+                    (target, node, hops + 1, delay + view.link_delay(node, target))
+                )
+
+    return ExplorationOutcome(
+        initiator=initiator,
+        reports=tuple(reports),
+        messages=messages,
+        nodes_contacted=len(seen) - 1,
+    )

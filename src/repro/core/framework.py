@@ -1,0 +1,436 @@
+"""The assembled framework: repositories wired into a searchable network.
+
+:class:`RepositoryNetwork` is the package's general-purpose public API — the
+thing a downstream user instantiates to get "searching in distributed data
+repositories" with dynamic reconfiguration, independent of any particular
+application. The web-caching and OLAP instantiations build on it; the
+Gnutella case study uses its own engines (specialized for churn and scale)
+but shares every policy object.
+
+The network is *synchronous*: searches execute atomically with analytically
+computed delays (see DESIGN.md's engine discussion). For message-level
+timing semantics use :mod:`repro.gnutella.detailed`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.benefit import BandwidthShareBenefit, BenefitFunction, ResultObservation
+from repro.core.exploration import ExplorationOutcome, generic_explore
+from repro.core.neighbors import NeighborState
+from repro.core.relations import RelationPolicy, SymmetricRelation
+from repro.core.search import generic_search
+from repro.core.selection import SelectAll, SelectionPolicy
+from repro.core.statistics import StatsTable
+from repro.core.termination import Termination, TTLTermination
+from repro.core.update import (
+    asymmetric_update,
+    plan_reconfiguration,
+    process_invitation,
+    reconfiguration_actions,
+)
+from repro.errors import FrameworkError
+from repro.types import ItemId, NodeId, QueryOutcome
+
+__all__ = ["Repository", "RepositoryNetwork"]
+
+
+class Repository:
+    """One data repository: its content, neighbor lists and statistics."""
+
+    __slots__ = (
+        "node",
+        "items",
+        "state",
+        "stats",
+        "online",
+        "requests_since_update",
+        "trials",
+    )
+
+    def __init__(self, node: NodeId, items: Iterable[ItemId], state: NeighborState) -> None:
+        self.node = node
+        self.items: set[ItemId] = set(items)
+        self.state = state
+        self.stats = StatsTable()
+        self.online = True
+        #: Own requests issued since the last reconfiguration (drives the
+        #: periodic update trigger).
+        self.requests_since_update = 0
+        #: Probationary neighborhoods under the "trial" invitation policy:
+        #: partner -> (own searches remaining, benefit at trial start).
+        self.trials: dict[NodeId, tuple[int, float]] = {}
+
+
+class RepositoryNetwork:
+    """A population of repositories plus the three framework mechanisms.
+
+    Parameters
+    ----------
+    relation:
+        Neighbor-relation policy; decides capacities and rewiring rules.
+    benefit:
+        Scores each returned result (default: the paper's ``B/R``).
+    link_delay:
+        One-way delay between two nodes, seconds. Defaults to a constant
+        50 ms; pass :meth:`repro.net.LatencyModel.one_way_delay` for the full
+        model.
+    link_kbps:
+        Effective link bandwidth (feeds ``B`` of the benefit function);
+        defaults to a constant.
+    termination:
+        Default propagation bound for :meth:`search` (TTL 2 if omitted).
+    selection:
+        Default forwarding selection (flood if omitted).
+    rng:
+        Drives randomized selection policies.
+    invitation_policy:
+        How a *full* invited node decides (Section 3.4): ``"always"`` accepts
+        and evicts its least beneficial neighbor (Algo 5 (iv)); ``"benefit"``
+        accepts only inviters whose recorded benefit beats the worst current
+        neighbor's (Algo 4); ``"trial"`` implements option (a) — accept a
+        *temporary* relationship that becomes permanent only if the inviter
+        produces benefit within ``trial_searches`` of the invitee's own
+        queries; ``"summary"`` implements option (b) — accept when the
+        content overlap of the two repositories reaches
+        ``summary_threshold`` (the idealized form of a digest exchange; see
+        :mod:`repro.core.digest` for the approximate digests themselves).
+    trial_searches:
+        Probation length for the ``"trial"`` policy, in invitee queries.
+    summary_threshold:
+        Jaccard holdings-overlap needed by the ``"summary"`` policy.
+    """
+
+    def __init__(
+        self,
+        relation: RelationPolicy,
+        benefit: BenefitFunction | None = None,
+        link_delay: Callable[[NodeId, NodeId], float] | None = None,
+        link_kbps: Callable[[NodeId, NodeId], float] | None = None,
+        termination: Termination | None = None,
+        selection: SelectionPolicy | None = None,
+        rng: np.random.Generator | None = None,
+        invitation_policy: str = "always",
+        trial_searches: int = 5,
+        summary_threshold: float = 0.05,
+    ) -> None:
+        if invitation_policy not in ("always", "benefit", "trial", "summary"):
+            raise FrameworkError(
+                f"unknown invitation_policy {invitation_policy!r}; use "
+                "always, benefit, trial, or summary"
+            )
+        if trial_searches < 1:
+            raise FrameworkError("trial_searches must be >= 1")
+        if not 0.0 <= summary_threshold <= 1.0:
+            raise FrameworkError("summary_threshold must be in [0, 1]")
+        self.relation = relation
+        self.benefit = benefit or BandwidthShareBenefit()
+        self._link_delay = link_delay or (lambda a, b: 0.050)
+        self._link_kbps = link_kbps or (lambda a, b: 1000.0)
+        self.termination = termination or TTLTermination(2)
+        self.selection = selection or SelectAll()
+        self.rng = rng or np.random.default_rng(0)
+        self.invitation_policy = invitation_policy
+        self.trial_searches = trial_searches
+        self.summary_threshold = summary_threshold
+        self.repositories: dict[NodeId, Repository] = {}
+        self.searches_run = 0
+        self.reconfigurations = 0
+        self.trials_started = 0
+        self.trials_kept = 0
+        self.trials_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Population management
+    # ------------------------------------------------------------------
+    def add_repository(self, items: Iterable[ItemId] = ()) -> NodeId:
+        """Create a repository with ``items``; returns its node id."""
+        node = NodeId(len(self.repositories))
+        self.repositories[node] = Repository(node, items, self.relation.make_state(node))
+        return node
+
+    def repo(self, node: NodeId) -> Repository:
+        """The repository for ``node`` (raises for unknown ids)."""
+        try:
+            return self.repositories[node]
+        except KeyError:
+            raise FrameworkError(f"unknown node {node}") from None
+
+    def connect(self, a: NodeId, b: NodeId) -> None:
+        """Wire ``a -> b`` (and the mirror edge for symmetric relations)."""
+        self.relation.connect(self.repo(a).state, self.repo(b).state)
+
+    def disconnect(self, a: NodeId, b: NodeId) -> None:
+        """Remove ``a -> b`` (and the mirror edge for symmetric relations)."""
+        self.relation.disconnect(self.repo(a).state, self.repo(b).state)
+
+    def set_online(self, node: NodeId, online: bool) -> None:
+        """Toggle availability; offline nodes neither serve nor forward.
+
+        Going offline severs all neighborhoods (their slots free up), which
+        is what triggers the "forced reconfiguration" dynamics of churning
+        networks.
+        """
+        repo = self.repo(node)
+        if repo.online == online:
+            return
+        repo.online = online
+        if not online:
+            for other in list(repo.state.outgoing):
+                if other in repo.state.outgoing:
+                    self._sever(node, other)
+            for other in list(repo.state.incoming):
+                if node in self.repo(other).state.outgoing:
+                    self.disconnect(other, node)
+
+    def _sever(self, a: NodeId, b: NodeId) -> None:
+        self.relation.disconnect(self.repo(a).state, self.repo(b).state)
+
+    # ------------------------------------------------------------------
+    # NetworkView protocol (consumed by the generic engines)
+    # ------------------------------------------------------------------
+    def holds(self, node: NodeId, item: ItemId) -> bool:
+        """Whether ``node`` is online and has ``item`` locally."""
+        repo = self.repositories[node]
+        return repo.online and item in repo.items
+
+    def neighbors(self, node: NodeId) -> Sequence[NodeId]:
+        """Online outgoing neighbors of ``node``."""
+        return [
+            n
+            for n in self.repositories[node].state.outgoing
+            if self.repositories[n].online
+        ]
+
+    def link_delay(self, a: NodeId, b: NodeId) -> float:
+        """One-way delay of the ``a``-``b`` link."""
+        return self._link_delay(a, b)
+
+    # ------------------------------------------------------------------
+    # Mechanism 1: search (Algo 1)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        initiator: NodeId,
+        item: ItemId,
+        termination: Termination | None = None,
+        selection: SelectionPolicy | None = None,
+        record_stats: bool = True,
+    ) -> QueryOutcome:
+        """Issue a query from ``initiator``; update its statistics.
+
+        Local hits return immediately with zero messages (Algo 1's "if the
+        request can not be satisfied locally" guard).
+        """
+        repo = self.repo(initiator)
+        if not repo.online:
+            raise FrameworkError(f"node {initiator} is offline and cannot search")
+        repo.requests_since_update += 1
+        self.searches_run += 1
+        if item in repo.items:
+            from repro.types import QueryResult
+
+            return QueryOutcome(
+                initiator=initiator,
+                item=item,
+                issued_at=0.0,
+                results=(QueryResult(initiator, item, 0, 0.0),),
+                messages=0,
+                nodes_contacted=0,
+            )
+        outcome = generic_search(
+            self,
+            initiator,
+            item,
+            termination or self.termination,
+            selection=selection or self.selection,
+            stats=repo.stats,
+            rng=self.rng,
+        )
+        if record_stats and outcome.results:
+            n_results = len(outcome.results)
+            for result in outcome.results:
+                obs = ResultObservation(
+                    initiator=initiator,
+                    responder=result.responder,
+                    link_kbps=self._link_kbps(initiator, result.responder),
+                    n_results=n_results,
+                    delay=result.delay,
+                    hops=result.hops,
+                )
+                repo.stats.add_benefit(result.responder, self.benefit(obs))
+        if repo.trials:
+            self._tick_trials(repo)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Mechanism 2: exploration (Algo 2)
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        initiator: NodeId,
+        items: Iterable[ItemId],
+        termination: Termination | None = None,
+        selection: SelectionPolicy | None = None,
+        record_stats: bool = True,
+    ) -> ExplorationOutcome:
+        """Probe for ``items``; fold coverage-based benefit into the stats.
+
+        Each reached node is credited proportionally to how many of the
+        probed items it held (zero-coverage nodes earn nothing but become
+        *known*, so later updates can reason about them).
+        """
+        repo = self.repo(initiator)
+        if not repo.online:
+            raise FrameworkError(f"node {initiator} is offline and cannot explore")
+        outcome = generic_explore(
+            self,
+            initiator,
+            items,
+            termination or self.termination,
+            selection=selection or self.selection,
+            stats=repo.stats,
+            rng=self.rng,
+        )
+        if record_stats:
+            for report in outcome.reports:
+                if report.coverage:
+                    obs = ResultObservation(
+                        initiator=initiator,
+                        responder=report.node,
+                        link_kbps=self._link_kbps(initiator, report.node),
+                        n_results=report.coverage,
+                        delay=report.delay,
+                        hops=report.hops,
+                    )
+                    repo.stats.add_benefit(
+                        report.node, report.coverage * self.benefit(obs)
+                    )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Mechanism 3: neighbor update (Algos 3-4)
+    # ------------------------------------------------------------------
+    def update_neighbors(self, node: NodeId) -> None:
+        """Run one neighbor update at ``node`` per the relation kind."""
+        if isinstance(self.relation, SymmetricRelation):
+            self._symmetric_update(node)
+        else:
+            self._asymmetric_update(node)
+        self.repo(node).requests_since_update = 0
+        self.reconfigurations += 1
+
+    def _eligible(self, candidate: NodeId) -> bool:
+        repo = self.repositories.get(candidate)
+        return repo is not None and repo.online
+
+    def _asymmetric_update(self, node: NodeId) -> None:
+        repo = self.repo(node)
+        added, evicted = asymmetric_update(repo.state, repo.stats, eligible=self._eligible)
+        for other in evicted:
+            self.disconnect(node, other)
+        for other in added:
+            if self.relation.can_connect(repo.state, self.repo(other).state):
+                self.connect(node, other)
+
+    def _symmetric_update(self, node: NodeId) -> None:
+        repo = self.repo(node)
+        k = int(repo.state.outgoing.capacity)
+        current = repo.state.outgoing.as_tuple()
+        desired = plan_reconfiguration(
+            current, repo.stats, k, exclude=(node,), eligible=self._eligible
+        )
+        invites, evicts = reconfiguration_actions(node, current, desired)
+        for action in evicts:
+            self.disconnect(node, action.evicted)
+            # Process_Eviction at the evicted side: reset the evictor's stats
+            # so it is not immediately re-selected.
+            self.repo(action.evicted).stats.reset(node)
+        for action in invites:
+            invitee = self.repo(action.invitee)
+            if not invitee.online:
+                continue
+            decision = self._decide_invitation(repo, invitee)
+            if not decision.accepted:
+                continue
+            if decision.evicted is not None:
+                self.disconnect(action.invitee, decision.evicted)
+                self.repo(decision.evicted).stats.reset(action.invitee)
+            if repo.state.outgoing.is_full:
+                break  # our own slots ran out (races with incoming invites)
+            self.connect(node, action.invitee)
+            if self.invitation_policy == "trial":
+                # Option (a): a temporary relationship; the invitee gathers
+                # statistics about the inviter and decides after a while.
+                invitee.trials[node] = (
+                    self.trial_searches,
+                    invitee.stats.benefit_of(node),
+                )
+                self.trials_started += 1
+            # Accepting an invitation resets the invitee's own periodic
+            # counter (Algo 5: damp cascading updates).
+            invitee.requests_since_update = 0
+
+    def _decide_invitation(self, inviter: Repository, invitee: Repository):
+        """Apply the configured invited-node policy (Section 3.4)."""
+        policy = self.invitation_policy
+        if policy == "benefit":
+            return process_invitation(
+                invitee.state, inviter.node, invitee.stats, always_accept=False
+            )
+        if policy == "summary" and invitee.state.outgoing.is_full:
+            # Option (b): assess the unknown inviter from exchanged content
+            # summaries. Idealized here as the true holdings overlap (the
+            # digest machinery in repro.core.digest approximates it).
+            if self._holdings_overlap(inviter, invitee) < self.summary_threshold:
+                from repro.core.update import InvitationDecision
+
+                return InvitationDecision(accepted=False, evicted=None)
+        # "always", "trial", and passing-summary cases all accept, evicting
+        # the least beneficial neighbor if necessary.
+        return process_invitation(
+            invitee.state, inviter.node, invitee.stats, always_accept=True
+        )
+
+    @staticmethod
+    def _holdings_overlap(a: Repository, b: Repository) -> float:
+        """Jaccard overlap of two repositories' item sets."""
+        union = len(a.items | b.items)
+        if union == 0:
+            return 0.0
+        return len(a.items & b.items) / union
+
+    def _tick_trials(self, repo: Repository) -> None:
+        """Advance the invitee-side probation clocks after one own search."""
+        for partner in list(repo.trials):
+            remaining, start_benefit = repo.trials[partner]
+            if partner not in repo.state.outgoing:
+                del repo.trials[partner]  # link already gone (churn/update)
+                continue
+            remaining -= 1
+            if remaining > 0:
+                repo.trials[partner] = (remaining, start_benefit)
+                continue
+            del repo.trials[partner]
+            if repo.stats.benefit_of(partner) > start_benefit:
+                self.trials_kept += 1  # produced benefit: made permanent
+            else:
+                self.trials_dropped += 1
+                self.disconnect(repo.node, partner)
+                self.repo(partner).stats.reset(repo.node)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def neighbor_snapshot(self) -> dict[NodeId, tuple[NodeId, ...]]:
+        """Current outgoing lists of all repositories."""
+        return {
+            n: repo.state.outgoing.as_tuple() for n, repo in self.repositories.items()
+        }
+
+    def states(self) -> dict[NodeId, NeighborState]:
+        """Map of node id to its live :class:`NeighborState`."""
+        return {n: repo.state for n, repo in self.repositories.items()}

@@ -1,0 +1,170 @@
+"""Neighbor-relation policies (Section 3.1).
+
+A relation policy owns the *rules* for changing neighbor lists so that the
+network stays consistent (``n_j in Out(n_i)`` implies ``n_i in In(n_j)``):
+
+* :class:`AllToAllRelation` — everyone lists everyone; "applicable only for
+  small N" (e.g. a single multicast group).
+* :class:`PureAsymmetricRelation` — incoming capacity is unbounded, so a
+  node may rewire its outgoing list unilaterally and consistency holds "by
+  construction" (the Squid top-level-proxy case).
+* :class:`AsymmetricRelation` — bounded incoming lists; an outgoing addition
+  must be accepted by the target, which may refuse when full.
+* :class:`SymmetricRelation` — ``Out == In`` at every node; changes are a
+  pairwise agreement (invitation/eviction), the Gnutella case.
+
+Policies mutate :class:`~repro.core.neighbors.NeighborState` objects through
+:meth:`connect` / :meth:`disconnect`, which update *both* endpoints
+atomically — the only way the package ever edits neighbor lists.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Protocol, runtime_checkable
+
+from repro.core.neighbors import NeighborState
+from repro.errors import TopologyError
+from repro.types import NodeId
+
+__all__ = [
+    "AllToAllRelation",
+    "AsymmetricRelation",
+    "PureAsymmetricRelation",
+    "RelationPolicy",
+    "SymmetricRelation",
+]
+
+
+@runtime_checkable
+class RelationPolicy(Protocol):
+    """Rules for rewiring neighbor lists while preserving consistency."""
+
+    def make_state(self, node: NodeId) -> NeighborState:
+        """A fresh neighbor state with this policy's capacities."""
+        ...
+
+    def can_connect(self, src: NeighborState, dst: NeighborState) -> bool:
+        """Whether an edge ``src -> dst`` may be added right now."""
+        ...
+
+    def connect(self, src: NeighborState, dst: NeighborState) -> None:
+        """Add ``dst`` to ``src``'s outgoing list (and whatever consistency
+        requires at ``dst``)."""
+        ...
+
+    def disconnect(self, src: NeighborState, dst: NeighborState) -> None:
+        """Remove the ``src -> dst`` edge (and its mirror, if symmetric)."""
+        ...
+
+
+class _BaseRelation:
+    """Shared connect/disconnect plumbing for the directed relations."""
+
+    out_capacity: float
+    in_capacity: float
+
+    def make_state(self, node: NodeId) -> NeighborState:
+        return NeighborState(node, self.out_capacity, self.in_capacity)
+
+    def can_connect(self, src: NeighborState, dst: NeighborState) -> bool:
+        if src.node == dst.node:
+            return False
+        if dst.node in src.outgoing:
+            return False
+        return not src.outgoing.is_full and not dst.incoming.is_full
+
+    def connect(self, src: NeighborState, dst: NeighborState) -> None:
+        if not self.can_connect(src, dst):
+            raise TopologyError(
+                f"cannot connect {src.node} -> {dst.node} "
+                "(self-loop, duplicate, or a full list)"
+            )
+        src.outgoing.add(dst.node)
+        dst.incoming.add(src.node)
+
+    def disconnect(self, src: NeighborState, dst: NeighborState) -> None:
+        if dst.node not in src.outgoing:
+            raise TopologyError(f"{dst.node} is not an outgoing neighbor of {src.node}")
+        src.outgoing.remove(dst.node)
+        dst.incoming.remove(src.node)
+
+
+class AllToAllRelation(_BaseRelation):
+    """Unbounded lists; typically fully meshed at setup time."""
+
+    out_capacity = math.inf
+    in_capacity = math.inf
+
+    @staticmethod
+    def full_mesh(states: Mapping[NodeId, NeighborState]) -> None:
+        """Wire every node to every other node (both directions)."""
+        nodes = sorted(states)
+        for a in nodes:
+            for b in nodes:
+                if a != b:
+                    states[a].outgoing.add(b)
+                    states[a].incoming.add(b)
+
+
+class PureAsymmetricRelation(_BaseRelation):
+    """Bounded outgoing, unbounded incoming: unilateral rewiring is safe."""
+
+    in_capacity = math.inf
+
+    def __init__(self, out_capacity: int) -> None:
+        if out_capacity < 1:
+            raise TopologyError(f"out_capacity must be >= 1, got {out_capacity}")
+        self.out_capacity = float(out_capacity)
+
+
+class AsymmetricRelation(_BaseRelation):
+    """Bounded outgoing *and* incoming lists; targets may refuse when full."""
+
+    def __init__(self, out_capacity: int, in_capacity: int) -> None:
+        if out_capacity < 1 or in_capacity < 1:
+            raise TopologyError("capacities must be >= 1")
+        self.out_capacity = float(out_capacity)
+        self.in_capacity = float(in_capacity)
+
+
+class SymmetricRelation:
+    """``Out == In`` everywhere; every edit touches both endpoints' pairs.
+
+    ``capacity`` is the number of neighbor *slots* per node (the case study
+    uses 4).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise TopologyError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+
+    def make_state(self, node: NodeId) -> NeighborState:
+        return NeighborState(node, self.capacity, self.capacity)
+
+    def can_connect(self, src: NeighborState, dst: NeighborState) -> bool:
+        if src.node == dst.node or dst.node in src.outgoing:
+            return False
+        return not src.outgoing.is_full and not dst.outgoing.is_full
+
+    def connect(self, src: NeighborState, dst: NeighborState) -> None:
+        """Create the mutual neighborhood ``src <-> dst``."""
+        if not self.can_connect(src, dst):
+            raise TopologyError(
+                f"cannot pair {src.node} <-> {dst.node} "
+                "(self-loop, duplicate, or a full slot set)"
+            )
+        src.outgoing.add(dst.node)
+        src.incoming.add(dst.node)
+        dst.outgoing.add(src.node)
+        dst.incoming.add(src.node)
+
+    def disconnect(self, src: NeighborState, dst: NeighborState) -> None:
+        """Dissolve the mutual neighborhood ``src <-> dst``."""
+        if dst.node not in src.outgoing:
+            raise TopologyError(f"{src.node} and {dst.node} are not neighbors")
+        src.outgoing.remove(dst.node)
+        src.incoming.remove(dst.node)
+        dst.outgoing.remove(src.node)
+        dst.incoming.remove(src.node)

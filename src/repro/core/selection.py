@@ -1,0 +1,94 @@
+"""Forwarding-target selection policies (Section 3.2).
+
+"The process of selecting the neighbors to forward a request can take
+various forms, from the simple send-to-all approach to random, or history
+based selection." :class:`SelectTopKBenefit` is the history-based form,
+equivalent to Yang & Garcia-Molina's *Directed BFT* (Section 2 technique
+(ii)): queries propagate only to a beneficial subset of the neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.statistics import StatsTable
+from repro.errors import FrameworkError
+from repro.types import NodeId
+
+__all__ = ["SelectAll", "SelectRandomK", "SelectTopKBenefit", "SelectionPolicy"]
+
+
+@runtime_checkable
+class SelectionPolicy(Protocol):
+    """Chooses which outgoing neighbors receive a (forwarded) request."""
+
+    def select(
+        self,
+        candidates: Sequence[NodeId],
+        stats: StatsTable,
+        rng: np.random.Generator,
+    ) -> list[NodeId]:
+        """Subset of ``candidates`` to forward to, in send order."""
+        ...
+
+
+class SelectAll:
+    """Flood: forward to every candidate (Gnutella's behaviour)."""
+
+    def select(
+        self,
+        candidates: Sequence[NodeId],
+        stats: StatsTable,
+        rng: np.random.Generator,
+    ) -> list[NodeId]:
+        return list(candidates)
+
+
+class SelectRandomK:
+    """Forward to ``k`` uniformly random candidates (all if fewer exist)."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise FrameworkError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def select(
+        self,
+        candidates: Sequence[NodeId],
+        stats: StatsTable,
+        rng: np.random.Generator,
+    ) -> list[NodeId]:
+        if len(candidates) <= self.k:
+            return list(candidates)
+        picks = rng.choice(len(candidates), size=self.k, replace=False)
+        return [candidates[i] for i in sorted(picks)]
+
+
+class SelectTopKBenefit:
+    """Directed BFT: forward to the ``k`` historically most beneficial.
+
+    Candidates with no recorded benefit rank last (ties broken by id, via
+    :meth:`StatsTable.ranked` determinism); if *none* of the candidates has
+    statistics yet the policy degrades to the first ``k`` in list order, so a
+    cold node still searches.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise FrameworkError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def select(
+        self,
+        candidates: Sequence[NodeId],
+        stats: StatsTable,
+        rng: np.random.Generator,
+    ) -> list[NodeId]:
+        if len(candidates) <= self.k:
+            return list(candidates)
+        ordered = sorted(
+            candidates, key=lambda n: (-stats.benefit_of(n), n)
+        )
+        return ordered[: self.k]

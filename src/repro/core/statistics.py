@@ -1,0 +1,117 @@
+"""Per-node statistics tables.
+
+Section 3.4: neighbor updates are "based on the collection of statistics and
+the computation of a benefit function ... this requires maintaining
+information for both the neighboring and the non-neighboring nodes that were
+encountered through search and exploration."
+
+:class:`StatsTable` is each node's private ledger of cumulative benefit per
+encountered peer. Eviction resets the evictor's entry (Algo 5
+Process_Eviction: "reset n's statistics, so that n_i will not attempt to
+reconnect to n in the near future").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.types import NodeId
+
+__all__ = ["StatsTable"]
+
+
+class StatsTable:
+    """Cumulative per-peer benefit statistics for one node.
+
+    Ranking is deterministic: ties in benefit break by ascending node id, so
+    two same-seed runs reconfigure identically.
+    """
+
+    __slots__ = ("_benefit", "_encounters")
+
+    def __init__(self) -> None:
+        self._benefit: dict[NodeId, float] = {}
+        self._encounters: dict[NodeId, int] = {}
+
+    def add_benefit(self, node: NodeId, amount: float) -> None:
+        """Credit ``amount`` of benefit to ``node`` (one result observed)."""
+        if amount < 0:
+            raise ValueError(f"benefit must be non-negative, got {amount}")
+        self._benefit[node] = self._benefit.get(node, 0.0) + amount
+        self._encounters[node] = self._encounters.get(node, 0) + 1
+
+    def benefit_of(self, node: NodeId) -> float:
+        """Cumulative benefit credited to ``node`` (0 if never seen)."""
+        return self._benefit.get(node, 0.0)
+
+    def encounters_of(self, node: NodeId) -> int:
+        """Number of benefit observations recorded for ``node``."""
+        return self._encounters.get(node, 0)
+
+    def known_nodes(self) -> tuple[NodeId, ...]:
+        """All peers with recorded statistics, in id order."""
+        return tuple(sorted(self._benefit))
+
+    def reset(self, node: NodeId) -> None:
+        """Forget everything about ``node`` (Process_Eviction semantics)."""
+        self._benefit.pop(node, None)
+        self._encounters.pop(node, None)
+
+    def clear(self) -> None:
+        """Forget everything about everyone."""
+        self._benefit.clear()
+        self._encounters.clear()
+
+    def decay(self, factor: float) -> None:
+        """Multiply every benefit by ``factor`` in [0, 1].
+
+        Not used by the paper's case study but a standard aging mechanism for
+        environments with faster-drifting access patterns (Section 3.4 notes
+        exploration frequency should track content-change frequency).
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"decay factor must be in [0, 1], got {factor}")
+        for node in self._benefit:
+            self._benefit[node] *= factor
+
+    def ranked(
+        self,
+        exclude: Iterable[NodeId] = (),
+        eligible: Callable[[NodeId], bool] | None = None,
+    ) -> list[NodeId]:
+        """Known peers sorted by benefit (descending), ties by ascending id.
+
+        Parameters
+        ----------
+        exclude:
+            Peers to omit (e.g. the ranking node itself).
+        eligible:
+            Optional predicate; peers failing it are omitted (e.g. nodes
+            currently offline cannot be invited).
+        """
+        excluded = set(exclude)
+        nodes = [
+            n
+            for n in self._benefit
+            if n not in excluded and (eligible is None or eligible(n))
+        ]
+        nodes.sort(key=lambda n: (-self._benefit[n], n))
+        return nodes
+
+    def top_k(
+        self,
+        k: int,
+        exclude: Iterable[NodeId] = (),
+        eligible: Callable[[NodeId], bool] | None = None,
+    ) -> list[NodeId]:
+        """The ``k`` most beneficial eligible peers."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return self.ranked(exclude=exclude, eligible=eligible)[:k]
+
+    def __len__(self) -> int:
+        return len(self._benefit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        top = self.ranked()[:5]
+        return f"StatsTable({len(self)} peers, top={top})"

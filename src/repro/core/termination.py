@@ -1,0 +1,100 @@
+"""Propagation terminating conditions (Section 3.2).
+
+"A common threshold in many distributed systems ... is the maximum number of
+hops that a request may perform." Squid uses 1 hop (the origin server is the
+fallback); Gnutella allows up to 7 (the paper's case study sweeps 1-4, its
+combined search/exploration uses 5).
+
+Also implements the Yang & Garcia-Molina *iterative deepening* schedule
+(Section 2 technique (i)), which the paper notes is orthogonal to — and
+composable with — dynamic reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.errors import FrameworkError
+
+__all__ = [
+    "IterativeDeepening",
+    "MaxResultsTermination",
+    "TTLTermination",
+    "Termination",
+]
+
+
+@runtime_checkable
+class Termination(Protocol):
+    """Decides whether a request may propagate one hop further."""
+
+    def should_forward(self, hops: int, results_so_far: int) -> bool:
+        """Whether a copy that has traversed ``hops`` hops may be forwarded.
+
+        ``hops`` counts edges already traversed to reach the current holder;
+        forwarding would make it ``hops + 1``.
+        """
+        ...
+
+
+class TTLTermination:
+    """Forward while fewer than ``max_hops`` hops have been traversed."""
+
+    def __init__(self, max_hops: int) -> None:
+        if max_hops < 1:
+            raise FrameworkError(f"max_hops must be >= 1, got {max_hops}")
+        self.max_hops = max_hops
+
+    def should_forward(self, hops: int, results_so_far: int) -> bool:
+        return hops < self.max_hops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TTLTermination(max_hops={self.max_hops})"
+
+
+class MaxResultsTermination:
+    """TTL bound plus an early stop once enough results were found.
+
+    Models the "limited" search mode of Section 1 ("terminating when the
+    first result is found") with ``max_results=1``.
+    """
+
+    def __init__(self, max_hops: int, max_results: int) -> None:
+        if max_hops < 1:
+            raise FrameworkError(f"max_hops must be >= 1, got {max_hops}")
+        if max_results < 1:
+            raise FrameworkError(f"max_results must be >= 1, got {max_results}")
+        self.max_hops = max_hops
+        self.max_results = max_results
+
+    def should_forward(self, hops: int, results_so_far: int) -> bool:
+        return hops < self.max_hops and results_so_far < self.max_results
+
+
+class IterativeDeepening:
+    """Successively deeper search cycles, up to a depth cap.
+
+    Yields :class:`TTLTermination` instances for depths ``depths[0] <
+    depths[1] < ... <= max_depth``; a driver runs one cycle per yielded
+    condition and stops as soon as the query is satisfied, exactly as in
+    Yang & Garcia-Molina's technique.
+    """
+
+    def __init__(self, depths: tuple[int, ...]) -> None:
+        if not depths:
+            raise FrameworkError("depths must be non-empty")
+        if any(d < 1 for d in depths):
+            raise FrameworkError("all depths must be >= 1")
+        if any(b <= a for a, b in zip(depths, depths[1:])):
+            raise FrameworkError(f"depths must be strictly increasing, got {depths}")
+        self.depths = depths
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest cycle this schedule will run."""
+        return self.depths[-1]
+
+    def cycles(self) -> Iterator[TTLTermination]:
+        """One TTL condition per deepening cycle, shallowest first."""
+        for depth in self.depths:
+            yield TTLTermination(depth)

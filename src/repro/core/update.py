@@ -1,0 +1,182 @@
+"""The neighbor-update mechanism (Algos 3 and 4).
+
+The update logic is written as *pure decision functions* that compute what
+should change, plus small action records (:class:`InviteAction`,
+:class:`EvictAction`) describing the messages a symmetric reconfiguration
+must exchange. Engines then apply the actions on their own timescale: the
+fast Gnutella engine applies them instantaneously, the detailed engine ships
+them as real messages. Keeping decisions pure means both engines — and the
+asymmetric instantiations — share one implementation of the paper's logic.
+
+Asymmetric case (Algo 3): sort everything known by benefit, keep the best
+``k`` as the new outgoing list, evict the rest. No agreement needed.
+
+Symmetric case (Algo 4 / Algo 5 ``Reconfigure``): compute the desired list;
+for each desired node not currently a neighbor send an *invitation*; for
+each current neighbor not desired send an *eviction*. The invited node's
+side (Algo 5 ``Process_Invitation``) always accepts, evicting its least
+beneficial neighbor if full; Algo 4 also describes a benefit-gated variant
+(:func:`process_invitation` with ``always_accept=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.neighbors import NeighborState
+from repro.core.statistics import StatsTable
+from repro.errors import FrameworkError
+from repro.types import NodeId
+
+__all__ = [
+    "EvictAction",
+    "InviteAction",
+    "InvitationDecision",
+    "asymmetric_update",
+    "plan_reconfiguration",
+    "process_invitation",
+    "reconfiguration_actions",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class InviteAction:
+    """``inviter`` asks ``invitee`` to become a mutual neighbor."""
+
+    inviter: NodeId
+    invitee: NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class EvictAction:
+    """``evictor`` terminates its neighborhood with ``evicted``."""
+
+    evictor: NodeId
+    evicted: NodeId
+
+
+def asymmetric_update(
+    state: NeighborState,
+    stats: StatsTable,
+    eligible: Callable[[NodeId], bool] | None = None,
+) -> tuple[list[NodeId], list[NodeId]]:
+    """Algo 3: replace the outgoing list with the most beneficial known nodes.
+
+    Current neighbors compete with explored non-neighbors on equal footing
+    (their accumulated benefit); the best ``capacity`` eligible nodes win.
+
+    Returns ``(added, evicted)`` — the caller applies the changes through its
+    relation policy (pure-asymmetric targets always accept, so application
+    cannot fail there).
+    """
+    capacity = state.outgoing.capacity
+    if capacity == float("inf"):
+        raise FrameworkError("asymmetric_update needs a bounded outgoing capacity")
+    k = int(capacity)
+    current = list(state.outgoing)
+    desired = plan_reconfiguration(current, stats, k, exclude=(state.node,), eligible=eligible)
+    desired_set = set(desired)
+    current_set = set(current)
+    added = [n for n in desired if n not in current_set]
+    evicted = [n for n in current if n not in desired_set]
+    return added, evicted
+
+
+def plan_reconfiguration(
+    current: Sequence[NodeId],
+    stats: StatsTable,
+    k: int,
+    exclude: Sequence[NodeId] = (),
+    eligible: Callable[[NodeId], bool] | None = None,
+) -> list[NodeId]:
+    """The desired neighbor list: the ``k`` most beneficial eligible nodes.
+
+    Candidates are everyone with statistics plus the current neighbors (a
+    neighbor that produced nothing yet still occupies its slot rather than
+    being dropped for an unknown — Algo 3 sorts "current neighbors and nodes
+    encountered by exploration" together). Ties and zero-benefit candidates
+    order deterministically: benefit desc, then current-neighbor first, then
+    node id.
+    """
+    if k < 0:
+        raise FrameworkError(f"k must be non-negative, got {k}")
+    excluded = set(exclude)
+    current_set = set(current)
+    candidates = set(stats.known_nodes()) | current_set
+    pool = [
+        n
+        for n in candidates
+        if n not in excluded and (eligible is None or eligible(n) or n in current_set)
+    ]
+    pool.sort(key=lambda n: (-stats.benefit_of(n), n not in current_set, n))
+    return pool[:k]
+
+
+def reconfiguration_actions(
+    node: NodeId,
+    current: Sequence[NodeId],
+    desired: Sequence[NodeId],
+) -> tuple[list[InviteAction], list[EvictAction]]:
+    """Algo 5 ``Reconfigure``: the messages realizing ``current -> desired``.
+
+    Invitations go to desired non-neighbors; evictions go to current
+    neighbors that fell out of the desired list.
+    """
+    current_set = set(current)
+    desired_set = set(desired)
+    invites = [InviteAction(node, n) for n in desired if n not in current_set]
+    evicts = [EvictAction(node, n) for n in current if n not in desired_set]
+    return invites, evicts
+
+
+@dataclass(frozen=True, slots=True)
+class InvitationDecision:
+    """Outcome of processing an invitation at the invited node.
+
+    Attributes
+    ----------
+    accepted:
+        Whether the invitee agreed to the new neighborhood.
+    evicted:
+        The neighbor the invitee dropped to make room, if any.
+    """
+
+    accepted: bool
+    evicted: NodeId | None = None
+
+
+def process_invitation(
+    invitee_state: NeighborState,
+    inviter: NodeId,
+    stats: StatsTable,
+    always_accept: bool = True,
+) -> InvitationDecision:
+    """Algo 5 ``Process_Invitation`` / Algo 4's invited-node policy.
+
+    With ``always_accept`` (the case study's choice, Section 4.1(iv)), the
+    invitee takes the inviter, evicting its least beneficial neighbor when
+    full. With ``always_accept=False`` the invitee only accepts when it has a
+    free slot or the inviter's recorded benefit beats the worst current
+    neighbor's (Algo 4's benefit-gated variant — note the paper observes the
+    inviter's benefit may simply be unknown, in which case it scores 0 and
+    full invitees refuse).
+
+    This function only *decides*; the caller performs the actual rewiring of
+    both parties (and the eviction notification).
+    """
+    if inviter == invitee_state.node:
+        raise FrameworkError("a node cannot invite itself")
+    if inviter in invitee_state.outgoing:
+        # Already neighbors: accepting is a harmless no-op agreement.
+        return InvitationDecision(accepted=True, evicted=None)
+    if not invitee_state.outgoing.is_full:
+        return InvitationDecision(accepted=True, evicted=None)
+
+    neighbors = list(invitee_state.outgoing)
+    # Least beneficial current neighbor; ties break toward the larger id so
+    # the *earliest-added, most-proven* neighbors survive ties.
+    worst = min(neighbors, key=lambda n: (stats.benefit_of(n), -n))
+    if always_accept or stats.benefit_of(inviter) > stats.benefit_of(worst):
+        return InvitationDecision(accepted=True, evicted=worst)
+    return InvitationDecision(accepted=False, evicted=None)

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` dispatches to the CLI runner."""
+
+import sys
+
+from repro.experiments.runner import main
+
+sys.exit(main())

@@ -1,0 +1,99 @@
+"""Figure 1: hits and query overhead per hour at TTL 2.
+
+Paper (Section 4.3): "Figure 1(a) shows the total number of queries that
+were satisfied during each one-hour interval for a simulated period of 4
+days ... after the 12th hour, when the system has reached its steady-state.
+The maximum number of hops (terminating condition) is set to 2. The dynamic
+approach clearly outperforms the static configuration ... Figure 1(b)
+illustrates the corresponding overhead ... The performance gain, though, is
+limited since only up to 43 nodes are explored during each query."
+
+Expected shape: dynamic above static on hits throughout; dynamic at-or-below
+static on messages; both gaps modest at TTL 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.summary import compare_runs
+from repro.experiments.common import paired_run, preset_config
+from repro.experiments.report import format_series_table, header, kv_table
+from repro.gnutella.simulation import SimulationResult
+
+__all__ = ["Figure1Result", "print_report", "run"]
+
+#: TTL used by this figure (Figure 2 overrides it).
+MAX_HOPS = 2
+_TITLE = "Figure 1: dynamic vs static Gnutella, hops = {hops} (preset {preset!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Figure1Result:
+    """Both panels' data: hourly hits (a) and hourly query messages (b)."""
+
+    preset: str
+    max_hops: int
+    static: SimulationResult
+    dynamic: SimulationResult
+    hours: np.ndarray
+    static_hits: np.ndarray
+    dynamic_hits: np.ndarray
+    static_messages: np.ndarray
+    dynamic_messages: np.ndarray
+
+
+def run(preset: str = "scaled", seed: int = 0, max_hops: int = MAX_HOPS) -> Figure1Result:
+    """Execute the paired simulation and extract both panels' series."""
+    config = preset_config(preset, seed=seed, max_hops=max_hops)
+    static, dynamic = paired_run(config)
+    warmup = config.warmup_hours
+    hours, static_hits = static.metrics.hits_series(warmup)
+    _, dynamic_hits = dynamic.metrics.hits_series(warmup)
+    _, static_messages = static.metrics.messages_series(warmup)
+    _, dynamic_messages = dynamic.metrics.messages_series(warmup)
+    return Figure1Result(
+        preset=preset,
+        max_hops=max_hops,
+        static=static,
+        dynamic=dynamic,
+        hours=hours.astype(float),
+        static_hits=static_hits.astype(float),
+        dynamic_hits=dynamic_hits.astype(float),
+        static_messages=static_messages.astype(float),
+        dynamic_messages=dynamic_messages.astype(float),
+    )
+
+
+def print_report(result: Figure1Result, title: str | None = None) -> None:
+    """Print both panels as series tables plus the headline comparison."""
+    print(header(title or _TITLE.format(hops=result.max_hops, preset=result.preset)))
+    print(kv_table({
+        "users": result.static.config.n_users,
+        "songs": result.static.config.n_items,
+        "horizon hours": int(result.static.config.horizon // 3600),
+        "warm-up hours": result.static.config.warmup_hours,
+        "queries/user/hour": result.static.config.queries_per_hour,
+        "seed": result.static.config.seed,
+    }))
+    print()
+    print(f"-- panel (a): queries satisfied per hour (hops={result.max_hops}) --")
+    print(format_series_table(
+        result.hours,
+        {"Gnutella": result.static_hits, "Dynamic_Gnutella": result.dynamic_hits},
+    ))
+    print()
+    print(f"-- panel (b): query messages per hour (hops={result.max_hops}) --")
+    print(format_series_table(
+        result.hours,
+        {
+            "Gnutella": result.static_messages,
+            "Dynamic_Gnutella": result.dynamic_messages,
+        },
+    ))
+    print()
+    print("-- summary (after warm-up) --")
+    for row in compare_runs(result.static, result.dynamic):
+        print("  " + row.format())

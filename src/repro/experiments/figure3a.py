@@ -1,0 +1,94 @@
+"""Figure 3(a): average first-result delay vs the terminating condition.
+
+Paper (Section 4.3): "This figure shows the average delay observed from the
+moment a query is issued at a certain node, until the first result arrives
+at that node. The numbers above each column indicate the total number of
+results obtained. In the static approach, the delay increases significantly
+when searching is more extensive ... In the dynamic scheme, though, most of
+the results come from nearby nodes, and extensive searching is not
+necessary."
+
+Expected shape: static delay grows steeply with TTL; dynamic stays much
+flatter while returning at least as many results at every TTL >= 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import paired_run, preset_config
+from repro.experiments.report import format_series_table, header, kv_table
+
+__all__ = ["Figure3aResult", "print_report", "run"]
+
+#: The sweep of terminating conditions (hops) shown on the x-axis.
+HOPS_SWEEP = (1, 2, 3, 4)
+
+
+@dataclass(frozen=True, slots=True)
+class Figure3aResult:
+    """Per-TTL delay means and total result counts for both schemes."""
+
+    preset: str
+    hops: tuple[int, ...]
+    static_delay_ms: tuple[float, ...]
+    dynamic_delay_ms: tuple[float, ...]
+    static_results: tuple[int, ...]
+    dynamic_results: tuple[int, ...]
+    seed: int
+
+
+def run(
+    preset: str = "scaled", seed: int = 0, hops_sweep: tuple[int, ...] = HOPS_SWEEP
+) -> Figure3aResult:
+    """One paired simulation per TTL value in ``hops_sweep``."""
+    if not hops_sweep:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError("hops_sweep must not be empty")
+    static_delay, dynamic_delay = [], []
+    static_results, dynamic_results = [], []
+    for hops in hops_sweep:
+        config = preset_config(preset, seed=seed, max_hops=hops)
+        static, dynamic = paired_run(config)
+        static_delay.append(static.metrics.mean_first_result_delay_ms())
+        dynamic_delay.append(dynamic.metrics.mean_first_result_delay_ms())
+        static_results.append(static.metrics.total_results)
+        dynamic_results.append(dynamic.metrics.total_results)
+    return Figure3aResult(
+        preset=preset,
+        hops=tuple(hops_sweep),
+        static_delay_ms=tuple(static_delay),
+        dynamic_delay_ms=tuple(dynamic_delay),
+        static_results=tuple(static_results),
+        dynamic_results=tuple(dynamic_results),
+        seed=seed,
+    )
+
+
+def print_report(result: Figure3aResult) -> None:
+    """Print the per-TTL delay columns with result-count annotations."""
+    print(header(
+        f"Figure 3(a): average response time for first result (preset {result.preset!r})"
+    ))
+    print(kv_table({"terminating conditions": result.hops, "seed": result.seed}))
+    print()
+    print(format_series_table(
+        result.hops,
+        {
+            "Gnutella delay ms": result.static_delay_ms,
+            "Dynamic delay ms": result.dynamic_delay_ms,
+            "Gnutella results": [float(r) for r in result.static_results],
+            "Dynamic results": [float(r) for r in result.dynamic_results],
+        },
+        index_label="hops",
+        max_rows=len(result.hops),
+    ))
+    print()
+    for i, hops in enumerate(result.hops):
+        print(
+            f"  hops={hops}: static {result.static_delay_ms[i]:7.0f} ms "
+            f"({result.static_results[i]:,} results) | dynamic "
+            f"{result.dynamic_delay_ms[i]:7.0f} ms "
+            f"({result.dynamic_results[i]:,} results)"
+        )

@@ -1,0 +1,97 @@
+"""Figure 3(b): total hits vs the reconfiguration threshold T.
+
+Paper (Section 4.3): "When T = 1, the total number of hits achieved by the
+dynamic system is similar to the static one ... any node that returns a
+result will potentially become a neighbor, even if the two users do not
+share the same interests ... if the value of T is too large, the system does
+not have the chance to perform enough reconfigurations during the 3-hour
+period (on average) that a user is on-line ... the performance drops again,
+converging asymptotically to the static case."
+
+Expected shape: a unimodal curve over T with its maximum at a small
+threshold (the paper's optimum is T = 2 for its settings) and both ends
+bending back toward the static baseline. TTL is 2, as in Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import preset_config
+from repro.experiments.report import format_series_table, header, kv_table
+from repro.gnutella.simulation import run_simulation
+
+__all__ = ["Figure3bResult", "print_report", "run"]
+
+#: The threshold sweep on the x-axis.
+THRESHOLD_SWEEP = (1, 2, 4, 8, 16)
+#: TTL for this figure (matches Figure 1).
+MAX_HOPS = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Figure3bResult:
+    """Total hits per threshold, plus the static baseline."""
+
+    preset: str
+    thresholds: tuple[int, ...]
+    dynamic_hits: tuple[int, ...]
+    static_hits: int
+    seed: int
+
+    @property
+    def best_threshold(self) -> int:
+        """The threshold with the most total hits."""
+        best = max(range(len(self.thresholds)), key=lambda i: self.dynamic_hits[i])
+        return self.thresholds[best]
+
+
+def run(
+    preset: str = "scaled",
+    seed: int = 0,
+    thresholds: tuple[int, ...] = THRESHOLD_SWEEP,
+) -> Figure3bResult:
+    """One static run plus one dynamic run per threshold value."""
+    if not thresholds:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError("thresholds must not be empty")
+    base = preset_config(preset, seed=seed, max_hops=MAX_HOPS)
+    static = run_simulation(base.as_static())
+    warmup = base.warmup_hours
+    dynamic_hits = []
+    for threshold in thresholds:
+        config = preset_config(
+            preset, seed=seed, max_hops=MAX_HOPS, reconfiguration_threshold=threshold
+        )
+        result = run_simulation(config.as_dynamic())
+        dynamic_hits.append(result.metrics.hits_total(warmup))
+    return Figure3bResult(
+        preset=preset,
+        thresholds=tuple(thresholds),
+        dynamic_hits=tuple(dynamic_hits),
+        static_hits=static.metrics.hits_total(warmup),
+        seed=seed,
+    )
+
+
+def print_report(result: Figure3bResult) -> None:
+    """Print the threshold sweep with the static reference line."""
+    print(header(
+        f"Figure 3(b): effect of reconfiguration period (preset {result.preset!r})"
+    ))
+    print(kv_table({
+        "static baseline hits": f"{result.static_hits:,}",
+        "best threshold": result.best_threshold,
+        "seed": result.seed,
+    }))
+    print()
+    print(format_series_table(
+        result.thresholds,
+        {
+            "Dynamic_Gnutella": [float(h) for h in result.dynamic_hits],
+            "Gnutella (static)": [float(result.static_hits)] * len(result.thresholds),
+        },
+        index_label="T",
+        max_rows=len(result.thresholds),
+    ))

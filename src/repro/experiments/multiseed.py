@@ -1,0 +1,121 @@
+"""Multi-seed replication: confidence intervals for the headline claims.
+
+One run per seed answers "what happened"; replication answers "is the
+ordering real". This module reruns a paired static/dynamic comparison across
+seeds and reports each metric's mean ± a Student-t confidence interval, plus
+how often the dynamic scheme actually won.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.stats
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import paired_run, preset_config
+
+__all__ = ["MetricReplication", "MultiSeedResult", "print_report", "run"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricReplication:
+    """One metric's static/dynamic samples across seeds."""
+
+    metric: str
+    static_samples: tuple[float, ...]
+    dynamic_samples: tuple[float, ...]
+    higher_is_better: bool
+
+    def _ci(self, samples: tuple[float, ...], confidence: float = 0.95):
+        arr = np.asarray(samples, dtype=float)
+        mean = float(arr.mean())
+        if arr.size < 2:
+            return mean, 0.0
+        sem = float(scipy.stats.sem(arr))
+        if sem == 0.0:
+            return mean, 0.0
+        half = sem * float(scipy.stats.t.ppf((1 + confidence) / 2, arr.size - 1))
+        return mean, half
+
+    @property
+    def static_mean_ci(self) -> tuple[float, float]:
+        """(mean, half-width) of the static samples at 95 %."""
+        return self._ci(self.static_samples)
+
+    @property
+    def dynamic_mean_ci(self) -> tuple[float, float]:
+        """(mean, half-width) of the dynamic samples at 95 %."""
+        return self._ci(self.dynamic_samples)
+
+    @property
+    def dynamic_win_fraction(self) -> float:
+        """How often dynamic beat static, seed by seed (paired)."""
+        wins = 0
+        for s, d in zip(self.static_samples, self.dynamic_samples):
+            better = d > s if self.higher_is_better else d < s
+            wins += better
+        return wins / len(self.static_samples)
+
+
+@dataclass(frozen=True, slots=True)
+class MultiSeedResult:
+    """All replicated metrics for one configuration."""
+
+    preset: str
+    max_hops: int
+    seeds: tuple[int, ...]
+    metrics: tuple[MetricReplication, ...]
+
+
+def run(
+    preset: str = "smoke",
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    max_hops: int = 2,
+) -> MultiSeedResult:
+    """Rerun the paired comparison once per seed."""
+    if len(seeds) < 2:
+        raise ConfigurationError("need at least two seeds for replication")
+    hits_s, hits_d = [], []
+    msgs_s, msgs_d = [], []
+    delay_s, delay_d = [], []
+    for seed in seeds:
+        config = preset_config(preset, seed=seed, max_hops=max_hops)
+        static, dynamic = paired_run(config)
+        warmup = config.warmup_hours
+        hits_s.append(float(static.metrics.hits_total(warmup)))
+        hits_d.append(float(dynamic.metrics.hits_total(warmup)))
+        msgs_s.append(float(static.metrics.messages_total(warmup)))
+        msgs_d.append(float(dynamic.metrics.messages_total(warmup)))
+        delay_s.append(static.metrics.mean_first_result_delay_ms())
+        delay_d.append(dynamic.metrics.mean_first_result_delay_ms())
+    return MultiSeedResult(
+        preset=preset,
+        max_hops=max_hops,
+        seeds=tuple(seeds),
+        metrics=(
+            MetricReplication("total hits", tuple(hits_s), tuple(hits_d), True),
+            MetricReplication("query messages", tuple(msgs_s), tuple(msgs_d), False),
+            MetricReplication(
+                "first-result delay ms", tuple(delay_s), tuple(delay_d), False
+            ),
+        ),
+    )
+
+
+def print_report(result: MultiSeedResult) -> None:
+    """Print mean ± 95 % CI per metric plus paired win rates."""
+    print(
+        f"=== replication across {len(result.seeds)} seeds "
+        f"(preset {result.preset!r}, hops={result.max_hops}) ==="
+    )
+    print(f"{'metric':<24}{'static mean±CI':>22}{'dynamic mean±CI':>22}{'wins':>7}")
+    for metric in result.metrics:
+        sm, sh = metric.static_mean_ci
+        dm, dh = metric.dynamic_mean_ci
+        print(
+            f"{metric.metric:<24}{sm:>14,.1f} ±{sh:>6,.1f}"
+            f"{dm:>14,.1f} ±{dh:>6,.1f}"
+            f"{metric.dynamic_win_fraction:>7.0%}"
+        )

@@ -1,0 +1,71 @@
+"""ASCII rendering of figure data.
+
+The harness prints the same rows/series the paper plots, plus an ASCII
+sparkline per curve so the shape is visible in a terminal log.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_series_table", "format_sparkline", "header", "kv_table"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def header(title: str, width: int = 78) -> str:
+    """A boxed section header."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def format_sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of ``values`` (empty string for no data)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(v))] for v in scaled)
+
+
+def format_series_table(
+    index: Sequence[float],
+    columns: dict[str, Sequence[float]],
+    index_label: str = "hour",
+    max_rows: int = 24,
+) -> str:
+    """Aligned columns of per-index values, subsampled to ``max_rows``.
+
+    Every curve also gets a full-resolution sparkline footer.
+    """
+    index = list(index)
+    n = len(index)
+    step = max(1, (n + max_rows - 1) // max_rows)
+    lines = []
+    names = list(columns)
+    head = f"{index_label:>8} " + " ".join(f"{name:>16}" for name in names)
+    lines.append(head)
+    lines.append("-" * len(head))
+    for i in range(0, n, step):
+        row = f"{index[i]:>8g} " + " ".join(
+            f"{list(columns[name])[i]:>16,.6g}" for name in names
+        )
+        lines.append(row)
+    lines.append("")
+    for name in names:
+        lines.append(f"{name:>24} shape: {format_sparkline(columns[name])}")
+    return "\n".join(lines)
+
+
+def kv_table(pairs: dict[str, object], indent: int = 2) -> str:
+    """Aligned key/value block."""
+    if not pairs:
+        return ""
+    width = max(len(k) for k in pairs)
+    pad = " " * indent
+    return "\n".join(f"{pad}{k:<{width}} : {v}" for k, v in pairs.items())

@@ -1,0 +1,96 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Usage::
+
+    python -m repro.experiments fig1 [--preset scaled] [--seed 0]
+    python -m repro.experiments all --preset smoke
+    repro-experiments fig3b --preset paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from repro.experiments import figure1, figure2, figure3a, figure3b, multiseed
+from repro.experiments.common import PRESETS
+
+__all__ = ["main"]
+
+_RUNNERS: dict[str, tuple[Callable, Callable]] = {
+    "fig1": (figure1.run, figure1.print_report),
+    "fig2": (figure2.run, figure2.print_report),
+    "fig3a": (figure3a.run, figure3a.print_report),
+    "fig3b": (figure3b.run, figure3b.print_report),
+    "replicate": (
+        lambda preset, seed: multiseed.run(
+            preset=preset, seeds=tuple(range(seed, seed + 5))
+        ),
+        multiseed.print_report,
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation figures of Bakiras et al., 'A General "
+            "Framework for Searching in Distributed Data Repositories' "
+            "(IPDPS 2003)."
+        ),
+    )
+    parser.add_argument(
+        "figure",
+        choices=[*_RUNNERS, "all"],
+        help="which figure to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="scaled",
+        choices=sorted(PRESETS),
+        help="world size: paper (full scale), scaled (default), smoke (tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the result data as JSON to PATH "
+        "(a '-<figure>' suffix is added when running 'all')",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the requested figure(s); returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.figure == "all":
+        # 'all' regenerates the paper figures; replication is opt-in.
+        figures = [name for name in _RUNNERS if name != "replicate"]
+    else:
+        figures = [args.figure]
+    for name in figures:
+        run, print_report = _RUNNERS[name]
+        started = time.perf_counter()
+        result = run(preset=args.preset, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print_report(result)
+        if args.json:
+            from repro.analysis.export import write_json
+
+            target = args.json
+            if len(figures) > 1:
+                stem, dot, ext = target.rpartition(".")
+                target = f"{stem}-{name}.{ext}" if dot else f"{target}-{name}"
+            written = write_json(result, target)
+            print(f"[json written to {written}]")
+        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""The counterfactual the paper argues against: asymmetric music sharing.
+
+Section 4.1 justifies symmetric relations qualitatively: "Asymmetric
+relations cannot achieve such a balance; e.g., it is possible that a node
+with numerous songs will be the outgoing neighbor of many other nodes (that
+consume its resources), while it does not get any benefit from sharing with
+them." This module implements that counterfactual — a *pure asymmetric*
+dynamic Gnutella where every node rewires its outgoing list unilaterally
+(no invitations, unbounded incoming lists) — so the claim can be measured
+rather than assumed.
+
+What to expect (asserted in the bench): comparable or better hit rates (no
+slot contention: everyone can point at the best suppliers), but a sharply
+skewed *service load* — the well-stocked nodes serve a hugely
+disproportionate share of results while receiving nothing in return, which
+is exactly the free-riding imbalance the paper designs the symmetric
+handshake to prevent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.update import plan_reconfiguration
+from repro.gnutella.fast import FastGnutellaEngine
+from repro.gnutella.node import PeerState
+from repro.gnutella.protocol import GnutellaProtocol
+from repro.types import NodeId
+
+__all__ = ["AsymmetricFastEngine", "AsymmetricProtocol", "service_gini"]
+
+
+def service_gini(served_counts: np.ndarray) -> float:
+    """Gini coefficient of per-node service load (0 = equal, ->1 = one node
+    serves everything)."""
+    counts = np.sort(np.asarray(served_counts, dtype=float))
+    total = counts.sum()
+    if total == 0 or counts.size < 2:
+        return 0.0
+    n = counts.size
+    cum = np.cumsum(counts)
+    # Standard formula: G = (n + 1 - 2 * sum(cum)/total) / n
+    return float((n + 1 - 2 * (cum.sum() / total)) / n)
+
+
+class AsymmetricProtocol(GnutellaProtocol):
+    """Directed link management: unilateral rewiring, no handshake.
+
+    Outgoing capacity stays at ``slots``; incoming lists are unbounded (the
+    *pure asymmetric* case of Section 3.1, where the network is consistent
+    by construction no matter who rewires when).
+    """
+
+    # ------------------------------------------------------------------
+    # Directed link primitives
+    # ------------------------------------------------------------------
+    def link(self, a: NodeId, b: NodeId) -> None:
+        """Directed edge ``a -> b``: a forwards queries to b."""
+        if a == b:
+            from repro.errors import FrameworkError
+
+            raise FrameworkError(f"peer {a} cannot neighbor itself")
+        self.peers[a].neighbors.outgoing.add(b)
+        self.peers[b].neighbors.incoming.add(a)
+
+    def unlink(self, a: NodeId, b: NodeId) -> None:
+        """Remove the directed edge ``a -> b``."""
+        self.peers[a].neighbors.outgoing.remove(b)
+        self.peers[b].neighbors.incoming.remove(a)
+
+    def evict(self, evictor: NodeId, evicted: NodeId) -> None:
+        """Drop ``evictor -> evicted``; unilateral, no stats reset needed at
+        the other side (it never pointed back)."""
+        self.unlink(evictor, evicted)
+        self.metrics.evictions += 1
+        if self.on_eviction is not None:
+            self.on_eviction(evicted)
+
+    # ------------------------------------------------------------------
+    # Algo 3 (asymmetric update) instead of Algo 5
+    # ------------------------------------------------------------------
+    def reconfigure(
+        self,
+        node: NodeId,
+        max_swaps: int | None = 1,
+        swap_margin: float = 0.0,
+        stats_decay: float = 1.0,
+    ) -> int:
+        """One Algo 3 update: point the outgoing list at the best suppliers.
+
+        No invitations, no acceptance, no counter damping at the target —
+        the target never even learns it gained a consumer.
+        """
+        peer = self.peers[node]
+        current = peer.neighbors.outgoing.as_tuple()
+        desired = plan_reconfiguration(
+            current,
+            peer.stats,
+            self.slots,
+            exclude=(node,),
+            eligible=lambda n: self.peers[n].online,
+        )
+        current_set = set(current)
+        desired_set = set(desired)
+        additions = [n for n in desired if n not in current_set]
+        removals = sorted(
+            (n for n in current if n not in desired_set),
+            key=lambda n: (peer.stats.benefit_of(n), n),
+        )
+        if max_swaps is not None:
+            additions = additions[:max_swaps]
+        adopted = 0
+        removal_iter = iter(removals)
+        for target in additions:
+            if peer.neighbors.outgoing.is_full:
+                victim = next(removal_iter, None)
+                if victim is None:
+                    break
+                challenger = peer.stats.benefit_of(target)
+                incumbent = peer.stats.benefit_of(victim)
+                if challenger <= (1.0 + swap_margin) * incumbent:
+                    break
+                self.evict(node, victim)
+            self.link(node, target)
+            adopted += 1
+        peer.requests_since_update = 0
+        self.metrics.reconfigurations += 1
+        if stats_decay == 0.0:
+            peer.stats.clear()
+        elif stats_decay < 1.0:
+            peer.stats.decay(stats_decay)
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Random acquisition and churn, directed
+    # ------------------------------------------------------------------
+    def fill_random(self, node: NodeId, rng: np.random.Generator) -> int:
+        """Fill free outgoing slots with random online peers.
+
+        No partner-capacity check: incoming lists are unbounded, so any
+        online candidate accepts — the defining property of the pure
+        asymmetric case.
+        """
+        peer = self.peers[node]
+        formed = 0
+        exclude = [node, *peer.neighbors.outgoing]
+        want = peer.neighbors.outgoing.free_slots
+        if want == math.inf or want <= 0:
+            want_int = 0 if want <= 0 else self.slots
+        else:
+            want_int = int(want)
+        candidates = self.bootstrap.sample(rng, want_int, exclude=exclude)
+        for candidate in candidates:
+            if not peer.has_free_slot:
+                break
+            if self.peers[candidate].online:
+                self.link(node, candidate)
+                formed += 1
+        return formed
+
+    def sever_all(self, node: NodeId) -> list[NodeId]:
+        """Log-off: drop both directions; return the *consumers* (peers that
+        pointed at this node) — they lost an outgoing neighbor and react."""
+        peer = self.peers[node]
+        for supplier in list(peer.neighbors.outgoing):
+            self.unlink(node, supplier)
+        consumers = list(peer.neighbors.incoming.as_tuple())
+        for consumer in consumers:
+            self.unlink(consumer, node)
+        return consumers
+
+
+class AsymmetricFastEngine(FastGnutellaEngine):
+    """The fast engine over directed relations, plus service-load tracking."""
+
+    def __init__(self, config) -> None:
+        super().__init__(config)
+        # Rebuild peers with unbounded incoming lists and swap the protocol.
+        self.peers = [
+            _asymmetric_peer(NodeId(u), config.neighbor_slots)
+            for u in range(config.n_users)
+        ]
+        self.protocol = AsymmetricProtocol(
+            self.peers, self.bootstrap, self.metrics, config.neighbor_slots
+        )
+        if config.dynamic and config.evicted_refill_immediate:
+            self.protocol.on_eviction = self._on_eviction
+        # The view reads neighbor lists through self.peers; rebuild it.
+        self.view = type(self.view)(self.peers, self.live_libraries, self.latency)
+        #: Results served per node (the load-imbalance measurement).
+        self.served = np.zeros(config.n_users, dtype=np.int64)
+
+    def _record_benefit(self, peer: PeerState, outcome) -> None:
+        # Service-load tracking rides the benefit hook, so it covers the
+        # dynamic scheme — which is where the imbalance claim lives (the
+        # static scheme never reconfigures toward suppliers at all).
+        for result in outcome.results:
+            self.served[result.responder] += 1
+        super()._record_benefit(peer, outcome)
+
+    def service_gini(self) -> float:
+        """Gini coefficient of results served per node."""
+        return service_gini(self.served)
+
+    def incoming_degree_max(self) -> int:
+        """Largest incoming list — how many consumers the most popular
+        supplier carries."""
+        return max(len(p.neighbors.incoming) for p in self.peers)
+
+
+def _asymmetric_peer(node: NodeId, slots: int) -> PeerState:
+    peer = PeerState(node, slots)
+    # Replace the incoming list with an unbounded one (pure asymmetric).
+    from repro.core.neighbors import NeighborState
+
+    peer.neighbors = NeighborState(node, out_capacity=slots, in_capacity=math.inf)
+    return peer

@@ -1,0 +1,255 @@
+"""The detailed Gnutella engine: message-level query propagation.
+
+Every query copy and every reply is an individually scheduled message on the
+:mod:`repro.sim` kernel, delivered through :class:`repro.net.Transport` after
+the pair's link delay. Replies route back hop-by-hop along the reverse
+discovery path (the Gnutella convention), and the initiator collects results
+until a time-out (Section 4.1: the initiator "sends the query to its
+neighbors and waits for the results until a time-out period is reached").
+
+Relative to the fast engine this changes exactly one thing: *which* copy of a
+query reaches a node first is decided by actual arrival times rather than hop
+count, and results can be lost to churn races (a relay logging off while a
+reply is in flight). Control traffic (invitations/evictions) remains
+instantaneous — it is the paper's query measurements that the timing detail
+can affect, and the cross-engine tests quantify how little it does.
+
+Use this engine for validation at small scale; it is O(messages) in kernel
+events and roughly an order of magnitude slower than the fast engine (the
+ablation bench measures the exact ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gnutella.config import GnutellaConfig
+from repro.gnutella.fast import FastGnutellaEngine
+from repro.net.message import Message, MessageKind
+from repro.net.transport import Transport
+from repro.types import ItemId, NodeId
+
+__all__ = ["DetailedGnutellaEngine"]
+
+
+@dataclass(slots=True)
+class _PendingQuery:
+    """Initiator-side bookkeeping for one in-flight query."""
+
+    initiator: NodeId
+    item: ItemId
+    issued_at: float
+    epoch: int
+    messages: int = 0
+    #: (responder, arrival_delay, hops) triples, in arrival order.
+    results: list[tuple[NodeId, float, int]] = field(default_factory=list)
+    collected: bool = False
+
+
+class DetailedGnutellaEngine(FastGnutellaEngine):
+    """Message-level variant; shares construction and control plane with
+    :class:`FastGnutellaEngine` and overrides only the query data path."""
+
+    def __init__(self, config: GnutellaConfig) -> None:
+        if config.search_strategy != "flood":
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "the detailed engine implements the paper's flood protocol only; "
+                f"got search_strategy={config.search_strategy!r} (use the fast engine)"
+            )
+        super().__init__(config)
+        loss_rng = None
+        if config.message_loss_rate > 0.0:
+            from repro.rng import RngStreams
+
+            loss_rng = RngStreams(config.seed).get("message-loss")
+        self.transport = Transport(
+            self.sim,
+            self.latency,
+            query_buckets=None,
+            loss_rate=config.message_loss_rate,
+            rng=loss_rng,
+        )
+        #: qid -> pending record at the initiator.
+        self._pending: dict[int, _PendingQuery] = {}
+        #: node -> set of query ids already processed (duplicate suppression;
+        #: "each node keeps a list of recent messages").
+        self._seen: list[set[int]] = [set() for _ in range(config.n_users)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle: register/unregister message handlers with churn
+    # ------------------------------------------------------------------
+    def _login(self, node: NodeId) -> None:
+        self.transport.register(node, self._on_message)
+        super()._login(node)
+
+    def _logoff(self, node: NodeId) -> None:
+        self.transport.unregister(node)
+        self._seen[node].clear()
+        super()._logoff(node)
+
+    # ------------------------------------------------------------------
+    # Query data path
+    # ------------------------------------------------------------------
+    def _fire_query(self, node: NodeId, epoch: int) -> None:
+        peer = self.peers[node]
+        if not peer.online or peer.query_epoch != epoch:
+            return
+        item = self.query_model.sample_item(
+            node, self._item_rng, library=self.live_libraries[node]
+        )
+        record = _PendingQuery(node, item, self.sim.now, epoch)
+        neighbors = list(peer.neighbors.outgoing)
+        if neighbors:
+            first = Message(
+                kind=MessageKind.QUERY,
+                sender=node,
+                receiver=neighbors[0],
+                origin=node,
+                hops=1,
+                payload=item,
+                path=(node, neighbors[0]),
+            )
+            qid = first.query_id
+            self._pending[qid] = record
+            self._send_query(first, record)
+            for other in neighbors[1:]:
+                self._send_query(
+                    Message(
+                        kind=MessageKind.QUERY,
+                        sender=node,
+                        receiver=other,
+                        origin=node,
+                        query_id=qid,
+                        hops=1,
+                        payload=item,
+                        path=(node, other),
+                    ),
+                    record,
+                )
+            self.sim.schedule(self.config.query_timeout, self._collect, qid)
+        else:
+            # Isolated node: the query dies immediately.
+            self._finalize(record)
+        self._schedule_next_query(node, epoch)
+
+    def _send_query(self, message: Message, record: _PendingQuery) -> None:
+        record.messages += 1
+        self.metrics.messages.add(self.sim.now)
+        self.transport.send(message)
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind is MessageKind.QUERY:
+            self._on_query(message)
+        elif message.kind is MessageKind.QUERY_REPLY:
+            self._on_reply(message)
+
+    def _on_query(self, message: Message) -> None:
+        node = message.receiver
+        qid = message.query_id
+        seen = self._seen[node]
+        if qid in seen:
+            return  # duplicate: delivered (counted) but discarded
+        seen.add(qid)
+        item: ItemId = message.payload
+
+        if item in self.live_libraries[node]:
+            # Reply to the initiator along the reverse path; do not forward.
+            self._route_reply(message, responder=node)
+            return
+        if message.hops >= self.config.max_hops:
+            return
+        record = self._pending.get(qid)
+        for neighbor in list(self.peers[node].neighbors.outgoing):
+            if neighbor == message.sender:
+                continue
+            forwarded = message.forwarded(node, neighbor)
+            if record is not None:
+                self._send_query(forwarded, record)
+            else:  # pragma: no cover - initiator record always exists
+                self.transport.send(forwarded)
+
+    def _route_reply(self, query: Message, responder: NodeId) -> None:
+        """Start a reply travelling back along the query's reverse path."""
+        path = query.path  # (origin, ..., responder)
+        if len(path) < 2:
+            return
+        reply = Message(
+            kind=MessageKind.QUERY_REPLY,
+            sender=responder,
+            receiver=path[-2],
+            origin=query.origin,
+            query_id=query.query_id,
+            hops=query.hops,
+            payload=(responder, query.hops),
+            path=path[:-1],
+        )
+        self.transport.send(reply)
+
+    def _on_reply(self, message: Message) -> None:
+        node = message.receiver
+        if node == message.origin:
+            record = self._pending.get(message.query_id)
+            if record is None or record.collected:
+                return  # reply arrived after the time-out window
+            responder, hops = message.payload
+            record.results.append((responder, self.sim.now - record.issued_at, hops))
+            return
+        # Relay one hop closer to the initiator.
+        path = message.path
+        if len(path) < 2:
+            return  # malformed; drop
+        self.transport.send(
+            Message(
+                kind=MessageKind.QUERY_REPLY,
+                sender=node,
+                receiver=path[-2],
+                origin=message.origin,
+                query_id=message.query_id,
+                hops=message.hops,
+                payload=message.payload,
+                path=path[:-1],
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Collection (time-out) and bookkeeping
+    # ------------------------------------------------------------------
+    def _collect(self, qid: int) -> None:
+        record = self._pending.pop(qid, None)
+        if record is None or record.collected:
+            return
+        self._finalize(record)
+
+    def _finalize(self, record: _PendingQuery) -> None:
+        record.collected = True
+        n_results = len(record.results)
+        hit = n_results > 0
+        first_delay = min((d for _, d, _ in record.results), default=None)
+        # Query messages were bucketed individually at send time (they carry
+        # their own timestamps), so record_query adds none here.
+        self.metrics.record_query(
+            record.issued_at, hit, 0, n_results, first_delay
+        )
+        peer = self.peers[record.initiator]
+        if hit and self.config.downloads_grow_libraries:
+            self.live_libraries[record.initiator].add(record.item)
+        if not self.config.dynamic:
+            return
+        if peer.online and peer.query_epoch == record.epoch:
+            if n_results:
+                for responder, _delay, _hops in record.results:
+                    peer.stats.add_benefit(
+                        responder,
+                        self.bandwidth.link_kbps(record.initiator, responder) / n_results,
+                    )
+            peer.requests_since_update += 1
+            if peer.requests_since_update >= self.config.reconfiguration_threshold:
+                self.protocol.reconfigure(
+                    record.initiator,
+                    self.config.max_swaps_per_update,
+                    self.config.swap_margin,
+                    self.config.stats_decay_on_update,
+                )
+                self.protocol.fill_random(record.initiator, self._bootstrap_rng)

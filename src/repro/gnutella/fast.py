@@ -1,0 +1,375 @@
+"""The fast Gnutella engine: atomic queries over kernel-driven churn.
+
+Queries propagate in milliseconds-to-seconds; churn and reconfiguration act
+over hours. The fast engine exploits that separation: every query executes
+atomically (a hop-layered BFS with analytic delays, via
+:func:`repro.core.search.generic_search`) at its issue instant, while churn
+transitions and query arrivals are real events on the :mod:`repro.sim`
+kernel. The detailed engine (:mod:`repro.gnutella.detailed`) keeps the same
+protocol but schedules every message; the test suite asserts the two agree on
+aggregate metrics for small networks.
+
+Determinism and paired comparison: all randomness flows through named
+:class:`~repro.rng.RngStreams`. Churn schedules are precomputed from the
+``churn`` stream, and query timing/content draws come from the ``queries``
+streams, consumed in the same order by the static and dynamic schemes (the
+schemes differ only in link management, which draws from ``bootstrap``). A
+static and a dynamic run with the same seed therefore face the identical
+sequence of sessions and query arrivals — the comparisons in Figures 1-3 are
+paired. (Queried items can drift between schemes once downloads make the
+live libraries differ; arrival times never do.)
+"""
+
+from __future__ import annotations
+
+from repro.core.exploration import generic_explore
+from repro.core.search import generic_search, iterative_deepening_search
+from repro.core.selection import SelectRandomK, SelectTopKBenefit
+from repro.core.termination import TTLTermination
+from repro.errors import ConfigurationError
+from repro.gnutella.bootstrap import BootstrapServer
+from repro.gnutella.config import GnutellaConfig
+from repro.gnutella.metrics import SimulationMetrics
+from repro.gnutella.node import PeerState
+from repro.gnutella.protocol import GnutellaProtocol
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.rng import RngStreams
+from repro.sim.kernel import Simulator
+from repro.types import NodeId
+from repro.workload.catalog import MusicCatalog
+from repro.workload.churn import ChurnModel, SessionSchedule
+from repro.workload.library import LibraryConfig, generate_libraries
+from repro.workload.queries import QueryModel
+
+__all__ = ["FastGnutellaEngine"]
+
+
+class _QueryView:
+    """NetworkView over the live peer population (hot path, zero copies)."""
+
+    __slots__ = ("_peers", "_libraries", "_latency")
+
+    def __init__(self, peers, libraries, latency: LatencyModel) -> None:
+        self._peers = peers
+        self._libraries = libraries
+        self._latency = latency
+
+    def holds(self, node: NodeId, item) -> bool:
+        # Links exist only among online peers, so reachability implies
+        # online; no extra check needed.
+        return item in self._libraries[node]
+
+    def neighbors(self, node: NodeId):
+        return self._peers[node].neighbors.outgoing.view()
+
+    def link_delay(self, a: NodeId, b: NodeId) -> float:
+        return self._latency.one_way_delay(a, b)
+
+
+class FastGnutellaEngine:
+    """Builds the whole Section 4.2 world and runs it to the horizon.
+
+    Example
+    -------
+    >>> from repro.gnutella import GnutellaConfig
+    >>> cfg = GnutellaConfig(n_users=60, n_items=5000, horizon=3600.0,
+    ...                      warmup_hours=0)
+    >>> metrics = FastGnutellaEngine(cfg).run()        # doctest: +SKIP
+    """
+
+    def __init__(self, config: GnutellaConfig) -> None:
+        self.config = config
+        streams = RngStreams(config.seed)
+
+        catalog = MusicCatalog(config.n_items, config.n_categories, config.zipf_theta)
+        if catalog.n_categories < config.n_secondary + 1:
+            raise ConfigurationError(
+                "n_categories must exceed n_secondary for library generation"
+            )
+        self.libraries = generate_libraries(
+            catalog,
+            streams.get("libraries"),
+            LibraryConfig(
+                n_users=config.n_users,
+                mean_size=config.mean_library,
+                std_size=config.std_library,
+                n_secondary=config.n_secondary,
+                user_category_theta=config.zipf_theta,
+            ),
+        )
+        self.bandwidth = BandwidthModel(config.n_users, streams.get("bandwidth"))
+        self.latency = LatencyModel(self.bandwidth, streams.get("latency"))
+        self.query_model = QueryModel(
+            self.libraries, rate_per_hour=config.queries_per_hour
+        )
+
+        churn_model = ChurnModel(config.mean_online, config.mean_offline)
+        churn_rng = streams.get("churn")
+        self.schedules = [
+            SessionSchedule.generate(NodeId(u), churn_model, config.horizon, churn_rng)
+            for u in range(config.n_users)
+        ]
+
+        self.sim = Simulator()
+        self.metrics = SimulationMetrics(config.horizon)
+        self.peers = [PeerState(NodeId(u), config.neighbor_slots) for u in range(config.n_users)]
+        self.bootstrap = BootstrapServer()
+        self.protocol = GnutellaProtocol(
+            self.peers, self.bootstrap, self.metrics, config.neighbor_slots
+        )
+        #: Live shared libraries; grow with downloads when configured.
+        self.live_libraries: list[set] = [set(lib) for lib in self.libraries.libraries]
+        self.view = _QueryView(self.peers, self.live_libraries, self.latency)
+        self.termination = TTLTermination(config.max_hops)
+
+        self._bootstrap_rng = streams.get("bootstrap")
+        # Timing and item choice draw from separate streams so that query
+        # *arrival times* stay identical across schemes even after downloads
+        # make libraries (and hence item-resampling) diverge.
+        self._timing_rng = streams.get("query-timing")
+        self._item_rng = streams.get("query-items")
+        self._exploration_rng = streams.get("exploration")
+        self._selection_rng = streams.get("selection")
+        self._strategy = config.parse_search_strategy()
+        kind, k = self._strategy
+        if kind == "random":
+            self._selection_policy = SelectRandomK(k)
+        elif kind == "directed-bft":
+            self._selection_policy = SelectTopKBenefit(k)
+        else:
+            self._selection_policy = None
+        self._ran = False
+        if config.dynamic and config.evicted_refill_immediate:
+            # Evicted peers promptly fall back to the bootstrap server for a
+            # random replacement (scheduled, not synchronous: the eviction
+            # fires mid-reconfiguration).
+            self.protocol.on_eviction = self._on_eviction
+
+    def _on_eviction(self, evicted: NodeId) -> None:
+        self.sim.schedule(0.0, self._refill_evicted, evicted)
+
+    def _refill_evicted(self, node: NodeId) -> None:
+        peer = self.peers[node]
+        if peer.online and peer.has_free_slot:
+            self.protocol.fill_random(node, self._bootstrap_rng)
+
+    # ------------------------------------------------------------------
+    # Lifecycle events
+    # ------------------------------------------------------------------
+    def _login(self, node: NodeId) -> None:
+        peer = self.peers[node]
+        peer.online = True
+        peer.sessions += 1
+        self.metrics.logins += 1
+        self.bootstrap.join(node)
+        self.protocol.fill_random(node, self._bootstrap_rng)
+        self._schedule_next_query(node, peer.query_epoch)
+        if self.config.dynamic and self.config.exploration_interval is not None:
+            self._schedule_exploration(node, peer.query_epoch)
+
+    def _logoff(self, node: NodeId) -> None:
+        peer = self.peers[node]
+        peer.online = False
+        peer.query_epoch += 1
+        self.metrics.logoffs += 1
+        self.bootstrap.leave(node)
+        if not self.config.persist_stats:
+            peer.stats.clear()
+        ex_neighbors = self.protocol.sever_all(node)
+        for other in ex_neighbors:
+            self._handle_neighbor_loss(other)
+
+    def _handle_neighbor_loss(self, node: NodeId) -> None:
+        """A neighbor just logged off; restore the degree per the scheme."""
+        peer = self.peers[node]
+        if not peer.online:
+            return
+        if self.config.dynamic and self.config.update_on_logoff:
+            # "Neighbor log-offs trigger the update process" (Section 4.1 v).
+            self.protocol.reconfigure(
+                node,
+                self.config.max_swaps_per_update,
+                self.config.swap_margin,
+                self.config.stats_decay_on_update,
+            )
+        self.protocol.fill_random(node, self._bootstrap_rng)
+
+    def _toggle(self, node: NodeId) -> None:
+        if self.peers[node].online:
+            self._logoff(node)
+        else:
+            self._login(node)
+
+    # ------------------------------------------------------------------
+    # Query events
+    # ------------------------------------------------------------------
+    def _schedule_next_query(self, node: NodeId, epoch: int) -> None:
+        delay = self.query_model.next_interarrival(self._timing_rng)
+        if self.sim.now + delay >= self.config.horizon:
+            return
+        self.sim.schedule(delay, self._fire_query, node, epoch)
+
+    def _fire_query(self, node: NodeId, epoch: int) -> None:
+        peer = self.peers[node]
+        if not peer.online or peer.query_epoch != epoch:
+            return  # stale timer from a previous session
+        item = self.query_model.sample_item(
+            node, self._item_rng, library=self.live_libraries[node]
+        )
+        outcome = self._execute_search(node, item, peer)
+        if outcome.hit and self.config.downloads_grow_libraries:
+            # The user downloads the song and shares it from now on.
+            self.live_libraries[node].add(item)
+        self.metrics.record_query(
+            self.sim.now,
+            outcome.hit,
+            outcome.messages,
+            outcome.result_count,
+            outcome.first_result_delay,
+        )
+        if self.config.dynamic:
+            self._record_benefit(peer, outcome)
+            peer.requests_since_update += 1
+            if peer.requests_since_update >= self.config.reconfiguration_threshold:
+                self.protocol.reconfigure(
+                node,
+                self.config.max_swaps_per_update,
+                self.config.swap_margin,
+                self.config.stats_decay_on_update,
+            )
+                self.protocol.fill_random(node, self._bootstrap_rng)
+        self._schedule_next_query(node, epoch)
+
+    def _execute_search(self, node: NodeId, item, peer: PeerState):
+        """Run one query with the configured search strategy."""
+        kind, k = self._strategy
+        if kind == "flood":
+            return generic_search(
+                self.view, node, item, self.termination, issued_at=self.sim.now
+            )
+        if kind == "iterative-deepening":
+            return iterative_deepening_search(
+                self.view,
+                node,
+                item,
+                depths=tuple(range(1, self.config.max_hops + 1)),
+                issued_at=self.sim.now,
+            )
+        # random:K / directed-bft:K — history-based selection uses the
+        # initiator's own statistics at every hop (the Directed BFT
+        # approximation a BFS engine affords).
+        return generic_search(
+            self.view,
+            node,
+            item,
+            self.termination,
+            selection=self._selection_policy,
+            stats=peer.stats,
+            rng=self._selection_rng,
+            issued_at=self.sim.now,
+        )
+
+    def _record_benefit(self, peer: PeerState, outcome) -> None:
+        """Credit each result's responder per the configured benefit.
+
+        The default is the paper's ``B / R`` (Section 4.1(i)).
+        """
+        n_results = outcome.result_count
+        if n_results == 0:
+            return
+        node = peer.node
+        add = peer.stats.add_benefit
+        benefit = self.config.benefit
+        if benefit == "bandwidth-share":
+            link_kbps = self.bandwidth.link_kbps
+            for result in outcome.results:
+                add(result.responder, link_kbps(node, result.responder) / n_results)
+        elif benefit == "hit-count":
+            for result in outcome.results:
+                add(result.responder, 1.0)
+        else:  # latency
+            for result in outcome.results:
+                add(result.responder, 1.0 / (result.delay + 1e-3))
+
+    # ------------------------------------------------------------------
+    # Optional periodic exploration (the Ping-Pong extension)
+    # ------------------------------------------------------------------
+    def _schedule_exploration(self, node: NodeId, epoch: int) -> None:
+        interval = self.config.exploration_interval
+        if interval is None or self.sim.now + interval >= self.config.horizon:
+            return
+        self.sim.schedule(interval, self._fire_exploration, node, epoch)
+
+    def _fire_exploration(self, node: NodeId, epoch: int) -> None:
+        peer = self.peers[node]
+        if not peer.online or peer.query_epoch != epoch:
+            return
+        # Probe about items the user is likely to want next (drawn from the
+        # same preference mix as real queries, without consuming the paired
+        # query streams).
+        probe = [
+            self.query_model.sample_item(
+                node, self._exploration_rng, library=self.live_libraries[node]
+            )
+            for _ in range(self.config.exploration_probe_items)
+        ]
+        outcome = generic_explore(
+            self.view,
+            node,
+            probe,
+            termination=TTLTermination(self.config.exploration_ttl),
+        )
+        self.metrics.exploration_messages += outcome.messages
+        link_kbps = self.bandwidth.link_kbps
+        for report in outcome.reports:
+            if report.coverage:
+                peer.stats.add_benefit(
+                    report.node,
+                    report.coverage * link_kbps(node, report.node)
+                    / self.config.exploration_probe_items,
+                )
+        self._schedule_exploration(node, epoch)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationMetrics:
+        """Execute the simulation once; returns the populated metrics."""
+        if self._ran:
+            raise ConfigurationError("engine instances are single-use; build a new one")
+        self._ran = True
+        for user, schedule in enumerate(self.schedules):
+            node = NodeId(user)
+            if schedule.initially_online:
+                self.sim.schedule(0.0, self._login, node)
+            for t in schedule.transitions:
+                self.sim.schedule_at(t, self._toggle, node)
+        self.sim.run(until=self.config.horizon)
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def neighbor_snapshot(self) -> dict[NodeId, tuple[NodeId, ...]]:
+        """Current outgoing lists (online peers only hold links)."""
+        return {p.node: p.neighbors.outgoing.as_tuple() for p in self.peers}
+
+    def online_count(self) -> int:
+        """Number of peers currently online."""
+        return len(self.bootstrap)
+
+    def taste_clustering(self) -> float:
+        """Fraction of links whose endpoints share a favorite category.
+
+        The mechanism behind the paper's gains: dynamic reconfiguration
+        "groups nodes with similar content together" (Section 4.3).
+        """
+        from repro.net.topology import NeighborGraph
+
+        snapshot = {
+            p.node: p.neighbors.outgoing.as_tuple() for p in self.peers if p.online
+        }
+        graph = NeighborGraph(snapshot)
+        favorite = {p.node: int(self.libraries.favorite[p.node]) for p in self.peers}
+        return graph.clustering_by_attribute(favorite)

@@ -1,0 +1,102 @@
+"""Metrics collection for the case-study figures.
+
+One :class:`SimulationMetrics` instance accumulates everything the paper
+plots:
+
+* hits per hour (Figures 1(a), 2(a)),
+* query messages per hour (Figures 1(b), 2(b)),
+* first-result delay statistics and total results (Figure 3(a)),
+* total hits net of warm-up (Figure 3(b)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.monitor import HourlyBuckets, WelfordStats
+from repro.types import HOUR
+
+__all__ = ["SimulationMetrics"]
+
+
+class SimulationMetrics:
+    """Hour-bucketed counters plus delay statistics for one simulation run."""
+
+    def __init__(self, horizon: float) -> None:
+        self.horizon = horizon
+        self.hits = HourlyBuckets(horizon, width=HOUR)
+        self.messages = HourlyBuckets(horizon, width=HOUR)
+        self.queries = HourlyBuckets(horizon, width=HOUR)
+        self.first_result_delay = WelfordStats()
+        self.total_results = 0
+        self.total_queries = 0
+        self.total_hits = 0
+        self.reconfigurations = 0
+        self.invitations = 0
+        self.evictions = 0
+        self.exploration_messages = 0
+        self.logins = 0
+        self.logoffs = 0
+
+    def record_query(
+        self,
+        time: float,
+        hit: bool,
+        messages: int,
+        n_results: int,
+        first_delay: float | None,
+    ) -> None:
+        """Fold one completed query into the counters."""
+        self.total_queries += 1
+        self.queries.add(time)
+        self.messages.add(time, messages)
+        if hit:
+            self.total_hits += 1
+            self.hits.add(time)
+            self.total_results += n_results
+            if first_delay is not None:
+                self.first_result_delay.add(first_delay)
+
+    # ------------------------------------------------------------------
+    # Series accessors (figure data)
+    # ------------------------------------------------------------------
+    def hits_series(self, warmup_hours: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """(hour index, hits) per hour, discarding the warm-up prefix."""
+        return self.hits.series(skip=warmup_hours)
+
+    def messages_series(self, warmup_hours: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """(hour index, query messages) per hour, net of warm-up."""
+        return self.messages.series(skip=warmup_hours)
+
+    def hits_total(self, warmup_hours: int = 0) -> int:
+        """Total hits net of warm-up (Figure 3(b)'s y-axis)."""
+        return self.hits.total(skip=warmup_hours)
+
+    def messages_total(self, warmup_hours: int = 0) -> int:
+        """Total query messages net of warm-up."""
+        return self.messages.total(skip=warmup_hours)
+
+    def hit_rate(self) -> float:
+        """Fraction of queries that found at least one result."""
+        if self.total_queries == 0:
+            return 0.0
+        return self.total_hits / self.total_queries
+
+    def mean_first_result_delay_ms(self) -> float:
+        """Mean first-result delay in milliseconds (Figure 3(a)'s y-axis)."""
+        return self.first_result_delay.mean * 1000.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of the headline numbers (reporting helper)."""
+        return {
+            "total_queries": float(self.total_queries),
+            "total_hits": float(self.total_hits),
+            "hit_rate": self.hit_rate(),
+            "total_results": float(self.total_results),
+            "total_messages": float(self.messages.total()),
+            "mean_first_delay_ms": self.mean_first_result_delay_ms(),
+            "reconfigurations": float(self.reconfigurations),
+            "invitations": float(self.invitations),
+            "evictions": float(self.evictions),
+            "exploration_messages": float(self.exploration_messages),
+        }

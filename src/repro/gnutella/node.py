@@ -1,0 +1,58 @@
+"""Per-peer simulation state shared by both engines."""
+
+from __future__ import annotations
+
+from repro.core.neighbors import NeighborState
+from repro.core.statistics import StatsTable
+from repro.types import NodeId
+
+__all__ = ["PeerState"]
+
+
+class PeerState:
+    """One Gnutella peer's live state.
+
+    Content (the music library) lives in the shared
+    :class:`~repro.workload.library.UserLibraries`; this object holds only
+    the mutable, per-session pieces.
+    """
+
+    __slots__ = (
+        "node",
+        "online",
+        "neighbors",
+        "stats",
+        "requests_since_update",
+        "sessions",
+        "query_epoch",
+    )
+
+    def __init__(self, node: NodeId, slots: int) -> None:
+        self.node = node
+        self.online = False
+        #: Symmetric neighbor slots (outgoing == incoming by construction).
+        self.neighbors = NeighborState(node, out_capacity=slots, in_capacity=slots)
+        self.stats = StatsTable()
+        #: Own requests since the last reconfiguration (Algo 5 counter).
+        self.requests_since_update = 0
+        #: Completed session count (diagnostics).
+        self.sessions = 0
+        #: Incremented on every log-off; in-flight query timers carry the
+        #: epoch they were scheduled in and are ignored if it moved on.
+        self.query_epoch = 0
+
+    @property
+    def degree(self) -> int:
+        """Current number of neighbors."""
+        return len(self.neighbors.outgoing)
+
+    @property
+    def has_free_slot(self) -> bool:
+        """Whether at least one neighbor slot is open."""
+        return not self.neighbors.outgoing.is_full
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PeerState(node={self.node}, online={self.online}, "
+            f"neighbors={self.neighbors.outgoing.as_tuple()})"
+        )

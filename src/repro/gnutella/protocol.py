@@ -1,0 +1,237 @@
+"""Algo 5's control-plane logic, applied instantaneously.
+
+Both engines agree on *what* a reconfiguration does; this module implements
+the doing for engines that treat control traffic as instantaneous relative to
+churn (the fast engine; the detailed engine ships the same decisions as real
+messages). The decision logic itself lives in :mod:`repro.core.update` — this
+is glue between those pure functions and live :class:`PeerState` objects.
+
+Link maintenance policy: Gnutella peers keep their neighbor count topped up
+(a peer that lost a neighbor looks for a replacement via the bootstrap /
+Ping-Pong machinery). Both schemes therefore *fill remaining free slots with
+random online candidates*; the dynamic scheme differs by first claiming slots
+for the statistically best peers via invitations. With an empty statistics
+table a dynamic reconfiguration degenerates to exactly the static behaviour,
+which is why Figure 3(b)'s T=1 point sits near the static line.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.update import (
+    plan_reconfiguration,
+    process_invitation,
+    reconfiguration_actions,
+)
+from repro.errors import FrameworkError
+from repro.gnutella.bootstrap import BootstrapServer
+from repro.gnutella.metrics import SimulationMetrics
+from repro.gnutella.node import PeerState
+from repro.types import NodeId
+
+__all__ = ["GnutellaProtocol"]
+
+
+class GnutellaProtocol:
+    """Instantaneous link management over a peer population.
+
+    Parameters
+    ----------
+    peers:
+        Dense list of all peer states, indexed by node id.
+    bootstrap:
+        The host-cache server (random candidate source).
+    metrics:
+        Counter sink for reconfigurations/invitations/evictions.
+    slots:
+        Symmetric neighbor capacity.
+    always_accept:
+        Algo 5 (iv) invitation policy.
+    """
+
+    def __init__(
+        self,
+        peers: Sequence[PeerState],
+        bootstrap: BootstrapServer,
+        metrics: SimulationMetrics,
+        slots: int,
+        always_accept: bool = True,
+    ) -> None:
+        self.peers = peers
+        self.bootstrap = bootstrap
+        self.metrics = metrics
+        self.slots = slots
+        self.always_accept = always_accept
+        #: Optional hook fired after every eviction with the evicted node.
+        #: The fast engine uses it to schedule prompt random refill (the
+        #: ``evicted_refill_immediate`` policy); it must not rewire links
+        #: synchronously — a reconfiguration may be mid-flight.
+        self.on_eviction = None
+
+    # ------------------------------------------------------------------
+    # Link primitives
+    # ------------------------------------------------------------------
+    def link(self, a: NodeId, b: NodeId) -> None:
+        """Create the mutual neighborhood ``a <-> b``."""
+        pa, pb = self.peers[a], self.peers[b]
+        if a == b:
+            raise FrameworkError(f"peer {a} cannot neighbor itself")
+        pa.neighbors.outgoing.add(b)
+        pa.neighbors.incoming.add(b)
+        pb.neighbors.outgoing.add(a)
+        pb.neighbors.incoming.add(a)
+
+    def unlink(self, a: NodeId, b: NodeId) -> None:
+        """Dissolve the mutual neighborhood ``a <-> b``."""
+        pa, pb = self.peers[a], self.peers[b]
+        pa.neighbors.outgoing.remove(b)
+        pa.neighbors.incoming.remove(b)
+        pb.neighbors.outgoing.remove(a)
+        pb.neighbors.incoming.remove(a)
+
+    def evict(self, evictor: NodeId, evicted: NodeId) -> None:
+        """Unlink plus Process_Eviction at the evicted side.
+
+        The evicted peer resets its statistics about the evictor "so that it
+        will not attempt to reconnect in the near future"; it does *not*
+        replace the lost neighbor immediately (Algo 5).
+        """
+        self.unlink(evictor, evicted)
+        self.peers[evicted].stats.reset(evictor)
+        self.metrics.evictions += 1
+        if self.on_eviction is not None:
+            self.on_eviction(evicted)
+
+    # ------------------------------------------------------------------
+    # Algo 5 Reconfigure + Process_Invitation
+    # ------------------------------------------------------------------
+    def reconfigure(
+        self,
+        node: NodeId,
+        max_swaps: int | None = 1,
+        swap_margin: float = 0.0,
+        stats_decay: float = 1.0,
+    ) -> int:
+        """Run one reconfiguration at ``node``; returns adopted-link count.
+
+        Computes the ``slots`` most beneficial online peers and moves the
+        neighborhood toward that list. ``max_swaps`` caps how many
+        invite/evict pairs happen now: the paper exchanges **one** neighbor
+        per reconfiguration (Section 4.3), which keeps neighborhoods diverse
+        while they converge; ``None`` applies the literal Algo 5 list swap in
+        one shot (evict everything undesired, invite every newcomer).
+
+        Invited peers always accept (or benefit-gate, per construction),
+        evicting their own least beneficial neighbor when full and resetting
+        their periodic counter to damp cascades. Evictions at this node only
+        happen to make room (single-swap mode) or per the full plan
+        (``max_swaps=None``).
+        """
+        peer = self.peers[node]
+        current = peer.neighbors.outgoing.as_tuple()
+        desired = plan_reconfiguration(
+            current,
+            peer.stats,
+            self.slots,
+            exclude=(node,),
+            eligible=lambda n: self.peers[n].online,
+        )
+        invites, evicts = reconfiguration_actions(node, current, desired)
+        if max_swaps is None:
+            # Literal Algo 5: all undesired neighbors are evicted up front.
+            for action in evicts:
+                self.evict(node, action.evicted)
+            pending_evicts: list = []
+        else:
+            invites = invites[:max_swaps]
+            # Evict lazily, least beneficial first, only to make room.
+            pending_evicts = sorted(
+                evicts, key=lambda a: (peer.stats.benefit_of(a.evicted), a.evicted)
+            )
+        adopted = 0
+        evict_iter = iter(pending_evicts)
+        for action in invites:
+            invitee = self.peers[action.invitee]
+            if not invitee.online or action.invitee in peer.neighbors.outgoing:
+                continue
+            if peer.neighbors.outgoing.is_full:
+                victim = next(evict_iter, None)
+                if victim is None:
+                    break
+                # Hysteresis: displacing a connected neighbor requires the
+                # challenger to clearly dominate it; without this, churn
+                # rotates the benefit ranking and reconfigurations thrash.
+                challenger_benefit = peer.stats.benefit_of(action.invitee)
+                incumbent_benefit = peer.stats.benefit_of(victim.evicted)
+                if challenger_benefit <= (1.0 + swap_margin) * incumbent_benefit:
+                    break  # invites are benefit-ordered; later ones are worse
+                self.evict(node, victim.evicted)
+            self.metrics.invitations += 1
+            decision = process_invitation(
+                invitee.neighbors, node, invitee.stats, always_accept=self.always_accept
+            )
+            if not decision.accepted:
+                continue
+            if decision.evicted is not None:
+                self.evict(action.invitee, decision.evicted)
+            self.link(node, action.invitee)
+            invitee.requests_since_update = 0
+            adopted += 1
+        peer.requests_since_update = 0
+        self.metrics.reconfigurations += 1
+        if stats_decay == 0.0:
+            peer.stats.clear()
+        elif stats_decay < 1.0:
+            # Age the evidence: the next update is dominated by the results
+            # observed in its own window (see GnutellaConfig docs).
+            peer.stats.decay(stats_decay)
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Random acquisition (login / slot top-up; both schemes)
+    # ------------------------------------------------------------------
+    def fill_random(self, node: NodeId, rng: np.random.Generator) -> int:
+        """Fill ``node``'s free slots with random online peers that also
+        have a free slot; returns the number of links formed.
+
+        This is the static scheme's whole neighbor policy and the shared
+        degree-maintenance fallback of the dynamic scheme.
+        """
+        peer = self.peers[node]
+        formed = 0
+        attempts = 0
+        # Each round samples fresh candidates; stop when full or the online
+        # population offers nothing linkable.
+        while peer.has_free_slot and attempts < 4:
+            attempts += 1
+            exclude = [node, *peer.neighbors.outgoing]
+            want = int(peer.neighbors.outgoing.free_slots)
+            candidates = self.bootstrap.sample(rng, 2 * want, exclude=exclude)
+            if not candidates:
+                break
+            linked_this_round = 0
+            for candidate in candidates:
+                if not peer.has_free_slot:
+                    break
+                other = self.peers[candidate]
+                if other.online and other.has_free_slot:
+                    self.link(node, candidate)
+                    formed += 1
+                    linked_this_round += 1
+            if linked_this_round == 0 and len(candidates) >= len(self.bootstrap) - 1:
+                break  # whole population sampled; nobody has room
+        return formed
+
+    # ------------------------------------------------------------------
+    # Churn handling
+    # ------------------------------------------------------------------
+    def sever_all(self, node: NodeId) -> list[NodeId]:
+        """Drop all of ``node``'s links (log-off); returns ex-neighbors."""
+        peer = self.peers[node]
+        ex = list(peer.neighbors.outgoing.as_tuple())
+        for other in ex:
+            self.unlink(node, other)
+        return ex

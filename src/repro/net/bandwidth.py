@@ -1,0 +1,108 @@
+"""Access-link bandwidth classes.
+
+Section 4.2: "we randomly split the users into 3 categories, according to
+their connection bandwidth; each user is equally likely to be connected
+through a 56K modem, a cable modem or a LAN."
+
+The bandwidth value enters the case study through the benefit function
+``B / R`` (Section 4.1(i)), where ``B`` is the bandwidth of the answering
+link. We model the answering link's bandwidth as the minimum of the two
+endpoints' access rates, since a transfer is bottlenecked by the slower side.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.types import NodeId
+
+__all__ = ["BandwidthClass", "BandwidthModel"]
+
+
+class BandwidthClass(enum.IntEnum):
+    """Access-link class, ordered slowest to fastest.
+
+    The integer values index into per-class parameter arrays, so keep them
+    dense and zero-based.
+    """
+
+    MODEM_56K = 0
+    CABLE = 1
+    LAN = 2
+
+
+#: Nominal downstream rate per class, in kbit/s. The 56K modem is its
+#: namesake; cable and LAN values are era-appropriate (circa 2003) nominal
+#: rates. Only *ratios* matter to the benefit function.
+CLASS_KBPS: dict[BandwidthClass, float] = {
+    BandwidthClass.MODEM_56K: 56.0,
+    BandwidthClass.CABLE: 1500.0,
+    BandwidthClass.LAN: 10000.0,
+}
+
+#: Mean one-way delay per class, in seconds, "governed by the slowest user"
+#: (Section 4.2): 300 ms / 150 ms / 70 ms.
+CLASS_DELAY_MEAN: dict[BandwidthClass, float] = {
+    BandwidthClass.MODEM_56K: 0.300,
+    BandwidthClass.CABLE: 0.150,
+    BandwidthClass.LAN: 0.070,
+}
+
+
+class BandwidthModel:
+    """Per-node access class assignment and link-bandwidth lookups.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the network.
+    rng:
+        Source of randomness for the uniform class assignment.
+    class_probabilities:
+        Probability of each class, in :class:`BandwidthClass` order. Defaults
+        to the paper's uniform 1/3 split.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        rng: np.random.Generator,
+        class_probabilities: tuple[float, float, float] = (1 / 3, 1 / 3, 1 / 3),
+    ) -> None:
+        if n_nodes <= 0:
+            raise NetworkError(f"n_nodes must be positive, got {n_nodes}")
+        probs = np.asarray(class_probabilities, dtype=float)
+        if probs.shape != (len(BandwidthClass),) or probs.min() < 0:
+            raise NetworkError("class_probabilities must be 3 non-negative values")
+        if not np.isclose(probs.sum(), 1.0):
+            raise NetworkError(f"class_probabilities must sum to 1, got {probs.sum()}")
+        self.n_nodes = n_nodes
+        #: Class index per node (int8 array indexed by NodeId).
+        self.classes: np.ndarray = rng.choice(
+            len(BandwidthClass), size=n_nodes, p=probs
+        ).astype(np.int8)
+        self._kbps = np.array(
+            [CLASS_KBPS[c] for c in BandwidthClass], dtype=float
+        )
+
+    def class_of(self, node: NodeId) -> BandwidthClass:
+        """Access class of ``node``."""
+        return BandwidthClass(int(self.classes[node]))
+
+    def kbps_of(self, node: NodeId) -> float:
+        """Nominal access rate of ``node`` in kbit/s."""
+        return float(self._kbps[self.classes[node]])
+
+    def link_kbps(self, a: NodeId, b: NodeId) -> float:
+        """Effective bandwidth of a transfer between ``a`` and ``b``.
+
+        The slower endpoint bottlenecks the link.
+        """
+        return float(min(self._kbps[self.classes[a]], self._kbps[self.classes[b]]))
+
+    def slowest_class(self, a: NodeId, b: NodeId) -> BandwidthClass:
+        """The slower of the two endpoints' classes (governs link delay)."""
+        return BandwidthClass(int(min(self.classes[a], self.classes[b])))

@@ -1,0 +1,135 @@
+"""Pairwise one-way delay model.
+
+Section 4.2: "The mean value of the one-way delay between two users is
+governed by the slowest user, and is equal to 300ms, 150ms and 70ms,
+respectively. The standard deviation is set to 20ms for all cases, and values
+are restricted in the interval [...]" — the interval itself is unreadable in
+the available scan, so the truncation bounds are parameters (default
+mean ± 3 sigma, always clamped above a small positive floor).
+
+Each unordered node pair gets one delay draw, cached lazily, i.e. the network
+latency is static per pair for the lifetime of a simulation — consistent with
+the paper's description of delay as a property of the user pair. Sampling per
+pair (rather than per message) also lets the fast engine compute path delays
+analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.net.bandwidth import CLASS_DELAY_MEAN, BandwidthClass, BandwidthModel
+from repro.types import NodeId
+
+__all__ = ["DelayParameters", "LatencyModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class DelayParameters:
+    """Parameters of the truncated-Gaussian one-way-delay distribution.
+
+    Attributes
+    ----------
+    means:
+        Mean one-way delay (seconds) per :class:`BandwidthClass`, applied
+        according to the *slower* endpoint of the pair.
+    std:
+        Standard deviation in seconds (paper: 20 ms for all classes).
+    truncation_sigmas:
+        Draws are clamped to ``mean ± truncation_sigmas * std``.
+    floor:
+        Absolute lower bound in seconds; keeps delays strictly positive even
+        for generous truncation settings.
+    """
+
+    means: tuple[float, float, float] = (
+        CLASS_DELAY_MEAN[BandwidthClass.MODEM_56K],
+        CLASS_DELAY_MEAN[BandwidthClass.CABLE],
+        CLASS_DELAY_MEAN[BandwidthClass.LAN],
+    )
+    std: float = 0.020
+    truncation_sigmas: float = 3.0
+    floor: float = 0.001
+
+    def __post_init__(self) -> None:
+        if len(self.means) != len(BandwidthClass):
+            raise NetworkError("means must provide one value per BandwidthClass")
+        if any(m <= 0 for m in self.means):
+            raise NetworkError("delay means must be positive")
+        if self.std < 0:
+            raise NetworkError("std must be non-negative")
+        if self.truncation_sigmas <= 0:
+            raise NetworkError("truncation_sigmas must be positive")
+        if self.floor <= 0:
+            raise NetworkError("floor must be positive")
+
+
+class LatencyModel:
+    """Lazy, cached per-pair one-way delays.
+
+    Parameters
+    ----------
+    bandwidth:
+        The per-node access-class assignment; the slower endpoint of a pair
+        selects the delay mean.
+    rng:
+        Source of randomness. Draws happen on first lookup of each unordered
+        pair; lookups are symmetric (``delay(a, b) == delay(b, a)``).
+    params:
+        Distribution parameters; defaults to the paper's values.
+    """
+
+    def __init__(
+        self,
+        bandwidth: BandwidthModel,
+        rng: np.random.Generator,
+        params: DelayParameters | None = None,
+    ) -> None:
+        self.bandwidth = bandwidth
+        self.params = params or DelayParameters()
+        self._rng = rng
+        self._cache: dict[int, float] = {}
+        self._means = np.asarray(self.params.means, dtype=float)
+        self._n = bandwidth.n_nodes
+
+    def _pair_key(self, a: NodeId, b: NodeId) -> int:
+        lo, hi = (a, b) if a <= b else (b, a)
+        return lo * self._n + hi
+
+    def one_way_delay(self, a: NodeId, b: NodeId) -> float:
+        """One-way delay in seconds between ``a`` and ``b`` (symmetric).
+
+        A node's delay to itself is zero (local service).
+        """
+        if a == b:
+            return 0.0
+        if not (0 <= a < self._n and 0 <= b < self._n):
+            raise NetworkError(f"node ids out of range: {a}, {b} (n={self._n})")
+        key = self._pair_key(a, b)
+        delay = self._cache.get(key)
+        if delay is None:
+            delay = self._draw(a, b)
+            self._cache[key] = delay
+        return delay
+
+    def round_trip(self, a: NodeId, b: NodeId) -> float:
+        """Round-trip time: twice the one-way delay."""
+        return 2.0 * self.one_way_delay(a, b)
+
+    def _draw(self, a: NodeId, b: NodeId) -> float:
+        p = self.params
+        mean = float(self._means[self.bandwidth.slowest_class(a, b)])
+        if p.std == 0.0:
+            return max(mean, p.floor)
+        raw = self._rng.normal(mean, p.std)
+        lo = max(mean - p.truncation_sigmas * p.std, p.floor)
+        hi = mean + p.truncation_sigmas * p.std
+        return float(min(max(raw, lo), hi))
+
+    @property
+    def cached_pairs(self) -> int:
+        """Number of pair delays drawn so far (memory introspection)."""
+        return len(self._cache)

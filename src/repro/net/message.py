@@ -1,0 +1,86 @@
+"""Protocol-agnostic message envelope.
+
+All the paper's protocols exchange small control messages — queries, replies,
+exploration probes, invitations, evictions. :class:`Message` is the common
+envelope used by the detailed (message-level) engines; the fast engines only
+*count* messages and never materialize them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.types import NodeId
+
+__all__ = ["Message", "MessageKind"]
+
+_message_ids = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    """Categories of framework messages (Sections 3.2-3.4)."""
+
+    QUERY = "query"              #: search request for actual content (Algo 1)
+    QUERY_REPLY = "query_reply"  #: results or NOT_FOUND back to the initiator
+    EXPLORE = "explore"          #: metadata-only exploration probe (Algo 2)
+    EXPLORE_REPLY = "explore_reply"
+    INVITE = "invite"            #: symmetric-update invitation (Algo 4)
+    INVITE_REPLY = "invite_reply"
+    EVICT = "evict"              #: symmetric-update eviction notice (Algo 4)
+
+
+@dataclass(slots=True)
+class Message:
+    """One message in flight.
+
+    Attributes
+    ----------
+    kind:
+        Protocol role of the message.
+    sender / receiver:
+        The hop endpoints (NOT the end-to-end initiator; see ``origin``).
+    origin:
+        Node that initiated the end-to-end exchange (query initiator,
+        inviter, ...).
+    query_id:
+        End-to-end identifier shared by all propagated copies of the same
+        query; used for duplicate suppression ("each node keeps a list of
+        recent messages", Algo 5 Process_Query).
+    hops:
+        Number of hops this copy has traversed so far (initiator -> first
+        receiver is hop 1).
+    payload:
+        Protocol-specific content (item searched for, result list, ...).
+    path:
+        Discovery path from origin to the current receiver; replies route
+        back along the reverse path, per the Gnutella convention.
+    """
+
+    kind: MessageKind
+    sender: NodeId
+    receiver: NodeId
+    origin: NodeId
+    query_id: int = field(default_factory=lambda: next(_message_ids))
+    hops: int = 0
+    payload: Any = None
+    path: tuple[NodeId, ...] = ()
+
+    def forwarded(self, new_sender: NodeId, new_receiver: NodeId) -> "Message":
+        """A copy of this message propagated one hop further.
+
+        Keeps ``query_id`` and ``origin`` (it is the same end-to-end query),
+        increments ``hops``, extends ``path``.
+        """
+        return Message(
+            kind=self.kind,
+            sender=new_sender,
+            receiver=new_receiver,
+            origin=self.origin,
+            query_id=self.query_id,
+            hops=self.hops + 1,
+            payload=self.payload,
+            path=self.path + (new_receiver,),
+        )

@@ -1,0 +1,21 @@
+"""Distributed OLAP caching: the PeerOlap-style framework instantiation.
+
+PeerOlap (the paper's reference [3]) is its running example of an
+*asymmetric* system whose "dominating cost is the query processing time"
+(Section 3.4): peers cache OLAP chunks; a query decomposes into chunks, each
+answered by the local cache, a peer, or — expensively — the data warehouse.
+
+Instantiation choices, per the paper's discussion:
+
+* relation: bounded asymmetric lists (peers limit both directions);
+* search: per-chunk, TTL 1 over outgoing neighbors (the warehouse is the
+  fallback, like the web servers in caching);
+* benefit: saved processing time (:class:`repro.core.ProcessingTimeBenefit`);
+* update: Algo 3 with periodic exploration about hot-region chunks
+  ("PeerOlap also supports adaptive network reconfiguration").
+"""
+
+from repro.olap.simulation import OlapConfig, OlapResult, run_olap_simulation
+from repro.olap.warehouse import Warehouse
+
+__all__ = ["OlapConfig", "OlapResult", "Warehouse", "run_olap_simulation"]

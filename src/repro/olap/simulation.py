@@ -1,0 +1,209 @@
+"""The distributed OLAP-cache simulation: static vs adaptive peers.
+
+Per query (a contiguous chunk range), each chunk resolves through:
+
+1. the local chunk cache (free);
+2. a TTL-1 search over outgoing neighbors — paying one peer round trip;
+3. the warehouse — paying the chunk's processing cost plus its round trip.
+
+Chunks obtained from anywhere enter the local cache. The adaptive scheme
+periodically explores (probing about the peer's hot-region chunks) and runs
+Algo 3 updates with the saved-processing-time benefit, so peers sharing a hot
+region converge into each other's outgoing lists — the PeerOlap adaptive
+reconfiguration story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.benefit import ProcessingTimeBenefit, ResultObservation
+from repro.core.framework import RepositoryNetwork
+from repro.core.relations import AsymmetricRelation
+from repro.core.termination import TTLTermination
+from repro.errors import ConfigurationError
+from repro.rng import RngStreams
+from repro.types import NodeId
+from repro.olap.warehouse import Warehouse
+from repro.webcache.cache import LRUCache
+from repro.workload.olap_workload import OlapWorkload, OlapWorkloadConfig
+
+__all__ = ["OlapConfig", "OlapResult", "run_olap_simulation"]
+
+
+@dataclass(frozen=True, slots=True)
+class OlapConfig:
+    """Parameters of the OLAP-caching simulation."""
+
+    workload: OlapWorkloadConfig = field(default_factory=OlapWorkloadConfig)
+    cache_capacity: int = 150
+    out_slots: int = 3
+    in_slots: int = 6
+    n_rounds: int = 300
+    adaptive: bool = True
+    explore_every: int = 20
+    explore_ttl: int = 2
+    update_every: int = 40
+    peer_round_trip: float = 0.1
+    hot_probe_chunks: int = 12
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 1:
+            raise ConfigurationError("cache_capacity must be >= 1")
+        if self.out_slots < 1 or self.in_slots < 1:
+            raise ConfigurationError("slot counts must be >= 1")
+        if self.n_rounds < 1:
+            raise ConfigurationError("n_rounds must be >= 1")
+        if self.explore_every < 1 or self.update_every < 1:
+            raise ConfigurationError("periods must be >= 1")
+        if self.explore_ttl < 1:
+            raise ConfigurationError("explore_ttl must be >= 1")
+        if self.peer_round_trip <= 0:
+            raise ConfigurationError("peer_round_trip must be positive")
+        if self.hot_probe_chunks < 1:
+            raise ConfigurationError("hot_probe_chunks must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class OlapResult:
+    """Outcome counters of one simulation."""
+
+    config: OlapConfig
+    queries: int
+    chunks_requested: int
+    local_chunks: int
+    peer_chunks: int
+    warehouse_chunks: int
+    total_latency: float
+    saved_processing_time: float
+    #: Peer-answered chunks per round — the convergence curve of offload.
+    peer_chunks_per_round: tuple[int, ...] = ()
+
+    @property
+    def mean_query_latency(self) -> float:
+        """Mean per-query latency (sum over its chunks), seconds."""
+        return self.total_latency / self.queries if self.queries else 0.0
+
+    @property
+    def warehouse_offload(self) -> float:
+        """Fraction of non-local chunks answered by peers instead of the
+        warehouse — the system's reason to exist."""
+        remote = self.peer_chunks + self.warehouse_chunks
+        return self.peer_chunks / remote if remote else 0.0
+
+
+def run_olap_simulation(config: OlapConfig) -> OlapResult:
+    """Run ``config.n_rounds`` rounds (one query per peer per round)."""
+    streams = RngStreams(config.seed)
+    workload = OlapWorkload(config.workload, streams.get("assignment"))
+    n = config.workload.n_peers
+    warehouse = Warehouse(config.workload.n_chunks, streams.get("warehouse"))
+
+    network = RepositoryNetwork(
+        AsymmetricRelation(out_capacity=config.out_slots, in_capacity=config.in_slots),
+        benefit=ProcessingTimeBenefit(),
+        link_delay=lambda a, b: config.peer_round_trip / 2.0,
+        termination=TTLTermination(1),
+        rng=streams.get("selection"),
+    )
+    caches: list[LRUCache] = []
+    for peer in range(n):
+        node = network.add_repository(items=())
+        caches.append(LRUCache(config.cache_capacity, mirror=network.repo(node).items))
+    topo_rng = streams.get("topology")
+    for peer in range(n):
+        others = [p for p in range(n) if p != peer]
+        picks = topo_rng.choice(
+            len(others), size=min(config.out_slots, len(others)), replace=False
+        )
+        for i in sorted(picks):
+            candidate = NodeId(others[i])
+            if network.relation.can_connect(
+                network.repo(NodeId(peer)).state, network.repo(candidate).state
+            ):
+                network.connect(NodeId(peer), candidate)
+
+    request_rng = streams.get("requests")
+    queries = chunks_requested = local_chunks = peer_chunks = warehouse_chunks = 0
+    total_latency = 0.0
+    saved = 0.0
+    peer_chunks_per_round: list[int] = []
+
+    for round_index in range(1, config.n_rounds + 1):
+        round_peer_chunks = 0
+        for peer in range(n):
+            node = NodeId(peer)
+            query = workload.sample_query(peer, request_rng)
+            queries += 1
+            for chunk in query.chunks:
+                chunks_requested += 1
+                if caches[peer].get(chunk):
+                    local_chunks += 1
+                    continue
+                outcome = network.search(node, chunk, record_stats=False)
+                if outcome.hit:
+                    peer_chunks += 1
+                    round_peer_chunks += 1
+                    total_latency += config.peer_round_trip
+                    saved += warehouse.processing_cost(chunk)
+                    # Credit the responder with the processing time its
+                    # cached copy saved us (Section 3.4's PeerOlap benefit).
+                    responder = outcome.results[0].responder
+                    obs = ResultObservation(
+                        initiator=node,
+                        responder=responder,
+                        link_kbps=1000.0,
+                        n_results=len(outcome.results),
+                        delay=config.peer_round_trip,
+                        processing_time=warehouse.processing_cost(chunk),
+                    )
+                    network.repo(node).stats.add_benefit(
+                        responder, network.benefit(obs)
+                    )
+                else:
+                    warehouse_chunks += 1
+                    total_latency += warehouse.compute(chunk)
+                caches[peer].put(chunk)
+
+        peer_chunks_per_round.append(round_peer_chunks)
+        if not config.adaptive:
+            continue
+        if round_index % config.explore_every == 0:
+            for peer in range(n):
+                hot = int(workload.hot_region[peer])
+                start = hot * workload.chunks_per_region
+                probe = range(start, start + min(config.hot_probe_chunks,
+                                                 workload.chunks_per_region))
+                result = network.explore(
+                    NodeId(peer),
+                    probe,
+                    termination=TTLTermination(config.explore_ttl),
+                    record_stats=False,
+                )
+                # Credit each probed node with the processing time its cached
+                # hot-region chunks *would* save — the exploration analogue of
+                # the PeerOlap benefit (a probe reply carries no processing
+                # time itself, so the search-path benefit scores it zero).
+                stats = network.repo(NodeId(peer)).stats
+                for report in result.reports:
+                    if report.held_items:
+                        potential = sum(
+                            warehouse.processing_cost(c) for c in report.held_items
+                        )
+                        stats.add_benefit(report.node, potential)
+        if round_index % config.update_every == 0:
+            for peer in range(n):
+                network.update_neighbors(NodeId(peer))
+
+    return OlapResult(
+        config=config,
+        queries=queries,
+        chunks_requested=chunks_requested,
+        local_chunks=local_chunks,
+        peer_chunks=peer_chunks,
+        warehouse_chunks=warehouse_chunks,
+        total_latency=total_latency,
+        saved_processing_time=saved,
+        peer_chunks_per_round=tuple(peer_chunks_per_round),
+    )

@@ -1,0 +1,60 @@
+"""The data warehouse: computes any chunk, slowly.
+
+Each chunk carries a fixed processing cost (aggregation over its region of
+the cube); the warehouse always answers but charges that cost plus a network
+round trip. Peers exist to avoid paying it twice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Warehouse"]
+
+
+class Warehouse:
+    """Computes chunks at a per-chunk cost drawn once at construction.
+
+    Parameters
+    ----------
+    n_chunks:
+        Cube size.
+    rng:
+        Drives the per-chunk cost assignment.
+    mean_cost / std_cost / min_cost:
+        Processing-cost distribution, seconds.
+    round_trip:
+        Network round trip to the warehouse, added to every answer.
+    """
+
+    def __init__(
+        self,
+        n_chunks: int,
+        rng: np.random.Generator,
+        mean_cost: float = 2.0,
+        std_cost: float = 0.8,
+        min_cost: float = 0.3,
+        round_trip: float = 0.2,
+    ) -> None:
+        if n_chunks <= 0:
+            raise ConfigurationError("n_chunks must be positive")
+        if mean_cost <= 0 or std_cost < 0 or min_cost <= 0 or round_trip < 0:
+            raise ConfigurationError("costs must be positive (std/rtt non-negative)")
+        self.n_chunks = n_chunks
+        self._cost = np.clip(rng.normal(mean_cost, std_cost, size=n_chunks), min_cost, None)
+        self.round_trip = round_trip
+        self.computations = 0
+
+    def processing_cost(self, chunk: int) -> float:
+        """Pure computation cost of ``chunk`` (no network), seconds."""
+        if not 0 <= chunk < self.n_chunks:
+            raise ConfigurationError(f"chunk {chunk} out of range")
+        return float(self._cost[chunk])
+
+    def compute(self, chunk: int) -> float:
+        """Answer ``chunk``; returns total latency (processing + round trip)."""
+        cost = self.processing_cost(chunk)  # validates range
+        self.computations += 1
+        return cost + self.round_trip

@@ -1,0 +1,125 @@
+"""Generator-based coroutine processes.
+
+A process wraps a Python generator. The generator ``yield``\\ s *waitables* —
+:class:`~repro.sim.events.Event` instances, other :class:`Process` instances,
+or :class:`Timeout` helpers — and is resumed with the waitable's payload when
+it triggers. This is the familiar SimPy programming model:
+
+>>> def producer(sim, store):
+...     for i in range(3):
+...         yield Timeout(sim, 1.0)
+...         yield store.put(i)
+
+Processes are themselves events: they trigger when the generator returns
+(payload = the ``return`` value) or raises (failure). Waiting on a process
+therefore composes with :meth:`Simulator.all_of` / :meth:`Simulator.any_of`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ProcessError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+__all__ = ["Interrupt", "Process", "Timeout"]
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed delay.
+
+    Convenience so process bodies can write ``yield Timeout(sim, 2.5)``.
+    """
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
+        super().__init__(sim)
+        sim.schedule(delay, self.succeed, value)
+
+
+class Process(Event):
+    """A running coroutine on the simulation kernel.
+
+    Created via :meth:`Simulator.process`. The first resume is scheduled at
+    the current simulation time, so the body starts executing within the same
+    timestep it was spawned.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any]) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise ProcessError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self._alive = True
+        sim.schedule(0.0, self._resume, None, None)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the underlying generator can still run."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process at the current time.
+
+        The process may catch it to implement preemption/cancellation. An
+        interrupt delivered to a finished process is an error.
+        """
+        if not self._alive:
+            raise ProcessError("cannot interrupt a finished process")
+        self.sim.schedule(0.0, self._resume, None, Interrupt(cause))
+
+    # ------------------------------------------------------------------
+    def _resume(self, send_value: Any, throw_exc: BaseException | None) -> None:
+        if not self._alive:
+            return
+        try:
+            if throw_exc is not None:
+                target = self._generator.throw(throw_exc)
+            else:
+                target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - failure propagates via event
+            self._alive = False
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self.sim.schedule(
+                0.0,
+                self._resume,
+                None,
+                ProcessError(
+                    f"process yielded a non-waitable {target!r}; "
+                    "yield an Event, Timeout, or Process"
+                ),
+            )
+            return
+        if target is self:
+            self.sim.schedule(
+                0.0, self._resume, None, ProcessError("process cannot wait on itself")
+            )
+            return
+
+        def on_done(ev: Event) -> None:
+            if ev.ok:
+                self._resume(ev.value, None)
+            else:
+                self._resume(None, ev.value)
+
+        target.add_callback(on_done)
+
+
+class Interrupt(Exception):
+    """Raised inside a process body when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause

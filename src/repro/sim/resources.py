@@ -1,0 +1,133 @@
+"""Queueing primitives: :class:`Store` (FIFO item buffer) and
+:class:`Resource` (counting semaphore).
+
+Both hand out :class:`~repro.sim.events.Event` objects so they compose with
+the process layer: ``item = yield store.get()``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of arbitrary items.
+
+    ``put`` events succeed once the item has been accepted (immediately if
+    there is room); ``get`` events succeed with the item once one is
+    available. Waiters are served strictly FIFO.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"Store capacity must be positive, got {capacity!r}")
+        self._sim = sim
+        self._capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    @property
+    def capacity(self) -> float:
+        """Maximum number of buffered items."""
+        return self._capacity
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of currently buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item``; returns an event that succeeds on acceptance."""
+        ev = Event(self._sim)
+        self._putters.append((ev, item))
+        self._balance()
+        return ev
+
+    def get(self) -> Event:
+        """Request one item; returns an event whose payload is the item."""
+        ev = Event(self._sim)
+        self._getters.append(ev)
+        self._balance()
+        return ev
+
+    def _balance(self) -> None:
+        # Admit pending puts while there is room.
+        while self._putters and len(self._items) < self._capacity:
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed()
+        # Serve pending gets while items exist.
+        while self._getters and self._items:
+            ev = self._getters.popleft()
+            ev.succeed(self._items.popleft())
+        # Serving gets may have made room for more puts.
+        while self._putters and len(self._items) < self._capacity:
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed()
+
+
+class Resource:
+    """A counting semaphore with FIFO waiters.
+
+    >>> def worker(sim, res, log):
+    ...     req = res.request()
+    ...     yield req
+    ...     log.append(sim.now)
+    ...     yield Timeout(sim, 1.0)
+    ...     res.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity!r}")
+        self._sim = sim
+        self._capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Total number of concurrent holders allowed."""
+        return self._capacity
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Request a slot; the returned event succeeds when granted."""
+        ev = Event(self._sim)
+        if self._in_use < self._capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter: in_use stays constant.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

@@ -1,0 +1,105 @@
+"""Shared light-weight types used across the :mod:`repro` package.
+
+These are deliberately plain (``int`` aliases and small frozen dataclasses) so
+that hot simulation loops pay no abstraction tax: a :data:`NodeId` is just an
+``int`` index into per-node arrays, an :data:`ItemId` is just an ``int`` index
+into the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NewType
+
+#: Identifier of a repository node (peer, proxy, OLAP peer ...). Dense,
+#: zero-based, so it can index numpy arrays directly.
+NodeId = NewType("NodeId", int)
+
+#: Identifier of a content item (song, web object, OLAP chunk). Dense,
+#: zero-based, so it can index numpy arrays directly.
+ItemId = NewType("ItemId", int)
+
+#: Identifier of a content category (music genre, web site, OLAP cube region).
+CategoryId = NewType("CategoryId", int)
+
+#: Simulation time in seconds. All kernels, latencies and session lengths use
+#: seconds; the experiment layer converts to hours only for reporting.
+Time = float
+
+#: One simulated hour / day, in seconds.
+HOUR: Time = 3600.0
+DAY: Time = 24.0 * HOUR
+
+#: One millisecond, in seconds. Latency parameters in the paper are in ms.
+MILLISECOND: Time = 1e-3
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """A single search result returned to an initiating node.
+
+    Attributes
+    ----------
+    responder:
+        Node that held the requested item and replied.
+    item:
+        The item that was found.
+    hops:
+        Number of hops between initiator and responder along the discovery
+        path (1 = direct neighbor).
+    delay:
+        Round-trip time in seconds from query issue until this result reached
+        the initiator (forward path + reverse path along the same route).
+    """
+
+    responder: NodeId
+    item: ItemId
+    hops: int
+    delay: Time
+
+
+@dataclass(frozen=True, slots=True)
+class QueryOutcome:
+    """Aggregate outcome of one search, as observed by the initiator.
+
+    Attributes
+    ----------
+    initiator:
+        Node that issued the query.
+    item:
+        Item searched for.
+    issued_at:
+        Simulation time at which the query was issued.
+    results:
+        All results collected before the time-out, ordered by arrival.
+    messages:
+        Number of query messages propagated through the network on behalf of
+        this query (duplicate deliveries included — they consume bandwidth
+        even though receivers discard them).
+    nodes_contacted:
+        Number of distinct nodes that received the query at least once.
+    """
+
+    initiator: NodeId
+    item: ItemId
+    issued_at: Time
+    results: tuple[QueryResult, ...]
+    messages: int
+    nodes_contacted: int
+
+    @property
+    def hit(self) -> bool:
+        """Whether at least one result was returned."""
+        return len(self.results) > 0
+
+    @property
+    def first_result_delay(self) -> Time | None:
+        """Delay of the earliest-arriving result, or ``None`` on a miss."""
+        if not self.results:
+            return None
+        return min(r.delay for r in self.results)
+
+    @property
+    def result_count(self) -> int:
+        """Total number of results collected."""
+        return len(self.results)

@@ -1,0 +1,35 @@
+"""Distributed web caching: the Squid-style framework instantiation.
+
+Sections 1-3 use cooperative proxy caching as the running *pure asymmetric*
+example: top-level proxies accept requests from everyone (unbounded incoming
+lists), search stops at 1 hop because the origin server is always a fallback
+("most Squid implementations define the number of hops to be 1"), and the
+benefit candidate is retrieved pages over end-to-end latency.
+
+This package instantiates :class:`repro.core.RepositoryNetwork` accordingly:
+
+* relation: :class:`~repro.core.PureAsymmetricRelation` — proxies rewire
+  unilaterally;
+* search: TTL 1 over the outgoing neighbors, then the origin;
+* exploration: periodic deeper probes (TTL 2+) asking about recently missed
+  objects — the mechanism Section 3.3 motivates with exactly this scenario
+  ("unless the proxy explicitly initiates an exploration process, it cannot
+  obtain information about the contents of distant nodes");
+* update: Algo 3 (no handshake needed).
+"""
+
+from repro.webcache.cache import LRUCache
+from repro.webcache.origin import OriginServer
+from repro.webcache.simulation import (
+    WebCacheConfig,
+    WebCacheResult,
+    run_webcache_simulation,
+)
+
+__all__ = [
+    "LRUCache",
+    "OriginServer",
+    "WebCacheConfig",
+    "WebCacheResult",
+    "run_webcache_simulation",
+]

@@ -1,0 +1,82 @@
+"""An LRU object cache with an optional membership mirror.
+
+The mirror keeps an external ``set`` in sync with the cache contents; the
+web-caching instantiation points it at its repository's item set so the
+framework's search engine sees live cache contents without a lookup layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import MutableSet
+
+from repro.errors import ConfigurationError
+from repro.types import ItemId
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Least-recently-used cache of item ids.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached items (>= 1).
+    mirror:
+        Optional set kept exactly equal to the cached key set.
+    """
+
+    def __init__(self, capacity: int, mirror: MutableSet[ItemId] | None = None) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[ItemId, None] = OrderedDict()
+        self._mirror = mirror
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, item: ItemId) -> bool:
+        return item in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, item: ItemId) -> bool:
+        """Whether ``item`` is cached; refreshes recency and counts hit/miss."""
+        if item in self._entries:
+            self._entries.move_to_end(item)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def put(self, item: ItemId) -> ItemId | None:
+        """Insert ``item`` (refreshing recency if present).
+
+        Returns the evicted item, if the insert displaced one.
+        """
+        evicted: ItemId | None = None
+        if item in self._entries:
+            self._entries.move_to_end(item)
+            return None
+        if len(self._entries) >= self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self._mirror is not None:
+                self._mirror.discard(evicted)
+        self._entries[item] = None
+        if self._mirror is not None:
+            self._mirror.add(item)
+        return evicted
+
+    def keys(self) -> tuple[ItemId, ...]:
+        """Cached items, least recently used first."""
+        return tuple(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get`` calls that hit."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

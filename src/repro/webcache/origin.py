@@ -1,0 +1,63 @@
+"""Origin web servers: the always-available fallback.
+
+In distributed web caching "the web servers play this role" of the
+central/alternative repository (Section 3.2) — which is exactly why proxy
+search can stop after one hop. Fetching from the origin is correct but slow;
+the simulation charges a per-fetch latency much larger than proxy-to-proxy
+delay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import ItemId
+
+__all__ = ["OriginServer"]
+
+
+class OriginServer:
+    """Serves every object, at a price.
+
+    Parameters
+    ----------
+    n_objects:
+        Catalog size (the origin holds everything).
+    mean_latency / std_latency:
+        Per-fetch latency distribution in seconds; drawn once per object
+        (some sites are just slower) and clamped to ``min_latency``.
+    rng:
+        Drives the per-object latency assignment.
+    """
+
+    def __init__(
+        self,
+        n_objects: int,
+        rng: np.random.Generator,
+        mean_latency: float = 1.5,
+        std_latency: float = 0.5,
+        min_latency: float = 0.2,
+    ) -> None:
+        if n_objects <= 0:
+            raise ConfigurationError("n_objects must be positive")
+        if mean_latency <= 0 or std_latency < 0 or min_latency <= 0:
+            raise ConfigurationError("latencies must be positive (std non-negative)")
+        self.n_objects = n_objects
+        self._latency = np.clip(
+            rng.normal(mean_latency, std_latency, size=n_objects), min_latency, None
+        )
+        self.fetches = 0
+
+    def fetch(self, obj: ItemId) -> float:
+        """Fetch ``obj``; returns the latency paid."""
+        if not 0 <= obj < self.n_objects:
+            raise ConfigurationError(f"object {obj} out of range")
+        self.fetches += 1
+        return float(self._latency[obj])
+
+    def latency_of(self, obj: ItemId) -> float:
+        """The (fixed) fetch latency of ``obj`` without fetching."""
+        if not 0 <= obj < self.n_objects:
+            raise ConfigurationError(f"object {obj} out of range")
+        return float(self._latency[obj])

@@ -1,0 +1,35 @@
+"""Synthetic workload generators.
+
+Implements the Section 4.2 dataset exactly:
+
+* 200,000 songs in 50 equal categories; within-category popularity is
+  Zipf(0.9) (:mod:`~repro.workload.catalog`).
+* 2,000 users; library size Gaussian(200, 50); 50 % of a library from the
+  user's favorite category and 10 % from each of 5 random others; user-to-
+  favorite-category assignment Zipf(0.9) (:mod:`~repro.workload.library`).
+* Poisson queries while online, query category matching the library mix
+  (:mod:`~repro.workload.queries`).
+* Exponential(3 h) on/off churn (:mod:`~repro.workload.churn`).
+
+Plus the synthetic substitutes for the paper's other two application domains:
+IRCache-style web request traces (:mod:`~repro.workload.webtrace`) and
+PeerOlap-style chunked OLAP queries (:mod:`~repro.workload.olap_workload`).
+"""
+
+from repro.workload.catalog import MusicCatalog
+from repro.workload.churn import ChurnModel, SessionSchedule
+from repro.workload.library import LibraryConfig, UserLibraries, generate_libraries
+from repro.workload.queries import QueryModel
+from repro.workload.zipf import ZipfSampler, zipf_pmf
+
+__all__ = [
+    "ChurnModel",
+    "LibraryConfig",
+    "MusicCatalog",
+    "QueryModel",
+    "SessionSchedule",
+    "UserLibraries",
+    "ZipfSampler",
+    "generate_libraries",
+    "zipf_pmf",
+]

@@ -1,0 +1,82 @@
+"""The music catalog: songs, categories, and within-category popularity.
+
+Section 4.2: "the search space consists of 200,000 distinct files (songs).
+These songs are equally divided into K = 50 categories ... The popularity of
+the songs within each category follows the Zipf's law with parameter 0.9."
+
+Items are laid out contiguously: category ``c`` owns the item-id range
+``[c * items_per_category, (c + 1) * items_per_category)``, and an item's
+popularity rank within its category is its offset in that range (offset 0 is
+the category's most popular song). This makes category/rank lookups pure
+arithmetic — no tables — which matters in the hot query-sampling path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.types import CategoryId, ItemId
+from repro.workload.zipf import ZipfSampler
+
+__all__ = ["MusicCatalog"]
+
+
+class MusicCatalog:
+    """An n-item catalog split into equal categories with Zipf popularity.
+
+    Parameters
+    ----------
+    n_items:
+        Total number of distinct items (paper: 200,000).
+    n_categories:
+        Number of equal categories (paper: 50). Must divide ``n_items``.
+    theta:
+        Zipf skew of within-category popularity (paper: 0.9).
+    """
+
+    def __init__(self, n_items: int = 200_000, n_categories: int = 50, theta: float = 0.9):
+        if n_items <= 0 or n_categories <= 0:
+            raise WorkloadError("n_items and n_categories must be positive")
+        if n_items % n_categories != 0:
+            raise WorkloadError(
+                f"n_items ({n_items}) must be divisible by n_categories ({n_categories})"
+            )
+        self.n_items = n_items
+        self.n_categories = n_categories
+        self.items_per_category = n_items // n_categories
+        self.theta = theta
+        #: Shared within-category popularity distribution (same for every
+        #: category since categories are equal-sized).
+        self.popularity = ZipfSampler(self.items_per_category, theta)
+
+    def category_of(self, item: ItemId) -> CategoryId:
+        """Category owning ``item``."""
+        if not 0 <= item < self.n_items:
+            raise WorkloadError(f"item {item} out of range [0, {self.n_items})")
+        return CategoryId(item // self.items_per_category)
+
+    def rank_of(self, item: ItemId) -> int:
+        """0-based popularity rank of ``item`` within its category."""
+        if not 0 <= item < self.n_items:
+            raise WorkloadError(f"item {item} out of range [0, {self.n_items})")
+        return item % self.items_per_category
+
+    def item_at(self, category: CategoryId, rank: int) -> ItemId:
+        """Item id of the ``rank``-th most popular song of ``category``."""
+        if not 0 <= category < self.n_categories:
+            raise WorkloadError(f"category {category} out of range [0, {self.n_categories})")
+        if not 0 <= rank < self.items_per_category:
+            raise WorkloadError(f"rank {rank} out of range [0, {self.items_per_category})")
+        return ItemId(category * self.items_per_category + rank)
+
+    def category_range(self, category: CategoryId) -> range:
+        """All item ids of ``category``, most popular first."""
+        if not 0 <= category < self.n_categories:
+            raise WorkloadError(f"category {category} out of range [0, {self.n_categories})")
+        start = category * self.items_per_category
+        return range(start, start + self.items_per_category)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MusicCatalog(n_items={self.n_items}, n_categories={self.n_categories}, "
+            f"theta={self.theta})"
+        )

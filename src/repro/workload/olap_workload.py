@@ -1,0 +1,94 @@
+"""Chunked OLAP query workload for the PeerOlap-style instantiation.
+
+PeerOlap (Kalnis et al., SIGMOD 2002 — reference [3] of the paper) caches
+OLAP *chunks*: a query decomposes into a set of chunk ids, each of which may
+be answered by a peer's cache or, failing that, by the data warehouse. We
+model the cube one-dimensionally: ``n_chunks`` chunks in a line, a query
+covering a contiguous range. Each peer has a Zipf-chosen *hot region* of the
+cube; queries center on the hot region with probability ``locality``.
+
+Peers with nearby hot regions answer each other's chunks well — the analogue
+of shared music taste — so adaptive neighbor selection should cluster them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workload.zipf import ZipfSampler
+
+__all__ = ["OlapQuery", "OlapWorkload", "OlapWorkloadConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class OlapQuery:
+    """One decomposed OLAP query: the chunk ids it needs."""
+
+    peer: int
+    chunks: tuple[int, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class OlapWorkloadConfig:
+    """Parameters of the chunked OLAP workload."""
+
+    n_peers: int = 30
+    n_chunks: int = 2000
+    n_regions: int = 20
+    mean_query_span: float = 8.0
+    locality: float = 0.7
+    region_theta: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.n_peers <= 0 or self.n_chunks <= 0 or self.n_regions <= 0:
+            raise WorkloadError("population sizes must be positive")
+        if self.n_chunks % self.n_regions != 0:
+            raise WorkloadError("n_chunks must be divisible by n_regions")
+        if self.mean_query_span < 1:
+            raise WorkloadError("mean_query_span must be >= 1")
+        if not 0.0 <= self.locality <= 1.0:
+            raise WorkloadError("locality must be in [0, 1]")
+
+
+class OlapWorkload:
+    """Per-peer chunked-query sampling with hot-region locality."""
+
+    def __init__(self, config: OlapWorkloadConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.chunks_per_region = config.n_chunks // config.n_regions
+        region_sampler = ZipfSampler(config.n_regions, config.region_theta)
+        #: Hot region per peer; Zipf-skewed so regions share multiple peers.
+        self.hot_region: np.ndarray = np.asarray(
+            [region_sampler.sample(rng) for _ in range(config.n_peers)], dtype=np.int64
+        )
+
+    def region_of(self, chunk: int) -> int:
+        """Region containing ``chunk``."""
+        if not 0 <= chunk < self.config.n_chunks:
+            raise WorkloadError(f"chunk {chunk} out of range")
+        return chunk // self.chunks_per_region
+
+    def sample_query(self, peer: int, rng: np.random.Generator) -> OlapQuery:
+        """Next query for ``peer``: a contiguous chunk range.
+
+        The range's span is geometric with the configured mean (at least 1
+        chunk); its center falls in the peer's hot region with probability
+        ``locality``, else uniformly over the cube.
+        """
+        cfg = self.config
+        if not 0 <= peer < cfg.n_peers:
+            raise WorkloadError(f"peer {peer} out of range")
+        span = 1 + int(rng.geometric(1.0 / cfg.mean_query_span)) - 1
+        span = max(1, min(span, cfg.n_chunks))
+        if rng.random() < cfg.locality:
+            region = int(self.hot_region[peer])
+            center = region * self.chunks_per_region + int(
+                rng.integers(self.chunks_per_region)
+            )
+        else:
+            center = int(rng.integers(cfg.n_chunks))
+        start = max(0, min(center - span // 2, cfg.n_chunks - span))
+        return OlapQuery(peer=peer, chunks=tuple(range(start, start + span)))

@@ -1,0 +1,51 @@
+"""Tests for CSV series export."""
+
+import pytest
+
+from repro.analysis import write_csv
+
+
+class TestWriteCsv:
+    def test_basic_roundtrip(self, tmp_path):
+        path = write_csv(
+            {"static": [1, 2, 3], "dynamic": [4, 5, 6]},
+            tmp_path / "out.csv",
+            index_label="hour",
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "hour,static,dynamic"
+        assert lines[1] == "0,1,4"
+        assert lines[3] == "2,3,6"
+
+    def test_without_index(self, tmp_path):
+        path = write_csv({"x": [1.5, 2.5]}, tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines == ["x", "1.5", "2.5"]
+
+    def test_unequal_lengths_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv({"a": [1], "b": [1, 2]}, tmp_path / "out.csv")
+
+    def test_no_columns_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv({}, tmp_path / "out.csv")
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv({"a": [1]}, tmp_path / "deep" / "out.csv")
+        assert path.exists()
+
+    def test_figure_series_exports(self, tmp_path):
+        from repro.experiments import figure1
+
+        result = figure1.run(preset="smoke", seed=0)
+        path = write_csv(
+            {
+                "hour": result.hours,
+                "static_hits": result.static_hits,
+                "dynamic_hits": result.dynamic_hits,
+            },
+            tmp_path / "fig1a.csv",
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "hour,static_hits,dynamic_hits"
+        assert len(lines) == 1 + len(result.hours)

@@ -1,0 +1,81 @@
+"""Tests for JSON export."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.export import result_to_jsonable, write_json
+from repro.gnutella.metrics import SimulationMetrics
+
+
+@dataclass(frozen=True)
+class Inner:
+    name: str
+    values: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Outer:
+    inner: Inner
+    array: np.ndarray
+    scalar: np.float64
+
+
+class TestJsonable:
+    def test_primitives_passthrough(self):
+        assert result_to_jsonable(5) == 5
+        assert result_to_jsonable("x") == "x"
+        assert result_to_jsonable(None) is None
+        assert result_to_jsonable(True) is True
+
+    def test_numpy_conversion(self):
+        assert result_to_jsonable(np.int64(3)) == 3
+        assert result_to_jsonable(np.float32(1.5)) == 1.5
+        assert result_to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_nested_dataclasses(self):
+        obj = Outer(Inner("a", (1, 2)), np.array([3.0]), np.float64(2.5))
+        data = result_to_jsonable(obj)
+        assert data == {
+            "inner": {"name": "a", "values": [1, 2]},
+            "array": [3.0],
+            "scalar": 2.5,
+        }
+
+    def test_metrics_export_via_summary(self):
+        metrics = SimulationMetrics(horizon=3600.0)
+        metrics.record_query(10.0, True, 5, 2, 0.3)
+        data = result_to_jsonable(metrics)
+        assert data["total_hits"] == 1.0
+        assert data["hit_rate"] == 1.0
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        assert result_to_jsonable(Weird()) == "<weird>"
+
+    def test_dict_keys_stringified(self):
+        assert result_to_jsonable({1: "a"}) == {"1": "a"}
+
+
+class TestWriteJson:
+    def test_roundtrip(self, tmp_path):
+        path = write_json({"a": np.array([1, 2])}, tmp_path / "out.json")
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_json([1], tmp_path / "deep" / "dir" / "out.json")
+        assert path.exists()
+
+    def test_figure_result_serializes(self, tmp_path):
+        from repro.experiments import figure1
+
+        result = figure1.run(preset="smoke", seed=0)
+        path = write_json(result, tmp_path / "fig1.json")
+        data = json.loads(path.read_text())
+        assert data["max_hops"] == 2
+        assert len(data["hours"]) == len(data["static_hits"])
+        assert data["static"]["metrics"]["total_queries"] > 0

@@ -1,0 +1,67 @@
+"""Tests for time-series helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import align_series, moving_average, relative_change
+
+
+class TestMovingAverage:
+    def test_window_one_identity(self):
+        x = np.array([1.0, 5.0, 3.0])
+        np.testing.assert_array_equal(moving_average(x, 1), x)
+
+    def test_constant_preserved(self):
+        x = np.full(10, 4.0)
+        np.testing.assert_allclose(moving_average(x, 3), x)
+
+    def test_smooths_spike(self):
+        x = np.array([0.0, 0.0, 9.0, 0.0, 0.0])
+        smoothed = moving_average(x, 3)
+        assert smoothed[2] == pytest.approx(3.0)
+        assert smoothed[1] == pytest.approx(3.0)
+
+    def test_edges_not_shrunk(self):
+        x = np.full(6, 2.0)
+        smoothed = moving_average(x, 3)
+        assert smoothed[0] == pytest.approx(2.0)
+        assert smoothed[-1] == pytest.approx(2.0)
+
+    def test_mean_preserved_roughly(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(50)
+        assert moving_average(x, 5).mean() == pytest.approx(x.mean(), rel=0.05)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.array([1.0]), 0)
+
+    def test_empty_input(self):
+        assert moving_average(np.array([]), 3).size == 0
+
+
+class TestAlignSeries:
+    def test_common_range(self):
+        idx, a, b = align_series(
+            np.array([1, 2, 3]), np.array([10.0, 20.0, 30.0]),
+            np.array([2, 3, 4]), np.array([200.0, 300.0, 400.0]),
+        )
+        np.testing.assert_array_equal(idx, [2, 3])
+        np.testing.assert_array_equal(a, [20.0, 30.0])
+        np.testing.assert_array_equal(b, [200.0, 300.0])
+
+    def test_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            align_series(
+                np.array([1]), np.array([1.0]), np.array([2]), np.array([2.0])
+            )
+
+
+class TestRelativeChange:
+    def test_basic(self):
+        assert relative_change(100.0, 150.0) == pytest.approx(0.5)
+        assert relative_change(100.0, 50.0) == pytest.approx(-0.5)
+
+    def test_zero_baseline(self):
+        assert relative_change(0.0, 0.0) == 0.0
+        assert relative_change(0.0, 5.0) == float("inf")

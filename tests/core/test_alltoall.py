@@ -1,0 +1,75 @@
+"""The all-to-all relation case (Section 3.1's first situation).
+
+"The list of outgoing and incoming neighbors for each node contain all N
+repositories. Such a case happens, for instance, when the repositories are
+organized in a single multicast group ... applicable only for small N."
+"""
+
+import pytest
+
+from repro.core import (
+    AllToAllRelation,
+    MaxResultsTermination,
+    RepositoryNetwork,
+    TTLTermination,
+)
+from repro.core.consistency import check_consistent
+from repro.core.relations import AllToAllRelation as Relation
+
+
+def multicast_network(n=6):
+    net = RepositoryNetwork(AllToAllRelation(), termination=TTLTermination(1))
+    for node in range(n):
+        net.add_repository(items=[node + 100])
+    for a in range(n):
+        for b in range(n):
+            if a != b:
+                net.connect(a, b)
+    return net
+
+
+class TestAllToAll:
+    def test_full_mesh_consistent(self):
+        net = multicast_network()
+        assert check_consistent(net.states())
+        for node in range(6):
+            assert len(net.repo(node).state.outgoing) == 5
+
+    def test_every_item_found_in_one_hop(self):
+        net = multicast_network()
+        for target in range(1, 6):
+            outcome = net.search(0, target + 100)
+            assert outcome.hit
+            assert outcome.results[0].hops == 1
+            assert outcome.results[0].responder == target
+
+    def test_one_query_costs_n_minus_one_messages(self):
+        net = multicast_network()
+        outcome = net.search(0, 105)
+        assert outcome.messages == 5  # broadcast to the whole group
+
+    def test_first_result_termination_limits_broadcast(self):
+        # With send-to-all the initiator still blasts everyone at hop 1; the
+        # MaxResults condition stops forwarding at every node processed
+        # *after* the result arrived. Item 101 lives at node 1, the first
+        # hop-1 node processed, so nodes 2-5 see results_so_far=1 and keep
+        # quiet: exactly the initial broadcast of 5 messages.
+        net = multicast_network()
+        outcome = net.search(
+            0, 101, termination=MaxResultsTermination(max_hops=3, max_results=1)
+        )
+        assert outcome.hit
+        assert outcome.messages == 5
+
+    def test_without_result_cap_nonholders_reforward(self):
+        # Plain TTL: every hop-1 non-holder re-forwards to its 4 other
+        # neighbors (all duplicates, all counted): 5 + 4x4 = 21.
+        net = multicast_network()
+        outcome = net.search(0, 105, termination=TTLTermination(2))
+        assert outcome.messages == 21
+
+    def test_helper_full_mesh(self):
+        states = {i: Relation().make_state(i) for i in range(4)}
+        Relation.full_mesh(states)
+        assert check_consistent(states)
+        assert all(len(s.outgoing) == 3 for s in states.values())

@@ -1,0 +1,97 @@
+"""Tests for benefit functions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.benefit import (
+    BandwidthShareBenefit,
+    BenefitFunction,
+    HitCountBenefit,
+    LatencyBenefit,
+    ProcessingTimeBenefit,
+    ResultObservation,
+)
+from repro.errors import FrameworkError
+
+
+def obs(**overrides):
+    defaults = dict(
+        initiator=0,
+        responder=1,
+        link_kbps=1500.0,
+        n_results=3,
+        delay=0.4,
+        hops=2,
+        size=1.0,
+        processing_time=0.0,
+    )
+    defaults.update(overrides)
+    return ResultObservation(**defaults)
+
+
+class TestBandwidthShare:
+    def test_paper_formula(self):
+        assert BandwidthShareBenefit()(obs(link_kbps=56.0, n_results=4)) == 14.0
+
+    def test_single_result_full_credit(self):
+        assert BandwidthShareBenefit()(obs(link_kbps=1500.0, n_results=1)) == 1500.0
+
+    def test_large_result_lists_diluted(self):
+        b = BandwidthShareBenefit()
+        assert b(obs(n_results=10)) < b(obs(n_results=2))
+
+    def test_faster_links_preferred(self):
+        b = BandwidthShareBenefit()
+        assert b(obs(link_kbps=10000.0)) > b(obs(link_kbps=56.0))
+
+    def test_zero_results_rejected(self):
+        with pytest.raises(FrameworkError):
+            BandwidthShareBenefit()(obs(n_results=0))
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e5),
+        st.integers(min_value=1, max_value=1000),
+    )
+    def test_property_non_negative(self, kbps, r):
+        assert BandwidthShareBenefit()(obs(link_kbps=kbps, n_results=r)) >= 0
+
+
+class TestHitCount:
+    def test_always_one(self):
+        b = HitCountBenefit()
+        assert b(obs()) == 1.0
+        assert b(obs(link_kbps=1.0, n_results=500)) == 1.0
+
+
+class TestLatency:
+    def test_lower_delay_higher_benefit(self):
+        b = LatencyBenefit()
+        assert b(obs(delay=0.1)) > b(obs(delay=1.0))
+
+    def test_zero_delay_finite(self):
+        assert LatencyBenefit()(obs(delay=0.0)) == pytest.approx(1000.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(FrameworkError):
+            LatencyBenefit(epsilon=0)
+
+
+class TestProcessingTime:
+    def test_saved_time(self):
+        b = ProcessingTimeBenefit()
+        assert b(obs(processing_time=2.0, delay=0.5)) == 1.5
+
+    def test_floored_at_zero(self):
+        b = ProcessingTimeBenefit()
+        assert b(obs(processing_time=0.1, delay=0.5)) == 0.0
+
+
+def test_all_satisfy_protocol():
+    for fn in (
+        BandwidthShareBenefit(),
+        HitCountBenefit(),
+        LatencyBenefit(),
+        ProcessingTimeBenefit(),
+    ):
+        assert isinstance(fn, BenefitFunction)

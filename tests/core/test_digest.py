@@ -1,0 +1,184 @@
+"""Tests for Bloom digests and digest-guided selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.digest import (
+    BloomDigest,
+    DigestDirectory,
+    SelectByDigest,
+    digest_similarity,
+)
+from repro.core.statistics import StatsTable
+from repro.errors import FrameworkError
+
+
+class TestBloomDigest:
+    def test_no_false_negatives(self):
+        digest = BloomDigest(capacity=100)
+        items = list(range(0, 1000, 10))
+        digest.update(items)
+        assert all(digest.might_hold(i) for i in items)
+
+    def test_false_positive_rate_near_target(self):
+        digest = BloomDigest(capacity=500, fp_rate=0.02)
+        digest.update(range(500))
+        probes = range(10_000, 30_000)
+        fp = sum(digest.might_hold(i) for i in probes) / len(range(10_000, 30_000))
+        assert fp < 0.06  # target 0.02 with generous headroom
+
+    def test_empty_digest_rejects_everything(self):
+        digest = BloomDigest(capacity=10)
+        assert not digest.might_hold(3)
+        assert digest.fill_ratio == 0.0
+        assert digest.estimated_fp_rate() == 0.0
+
+    def test_sizing_scales_with_capacity(self):
+        small = BloomDigest(capacity=10)
+        large = BloomDigest(capacity=1000)
+        assert large.n_bits > small.n_bits
+
+    def test_from_items(self):
+        digest = BloomDigest.from_items([1, 2, 3])
+        assert digest.might_hold(2)
+        assert digest.n_added == 3
+
+    def test_from_items_empty(self):
+        digest = BloomDigest.from_items([])
+        assert not digest.might_hold(0)
+
+    def test_invalid_params(self):
+        with pytest.raises(FrameworkError):
+            BloomDigest(capacity=0)
+        with pytest.raises(FrameworkError):
+            BloomDigest(capacity=10, fp_rate=0.0)
+        with pytest.raises(FrameworkError):
+            BloomDigest(capacity=10, fp_rate=1.0)
+
+    def test_geometry_mismatch_rejected(self):
+        a = BloomDigest(capacity=10)
+        b = BloomDigest(capacity=1000)
+        with pytest.raises(FrameworkError):
+            a.intersection_bits(b)
+
+    @given(st.sets(st.integers(0, 10_000), max_size=60))
+    @settings(max_examples=30)
+    def test_property_membership_complete(self, items):
+        digest = BloomDigest(capacity=max(1, len(items)))
+        digest.update(items)
+        assert all(digest.might_hold(i) for i in items)
+
+
+class TestDigestSimilarity:
+    def test_identical_holdings_high(self):
+        items = list(range(200))
+        a = BloomDigest(capacity=200)
+        b = BloomDigest(capacity=200)
+        a.update(items)
+        b.update(items)
+        assert digest_similarity(a, b) == pytest.approx(1.0)
+
+    def test_disjoint_holdings_low(self):
+        a = BloomDigest(capacity=200)
+        b = BloomDigest(capacity=200)
+        a.update(range(0, 200))
+        b.update(range(10_000, 10_200))
+        assert digest_similarity(a, b) < 0.2
+
+    def test_partial_overlap_in_between(self):
+        a = BloomDigest(capacity=200)
+        b = BloomDigest(capacity=200)
+        a.update(range(0, 200))
+        b.update(range(100, 300))
+        sim = digest_similarity(a, b)
+        assert 0.1 < sim < 0.9
+
+    def test_empty_digests_zero(self):
+        a = BloomDigest(capacity=10)
+        b = BloomDigest(capacity=10)
+        assert digest_similarity(a, b) == 0.0
+
+
+class TestDigestDirectory:
+    def test_publish_and_get(self):
+        directory = DigestDirectory(max_age=10)
+        digest = BloomDigest.from_items([1])
+        directory.publish(5, digest)
+        assert directory.get_fresh(5) is digest
+        assert len(directory) == 1
+
+    def test_staleness(self):
+        directory = DigestDirectory(max_age=5)
+        directory.publish(5, BloomDigest.from_items([1]))
+        directory.tick(5)
+        assert directory.get_fresh(5) is not None
+        directory.tick(1)
+        assert directory.get_fresh(5) is None
+
+    def test_forget(self):
+        directory = DigestDirectory()
+        directory.publish(5, BloomDigest.from_items([1]))
+        directory.forget(5)
+        assert directory.get_fresh(5) is None
+        directory.forget(5)  # idempotent
+
+    def test_invalid_max_age(self):
+        with pytest.raises(FrameworkError):
+            DigestDirectory(max_age=0)
+
+
+class TestSelectByDigest:
+    def make_directory(self, holdings: dict[int, list[int]]):
+        directory = DigestDirectory()
+        for node, items in holdings.items():
+            directory.publish(node, BloomDigest.from_items(items, fp_rate=0.001))
+        return directory
+
+    def test_claiming_neighbors_first(self):
+        directory = self.make_directory({1: [7], 2: [9], 3: [7]})
+        policy = SelectByDigest(directory, item=7)
+        picks = policy.select([1, 2, 3], StatsTable(), np.random.default_rng(0))
+        assert picks == [1, 3]  # 2's digest rejects item 7 -> never contacted
+
+    def test_unknown_nodes_appended(self):
+        directory = self.make_directory({1: [7]})
+        policy = SelectByDigest(directory, item=7)
+        picks = policy.select([1, 9], StatsTable(), np.random.default_rng(0))
+        assert picks == [1, 9]
+
+    def test_fallback_probes_unknowns_only(self):
+        directory = self.make_directory({1: [5], 2: [6]})
+        policy = SelectByDigest(directory, item=7, fallback_k=2)
+        picks = policy.select([1, 2, 8, 9, 10], StatsTable(), np.random.default_rng(0))
+        assert set(picks) <= {8, 9, 10}
+        assert len(picks) == 2
+
+    def test_nobody_claims_no_unknowns(self):
+        directory = self.make_directory({1: [5]})
+        policy = SelectByDigest(directory, item=7)
+        assert policy.select([1], StatsTable(), np.random.default_rng(0)) == []
+
+    def test_invalid_fallback(self):
+        with pytest.raises(FrameworkError):
+            SelectByDigest(DigestDirectory(), item=1, fallback_k=-1)
+
+    def test_guided_search_end_to_end(self):
+        """Digest guidance cuts messages vs flooding with zero recall loss."""
+        from repro.core.search import generic_search
+        from repro.core.termination import TTLTermination
+        from tests.core.test_search import FakeNetwork
+
+        edges = {0: [1, 2, 3, 4], 1: [0], 2: [0], 3: [0], 4: [0]}
+        holdings = {1: set(), 2: set(), 3: {7}, 4: set()}
+        net = FakeNetwork(edges, holdings)
+        directory = self.make_directory({n: sorted(holdings[n]) or [999] for n in (1, 2, 3, 4)})
+
+        flood = generic_search(net, 0, 7, TTLTermination(1))
+        guided = generic_search(
+            net, 0, 7, TTLTermination(1),
+            selection=SelectByDigest(directory, item=7, fallback_k=0),
+        )
+        assert guided.hit and flood.hit
+        assert guided.messages < flood.messages

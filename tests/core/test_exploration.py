@@ -1,0 +1,67 @@
+"""Tests for the generic exploration engine (Algo 2)."""
+
+import pytest
+
+from repro.core.exploration import generic_explore
+from repro.core.termination import TTLTermination
+from tests.core.test_search import FakeNetwork, chain
+
+
+class TestReports:
+    def test_every_reached_node_reports(self):
+        net = chain(4, holders=[2])
+        out = generic_explore(net, 0, items=[7], termination=TTLTermination(3))
+        assert {r.node for r in out.reports} == {1, 2, 3}
+
+    def test_coverage_reflects_holdings(self):
+        net = FakeNetwork({0: [1, 2], 1: [0], 2: [0]}, {1: {7, 8}, 2: {8}})
+        out = generic_explore(net, 0, items=[7, 8, 9], termination=TTLTermination(1))
+        by_node = {r.node: r for r in out.reports}
+        assert by_node[1].held_items == frozenset({7, 8})
+        assert by_node[1].coverage == 2
+        assert by_node[2].held_items == frozenset({8})
+
+    def test_zero_coverage_still_reported(self):
+        net = chain(2, holders=[])
+        out = generic_explore(net, 0, items=[7], termination=TTLTermination(1))
+        assert len(out.reports) == 1
+        assert out.reports[0].coverage == 0
+
+    def test_holders_keep_propagating(self):
+        # Unlike search, a holder does not short-circuit exploration.
+        net = chain(4, holders=[1, 2, 3])
+        out = generic_explore(net, 0, items=[7], termination=TTLTermination(3))
+        assert {r.node for r in out.reports} == {1, 2, 3}
+
+    def test_delay_and_hops_recorded(self):
+        net = chain(4, holders=[])
+        out = generic_explore(net, 0, items=[7], termination=TTLTermination(2))
+        by_node = {r.node: r for r in out.reports}
+        assert by_node[1].hops == 1
+        assert by_node[1].delay == pytest.approx(0.2)
+        assert by_node[2].hops == 2
+        assert by_node[2].delay == pytest.approx(0.4)
+
+    def test_message_counting_matches_flood(self):
+        net = chain(4, holders=[])
+        out = generic_explore(net, 0, items=[7], termination=TTLTermination(3))
+        assert out.messages == 3
+        assert out.nodes_contacted == 3
+
+    def test_ttl_respected(self):
+        net = chain(6, holders=[])
+        out = generic_explore(net, 0, items=[7], termination=TTLTermination(2))
+        assert {r.node for r in out.reports} == {1, 2}
+
+    def test_empty_item_set(self):
+        net = chain(3, holders=[1])
+        out = generic_explore(net, 0, items=[], termination=TTLTermination(2))
+        assert all(r.coverage == 0 for r in out.reports)
+
+    def test_duplicate_suppression(self):
+        edges = {0: [1, 2], 1: [0, 3], 2: [0, 3], 3: [1, 2]}
+        net = FakeNetwork(edges, {})
+        out = generic_explore(net, 0, items=[7], termination=TTLTermination(2))
+        nodes = [r.node for r in out.reports]
+        assert len(nodes) == len(set(nodes))
+        assert out.messages == 4  # duplicate delivery to 3 still counted

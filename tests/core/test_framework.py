@@ -1,0 +1,249 @@
+"""Integration tests for RepositoryNetwork: the three mechanisms together."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HitCountBenefit,
+    NodeConfig,
+    PureAsymmetricRelation,
+    RepositoryNetwork,
+    SymmetricRelation,
+    TTLTermination,
+)
+from repro.core.consistency import check_consistent, symmetric_violations
+from repro.errors import ConfigurationError, FrameworkError
+
+
+def ring_network(relation, n=6, items_fn=None):
+    net = RepositoryNetwork(relation, termination=TTLTermination(2))
+    for i in range(n):
+        net.add_repository(items=items_fn(i) if items_fn else [])
+    for a in range(n):
+        net.connect(a, (a + 1) % n)
+    return net
+
+
+class TestPopulation:
+    def test_add_repository_sequential_ids(self):
+        net = RepositoryNetwork(SymmetricRelation(2))
+        assert net.add_repository() == 0
+        assert net.add_repository() == 1
+
+    def test_unknown_node_rejected(self):
+        net = RepositoryNetwork(SymmetricRelation(2))
+        with pytest.raises(FrameworkError):
+            net.repo(5)
+
+    def test_connect_disconnect(self):
+        net = RepositoryNetwork(SymmetricRelation(2))
+        net.add_repository()
+        net.add_repository()
+        net.connect(0, 1)
+        assert net.neighbors(0) == [1]
+        net.disconnect(0, 1)
+        assert net.neighbors(0) == []
+
+
+class TestSearchMechanism:
+    def test_local_hit_costs_nothing(self):
+        net = RepositoryNetwork(SymmetricRelation(2))
+        net.add_repository(items=[7])
+        out = net.search(0, 7)
+        assert out.hit
+        assert out.messages == 0
+        assert out.results[0].delay == 0.0
+
+    def test_remote_hit_updates_stats(self):
+        net = ring_network(SymmetricRelation(2), items_fn=lambda i: [7] if i == 1 else [])
+        out = net.search(0, 7)
+        assert out.hit
+        assert net.repo(0).stats.benefit_of(1) > 0
+
+    def test_offline_node_cannot_search(self):
+        net = ring_network(SymmetricRelation(2))
+        net.set_online(0, False)
+        with pytest.raises(FrameworkError):
+            net.search(0, 7)
+
+    def test_offline_nodes_invisible_to_search(self):
+        net = ring_network(SymmetricRelation(2), items_fn=lambda i: [7] if i == 1 else [])
+        net.set_online(1, False)
+        out = net.search(0, 7)
+        assert not out.hit
+
+    def test_request_counter_increments(self):
+        net = ring_network(SymmetricRelation(2))
+        net.search(0, 7)
+        net.search(0, 8)
+        assert net.repo(0).requests_since_update == 2
+
+
+class TestChurn:
+    def test_logoff_severs_all_links_consistently(self):
+        net = ring_network(SymmetricRelation(2))
+        net.set_online(1, False)
+        assert net.repo(1).state.outgoing.as_tuple() == ()
+        assert 1 not in net.repo(0).state.outgoing
+        assert 1 not in net.repo(2).state.outgoing
+        assert check_consistent(net.states())
+        assert symmetric_violations(net.states()) == []
+
+    def test_logoff_pure_asymmetric(self):
+        relation = PureAsymmetricRelation(out_capacity=2)
+        net = RepositoryNetwork(relation)
+        for _ in range(3):
+            net.add_repository()
+        net.connect(0, 1)
+        net.connect(2, 1)
+        net.set_online(1, False)
+        assert net.neighbors(0) == []
+        assert check_consistent(net.states())
+
+    def test_relogin_starts_fresh(self):
+        net = ring_network(SymmetricRelation(2))
+        net.set_online(1, False)
+        net.set_online(1, True)
+        assert net.repo(1).state.outgoing.as_tuple() == ()
+        # Nodes 0 and 2 each freed a slot when 1 left; reconnect to one.
+        net.connect(1, 0)
+        assert net.neighbors(1) == [0]
+
+    def test_idempotent_toggle(self):
+        net = ring_network(SymmetricRelation(2))
+        net.set_online(0, True)  # already online: no-op
+        assert net.neighbors(0) == [1, 5]
+
+
+class TestSymmetricUpdate:
+    def test_adopts_discovered_holder(self):
+        # Item 7 lives 2 hops away; after searching, node 0 reconfigures and
+        # the holder becomes a direct neighbor.
+        net = ring_network(SymmetricRelation(2), items_fn=lambda i: [7] if i == 2 else [])
+        out = net.search(0, 7)
+        assert out.hit
+        net.update_neighbors(0)
+        assert 2 in net.repo(0).state.outgoing
+        assert 0 in net.repo(2).state.outgoing  # mutual
+        assert check_consistent(net.states())
+        assert symmetric_violations(net.states()) == []
+
+    def test_second_search_is_cheaper(self):
+        net = ring_network(SymmetricRelation(2), items_fn=lambda i: [7] if i == 2 else [])
+        first = net.search(0, 7)
+        net.update_neighbors(0)
+        second = net.search(0, 7)
+        assert second.hit
+        assert second.results[0].hops == 1
+        assert second.first_result_delay < first.first_result_delay
+
+    def test_eviction_resets_evicted_nodes_stats_about_evictor(self):
+        net = ring_network(SymmetricRelation(2), items_fn=lambda i: [7] if i == 2 else [])
+        # Give node 1 stats about node 0 first.
+        net.repo(1).stats.add_benefit(0, 5.0)
+        net.search(0, 7)
+        # Make node 0 rank 2 above 1 so 1 is evicted; node 0's slots: 1,5.
+        net.repo(0).stats.add_benefit(2, 100.0)
+        net.repo(0).stats.add_benefit(5, 50.0)
+        net.update_neighbors(0)
+        assert 1 not in net.repo(0).state.outgoing
+        assert net.repo(1).stats.benefit_of(0) == 0.0
+
+    def test_invitee_counter_reset_damps_cascades(self):
+        net = ring_network(SymmetricRelation(2), items_fn=lambda i: [7] if i == 2 else [])
+        net.repo(2).requests_since_update = 99
+        net.search(0, 7)
+        net.repo(0).stats.add_benefit(2, 100.0)
+        net.update_neighbors(0)
+        assert net.repo(2).requests_since_update == 0
+
+    def test_offline_candidates_not_invited(self):
+        net = ring_network(SymmetricRelation(2), items_fn=lambda i: [7] if i == 2 else [])
+        net.search(0, 7)
+        net.set_online(2, False)
+        net.update_neighbors(0)
+        assert 2 not in net.repo(0).state.outgoing
+        assert check_consistent(net.states())
+
+    def test_reconfiguration_counter_reset(self):
+        net = ring_network(SymmetricRelation(2))
+        net.search(0, 7)
+        net.update_neighbors(0)
+        assert net.repo(0).requests_since_update == 0
+        assert net.reconfigurations == 1
+
+
+class TestAsymmetricUpdateIntegration:
+    def test_unilateral_rewiring(self):
+        relation = PureAsymmetricRelation(out_capacity=1)
+        net = RepositoryNetwork(relation, termination=TTLTermination(3))
+        for i in range(4):
+            net.add_repository(items=[7] if i == 3 else [])
+        # chain 0 -> 1 -> 2 -> 3
+        net.connect(0, 1)
+        net.connect(1, 2)
+        net.connect(2, 3)
+        out = net.search(0, 7)
+        assert out.hit
+        net.update_neighbors(0)
+        assert net.repo(0).state.outgoing.as_tuple() == (3,)
+        assert check_consistent(net.states())
+        # Node 1 keeps serving its own interests untouched.
+        assert net.repo(1).state.outgoing.as_tuple() == (2,)
+
+
+class TestExplorationMechanism:
+    def test_explore_discovers_distant_holder(self):
+        relation = PureAsymmetricRelation(out_capacity=1)
+        net = RepositoryNetwork(
+            relation, termination=TTLTermination(3), benefit=HitCountBenefit()
+        )
+        for i in range(4):
+            net.add_repository(items=[7] if i == 3 else [])
+        net.connect(0, 1)
+        net.connect(1, 2)
+        net.connect(2, 3)
+        out = net.explore(0, items=[7])
+        assert {r.node for r in out.reports} == {1, 2, 3}
+        assert net.repo(0).stats.benefit_of(3) > 0
+        assert net.repo(0).stats.benefit_of(1) == 0.0
+
+    def test_offline_node_cannot_explore(self):
+        net = ring_network(SymmetricRelation(2))
+        net.set_online(0, False)
+        with pytest.raises(FrameworkError):
+            net.explore(0, items=[7])
+
+
+class TestNodeConfig:
+    def test_defaults(self):
+        cfg = NodeConfig()
+        assert cfg.neighbor_slots == 4
+        assert cfg.reconfiguration_threshold == 2
+        assert cfg.always_accept_invitations
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NodeConfig(neighbor_slots=0)
+        with pytest.raises(ConfigurationError):
+            NodeConfig(reconfiguration_threshold=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_evolution(self):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            net = ring_network(
+                SymmetricRelation(2),
+                items_fn=lambda i: [7, i] if i % 2 else [i],
+            )
+            net.rng = rng
+            for step in range(20):
+                node = step % 6
+                if net.repo(node).online:
+                    net.search(node, 7)
+                    if net.repo(node).requests_since_update >= 2:
+                        net.update_neighbors(node)
+            return net.neighbor_snapshot()
+
+        assert run(3) == run(3)

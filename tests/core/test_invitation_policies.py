@@ -1,0 +1,153 @@
+"""Tests for the Section 3.4 invitation-assessment policies.
+
+The paper gives two options for an invitee facing an unknown inviter:
+(a) a temporary relationship that becomes permanent only if statistics
+accumulate in its favor; (b) assessment from exchanged summarized
+information. Both are RepositoryNetwork invitation policies here, alongside
+the case study's "always" and Algo 4's "benefit".
+"""
+
+import pytest
+
+from repro.core import RepositoryNetwork, SymmetricRelation, TTLTermination
+from repro.core.consistency import check_consistent
+from repro.errors import FrameworkError
+
+
+def make_network(policy="always", capacity=2, **kwargs):
+    return RepositoryNetwork(
+        SymmetricRelation(capacity=capacity),
+        termination=TTLTermination(3),
+        invitation_policy=policy,
+        **kwargs,
+    )
+
+
+def ring(net, n):
+    for node in range(n):
+        net.connect(node, (node + 1) % n)
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(FrameworkError):
+            make_network(policy="vibes")
+
+    def test_invalid_trial_searches(self):
+        with pytest.raises(FrameworkError):
+            make_network(policy="trial", trial_searches=0)
+
+    def test_invalid_summary_threshold(self):
+        with pytest.raises(FrameworkError):
+            make_network(policy="summary", summary_threshold=1.5)
+
+
+class TestSummaryPolicy:
+    def build(self, threshold):
+        # Node 0 searches; node 2 holds the item. Node 2's library overlaps
+        # node... the *invitee* is node 2 (full), assessed against inviter 0.
+        net = make_network(policy="summary", summary_threshold=threshold)
+        net.add_repository(items=[1, 2, 3])          # 0: inviter
+        net.add_repository(items=[100])               # 1
+        net.add_repository(items=[7, 2, 3])           # 2: target, overlaps 0
+        net.add_repository(items=[200])               # 3
+        net.add_repository(items=[300])               # 4
+        net.add_repository(items=[400])               # 5
+        ring(net, 6)
+        return net
+
+    def test_similar_inviter_accepted(self):
+        net = self.build(threshold=0.2)
+        net.search(0, 7)  # discovers node 2 (overlap {2,3} of union 4 = 0.5)
+        net.update_neighbors(0)
+        assert 2 in net.repo(0).state.outgoing
+        assert check_consistent(net.states())
+
+    def test_dissimilar_inviter_refused_when_full(self):
+        net = self.build(threshold=0.9)  # 0 and 2 overlap only 0.5
+        net.search(0, 7)
+        net.update_neighbors(0)
+        assert 2 not in net.repo(0).state.outgoing
+        assert check_consistent(net.states())
+
+    def test_free_slot_accepts_regardless(self):
+        net = self.build(threshold=0.9)
+        # Free a slot at node 2 first.
+        net.disconnect(2, 3)
+        net.search(0, 7)
+        net.update_neighbors(0)
+        assert 2 in net.repo(0).state.outgoing
+
+
+class TestTrialPolicy:
+    def build(self, trial_searches=3):
+        net = make_network(policy="trial", trial_searches=trial_searches)
+        # Node 2 holds items 7 (queried once) and nothing else useful;
+        # node 0 will invite it after a successful search.
+        net.add_repository(items=[50])        # 0
+        net.add_repository(items=[100])       # 1
+        net.add_repository(items=[7, 8, 9])   # 2
+        net.add_repository(items=[200])       # 3
+        net.add_repository(items=[300])       # 4
+        net.add_repository(items=[400])       # 5
+        ring(net, 6)
+        return net
+
+    def test_trial_started_on_adoption(self):
+        net = self.build()
+        net.search(0, 7)
+        net.update_neighbors(0)
+        assert 2 in net.repo(0).state.outgoing
+        assert net.trials_started == 1
+        assert 0 in net.repo(2).trials
+
+    def test_unproductive_trial_dropped(self):
+        net = self.build(trial_searches=2)
+        net.search(0, 7)
+        net.update_neighbors(0)
+        assert 0 in net.repo(2).trials
+        # Node 2 now searches for things node 0 cannot provide.
+        net.search(2, 999)
+        net.search(2, 998)
+        assert net.trials_dropped == 1
+        assert 0 not in net.repo(2).state.outgoing
+        assert net.repo(2).stats.benefit_of(0) == 0.0
+        assert check_consistent(net.states())
+
+    def test_productive_trial_kept(self):
+        net = self.build(trial_searches=2)
+        net.search(0, 7)
+        net.update_neighbors(0)
+        # Node 2 searches for item 50, which node 0 (its trial partner)
+        # holds: benefit accrues, the relationship becomes permanent.
+        net.search(2, 50)
+        net.search(2, 50)
+        assert net.trials_kept == 1
+        assert 0 in net.repo(2).state.outgoing
+        assert net.repo(2).trials == {}
+
+    def test_trial_entry_cleared_when_link_lost_early(self):
+        net = self.build(trial_searches=5)
+        net.search(0, 7)
+        net.update_neighbors(0)
+        assert 0 in net.repo(2).trials
+        net.disconnect(0, 2)  # external event severs the pair mid-trial
+        net.search(2, 999)
+        assert net.repo(2).trials == {}
+        assert net.trials_dropped == 0  # no verdict: the link just vanished
+
+
+class TestBenefitPolicy:
+    def test_unknown_inviter_refused_when_full(self):
+        net = make_network(policy="benefit")
+        net.add_repository(items=[1])
+        net.add_repository(items=[100])
+        net.add_repository(items=[7])
+        net.add_repository(items=[200])
+        net.add_repository(items=[300])
+        net.add_repository(items=[400])
+        ring(net, 6)
+        net.search(0, 7)  # node 2 discovered, but it has no stats about 0
+        net.update_neighbors(0)
+        assert 2 not in net.repo(0).state.outgoing
+        assert check_consistent(net.states())

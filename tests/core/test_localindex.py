@@ -1,0 +1,68 @@
+"""Tests for r-hop local indices."""
+
+import pytest
+
+from repro.core.localindex import LocalIndex
+from repro.errors import FrameworkError
+
+
+def ring_neighbors(n):
+    return lambda node: [(node + 1) % n, (node - 1) % n]
+
+
+class TestLocalIndex:
+    def test_radius_one_indexes_direct_neighbors(self):
+        idx = LocalIndex(owner=0, radius=1)
+        items = {1: [7], 4: [9], 2: [8]}
+        idx.rebuild(ring_neighbors(5), lambda n: items.get(n, []))
+        assert idx.indexed_nodes == frozenset({1, 4})
+        assert idx.holders_of(7) == frozenset({1})
+        assert idx.holders_of(9) == frozenset({4})
+        assert idx.holders_of(8) == frozenset()
+
+    def test_radius_two_reaches_further(self):
+        idx = LocalIndex(owner=0, radius=2)
+        items = {2: [8]}
+        idx.rebuild(ring_neighbors(6), lambda n: items.get(n, []))
+        assert 2 in idx.indexed_nodes
+        assert idx.holders_of(8) == frozenset({2})
+
+    def test_owner_not_indexed(self):
+        idx = LocalIndex(owner=0, radius=2)
+        idx.rebuild(ring_neighbors(4), lambda n: [7])
+        assert 0 not in idx.indexed_nodes
+
+    def test_knows_holder(self):
+        idx = LocalIndex(owner=0, radius=1)
+        idx.rebuild(ring_neighbors(3), lambda n: [n * 10])
+        assert idx.knows_holder(10)
+        assert not idx.knows_holder(99)
+
+    def test_rebuild_reflects_rewiring(self):
+        idx = LocalIndex(owner=0, radius=1)
+        idx.rebuild(lambda n: [1] if n == 0 else [], lambda n: [7])
+        assert idx.holders_of(7) == frozenset({1})
+        idx.rebuild(lambda n: [2] if n == 0 else [], lambda n: [7])
+        assert idx.holders_of(7) == frozenset({2})
+        assert idx.indexed_nodes == frozenset({2})
+
+    def test_forget_node(self):
+        idx = LocalIndex(owner=0, radius=1)
+        idx.rebuild(lambda n: [1, 2] if n == 0 else [], lambda n: [7])
+        idx.forget(1)
+        assert idx.holders_of(7) == frozenset({2})
+        idx.forget(2)
+        assert idx.holders_of(7) == frozenset()
+        assert len(idx) == 0
+
+    def test_forget_unknown_is_noop(self):
+        LocalIndex(owner=0).forget(99)
+
+    def test_invalid_radius(self):
+        with pytest.raises(FrameworkError):
+            LocalIndex(owner=0, radius=0)
+
+    def test_shared_holders_multiple_nodes(self):
+        idx = LocalIndex(owner=0, radius=1)
+        idx.rebuild(lambda n: [1, 2] if n == 0 else [], lambda n: [7])
+        assert idx.holders_of(7) == frozenset({1, 2})

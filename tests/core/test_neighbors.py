@@ -1,0 +1,103 @@
+"""Tests for neighbor lists."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.neighbors import NeighborList, NeighborState
+from repro.errors import NeighborListError
+
+
+class TestNeighborList:
+    def test_add_remove_contains(self):
+        nl = NeighborList(capacity=3)
+        nl.add(5)
+        assert 5 in nl
+        assert len(nl) == 1
+        nl.remove(5)
+        assert 5 not in nl
+        assert len(nl) == 0
+
+    def test_insertion_order_preserved(self):
+        nl = NeighborList()
+        for n in (3, 1, 2):
+            nl.add(n)
+        assert nl.as_tuple() == (3, 1, 2)
+        assert list(nl) == [3, 1, 2]
+
+    def test_duplicate_rejected(self):
+        nl = NeighborList()
+        nl.add(1)
+        with pytest.raises(NeighborListError):
+            nl.add(1)
+
+    def test_capacity_enforced(self):
+        nl = NeighborList(capacity=2)
+        nl.add(1)
+        nl.add(2)
+        assert nl.is_full
+        assert nl.free_slots == 0
+        with pytest.raises(NeighborListError):
+            nl.add(3)
+
+    def test_unbounded_capacity(self):
+        nl = NeighborList()
+        for n in range(1000):
+            nl.add(n)
+        assert not nl.is_full
+        assert nl.free_slots == math.inf
+
+    def test_remove_absent_rejected(self):
+        with pytest.raises(NeighborListError):
+            NeighborList().remove(7)
+
+    def test_discard(self):
+        nl = NeighborList()
+        nl.add(1)
+        assert nl.discard(1) is True
+        assert nl.discard(1) is False
+
+    def test_clear(self):
+        nl = NeighborList(capacity=4)
+        nl.add(1)
+        nl.add(2)
+        nl.clear()
+        assert len(nl) == 0
+        nl.add(1)  # capacity available again
+
+    def test_invalid_capacity(self):
+        with pytest.raises(NeighborListError):
+            NeighborList(capacity=-1)
+        with pytest.raises(NeighborListError):
+            NeighborList(capacity=2.5)
+
+    def test_zero_capacity_always_full(self):
+        nl = NeighborList(capacity=0)
+        assert nl.is_full
+        with pytest.raises(NeighborListError):
+            nl.add(1)
+
+    @given(st.lists(st.integers(0, 50), unique=True, max_size=20))
+    def test_property_membership_matches_order(self, nodes):
+        nl = NeighborList()
+        for n in nodes:
+            nl.add(n)
+        assert list(nl) == nodes
+        for n in nodes:
+            assert n in nl
+        assert len(nl) == len(nodes)
+
+
+class TestNeighborState:
+    def test_capacities(self):
+        s = NeighborState(0, out_capacity=4, in_capacity=math.inf)
+        assert s.outgoing.capacity == 4
+        assert s.incoming.capacity == math.inf
+        assert s.node == 0
+
+    def test_lists_independent(self):
+        s = NeighborState(0, 2, 2)
+        s.outgoing.add(1)
+        assert 1 not in s.incoming

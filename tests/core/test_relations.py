@@ -1,0 +1,183 @@
+"""Tests for relation policies and the consistency invariant under churn."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency import (
+    check_consistent,
+    state_inconsistencies,
+    symmetric_violations,
+)
+from repro.core.relations import (
+    AllToAllRelation,
+    AsymmetricRelation,
+    PureAsymmetricRelation,
+    RelationPolicy,
+    SymmetricRelation,
+)
+from repro.errors import TopologyError
+
+
+def make_states(relation, n):
+    return {i: relation.make_state(i) for i in range(n)}
+
+
+class TestAllToAll:
+    def test_full_mesh_consistent(self):
+        relation = AllToAllRelation()
+        states = make_states(relation, 5)
+        AllToAllRelation.full_mesh(states)
+        assert check_consistent(states)
+        for s in states.values():
+            assert len(s.outgoing) == 4
+            assert len(s.incoming) == 4
+
+    def test_unbounded_capacities(self):
+        s = AllToAllRelation().make_state(0)
+        assert s.outgoing.capacity == math.inf
+        assert s.incoming.capacity == math.inf
+
+
+class TestPureAsymmetric:
+    def test_unilateral_rewiring_stays_consistent(self):
+        relation = PureAsymmetricRelation(out_capacity=2)
+        states = make_states(relation, 6)
+        relation.connect(states[0], states[1])
+        relation.connect(states[0], states[2])
+        assert check_consistent(states)
+        relation.disconnect(states[0], states[1])
+        relation.connect(states[0], states[3])
+        assert check_consistent(states)
+
+    def test_incoming_never_full(self):
+        relation = PureAsymmetricRelation(out_capacity=1)
+        states = make_states(relation, 10)
+        for i in range(1, 10):
+            relation.connect(states[i], states[0])
+        assert len(states[0].incoming) == 9
+
+    def test_out_capacity_enforced(self):
+        relation = PureAsymmetricRelation(out_capacity=1)
+        states = make_states(relation, 3)
+        relation.connect(states[0], states[1])
+        assert not relation.can_connect(states[0], states[2])
+        with pytest.raises(TopologyError):
+            relation.connect(states[0], states[2])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(TopologyError):
+            PureAsymmetricRelation(out_capacity=0)
+
+
+class TestAsymmetric:
+    def test_full_incoming_refuses(self):
+        relation = AsymmetricRelation(out_capacity=3, in_capacity=1)
+        states = make_states(relation, 3)
+        relation.connect(states[0], states[2])
+        assert not relation.can_connect(states[1], states[2])
+        with pytest.raises(TopologyError):
+            relation.connect(states[1], states[2])
+
+    def test_self_loop_rejected(self):
+        relation = AsymmetricRelation(2, 2)
+        states = make_states(relation, 1)
+        assert not relation.can_connect(states[0], states[0])
+
+    def test_duplicate_rejected(self):
+        relation = AsymmetricRelation(2, 2)
+        states = make_states(relation, 2)
+        relation.connect(states[0], states[1])
+        assert not relation.can_connect(states[0], states[1])
+
+    def test_disconnect_unknown_rejected(self):
+        relation = AsymmetricRelation(2, 2)
+        states = make_states(relation, 2)
+        with pytest.raises(TopologyError):
+            relation.disconnect(states[0], states[1])
+
+    def test_invalid_capacities(self):
+        with pytest.raises(TopologyError):
+            AsymmetricRelation(0, 1)
+        with pytest.raises(TopologyError):
+            AsymmetricRelation(1, 0)
+
+
+class TestSymmetric:
+    def test_connect_is_mutual(self):
+        relation = SymmetricRelation(capacity=4)
+        states = make_states(relation, 2)
+        relation.connect(states[0], states[1])
+        assert 1 in states[0].outgoing and 1 in states[0].incoming
+        assert 0 in states[1].outgoing and 0 in states[1].incoming
+        assert check_consistent(states)
+        assert symmetric_violations(states) == []
+
+    def test_disconnect_is_mutual(self):
+        relation = SymmetricRelation(capacity=4)
+        states = make_states(relation, 2)
+        relation.connect(states[0], states[1])
+        relation.disconnect(states[1], states[0])
+        assert len(states[0].outgoing) == 0
+        assert len(states[1].outgoing) == 0
+        assert check_consistent(states)
+
+    def test_capacity_counts_pairs(self):
+        relation = SymmetricRelation(capacity=2)
+        states = make_states(relation, 4)
+        relation.connect(states[0], states[1])
+        relation.connect(states[0], states[2])
+        assert not relation.can_connect(states[0], states[3])
+        assert not relation.can_connect(states[3], states[0])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(TopologyError):
+            SymmetricRelation(0)
+
+    def test_policies_satisfy_protocol(self):
+        for p in (
+            AllToAllRelation(),
+            PureAsymmetricRelation(2),
+            AsymmetricRelation(2, 2),
+            SymmetricRelation(2),
+        ):
+            assert isinstance(p, RelationPolicy)
+
+
+class TestConsistencyPropertyUnderChurn:
+    """Random connect/disconnect sequences must never break consistency —
+    the Section 3.1 invariant that motivates the whole relation machinery."""
+
+    @given(st.integers(0, 2**31 - 1), st.integers(10, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_symmetric_random_ops(self, seed, n_ops):
+        rng = np.random.default_rng(seed)
+        relation = SymmetricRelation(capacity=3)
+        states = make_states(relation, 8)
+        for _ in range(n_ops):
+            a, b = rng.integers(8), rng.integers(8)
+            sa, sb = states[int(a)], states[int(b)]
+            if relation.can_connect(sa, sb):
+                relation.connect(sa, sb)
+            elif a != b and b in sa.outgoing:
+                relation.disconnect(sa, sb)
+            assert check_consistent(states)
+            assert symmetric_violations(states) == []
+
+    @given(st.integers(0, 2**31 - 1), st.integers(10, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_pure_asymmetric_random_ops(self, seed, n_ops):
+        rng = np.random.default_rng(seed)
+        relation = PureAsymmetricRelation(out_capacity=3)
+        states = make_states(relation, 8)
+        for _ in range(n_ops):
+            a, b = int(rng.integers(8)), int(rng.integers(8))
+            sa, sb = states[a], states[b]
+            if relation.can_connect(sa, sb):
+                relation.connect(sa, sb)
+            elif a != b and b in sa.outgoing:
+                relation.disconnect(sa, sb)
+            assert state_inconsistencies(states) == []

@@ -1,0 +1,191 @@
+"""Tests for the generic search engine (Algo 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.search import NetworkView, generic_search, iterative_deepening_search
+from repro.core.selection import SelectRandomK, SelectTopKBenefit
+from repro.core.statistics import StatsTable
+from repro.core.termination import MaxResultsTermination, TTLTermination
+
+
+class FakeNetwork:
+    """Explicit-topology network for exact assertions."""
+
+    def __init__(self, edges, holdings, delay=0.1):
+        self._edges = edges  # node -> list of neighbors
+        self._holdings = holdings  # node -> set of items
+        self._delay = delay
+
+    def holds(self, node, item):
+        return item in self._holdings.get(node, set())
+
+    def neighbors(self, node):
+        return self._edges.get(node, [])
+
+    def link_delay(self, a, b):
+        return self._delay
+
+
+def chain(n, holders, **kw):
+    """0 -> 1 -> ... -> n-1 chain with bidirectional edges."""
+    edges = {i: [] for i in range(n)}
+    for i in range(n - 1):
+        edges[i].append(i + 1)
+        edges[i + 1].append(i)
+    return FakeNetwork(edges, {h: {7} for h in holders}, **kw)
+
+
+class TestBasics:
+    def test_satisfies_protocol(self):
+        assert isinstance(chain(2, []), NetworkView)
+
+    def test_direct_neighbor_hit(self):
+        net = chain(3, holders=[1])
+        out = generic_search(net, 0, 7, TTLTermination(2))
+        assert out.hit
+        assert out.result_count == 1
+        assert out.results[0].responder == 1
+        assert out.results[0].hops == 1
+        assert out.results[0].delay == pytest.approx(0.2)  # round trip
+
+    def test_miss_when_beyond_ttl(self):
+        net = chain(5, holders=[4])
+        out = generic_search(net, 0, 7, TTLTermination(2))
+        assert not out.hit
+        assert out.first_result_delay is None
+
+    def test_hit_at_exact_ttl(self):
+        net = chain(5, holders=[2])
+        out = generic_search(net, 0, 7, TTLTermination(2))
+        assert out.hit
+        assert out.results[0].hops == 2
+        assert out.results[0].delay == pytest.approx(0.4)
+
+    def test_messages_counted_along_chain(self):
+        # 0->1 (miss, forward) 1->2 (miss, forward) 2->3: TTL 3, no holder.
+        net = chain(4, holders=[])
+        out = generic_search(net, 0, 7, TTLTermination(3))
+        assert out.messages == 3
+        assert out.nodes_contacted == 3
+
+    def test_holder_does_not_forward_by_default(self):
+        net = chain(4, holders=[1])
+        out = generic_search(net, 0, 7, TTLTermination(3))
+        # 1 replies and stops: nodes 2,3 never contacted.
+        assert out.nodes_contacted == 1
+        assert out.messages == 1
+
+    def test_forward_from_holders_extends_search(self):
+        net = chain(4, holders=[1, 2])
+        out = generic_search(net, 0, 7, TTLTermination(3), forward_from_holders=True)
+        assert out.result_count == 2
+        assert out.nodes_contacted == 3
+
+    def test_issued_at_passthrough(self):
+        out = generic_search(chain(2, []), 0, 7, TTLTermination(1), issued_at=123.0)
+        assert out.issued_at == 123.0
+
+
+class TestDuplicateSuppression:
+    def test_diamond_topology(self):
+        # 0 -> {1, 2} -> 3: 3 receives two copies, processes one.
+        edges = {0: [1, 2], 1: [0, 3], 2: [0, 3], 3: [1, 2]}
+        net = FakeNetwork(edges, {3: {7}})
+        out = generic_search(net, 0, 7, TTLTermination(2))
+        # Messages: 0->1, 0->2, 1->3, 2->3 = 4 (both copies count).
+        assert out.messages == 4
+        assert out.result_count == 1  # but only one reply
+        assert out.nodes_contacted == 3
+
+    def test_cycle_terminates(self):
+        edges = {0: [1], 1: [2], 2: [0]}
+        net = FakeNetwork(edges, {})
+        out = generic_search(net, 0, 7, TTLTermination(50))
+        assert out.messages <= 3
+
+    def test_no_bounce_back_to_sender(self):
+        # 0 <-> 1 only: 1 must not return the query to 0.
+        net = chain(2, holders=[])
+        out = generic_search(net, 0, 7, TTLTermination(10))
+        assert out.messages == 1
+
+
+class TestMultipleResults:
+    def test_all_holders_within_ttl_reply(self):
+        edges = {0: [1, 2, 3], 1: [0], 2: [0], 3: [0]}
+        net = FakeNetwork(edges, {1: {7}, 2: {7}, 3: {9}})
+        out = generic_search(net, 0, 7, TTLTermination(1))
+        assert out.result_count == 2
+        assert {r.responder for r in out.results} == {1, 2}
+
+    def test_first_result_delay_is_nearest(self):
+        class VariableDelay(FakeNetwork):
+            def link_delay(self, a, b):
+                return 0.1 if {a, b} == {0, 1} else 0.5
+
+        edges = {0: [1, 2], 1: [0], 2: [0]}
+        net = VariableDelay(edges, {1: {7}, 2: {7}})
+        out = generic_search(net, 0, 7, TTLTermination(1))
+        assert out.first_result_delay == pytest.approx(0.2)
+
+
+class TestTerminationPolicies:
+    def test_max_results_stops_early(self):
+        net = chain(6, holders=[1, 3, 5])
+        out = generic_search(net, 0, 7, MaxResultsTermination(max_hops=5, max_results=1))
+        assert out.result_count == 1
+
+    def test_randomized_selection_bounded_fanout(self):
+        edges = {0: list(range(1, 9))}
+        for i in range(1, 9):
+            edges[i] = [0]
+        net = FakeNetwork(edges, {})
+        out = generic_search(
+            net, 0, 7, TTLTermination(1),
+            selection=SelectRandomK(3), rng=np.random.default_rng(0),
+        )
+        assert out.messages == 3
+
+    def test_directed_bft_prefers_beneficial(self):
+        edges = {0: [1, 2], 1: [0], 2: [0]}
+        net = FakeNetwork(edges, {2: {7}})
+        stats = StatsTable()
+        stats.add_benefit(2, 10.0)
+        out = generic_search(
+            net, 0, 7, TTLTermination(1),
+            selection=SelectTopKBenefit(1), stats=stats,
+        )
+        assert out.hit
+        assert out.messages == 1
+        assert out.results[0].responder == 2
+
+
+class TestIterativeDeepening:
+    def test_stops_at_first_successful_depth(self):
+        net = chain(6, holders=[1])
+        out = iterative_deepening_search(net, 0, 7, depths=(1, 2, 4))
+        assert out.hit
+        assert out.messages == 1  # found in the first (depth-1) cycle
+
+    def test_accumulates_messages_across_cycles(self):
+        net = chain(6, holders=[3])
+        shallow = generic_search(net, 0, 7, TTLTermination(3))
+        out = iterative_deepening_search(net, 0, 7, depths=(1, 2, 3))
+        assert out.hit
+        # cycles: depth1 (1 msg) + depth2 (2 msgs) + depth3 (3 msgs)
+        assert out.messages == 1 + 2 + shallow.messages
+
+    def test_exhausted_schedule_reports_miss(self):
+        net = chain(6, holders=[5])
+        out = iterative_deepening_search(net, 0, 7, depths=(1, 2))
+        assert not out.hit
+
+
+class TestNoNeighbors:
+    def test_isolated_initiator(self):
+        net = FakeNetwork({0: []}, {1: {7}})
+        out = generic_search(net, 0, 7, TTLTermination(3))
+        assert not out.hit
+        assert out.messages == 0
+        assert out.nodes_contacted == 0

@@ -1,0 +1,137 @@
+"""Property tests: generic_search invariants over random networks.
+
+Whatever the topology, holdings and TTL, a search must satisfy structural
+invariants — these are the guarantees every simulation result rests on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.search import generic_search
+from repro.core.selection import SelectRandomK
+from repro.core.termination import TTLTermination
+
+
+class RandomNetwork:
+    """A random directed network with random holdings."""
+
+    def __init__(self, n_nodes, edge_prob, holder_prob, delay_scale, seed):
+        rng = np.random.default_rng(seed)
+        self.edges = {
+            u: [v for v in range(n_nodes) if v != u and rng.random() < edge_prob]
+            for u in range(n_nodes)
+        }
+        self.holders = {u for u in range(n_nodes) if rng.random() < holder_prob}
+        self._delays = {}
+        self._rng = np.random.default_rng(seed + 1)
+        self._delay_scale = delay_scale
+
+    def holds(self, node, item):
+        return node in self.holders
+
+    def neighbors(self, node):
+        return self.edges[node]
+
+    def link_delay(self, a, b):
+        key = (min(a, b), max(a, b))
+        if key not in self._delays:
+            self._delays[key] = self._delay_scale * (0.5 + self._rng.random())
+        return self._delays[key]
+
+    def reachable_within(self, source, max_hops):
+        seen = {source}
+        frontier = [source]
+        for _ in range(max_hops):
+            nxt = []
+            for u in frontier:
+                for v in self.edges[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+        seen.discard(source)
+        return seen
+
+
+network_params = st.tuples(
+    st.integers(3, 25),                     # n_nodes
+    st.floats(0.05, 0.5),                   # edge_prob
+    st.floats(0.0, 0.5),                    # holder_prob
+    st.integers(1, 5),                      # max_hops
+    st.integers(0, 2**31 - 1),              # seed
+)
+
+
+@given(network_params)
+@settings(max_examples=60, deadline=None)
+def test_search_invariants(params):
+    n_nodes, edge_prob, holder_prob, max_hops, seed = params
+    net = RandomNetwork(n_nodes, edge_prob, holder_prob, 0.1, seed)
+    initiator = 0
+    outcome = generic_search(net, initiator, 7, TTLTermination(max_hops))
+
+    # 1. Responders actually hold the item and were reachable within TTL.
+    reachable = net.reachable_within(initiator, max_hops)
+    for result in outcome.results:
+        assert result.responder in net.holders
+        assert result.responder in reachable
+        assert 1 <= result.hops <= max_hops
+        assert result.delay > 0
+
+    # 2. Each responder replies at most once.
+    responders = [r.responder for r in outcome.results]
+    assert len(responders) == len(set(responders))
+
+    # 3. The initiator never answers its own query.
+    assert initiator not in responders
+
+    # 4. Conservation: contacted nodes <= messages (every contact costs at
+    #    least one message) and contacted <= reachable set size.
+    assert outcome.nodes_contacted <= outcome.messages
+    assert outcome.nodes_contacted <= len(reachable)
+
+    # 5. Delay lower bound: a result at hop h travelled >= 2*h minimal links.
+    for result in outcome.results:
+        assert result.delay >= 2 * result.hops * 0.05 - 1e-9
+
+
+@given(network_params)
+@settings(max_examples=40, deadline=None)
+def test_deeper_ttl_never_finds_less(params):
+    n_nodes, edge_prob, holder_prob, max_hops, seed = params
+    net = RandomNetwork(n_nodes, edge_prob, holder_prob, 0.1, seed)
+    shallow = generic_search(net, 0, 7, TTLTermination(max_hops))
+    deep = generic_search(net, 0, 7, TTLTermination(max_hops + 2))
+    assert deep.result_count >= shallow.result_count
+    assert deep.messages >= shallow.messages
+    assert {r.responder for r in shallow.results} <= {
+        r.responder for r in deep.results
+    }
+
+
+@given(network_params, st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_bounded_selection_is_subset_of_flood(params, k):
+    n_nodes, edge_prob, holder_prob, max_hops, seed = params
+    net = RandomNetwork(n_nodes, edge_prob, holder_prob, 0.1, seed)
+    flood = generic_search(net, 0, 7, TTLTermination(max_hops))
+    bounded = generic_search(
+        net, 0, 7, TTLTermination(max_hops),
+        selection=SelectRandomK(k), rng=np.random.default_rng(seed),
+    )
+    assert bounded.messages <= flood.messages
+    assert bounded.nodes_contacted <= flood.nodes_contacted
+    assert {r.responder for r in bounded.results} <= {
+        r.responder for r in flood.results
+    }
+
+
+@given(network_params)
+@settings(max_examples=40, deadline=None)
+def test_search_deterministic(params):
+    n_nodes, edge_prob, holder_prob, max_hops, seed = params
+    net = RandomNetwork(n_nodes, edge_prob, holder_prob, 0.1, seed)
+    a = generic_search(net, 0, 7, TTLTermination(max_hops))
+    b = generic_search(net, 0, 7, TTLTermination(max_hops))
+    assert a == b

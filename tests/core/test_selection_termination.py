@@ -1,0 +1,131 @@
+"""Tests for selection policies and terminating conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import SelectAll, SelectRandomK, SelectTopKBenefit, SelectionPolicy
+from repro.core.statistics import StatsTable
+from repro.core.termination import (
+    IterativeDeepening,
+    MaxResultsTermination,
+    Termination,
+    TTLTermination,
+)
+from repro.errors import FrameworkError
+
+
+@pytest.fixture
+def stats():
+    s = StatsTable()
+    s.add_benefit(10, 5.0)
+    s.add_benefit(11, 3.0)
+    s.add_benefit(12, 8.0)
+    return s
+
+
+class TestSelectAll:
+    def test_returns_everything(self, stats):
+        policy = SelectAll()
+        rng = np.random.default_rng(0)
+        assert policy.select([3, 1, 2], stats, rng) == [3, 1, 2]
+        assert policy.select([], stats, rng) == []
+
+
+class TestSelectRandomK:
+    def test_k_of_many(self, stats):
+        policy = SelectRandomK(2)
+        rng = np.random.default_rng(0)
+        picks = policy.select(list(range(10)), stats, rng)
+        assert len(picks) == 2
+        assert len(set(picks)) == 2
+        assert all(p in range(10) for p in picks)
+
+    def test_fewer_candidates_than_k(self, stats):
+        policy = SelectRandomK(5)
+        assert policy.select([1, 2], stats, np.random.default_rng(0)) == [1, 2]
+
+    def test_varies_with_rng(self, stats):
+        policy = SelectRandomK(3)
+        rng = np.random.default_rng(1)
+        draws = {tuple(policy.select(list(range(20)), stats, rng)) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_invalid_k(self):
+        with pytest.raises(FrameworkError):
+            SelectRandomK(0)
+
+
+class TestSelectTopKBenefit:
+    def test_prefers_high_benefit(self, stats):
+        policy = SelectTopKBenefit(2)
+        picks = policy.select([10, 11, 12], stats, np.random.default_rng(0))
+        assert picks == [12, 10]
+
+    def test_unknown_candidates_rank_last_by_id(self, stats):
+        policy = SelectTopKBenefit(3)
+        picks = policy.select([99, 12, 98, 11], stats, np.random.default_rng(0))
+        assert picks == [12, 11, 98]
+
+    def test_cold_start_degrades_to_first_k(self):
+        policy = SelectTopKBenefit(2)
+        picks = policy.select([7, 3, 5], StatsTable(), np.random.default_rng(0))
+        assert picks == [3, 5]  # ties -> ascending id
+
+    def test_invalid_k(self):
+        with pytest.raises(FrameworkError):
+            SelectTopKBenefit(0)
+
+
+def test_policies_satisfy_protocol():
+    for p in (SelectAll(), SelectRandomK(1), SelectTopKBenefit(1)):
+        assert isinstance(p, SelectionPolicy)
+
+
+class TestTTL:
+    def test_forwards_below_limit(self):
+        t = TTLTermination(4)
+        assert t.should_forward(1, 0)
+        assert t.should_forward(3, 100)
+        assert not t.should_forward(4, 0)
+
+    def test_invalid(self):
+        with pytest.raises(FrameworkError):
+            TTLTermination(0)
+
+    def test_is_termination(self):
+        assert isinstance(TTLTermination(1), Termination)
+
+
+class TestMaxResults:
+    def test_stops_on_results(self):
+        t = MaxResultsTermination(max_hops=5, max_results=1)
+        assert t.should_forward(1, 0)
+        assert not t.should_forward(1, 1)
+
+    def test_stops_on_hops(self):
+        t = MaxResultsTermination(max_hops=2, max_results=100)
+        assert not t.should_forward(2, 0)
+
+    def test_invalid(self):
+        with pytest.raises(FrameworkError):
+            MaxResultsTermination(0, 1)
+        with pytest.raises(FrameworkError):
+            MaxResultsTermination(1, 0)
+
+
+class TestIterativeDeepening:
+    def test_cycles_increasing(self):
+        sched = IterativeDeepening((1, 2, 4))
+        depths = [c.max_hops for c in sched.cycles()]
+        assert depths == [1, 2, 4]
+        assert sched.max_depth == 4
+
+    def test_validation(self):
+        with pytest.raises(FrameworkError):
+            IterativeDeepening(())
+        with pytest.raises(FrameworkError):
+            IterativeDeepening((0, 2))
+        with pytest.raises(FrameworkError):
+            IterativeDeepening((2, 2))
+        with pytest.raises(FrameworkError):
+            IterativeDeepening((3, 1))

@@ -1,0 +1,127 @@
+"""Tests for per-node statistics tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.statistics import StatsTable
+
+
+class TestAccumulation:
+    def test_add_and_query(self):
+        s = StatsTable()
+        s.add_benefit(1, 2.0)
+        s.add_benefit(1, 3.0)
+        assert s.benefit_of(1) == 5.0
+        assert s.encounters_of(1) == 2
+
+    def test_unknown_node_zero(self):
+        s = StatsTable()
+        assert s.benefit_of(99) == 0.0
+        assert s.encounters_of(99) == 0
+
+    def test_negative_benefit_rejected(self):
+        with pytest.raises(ValueError):
+            StatsTable().add_benefit(1, -0.5)
+
+    def test_known_nodes_sorted(self):
+        s = StatsTable()
+        for n in (5, 2, 9):
+            s.add_benefit(n, 1.0)
+        assert s.known_nodes() == (2, 5, 9)
+
+    def test_len(self):
+        s = StatsTable()
+        s.add_benefit(1, 1.0)
+        s.add_benefit(2, 1.0)
+        assert len(s) == 2
+
+
+class TestReset:
+    def test_reset_forgets_one_node(self):
+        s = StatsTable()
+        s.add_benefit(1, 5.0)
+        s.add_benefit(2, 3.0)
+        s.reset(1)
+        assert s.benefit_of(1) == 0.0
+        assert s.benefit_of(2) == 3.0
+        assert s.known_nodes() == (2,)
+
+    def test_reset_unknown_is_noop(self):
+        StatsTable().reset(42)
+
+    def test_clear(self):
+        s = StatsTable()
+        s.add_benefit(1, 1.0)
+        s.clear()
+        assert len(s) == 0
+
+
+class TestDecay:
+    def test_decay_scales(self):
+        s = StatsTable()
+        s.add_benefit(1, 10.0)
+        s.decay(0.5)
+        assert s.benefit_of(1) == 5.0
+
+    def test_decay_bounds(self):
+        with pytest.raises(ValueError):
+            StatsTable().decay(1.5)
+        with pytest.raises(ValueError):
+            StatsTable().decay(-0.1)
+
+
+class TestRanking:
+    def test_ranked_by_benefit_desc(self):
+        s = StatsTable()
+        s.add_benefit(1, 1.0)
+        s.add_benefit(2, 5.0)
+        s.add_benefit(3, 3.0)
+        assert s.ranked() == [2, 3, 1]
+
+    def test_ties_break_by_ascending_id(self):
+        s = StatsTable()
+        s.add_benefit(9, 2.0)
+        s.add_benefit(4, 2.0)
+        s.add_benefit(7, 2.0)
+        assert s.ranked() == [4, 7, 9]
+
+    def test_exclude(self):
+        s = StatsTable()
+        s.add_benefit(1, 5.0)
+        s.add_benefit(2, 4.0)
+        assert s.ranked(exclude=[1]) == [2]
+
+    def test_eligible_filter(self):
+        s = StatsTable()
+        s.add_benefit(1, 5.0)
+        s.add_benefit(2, 4.0)
+        s.add_benefit(3, 3.0)
+        assert s.ranked(eligible=lambda n: n % 2 == 0) == [2]
+
+    def test_top_k(self):
+        s = StatsTable()
+        for n, b in [(1, 5.0), (2, 4.0), (3, 3.0)]:
+            s.add_benefit(n, b)
+        assert s.top_k(2) == [1, 2]
+        assert s.top_k(0) == []
+        assert s.top_k(10) == [1, 2, 3]
+
+    def test_top_k_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StatsTable().top_k(-1)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 30), st.floats(min_value=0.0, max_value=1e6), max_size=15
+        )
+    )
+    def test_property_ranking_sorted_and_deterministic(self, benefits):
+        s = StatsTable()
+        for n, b in benefits.items():
+            s.add_benefit(n, b)
+        ranked = s.ranked()
+        values = [s.benefit_of(n) for n in ranked]
+        assert values == sorted(values, reverse=True)
+        assert ranked == s.ranked()  # stable across calls
+        assert len(ranked) == len(benefits)

@@ -1,0 +1,165 @@
+"""Tests for the neighbor-update decision functions (Algos 3-4)."""
+
+import pytest
+
+from repro.core.neighbors import NeighborState
+from repro.core.statistics import StatsTable
+from repro.core.update import (
+    EvictAction,
+    InviteAction,
+    asymmetric_update,
+    plan_reconfiguration,
+    process_invitation,
+    reconfiguration_actions,
+)
+from repro.errors import FrameworkError
+
+
+def stats_of(**benefits):
+    s = StatsTable()
+    for node, benefit in benefits.items():
+        s.add_benefit(int(node.lstrip("n")), benefit)
+    return s
+
+
+class TestPlanReconfiguration:
+    def test_selects_top_k_by_benefit(self):
+        stats = stats_of(n1=5.0, n2=9.0, n3=1.0)
+        assert plan_reconfiguration([], stats, k=2) == [2, 1]
+
+    def test_current_neighbors_compete(self):
+        # Current neighbor with low benefit loses to a better-known outsider.
+        stats = stats_of(n1=1.0, n9=10.0)
+        assert plan_reconfiguration([1], stats, k=1) == [9]
+
+    def test_zero_benefit_current_kept_over_unknown(self):
+        # A neighbor with no stats still beats an unknown node (tie broken
+        # toward the incumbent).
+        stats = stats_of(n9=0.0)
+        stats.add_benefit(9, 0.0)
+        assert plan_reconfiguration([1], stats, k=1) == [1]
+
+    def test_exclude_self(self):
+        stats = stats_of(n0=100.0, n1=5.0)
+        assert plan_reconfiguration([], stats, k=2, exclude=(0,)) == [1]
+
+    def test_eligible_filter_drops_offline_candidates(self):
+        stats = stats_of(n1=5.0, n2=9.0)
+        plan = plan_reconfiguration([], stats, k=2, eligible=lambda n: n != 2)
+        assert plan == [1]
+
+    def test_offline_current_neighbor_retained(self):
+        # eligible() applies to candidates, but incumbents stay plannable
+        # (the caller decides separately when a link must drop).
+        stats = stats_of(n1=5.0)
+        plan = plan_reconfiguration([1], stats, k=1, eligible=lambda n: False)
+        assert plan == [1]
+
+    def test_k_zero(self):
+        assert plan_reconfiguration([1], stats_of(n1=5.0), k=0) == []
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(FrameworkError):
+            plan_reconfiguration([], StatsTable(), k=-1)
+
+    def test_deterministic_tie_breaking(self):
+        stats = stats_of(n5=2.0, n3=2.0, n8=2.0)
+        assert plan_reconfiguration([], stats, k=3) == [3, 5, 8]
+
+
+class TestReconfigurationActions:
+    def test_invites_and_evictions(self):
+        invites, evicts = reconfiguration_actions(0, current=[1, 2], desired=[2, 3])
+        assert invites == [InviteAction(0, 3)]
+        assert evicts == [EvictAction(0, 1)]
+
+    def test_no_change_no_actions(self):
+        invites, evicts = reconfiguration_actions(0, [1, 2], [2, 1])
+        assert invites == [] and evicts == []
+
+    def test_full_replacement(self):
+        invites, evicts = reconfiguration_actions(0, [1], [2])
+        assert invites == [InviteAction(0, 2)]
+        assert evicts == [EvictAction(0, 1)]
+
+
+class TestAsymmetricUpdate:
+    def test_swaps_to_most_beneficial(self):
+        state = NeighborState(0, out_capacity=2, in_capacity=float("inf"))
+        state.outgoing.add(1)
+        state.outgoing.add(2)
+        stats = stats_of(n1=1.0, n2=5.0, n3=9.0)
+        added, evicted = asymmetric_update(state, stats)
+        assert added == [3]
+        assert evicted == [1]
+
+    def test_no_change_when_already_optimal(self):
+        state = NeighborState(0, out_capacity=2, in_capacity=float("inf"))
+        state.outgoing.add(1)
+        state.outgoing.add(2)
+        stats = stats_of(n1=9.0, n2=5.0, n3=1.0)
+        added, evicted = asymmetric_update(state, stats)
+        assert added == [] and evicted == []
+
+    def test_unbounded_capacity_rejected(self):
+        state = NeighborState(0)
+        with pytest.raises(FrameworkError):
+            asymmetric_update(state, StatsTable())
+
+    def test_eligibility_respected(self):
+        state = NeighborState(0, out_capacity=1, in_capacity=float("inf"))
+        stats = stats_of(n1=1.0, n2=9.0)
+        added, _ = asymmetric_update(state, stats, eligible=lambda n: n != 2)
+        assert added == [1]
+
+
+class TestProcessInvitation:
+    def make_state(self, node, neighbors, capacity=4):
+        s = NeighborState(node, capacity, capacity)
+        for n in neighbors:
+            s.outgoing.add(n)
+            s.incoming.add(n)
+        return s
+
+    def test_free_slot_accepts_without_eviction(self):
+        state = self.make_state(5, [1, 2])
+        decision = process_invitation(state, inviter=9, stats=StatsTable())
+        assert decision.accepted and decision.evicted is None
+
+    def test_full_always_accept_evicts_least_beneficial(self):
+        state = self.make_state(5, [1, 2, 3, 4])
+        stats = stats_of(n1=4.0, n2=1.0, n3=3.0, n4=2.0)
+        decision = process_invitation(state, inviter=9, stats=stats)
+        assert decision.accepted
+        assert decision.evicted == 2
+
+    def test_full_benefit_gated_refuses_unknown_inviter(self):
+        state = self.make_state(5, [1, 2])
+        # capacity 2 -> full; inviter 9 has no stats, worst neighbor has 1.0.
+        state = self.make_state(5, [1, 2], capacity=2)
+        stats = stats_of(n1=2.0, n2=1.0)
+        decision = process_invitation(state, 9, stats, always_accept=False)
+        assert not decision.accepted
+
+    def test_full_benefit_gated_accepts_better_inviter(self):
+        state = self.make_state(5, [1, 2], capacity=2)
+        stats = stats_of(n1=2.0, n2=1.0, n9=5.0)
+        decision = process_invitation(state, 9, stats, always_accept=False)
+        assert decision.accepted
+        assert decision.evicted == 2
+
+    def test_self_invitation_rejected(self):
+        state = self.make_state(5, [])
+        with pytest.raises(FrameworkError):
+            process_invitation(state, 5, StatsTable())
+
+    def test_existing_neighbor_invitation_is_noop_accept(self):
+        state = self.make_state(5, [1, 2], capacity=2)
+        decision = process_invitation(state, 1, StatsTable())
+        assert decision.accepted and decision.evicted is None
+
+    def test_eviction_tie_breaks_toward_newer_node(self):
+        state = self.make_state(5, [1, 2], capacity=2)
+        decision = process_invitation(state, 9, StatsTable())
+        # Both have zero benefit; the larger id (2) is evicted.
+        assert decision.evicted == 2

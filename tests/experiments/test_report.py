@@ -1,0 +1,58 @@
+"""Tests for ASCII report rendering."""
+
+from repro.experiments.report import (
+    format_series_table,
+    format_sparkline,
+    header,
+    kv_table,
+)
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = format_sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_constant(self):
+        assert format_sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert format_sparkline([]) == ""
+
+
+class TestSeriesTable:
+    def test_contains_all_columns_and_sparklines(self):
+        text = format_series_table(
+            [1, 2, 3], {"alpha": [10, 20, 30], "beta": [3, 2, 1]}
+        )
+        assert "alpha" in text and "beta" in text
+        assert "shape:" in text
+        assert "10" in text and "30" in text
+
+    def test_subsampling_caps_rows(self):
+        text = format_series_table(
+            list(range(100)), {"x": list(range(100))}, max_rows=10
+        )
+        data_rows = [
+            line for line in text.splitlines()
+            if line.strip() and line.lstrip()[0].isdigit()
+        ]
+        assert len(data_rows) <= 11
+
+
+class TestHeaderAndKv:
+    def test_header_boxed(self):
+        text = header("Title")
+        lines = text.splitlines()
+        assert lines[0] == "=" * 78
+        assert lines[1] == "Title"
+
+    def test_kv_alignment(self):
+        text = kv_table({"a": 1, "long_key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_kv_empty(self):
+        assert kv_table({}) == ""

@@ -1,0 +1,16 @@
+"""Guards on degenerate sweep arguments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import figure3a, figure3b
+
+
+def test_figure3a_rejects_empty_sweep():
+    with pytest.raises(ConfigurationError):
+        figure3a.run(preset="smoke", hops_sweep=())
+
+
+def test_figure3b_rejects_empty_thresholds():
+    with pytest.raises(ConfigurationError):
+        figure3b.run(preset="smoke", thresholds=())

@@ -1,0 +1,65 @@
+"""Integration: the paper's headline claims on a scaled-down scenario.
+
+These are the properties the evaluation section rests on; if any breaks, the
+figures stop reproducing. Run at hops=2 (the Figure 1/3(b) setting) on a
+small-but-not-tiny population.
+"""
+
+import pytest
+
+from repro.gnutella import GnutellaConfig, run_simulation
+from repro.types import HOUR
+
+
+@pytest.fixture(scope="module")
+def results():
+    cfg = GnutellaConfig(
+        n_users=300,
+        n_items=30_000,
+        n_categories=50,
+        mean_library=100.0,
+        std_library=25.0,
+        horizon=24 * HOUR,
+        warmup_hours=6,
+        queries_per_hour=8.0,
+        max_hops=2,
+        seed=5,
+    )
+    return (
+        run_simulation(cfg.as_static()),
+        run_simulation(cfg.as_dynamic()),
+    )
+
+
+class TestHeadlineClaims:
+    def test_dynamic_satisfies_more_queries(self, results):
+        static, dynamic = results
+        assert dynamic.metrics.hits_total(6) > 1.05 * static.metrics.hits_total(6)
+
+    def test_dynamic_does_not_increase_overhead(self, results):
+        static, dynamic = results
+        assert dynamic.metrics.messages_total(6) <= static.metrics.messages_total(6)
+
+    def test_dynamic_lowers_first_result_delay(self, results):
+        static, dynamic = results
+        assert (
+            dynamic.metrics.mean_first_result_delay_ms()
+            < static.metrics.mean_first_result_delay_ms()
+        )
+
+    def test_dynamic_returns_more_results(self, results):
+        static, dynamic = results
+        assert dynamic.metrics.total_results > static.metrics.total_results
+
+    def test_dynamic_clusters_by_taste(self, results):
+        static, dynamic = results
+        assert dynamic.taste_clustering > 2 * static.taste_clustering
+
+    def test_degree_maintained(self, results):
+        static, dynamic = results
+        assert static.mean_degree > 3.5
+        assert dynamic.mean_degree > 3.5
+
+    def test_workloads_paired(self, results):
+        static, dynamic = results
+        assert static.metrics.total_queries == dynamic.metrics.total_queries

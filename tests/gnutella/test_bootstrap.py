@@ -1,0 +1,108 @@
+"""Tests for the bootstrap (host cache) server."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnutella.bootstrap import BootstrapServer
+
+
+class TestMembership:
+    def test_join_leave(self):
+        server = BootstrapServer()
+        server.join(3)
+        assert 3 in server
+        assert len(server) == 1
+        server.leave(3)
+        assert 3 not in server
+        assert len(server) == 0
+
+    def test_idempotent(self):
+        server = BootstrapServer()
+        server.join(1)
+        server.join(1)
+        assert len(server) == 1
+        server.leave(1)
+        server.leave(1)
+        assert len(server) == 0
+
+    def test_swap_remove_keeps_others(self):
+        server = BootstrapServer()
+        for n in range(5):
+            server.join(n)
+        server.leave(2)
+        assert sorted(server.online_nodes()) == [0, 1, 3, 4]
+
+
+class TestSampling:
+    def test_sample_k(self):
+        server = BootstrapServer()
+        for n in range(50):
+            server.join(n)
+        rng = np.random.default_rng(0)
+        picks = server.sample(rng, 4)
+        assert len(picks) == 4
+        assert len(set(picks)) == 4
+        assert all(0 <= p < 50 for p in picks)
+
+    def test_exclusion_respected(self):
+        server = BootstrapServer()
+        for n in range(10):
+            server.join(n)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            picks = server.sample(rng, 5, exclude=[0, 1, 2])
+            assert not {0, 1, 2} & set(picks)
+
+    def test_small_pool_returns_fewer(self):
+        server = BootstrapServer()
+        server.join(1)
+        server.join(2)
+        picks = server.sample(np.random.default_rng(0), 10, exclude=[1])
+        assert picks == [2]
+
+    def test_empty_pool(self):
+        assert BootstrapServer().sample(np.random.default_rng(0), 3) == []
+
+    def test_zero_k(self):
+        server = BootstrapServer()
+        server.join(1)
+        assert server.sample(np.random.default_rng(0), 0) == []
+
+    def test_fully_excluded_pool(self):
+        server = BootstrapServer()
+        server.join(1)
+        assert server.sample(np.random.default_rng(0), 2, exclude=[1]) == []
+
+    def test_uniformity(self):
+        server = BootstrapServer()
+        for n in range(10):
+            server.join(n)
+        rng = np.random.default_rng(2)
+        counts = np.zeros(10)
+        for _ in range(4000):
+            for p in server.sample(rng, 1):
+                counts[p] += 1
+        # Each node expected 400; allow generous tolerance.
+        assert counts.min() > 300
+        assert counts.max() < 500
+
+    @given(
+        st.lists(st.tuples(st.booleans(), st.integers(0, 19)), max_size=60),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_sample_only_online(self, ops, seed):
+        server = BootstrapServer()
+        online = set()
+        for is_join, node in ops:
+            if is_join:
+                server.join(node)
+                online.add(node)
+            else:
+                server.leave(node)
+                online.discard(node)
+        assert len(server) == len(online)
+        picks = server.sample(np.random.default_rng(seed), 5)
+        assert set(picks) <= online
+        assert len(picks) == min(5, len(online))

@@ -1,0 +1,69 @@
+"""Tests for GnutellaConfig validation and derived properties."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gnutella import GnutellaConfig
+from repro.types import DAY, HOUR
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        cfg = GnutellaConfig()
+        assert cfg.n_users == 2000
+        assert cfg.n_items == 200_000
+        assert cfg.n_categories == 50
+        assert cfg.zipf_theta == 0.9
+        assert cfg.mean_library == 200.0
+        assert cfg.std_library == 50.0
+        assert cfg.horizon == 4 * DAY
+        assert cfg.warmup_hours == 12
+        assert cfg.mean_online == 3 * HOUR
+        assert cfg.neighbor_slots == 4
+        assert cfg.reconfiguration_threshold == 2
+        assert cfg.max_hops == 2
+
+    def test_horizon_hours(self):
+        assert GnutellaConfig().horizon_hours == 96
+        assert GnutellaConfig(horizon=90 * 60.0, warmup_hours=0).horizon_hours == 2
+
+
+class TestSchemeSwitches:
+    def test_as_static_and_dynamic(self):
+        cfg = GnutellaConfig(seed=5)
+        static = cfg.as_static()
+        assert not static.dynamic
+        assert static.seed == 5
+        assert static.as_dynamic().dynamic
+
+    def test_switch_preserves_other_fields(self):
+        cfg = GnutellaConfig(max_hops=4, queries_per_hour=3.0)
+        assert cfg.as_static().max_hops == 4
+        assert cfg.as_static().queries_per_hour == 3.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 1},
+            {"horizon": 0},
+            {"warmup_hours": -1},
+            {"warmup_hours": 200},  # longer than the 4-day horizon
+            {"queries_per_hour": 0},
+            {"max_hops": 0},
+            {"neighbor_slots": 0},
+            {"reconfiguration_threshold": 0},
+            {"query_timeout": 0},
+            {"max_swaps_per_update": 0},
+            {"swap_margin": -0.1},
+            {"stats_decay_on_update": 1.5},
+            {"stats_decay_on_update": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GnutellaConfig(**kwargs)
+
+    def test_none_max_swaps_allowed(self):
+        assert GnutellaConfig(max_swaps_per_update=None).max_swaps_per_update is None

@@ -1,0 +1,73 @@
+"""Cross-engine agreement: the fast engine's atomic-query approximation must
+match the message-level engine on aggregate metrics."""
+
+import pytest
+
+from repro.gnutella import GnutellaConfig, run_simulation
+from repro.types import HOUR
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GnutellaConfig(
+        n_users=80,
+        n_items=4000,
+        n_categories=20,
+        mean_library=40.0,
+        std_library=10.0,
+        horizon=6 * HOUR,
+        warmup_hours=1,
+        queries_per_hour=8.0,
+        max_hops=2,
+        seed=3,
+    )
+
+
+class TestStaticAgreement:
+    """With no reconfiguration, both engines see the same link evolution, so
+    they should agree almost exactly (the only divergence is queries issued
+    within a reply-timeout of the horizon)."""
+
+    def test_hits_and_messages_close(self, config):
+        fast = run_simulation(config.as_static(), engine="fast").metrics
+        detailed = run_simulation(config.as_static(), engine="detailed").metrics
+        assert fast.total_queries == pytest.approx(detailed.total_queries, abs=3)
+        assert fast.messages_total() == pytest.approx(detailed.messages_total(), rel=0.01)
+        assert fast.total_hits == pytest.approx(detailed.total_hits, rel=0.02, abs=3)
+
+    def test_delays_close(self, config):
+        fast = run_simulation(config.as_static(), engine="fast").metrics
+        detailed = run_simulation(config.as_static(), engine="detailed").metrics
+        assert fast.mean_first_result_delay_ms() == pytest.approx(
+            detailed.mean_first_result_delay_ms(), rel=0.05
+        )
+
+
+class TestDynamicAgreement:
+    """Reconfigurations interleave differently once replies take real time,
+    so the dynamic comparison is statistical: aggregates within ~10 %."""
+
+    def test_aggregates_within_tolerance(self, config):
+        fast = run_simulation(config.as_dynamic(), engine="fast").metrics
+        detailed = run_simulation(config.as_dynamic(), engine="detailed").metrics
+        assert fast.total_hits == pytest.approx(detailed.total_hits, rel=0.10)
+        assert fast.messages_total() == pytest.approx(
+            detailed.messages_total(), rel=0.10
+        )
+        assert fast.mean_first_result_delay_ms() == pytest.approx(
+            detailed.mean_first_result_delay_ms(), rel=0.10
+        )
+
+
+class TestOrderingPreserved:
+    """Whatever the engine, dynamic must beat static the same way."""
+
+    def test_dynamic_beats_static_in_both_engines(self, config):
+        for engine in ("fast", "detailed"):
+            static = run_simulation(config.as_static(), engine=engine).metrics
+            dynamic = run_simulation(config.as_dynamic(), engine=engine).metrics
+            assert dynamic.total_hits > static.total_hits, engine
+            assert (
+                dynamic.mean_first_result_delay_ms()
+                < static.mean_first_result_delay_ms()
+            ), engine

@@ -1,0 +1,60 @@
+"""Tests for metric accumulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gnutella.metrics import SimulationMetrics
+from repro.types import HOUR
+
+
+@pytest.fixture
+def metrics():
+    return SimulationMetrics(horizon=4 * HOUR)
+
+
+class TestRecordQuery:
+    def test_hit_accounting(self, metrics):
+        metrics.record_query(10.0, hit=True, messages=12, n_results=3, first_delay=0.4)
+        assert metrics.total_queries == 1
+        assert metrics.total_hits == 1
+        assert metrics.total_results == 3
+        assert metrics.hit_rate() == 1.0
+        assert metrics.first_result_delay.count == 1
+        assert metrics.mean_first_result_delay_ms() == pytest.approx(400.0)
+
+    def test_miss_accounting(self, metrics):
+        metrics.record_query(10.0, hit=False, messages=5, n_results=0, first_delay=None)
+        assert metrics.total_hits == 0
+        assert metrics.total_results == 0
+        assert metrics.hit_rate() == 0.0
+        assert math.isnan(metrics.first_result_delay.mean)
+
+    def test_bucketing_by_hour(self, metrics):
+        metrics.record_query(0.5 * HOUR, True, 10, 1, 0.1)
+        metrics.record_query(1.5 * HOUR, True, 20, 1, 0.1)
+        metrics.record_query(1.7 * HOUR, False, 30, 0, None)
+        idx, hits = metrics.hits_series()
+        np.testing.assert_array_equal(hits, [1, 1, 0, 0])
+        _, msgs = metrics.messages_series()
+        np.testing.assert_array_equal(msgs, [10, 50, 0, 0])
+
+    def test_warmup_skipped(self, metrics):
+        metrics.record_query(0.5 * HOUR, True, 10, 1, 0.1)
+        metrics.record_query(2.5 * HOUR, True, 10, 1, 0.1)
+        assert metrics.hits_total(warmup_hours=1) == 1
+        assert metrics.messages_total(warmup_hours=1) == 10
+        idx, hits = metrics.hits_series(warmup_hours=2)
+        np.testing.assert_array_equal(idx, [2, 3])
+
+    def test_empty_hit_rate(self, metrics):
+        assert metrics.hit_rate() == 0.0
+
+    def test_summary_keys(self, metrics):
+        metrics.record_query(10.0, True, 2, 1, 0.2)
+        s = metrics.summary()
+        assert s["total_queries"] == 1.0
+        assert s["hit_rate"] == 1.0
+        assert "mean_first_delay_ms" in s
+        assert "reconfigurations" in s

@@ -1,0 +1,111 @@
+"""Tests for runtime probes and transport loss injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.gnutella import FastGnutellaEngine, GnutellaConfig
+from repro.gnutella.probes import ClusteringProbe, DegreeProbe
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.net.message import Message, MessageKind
+from repro.net.transport import Transport
+from repro.sim import Simulator
+from repro.types import HOUR
+
+
+def small_config(**overrides):
+    defaults = dict(
+        n_users=60,
+        n_items=3000,
+        n_categories=10,
+        mean_library=30.0,
+        std_library=5.0,
+        horizon=4 * HOUR,
+        warmup_hours=0,
+        queries_per_hour=6.0,
+        seed=21,
+    )
+    defaults.update(overrides)
+    return GnutellaConfig(**defaults)
+
+
+class TestProbes:
+    def test_clustering_probe_samples_on_schedule(self):
+        engine = FastGnutellaEngine(small_config())
+        probe = ClusteringProbe(engine, interval=HOUR)
+        engine.run()
+        assert len(probe.series) == 3  # hours 1,2,3 (horizon event at 4h)
+        assert all(0.0 <= v <= 1.0 for v in probe.series.values)
+
+    def test_degree_probe_near_capacity(self):
+        engine = FastGnutellaEngine(small_config())
+        probe = DegreeProbe(engine, interval=HOUR)
+        engine.run()
+        assert all(2.0 <= v <= 4.0 for v in probe.series.values)
+
+    def test_dynamic_clustering_rises_above_static(self):
+        cfg = small_config(n_users=150, n_items=7500, horizon=10 * HOUR)
+        static_engine = FastGnutellaEngine(cfg.as_static())
+        static_probe = ClusteringProbe(static_engine, interval=2 * HOUR)
+        static_engine.run()
+        dynamic_engine = FastGnutellaEngine(cfg.as_dynamic())
+        dynamic_probe = ClusteringProbe(dynamic_engine, interval=2 * HOUR)
+        dynamic_engine.run()
+        # Late dynamic samples must exceed every static sample.
+        assert min(dynamic_probe.series.values[-2:]) > max(
+            static_probe.series.values
+        )
+
+    def test_invalid_interval(self):
+        engine = FastGnutellaEngine(small_config())
+        with pytest.raises(ConfigurationError):
+            ClusteringProbe(engine, interval=0.0)
+
+    def test_attach_after_run_rejected(self):
+        engine = FastGnutellaEngine(small_config())
+        engine.run()
+        with pytest.raises(ConfigurationError):
+            DegreeProbe(engine, interval=HOUR)
+
+
+class TestTransportLoss:
+    def make_transport(self, loss_rate, seed=0):
+        sim = Simulator()
+        bw = BandwidthModel(10, np.random.default_rng(seed))
+        latency = LatencyModel(bw, np.random.default_rng(seed + 1))
+        transport = Transport(
+            sim, latency, loss_rate=loss_rate, rng=np.random.default_rng(seed + 2)
+        )
+        return sim, transport
+
+    def test_zero_loss_delivers_everything(self):
+        sim, transport = self.make_transport(0.0)
+        got = []
+        transport.register(1, got.append)
+        for _ in range(50):
+            transport.send(Message(MessageKind.QUERY, 0, 1, origin=0))
+        sim.run()
+        assert len(got) == 50
+        assert transport.lost == 0
+
+    def test_loss_rate_drops_roughly_expected_fraction(self):
+        sim, transport = self.make_transport(0.3)
+        got = []
+        transport.register(1, got.append)
+        n = 2000
+        for _ in range(n):
+            transport.send(Message(MessageKind.QUERY, 0, 1, origin=0))
+        sim.run()
+        assert transport.lost + len(got) == n
+        assert abs(transport.lost / n - 0.3) < 0.05
+        assert transport.sent == n  # lost messages still count as sent
+
+    def test_invalid_loss_config(self):
+        sim = Simulator()
+        bw = BandwidthModel(2, np.random.default_rng(0))
+        latency = LatencyModel(bw, np.random.default_rng(1))
+        with pytest.raises(NetworkError):
+            Transport(sim, latency, loss_rate=1.0, rng=np.random.default_rng(2))
+        with pytest.raises(NetworkError):
+            Transport(sim, latency, loss_rate=0.5)  # no rng

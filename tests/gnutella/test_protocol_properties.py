@@ -1,0 +1,66 @@
+"""Property tests: the protocol must preserve topology invariants under any
+interleaving of churn, random fills, and reconfigurations."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnutella.bootstrap import BootstrapServer
+from repro.gnutella.metrics import SimulationMetrics
+from repro.gnutella.node import PeerState
+from repro.gnutella.protocol import GnutellaProtocol
+
+N_PEERS = 12
+SLOTS = 3
+
+
+def check_invariants(peers):
+    for peer in peers:
+        out = peer.neighbors.outgoing.as_tuple()
+        assert len(out) <= SLOTS
+        assert peer.node not in out
+        assert len(set(out)) == len(out)
+        assert set(out) == set(peer.neighbors.incoming.as_tuple())
+        for other in out:
+            assert peer.node in peers[other].neighbors.outgoing.as_tuple()
+        if not peer.online:
+            assert out == ()
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, N_PEERS - 1)),
+        min_size=5,
+        max_size=80,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_random_operation_interleavings(seed, ops):
+    """Operations: 0=toggle churn, 1=fill_random, 2=reconfigure, 3=credit a
+    random peer with benefit (feeding future reconfigurations)."""
+    rng = np.random.default_rng(seed)
+    peers = [PeerState(i, SLOTS) for i in range(N_PEERS)]
+    bootstrap = BootstrapServer()
+    metrics = SimulationMetrics(horizon=3600.0)
+    protocol = GnutellaProtocol(peers, bootstrap, metrics, SLOTS)
+
+    for op, node in ops:
+        peer = peers[node]
+        if op == 0:
+            if peer.online:
+                peer.online = False
+                bootstrap.leave(node)
+                protocol.sever_all(node)
+            else:
+                peer.online = True
+                bootstrap.join(node)
+        elif op == 1 and peer.online:
+            protocol.fill_random(node, rng)
+        elif op == 2 and peer.online:
+            protocol.reconfigure(node, max_swaps=1, stats_decay=0.5)
+        elif op == 3 and peer.online:
+            other = int(rng.integers(N_PEERS))
+            if other != node:
+                peer.stats.add_benefit(other, float(rng.random()) + 0.01)
+        check_invariants(peers)

@@ -1,0 +1,68 @@
+"""Robustness: the engine must handle non-default world shapes cleanly."""
+
+import pytest
+
+from repro.gnutella import FastGnutellaEngine, GnutellaConfig
+from repro.types import HOUR
+
+
+def build(**overrides):
+    base = dict(
+        n_users=60,
+        n_items=3000,
+        n_categories=10,
+        mean_library=25.0,
+        std_library=5.0,
+        horizon=3 * HOUR,
+        warmup_hours=0,
+        queries_per_hour=6.0,
+        seed=3,
+    )
+    base.update(overrides)
+    return GnutellaConfig(**base)
+
+
+@pytest.mark.parametrize(
+    "name,overrides",
+    [
+        ("six_slots", {"neighbor_slots": 6}),
+        ("one_slot", {"neighbor_slots": 1}),
+        ("no_secondary", {"n_secondary": 0}),
+        ("asymmetric_churn", {"mean_online": HOUR, "mean_offline": 5 * HOUR}),
+        ("two_users", {"n_users": 2}),
+        ("high_rate", {"queries_per_hour": 40.0}),
+        ("deep_flood", {"max_hops": 6}),
+        ("full_list_swap", {"max_swaps_per_update": None}),
+        ("no_logoff_updates", {"update_on_logoff": False}),
+    ],
+)
+def test_unusual_worlds_run_clean(name, overrides):
+    engine = FastGnutellaEngine(build(**overrides))
+    metrics = engine.run()
+    assert metrics.total_queries >= 0
+    slots = engine.config.neighbor_slots
+    for peer in engine.peers:
+        out = peer.neighbors.outgoing.as_tuple()
+        assert len(out) <= slots
+        for other in out:
+            assert peer.node in engine.peers[other].neighbors.outgoing.as_tuple()
+        if not peer.online:
+            assert out == ()
+
+
+def test_single_slot_still_adapts():
+    """Even with one neighbor slot the dynamic scheme must function (every
+    reconfiguration is a full neighborhood replacement)."""
+    metrics = FastGnutellaEngine(build(neighbor_slots=1, horizon=6 * HOUR)).run()
+    assert metrics.reconfigurations > 0
+
+
+def test_asymmetric_churn_population():
+    """mean_online=1h / mean_offline=5h => ~1/6 of users online."""
+    engine = FastGnutellaEngine(
+        build(n_users=300, mean_online=HOUR, mean_offline=5 * HOUR,
+              horizon=12 * HOUR)
+    )
+    engine.run()
+    online = engine.online_count()
+    assert 0.05 * 300 < online < 0.35 * 300

@@ -1,0 +1,49 @@
+"""Tests for the top-level simulation driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gnutella import GnutellaConfig, run_simulation
+from repro.types import HOUR
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        n_users=60,
+        n_items=3000,
+        n_categories=10,
+        mean_library=30.0,
+        std_library=5.0,
+        horizon=3 * HOUR,
+        warmup_hours=0,
+        queries_per_hour=6.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return GnutellaConfig(**defaults)
+
+
+class TestRunSimulation:
+    def test_fast_engine_result_fields(self):
+        result = run_simulation(quick_config())
+        assert result.metrics.total_queries > 0
+        assert 0.0 <= result.taste_clustering <= 1.0
+        assert 0.0 <= result.mean_degree <= 4.0
+        assert result.scheme == "Dynamic_Gnutella"
+
+    def test_static_scheme_name(self):
+        result = run_simulation(quick_config(dynamic=False))
+        assert result.scheme == "Gnutella"
+
+    def test_detailed_engine_selectable(self):
+        result = run_simulation(quick_config(), engine="detailed")
+        assert result.metrics.total_queries > 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_simulation(quick_config(), engine="warp")
+
+    def test_config_passthrough(self):
+        cfg = quick_config()
+        result = run_simulation(cfg)
+        assert result.config is cfg

@@ -1,0 +1,76 @@
+"""Tests for access-class assignment and link bandwidth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.bandwidth import CLASS_KBPS, BandwidthClass, BandwidthModel
+
+
+@pytest.fixture
+def model():
+    return BandwidthModel(n_nodes=3000, rng=np.random.default_rng(0))
+
+
+class TestAssignment:
+    def test_all_classes_present(self, model):
+        assert set(np.unique(model.classes)) == {0, 1, 2}
+
+    def test_roughly_uniform_split(self, model):
+        counts = np.bincount(model.classes, minlength=3)
+        # 3000 nodes, p=1/3 each: expect ~1000 +- 5 sigma (~85).
+        assert all(abs(c - 1000) < 150 for c in counts)
+
+    def test_custom_probabilities(self):
+        m = BandwidthModel(
+            n_nodes=500, rng=np.random.default_rng(1), class_probabilities=(1.0, 0.0, 0.0)
+        )
+        assert set(np.unique(m.classes)) == {0}
+
+    def test_deterministic_given_rng(self):
+        a = BandwidthModel(100, np.random.default_rng(7)).classes
+        b = BandwidthModel(100, np.random.default_rng(7)).classes
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_n_nodes(self):
+        with pytest.raises(NetworkError):
+            BandwidthModel(0, np.random.default_rng(0))
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(NetworkError):
+            BandwidthModel(10, np.random.default_rng(0), class_probabilities=(0.5, 0.5, 0.5))
+        with pytest.raises(NetworkError):
+            BandwidthModel(10, np.random.default_rng(0), class_probabilities=(1.5, -0.5, 0.0))
+
+
+class TestLookups:
+    def test_class_of_and_kbps_of_agree(self, model):
+        for node in range(0, 3000, 311):
+            cls = model.class_of(node)
+            assert model.kbps_of(node) == CLASS_KBPS[cls]
+
+    def test_link_kbps_is_min_of_endpoints(self):
+        m = BandwidthModel(4, np.random.default_rng(0))
+        m.classes[:] = [0, 2, 1, 2]  # modem, lan, cable, lan
+        assert m.link_kbps(0, 1) == CLASS_KBPS[BandwidthClass.MODEM_56K]
+        assert m.link_kbps(1, 3) == CLASS_KBPS[BandwidthClass.LAN]
+        assert m.link_kbps(2, 1) == CLASS_KBPS[BandwidthClass.CABLE]
+
+    def test_link_kbps_symmetric(self, model):
+        assert model.link_kbps(5, 99) == model.link_kbps(99, 5)
+
+    def test_slowest_class(self):
+        m = BandwidthModel(3, np.random.default_rng(0))
+        m.classes[:] = [0, 1, 2]
+        assert m.slowest_class(0, 2) == BandwidthClass.MODEM_56K
+        assert m.slowest_class(1, 2) == BandwidthClass.CABLE
+        assert m.slowest_class(2, 2) == BandwidthClass.LAN
+
+
+def test_class_ordering_slow_to_fast():
+    assert BandwidthClass.MODEM_56K < BandwidthClass.CABLE < BandwidthClass.LAN
+    assert (
+        CLASS_KBPS[BandwidthClass.MODEM_56K]
+        < CLASS_KBPS[BandwidthClass.CABLE]
+        < CLASS_KBPS[BandwidthClass.LAN]
+    )

@@ -1,0 +1,99 @@
+"""Tests for the truncated-Gaussian pairwise delay model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetworkError
+from repro.net.bandwidth import BandwidthClass, BandwidthModel
+from repro.net.latency import DelayParameters, LatencyModel
+
+
+def make_model(n=100, seed=0, params=None, classes=None):
+    rng = np.random.default_rng(seed)
+    bw = BandwidthModel(n, rng)
+    if classes is not None:
+        bw.classes[:] = classes
+    return LatencyModel(bw, np.random.default_rng(seed + 1), params)
+
+
+class TestDelayParameters:
+    def test_defaults_match_paper(self):
+        p = DelayParameters()
+        assert p.means == (0.300, 0.150, 0.070)
+        assert p.std == 0.020
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            DelayParameters(means=(0.1, 0.1))  # type: ignore[arg-type]
+        with pytest.raises(NetworkError):
+            DelayParameters(means=(0.0, 0.1, 0.1))
+        with pytest.raises(NetworkError):
+            DelayParameters(std=-1.0)
+        with pytest.raises(NetworkError):
+            DelayParameters(truncation_sigmas=0)
+        with pytest.raises(NetworkError):
+            DelayParameters(floor=0)
+
+
+class TestLatencyModel:
+    def test_symmetric(self):
+        lm = make_model()
+        assert lm.one_way_delay(3, 50) == lm.one_way_delay(50, 3)
+
+    def test_cached_stable(self):
+        lm = make_model()
+        first = lm.one_way_delay(1, 2)
+        assert lm.one_way_delay(1, 2) == first
+        assert lm.cached_pairs == 1
+
+    def test_self_delay_zero(self):
+        assert make_model().one_way_delay(5, 5) == 0.0
+
+    def test_round_trip_double(self):
+        lm = make_model()
+        assert lm.round_trip(1, 2) == pytest.approx(2 * lm.one_way_delay(1, 2))
+
+    def test_out_of_range_rejected(self):
+        lm = make_model(n=10)
+        with pytest.raises(NetworkError):
+            lm.one_way_delay(0, 10)
+
+    def test_mean_governed_by_slowest(self):
+        # All pairs (modem, lan) should cluster near the modem mean 300 ms.
+        lm = make_model(n=400, classes=[0, 2] * 200)
+        modem_lan = [lm.one_way_delay(0, i) for i in range(1, 400, 2)]  # 0 is modem
+        assert np.mean(modem_lan) == pytest.approx(0.300, abs=0.01)
+        lan_lan = [lm.one_way_delay(1, i) for i in range(3, 400, 2)]
+        assert np.mean(lan_lan) == pytest.approx(0.070, abs=0.01)
+
+    def test_truncation_bounds_respected(self):
+        lm = make_model(n=200)
+        p = lm.params
+        for i in range(50):
+            for j in range(i + 1, 50):
+                d = lm.one_way_delay(i, j)
+                cls = lm.bandwidth.slowest_class(i, j)
+                mean = p.means[cls]
+                assert mean - 3 * p.std - 1e-12 <= d <= mean + 3 * p.std + 1e-12
+                assert d >= p.floor
+
+    def test_zero_std_gives_exact_means(self):
+        params = DelayParameters(std=0.0)
+        lm = make_model(classes=[2] * 100, params=params)
+        assert lm.one_way_delay(0, 1) == 0.070
+
+    def test_deterministic_given_rng(self):
+        a = make_model(seed=5).one_way_delay(2, 9)
+        b = make_model(seed=5).one_way_delay(2, 9)
+        assert a == b
+
+    @given(st.integers(0, 99), st.integers(0, 99))
+    def test_property_positive_and_symmetric(self, a, b):
+        lm = make_model()
+        d = lm.one_way_delay(a, b)
+        assert d >= 0.0
+        assert d == lm.one_way_delay(b, a)
+        if a != b:
+            assert d > 0.0

@@ -1,0 +1,104 @@
+"""Tests for message envelopes and the kernel-backed transport."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import DelayParameters, LatencyModel
+from repro.net.message import Message, MessageKind
+from repro.net.transport import Transport
+from repro.sim import HourlyBuckets, Simulator
+
+
+def make_transport(n=10, seed=0, buckets=None):
+    sim = Simulator()
+    bw = BandwidthModel(n, np.random.default_rng(seed))
+    latency = LatencyModel(bw, np.random.default_rng(seed + 1))
+    return sim, Transport(sim, latency, query_buckets=buckets), latency
+
+
+class TestMessage:
+    def test_unique_query_ids(self):
+        a = Message(MessageKind.QUERY, 0, 1, origin=0)
+        b = Message(MessageKind.QUERY, 0, 1, origin=0)
+        assert a.query_id != b.query_id
+
+    def test_forwarded_preserves_identity(self):
+        m = Message(MessageKind.QUERY, 0, 1, origin=0, payload="song", path=(1,))
+        f = m.forwarded(1, 2)
+        assert f.query_id == m.query_id
+        assert f.origin == 0
+        assert f.hops == m.hops + 1
+        assert f.payload == "song"
+        assert f.path == (1, 2)
+        assert (f.sender, f.receiver) == (1, 2)
+
+
+class TestTransport:
+    def test_delivery_after_link_delay(self):
+        sim, transport, latency = make_transport()
+        got = []
+        transport.register(1, lambda m: got.append((sim.now, m.payload)))
+        transport.send(Message(MessageKind.QUERY, 0, 1, origin=0, payload="hi"))
+        sim.run()
+        assert got == [(latency.one_way_delay(0, 1), "hi")]
+
+    def test_send_to_self_rejected(self):
+        _, transport, _ = make_transport()
+        with pytest.raises(NetworkError):
+            transport.send(Message(MessageKind.QUERY, 3, 3, origin=3))
+
+    def test_unregistered_receiver_drops(self):
+        sim, transport, _ = make_transport()
+        transport.send(Message(MessageKind.QUERY, 0, 1, origin=0))
+        sim.run()
+        assert transport.dropped == 1
+        assert transport.delivered == 0
+
+    def test_unregister_mid_flight_drops(self):
+        sim, transport, _ = make_transport()
+        got = []
+        transport.register(1, lambda m: got.append(m))
+        transport.send(Message(MessageKind.QUERY, 0, 1, origin=0))
+        transport.unregister(1)  # before delivery fires
+        sim.run()
+        assert got == []
+        assert transport.dropped == 1
+
+    def test_counters_by_kind(self):
+        sim, transport, _ = make_transport()
+        transport.register(1, lambda m: None)
+        transport.send(Message(MessageKind.QUERY, 0, 1, origin=0))
+        transport.send(Message(MessageKind.INVITE, 0, 1, origin=0))
+        sim.run()
+        assert transport.sent == 2
+        assert transport.sent_by_kind[MessageKind.QUERY] == 1
+        assert transport.sent_by_kind[MessageKind.INVITE] == 1
+        assert transport.delivered == 2
+
+    def test_query_buckets_count_only_queries(self):
+        buckets = HourlyBuckets(horizon=3600.0)
+        sim, transport, _ = make_transport(buckets=buckets)
+        transport.register(1, lambda m: None)
+        transport.send(Message(MessageKind.QUERY, 0, 1, origin=0))
+        transport.send(Message(MessageKind.QUERY_REPLY, 1, 0, origin=0))
+        sim.run()
+        assert buckets.total() == 1
+
+    def test_is_registered(self):
+        _, transport, _ = make_transport()
+        transport.register(4, lambda m: None)
+        assert transport.is_registered(4)
+        transport.unregister(4)
+        assert not transport.is_registered(4)
+
+    def test_fifo_between_same_pair(self):
+        # Two messages over the same (cached-delay) link arrive in send order.
+        sim, transport, _ = make_transport()
+        got = []
+        transport.register(1, lambda m: got.append(m.payload))
+        transport.send(Message(MessageKind.QUERY, 0, 1, origin=0, payload="first"))
+        transport.send(Message(MessageKind.QUERY, 0, 1, origin=0, payload="second"))
+        sim.run()
+        assert got == ["first", "second"]

@@ -1,0 +1,86 @@
+"""Tests for topology snapshots and the consistency predicate."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.topology import NeighborGraph, find_inconsistencies, is_consistent
+
+
+class TestConsistency:
+    def test_consistent_pair(self):
+        out = {0: [1], 1: []}
+        inc = {0: [], 1: [0]}
+        assert is_consistent(out, inc)
+
+    def test_missing_incoming_entry_is_inconsistent(self):
+        out = {0: [1], 1: []}
+        inc = {0: [], 1: []}
+        assert find_inconsistencies(out, inc) == [(0, 1)]
+        assert not is_consistent(out, inc)
+
+    def test_node_absent_from_incoming_map(self):
+        out = {0: [9]}
+        inc = {0: []}
+        assert find_inconsistencies(out, inc) == [(0, 9)]
+
+    def test_empty_network_consistent(self):
+        assert is_consistent({}, {})
+
+    def test_symmetric_network_consistent(self):
+        nodes = range(5)
+        out = {i: [(i + 1) % 5, (i - 1) % 5] for i in nodes}
+        inc = {i: [(i + 1) % 5, (i - 1) % 5] for i in nodes}
+        assert is_consistent(out, inc)
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 9),
+            st.sets(st.integers(0, 9), max_size=4),
+            max_size=10,
+        )
+    )
+    def test_property_mirrored_lists_always_consistent(self, out):
+        # Build incoming as the exact mirror of outgoing: by construction
+        # consistent.
+        inc = {n: set() for n in range(10)}
+        for i, outs in out.items():
+            for j in outs:
+                inc.setdefault(j, set()).add(i)
+        assert is_consistent(out, inc)
+
+
+class TestNeighborGraph:
+    def test_counts(self):
+        g = NeighborGraph({0: [1, 2], 1: [0], 2: []})
+        assert g.n_nodes == 3
+        assert g.n_edges == 3
+        assert g.out_degrees() == {0: 2, 1: 1, 2: 0}
+
+    def test_is_symmetric(self):
+        assert NeighborGraph({0: [1], 1: [0]}).is_symmetric()
+        assert not NeighborGraph({0: [1], 1: []}).is_symmetric()
+
+    def test_reachable_within(self):
+        # 0 -> 1 -> 2 -> 3 chain
+        g = NeighborGraph({0: [1], 1: [2], 2: [3], 3: []})
+        assert g.reachable_within(0, 1) == {1}
+        assert g.reachable_within(0, 2) == {1, 2}
+        assert g.reachable_within(0, 99) == {1, 2, 3}
+        assert g.reachable_within(42, 2) == set()
+
+    def test_reachable_excludes_source(self):
+        g = NeighborGraph({0: [1], 1: [0]})
+        assert 0 not in g.reachable_within(0, 5)
+
+    def test_largest_component_fraction(self):
+        g = NeighborGraph({0: [1], 1: [], 2: [], 3: []})
+        assert g.largest_component_fraction() == 0.5
+        assert NeighborGraph({}).largest_component_fraction() == 0.0
+
+    def test_clustering_by_attribute(self):
+        g = NeighborGraph({0: [1, 2], 1: [], 2: []})
+        fav = {0: "rock", 1: "rock", 2: "jazz"}
+        assert g.clustering_by_attribute(fav) == 0.5
+
+    def test_clustering_no_edges(self):
+        assert NeighborGraph({0: []}).clustering_by_attribute({0: 1}) == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the OLAP-caching simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.olap import OlapConfig, Warehouse, run_olap_simulation
+from repro.workload.olap_workload import OlapWorkloadConfig
+
+
+class TestWarehouse:
+    def test_compute_counts_and_cost(self):
+        wh = Warehouse(100, np.random.default_rng(0))
+        cost = wh.compute(5)
+        assert cost >= 0.3 + 0.2
+        assert wh.computations == 1
+        assert cost == pytest.approx(wh.processing_cost(5) + wh.round_trip)
+
+    def test_invalid_chunk(self):
+        wh = Warehouse(10, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            wh.compute(10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            Warehouse(0, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            Warehouse(10, np.random.default_rng(0), mean_cost=0)
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        workload=OlapWorkloadConfig(n_peers=15, n_chunks=800, n_regions=10),
+        cache_capacity=80,
+        n_rounds=120,
+        seed=4,
+    )
+    defaults.update(overrides)
+    return OlapConfig(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cache_capacity": 0},
+            {"out_slots": 0},
+            {"in_slots": 0},
+            {"n_rounds": 0},
+            {"explore_every": 0},
+            {"update_every": 0},
+            {"explore_ttl": 0},
+            {"peer_round_trip": 0},
+            {"hot_probe_chunks": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            quick_config(**kwargs)
+
+
+class TestSimulation:
+    def test_accounting_adds_up(self):
+        r = run_olap_simulation(quick_config())
+        assert r.queries == 15 * 120
+        assert r.local_chunks + r.peer_chunks + r.warehouse_chunks == r.chunks_requested
+        assert r.total_latency > 0
+        assert 0 <= r.warehouse_offload <= 1
+        assert r.saved_processing_time >= 0
+
+    def test_deterministic(self):
+        a = run_olap_simulation(quick_config())
+        b = run_olap_simulation(quick_config())
+        assert a == b
+
+    def test_adaptation_improves_offload(self):
+        static = run_olap_simulation(quick_config(adaptive=False, n_rounds=250))
+        adaptive = run_olap_simulation(quick_config(adaptive=True, n_rounds=250))
+        assert adaptive.warehouse_offload > static.warehouse_offload
+        assert adaptive.mean_query_latency < static.mean_query_latency
+        assert adaptive.saved_processing_time > static.saved_processing_time
+
+    def test_saved_time_only_with_peer_hits(self):
+        r = run_olap_simulation(quick_config(n_rounds=50))
+        if r.peer_chunks == 0:
+            assert r.saved_processing_time == 0.0
+        else:
+            assert r.saved_processing_time > 0.0

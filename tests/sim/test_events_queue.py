@@ -1,0 +1,67 @@
+"""Unit tests for the raw EventQueue (exercised indirectly by the kernel;
+these pin down its contract directly)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import HIGH, LOW, NORMAL, EventQueue, ScheduledCallback
+
+
+def cb():
+    return ScheduledCallback(0.0, lambda: None)
+
+
+class TestEventQueue:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(1.0, cb())
+        assert q
+        assert len(q) == 1
+
+    def test_pop_time_order(self):
+        q = EventQueue()
+        handles = {t: cb() for t in (3.0, 1.0, 2.0)}
+        for t, handle in handles.items():
+            q.push(t, handle)
+        times = [q.pop()[0] for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_priority_within_same_time(self):
+        q = EventQueue()
+        low, normal, high = cb(), cb(), cb()
+        q.push(1.0, low, LOW)
+        q.push(1.0, normal, NORMAL)
+        q.push(1.0, high, HIGH)
+        assert q.pop()[1] is high
+        assert q.pop()[1] is normal
+        assert q.pop()[1] is low
+
+    def test_fifo_within_same_time_and_priority(self):
+        q = EventQueue()
+        first, second = cb(), cb()
+        q.push(1.0, first)
+        q.push(1.0, second)
+        assert q.pop()[1] is first
+        assert q.pop()[1] is second
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.push(5.0, cb())
+        q.push(2.0, cb())
+        assert q.peek_time() == 2.0
+        assert len(q) == 2  # peeking does not pop
+
+    def test_empty_queue_errors(self):
+        q = EventQueue()
+        with pytest.raises(SchedulingError):
+            q.peek_time()
+        with pytest.raises(SchedulingError):
+            q.pop()
+
+    def test_scheduled_callback_cancel_flag(self):
+        handle = cb()
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled

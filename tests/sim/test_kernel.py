@@ -1,0 +1,248 @@
+"""Tests for the discrete-event kernel: scheduling, ordering, run loop."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Simulator
+from repro.sim.events import HIGH, LOW
+
+
+class TestScheduling:
+    def test_callbacks_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "mid")
+        sim.run()
+        assert fired == ["early", "mid", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(2.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_priority_overrides_fifo_at_same_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "normal")
+        sim.schedule(1.0, fired.append, "high", priority=HIGH)
+        sim.schedule(1.0, fired.append, "low", priority=LOW)
+        sim.run()
+        assert fired == ["high", "normal", "low"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nan_and_inf_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("nan"), lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(2.0, outer)
+        sim.run()
+        assert fired == [("outer", 2.0), ("inner", 3.0)]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_events_executed_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.run()
+        assert sim.events_executed == 1
+
+
+class TestRunLoop:
+    def test_run_until_stops_clock_at_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        # Remaining event still runs on a later resume.
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SchedulingError):
+            sim.run(until=1.0)
+
+    def test_run_with_only_cancelled_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.run()
+        assert sim.events_executed == 0
+
+    def test_stop_halts_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 2.0
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_empty_queue_raises(self):
+        with pytest.raises(SchedulingError):
+            Simulator().step()
+
+    def test_step_executes_exactly_one(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step() == 1.0
+        assert fired == [1]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+    def test_property_execution_order_is_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestEvents:
+    def test_timeout_event_payload(self):
+        sim = Simulator()
+        got = []
+        ev = sim.timeout(2.0, value="payload")
+        ev.add_callback(lambda e: got.append((sim.now, e.value)))
+        sim.run()
+        assert got == [(2.0, "payload")]
+
+    def test_event_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SchedulingError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_late_callback_still_runs(self):
+        sim = Simulator()
+        got = []
+        ev = sim.timeout(1.0, value=5)
+        sim.run()
+        ev.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == [5]
+
+    def test_all_of_collects_in_order(self):
+        sim = Simulator()
+        got = []
+        evs = [sim.timeout(3.0, "c"), sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
+        sim.all_of(evs).add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == [["c", "a", "b"]]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        got = []
+        sim.all_of([]).add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == [[]]
+
+    def test_any_of_first_wins(self):
+        sim = Simulator()
+        got = []
+        evs = [sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")]
+        sim.any_of(evs).add_callback(lambda e: got.append((sim.now, e.value)))
+        sim.run()
+        assert got == [(1.0, "fast")]
+
+    def test_any_of_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().any_of([])
+
+    def test_all_of_propagates_failure(self):
+        sim = Simulator()
+        got = []
+        ok = sim.timeout(1.0)
+        bad = sim.event()
+        sim.schedule(0.5, bad.fail, RuntimeError("boom"))
+        combined = sim.all_of([ok, bad])
+        combined.add_callback(lambda e: got.append(e.ok))
+        sim.run()
+        assert got == [False]
+        assert isinstance(combined.value, RuntimeError)

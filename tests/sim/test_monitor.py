@@ -1,0 +1,156 @@
+"""Tests for measurement utilities."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Counter, HourlyBuckets, TimeSeries, WelfordStats
+
+
+class TestCounter:
+    def test_increment_and_reset(self):
+        c = Counter("hits")
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestWelfordStats:
+    def test_empty_stats_are_nan(self):
+        s = WelfordStats()
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+        assert math.isnan(s.std)
+        assert s.count == 0
+
+    def test_single_sample(self):
+        s = WelfordStats()
+        s.add(3.0)
+        assert s.mean == 3.0
+        assert math.isnan(s.variance)
+        assert s.min == s.max == 3.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(10.0, 2.0, size=500)
+        s = WelfordStats()
+        for x in xs:
+            s.add(float(x))
+        assert s.mean == pytest.approx(xs.mean(), rel=1e-12)
+        assert s.variance == pytest.approx(xs.var(ddof=1), rel=1e-10)
+        assert s.min == xs.min()
+        assert s.max == xs.max()
+
+    def test_merge_equals_sequential(self):
+        rng = np.random.default_rng(1)
+        xs = rng.random(100)
+        a, b, total = WelfordStats(), WelfordStats(), WelfordStats()
+        for x in xs[:37]:
+            a.add(float(x))
+        for x in xs[37:]:
+            b.add(float(x))
+        for x in xs:
+            total.add(float(x))
+        a.merge(b)
+        assert a.count == total.count
+        assert a.mean == pytest.approx(total.mean, rel=1e-12)
+        assert a.variance == pytest.approx(total.variance, rel=1e-9)
+
+    def test_merge_with_empty(self):
+        a = WelfordStats()
+        a.add(1.0)
+        a.merge(WelfordStats())
+        assert a.count == 1
+        b = WelfordStats()
+        b.merge(a)
+        assert b.count == 1 and b.mean == 1.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_property_mean_within_bounds(self, xs):
+        s = WelfordStats()
+        for x in xs:
+            s.add(x)
+        assert s.min <= s.mean <= s.max
+        assert s.variance >= -1e-9
+
+
+class TestTimeSeries:
+    def test_record_and_arrays(self):
+        ts = TimeSeries("delay")
+        ts.record(0.0, 1.0)
+        ts.record(1.5, 2.0)
+        times, values = ts.as_arrays()
+        np.testing.assert_array_equal(times, [0.0, 1.5])
+        np.testing.assert_array_equal(values, [1.0, 2.0])
+        assert len(ts) == 2
+
+    def test_time_must_not_go_backwards(self):
+        ts = TimeSeries("x")
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries("x")
+        ts.record(5.0, 1.0)
+        ts.record(5.0, 2.0)
+        assert len(ts) == 2
+
+
+class TestHourlyBuckets:
+    def test_basic_bucketing(self):
+        hb = HourlyBuckets(horizon=3 * 3600.0)
+        hb.add(10.0)
+        hb.add(3599.9)
+        hb.add(3600.0)
+        hb.add(2 * 3600.0 + 1, amount=5)
+        np.testing.assert_array_equal(hb.counts, [2, 1, 5])
+
+    def test_event_at_horizon_folds_into_last_bucket(self):
+        hb = HourlyBuckets(horizon=2 * 3600.0)
+        hb.add(2 * 3600.0)
+        np.testing.assert_array_equal(hb.counts, [0, 1])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            HourlyBuckets(horizon=3600.0).add(-1.0)
+
+    def test_series_skip_warmup(self):
+        hb = HourlyBuckets(horizon=4 * 3600.0)
+        for h in range(4):
+            hb.add(h * 3600.0 + 1, amount=h + 1)
+        idx, counts = hb.series(skip=2)
+        np.testing.assert_array_equal(idx, [2, 3])
+        np.testing.assert_array_equal(counts, [3, 4])
+
+    def test_series_invalid_skip(self):
+        hb = HourlyBuckets(horizon=3600.0)
+        with pytest.raises(ValueError):
+            hb.series(skip=5)
+
+    def test_total(self):
+        hb = HourlyBuckets(horizon=3 * 3600.0)
+        hb.add(0.0, 2)
+        hb.add(3700.0, 3)
+        assert hb.total() == 5
+        assert hb.total(skip=1) == 3
+
+    def test_custom_width(self):
+        hb = HourlyBuckets(horizon=10.0, width=2.5)
+        assert hb.n_buckets == 4
+        np.testing.assert_array_equal(hb.bucket_starts(), [0.0, 2.5, 5.0, 7.5])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HourlyBuckets(horizon=0)
+        with pytest.raises(ValueError):
+            HourlyBuckets(horizon=10, width=0)

@@ -1,0 +1,65 @@
+"""Property tests for the measurement accumulators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import HourlyBuckets, WelfordStats
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=9999.0),
+            st.integers(min_value=0, max_value=50),
+        ),
+        max_size=60,
+    )
+)
+def test_buckets_conserve_totals(events):
+    hb = HourlyBuckets(horizon=10_000.0, width=250.0)
+    for time, amount in events:
+        hb.add(time, amount)
+    assert hb.counts.sum() == sum(a for _, a in events)
+    assert hb.total() == sum(a for _, a in events)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=9999.0),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(min_value=0, max_value=39),
+)
+def test_buckets_skip_partition(times, skip):
+    hb = HourlyBuckets(horizon=10_000.0, width=250.0)
+    for t in times:
+        hb.add(t)
+    # skip + kept always partitions the total.
+    _, kept = hb.series(skip=skip)
+    assert kept.sum() + hb.counts[:skip].sum() == len(times)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e5, max_value=1e5), min_size=1, max_size=80),
+    st.integers(min_value=1, max_value=79),
+)
+@settings(max_examples=40)
+def test_welford_merge_order_irrelevant(xs, split):
+    split = min(split, len(xs))
+    left, right = WelfordStats(), WelfordStats()
+    for x in xs[:split]:
+        left.add(x)
+    for x in xs[split:]:
+        right.add(x)
+    forward = WelfordStats()
+    forward.merge(left)
+    forward.merge(right)
+    backward = WelfordStats()
+    backward.merge(right)
+    backward.merge(left)
+    assert forward.count == backward.count == len(xs)
+    assert np.isclose(forward.mean, backward.mean, rtol=1e-9, atol=1e-9)
+    assert forward.min == backward.min
+    assert forward.max == backward.max

@@ -1,0 +1,192 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import Process, Simulator, Timeout
+from repro.sim.process import Interrupt
+
+
+class TestBasics:
+    def test_process_runs_and_waits_on_timeouts(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            log.append(("start", sim.now))
+            yield Timeout(sim, 2.0)
+            log.append(("mid", sim.now))
+            yield Timeout(sim, 3.0)
+            log.append(("end", sim.now))
+
+        sim.process(body())
+        sim.run()
+        assert log == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+    def test_timeout_payload_is_sent_back(self):
+        sim = Simulator()
+        got = []
+
+        def body():
+            value = yield Timeout(sim, 1.0, value="hello")
+            got.append(value)
+
+        sim.process(body())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_return_value_becomes_event_payload(self):
+        sim = Simulator()
+        got = []
+
+        def child():
+            yield Timeout(sim, 1.0)
+            return 42
+
+        def parent():
+            result = yield sim.process(child())
+            got.append((sim.now, result))
+
+        sim.process(parent())
+        sim.run()
+        assert got == [(1.0, 42)]
+
+    def test_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_alive_flag(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(sim, 1.0)
+
+        proc = sim.process(body())
+        assert proc.alive
+        sim.run()
+        assert not proc.alive
+        assert proc.triggered and proc.ok
+
+
+class TestFailure:
+    def test_exception_fails_the_process_event(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(sim, 1.0)
+            raise ValueError("boom")
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.value, ValueError)
+
+    def test_waiting_on_failed_event_raises_inside_process(self):
+        sim = Simulator()
+        caught = []
+
+        def body():
+            ev = sim.event()
+            sim.schedule(1.0, ev.fail, RuntimeError("bad"))
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(body())
+        sim.run()
+        assert caught == ["bad"]
+
+    def test_yielding_non_waitable_raises_in_process(self):
+        sim = Simulator()
+        caught = []
+
+        def body():
+            try:
+                yield "not an event"
+            except ProcessError as exc:
+                caught.append(str(exc))
+
+        sim.process(body())
+        sim.run()
+        assert len(caught) == 1
+        assert "non-waitable" in caught[0]
+
+    def test_process_cannot_wait_on_itself(self):
+        sim = Simulator()
+        caught = []
+        holder = {}
+
+        def body():
+            try:
+                yield holder["proc"]
+            except ProcessError:
+                caught.append(True)
+
+        holder["proc"] = sim.process(body())
+        sim.run()
+        assert caught == [True]
+
+
+class TestInterrupt:
+    def test_interrupt_reaches_body(self):
+        sim = Simulator()
+        log = []
+
+        def body():
+            try:
+                yield Timeout(sim, 100.0)
+            except Interrupt as i:
+                log.append((sim.now, i.cause))
+
+        proc = sim.process(body())
+        sim.schedule(3.0, proc.interrupt, "cancelled")
+        sim.run()
+        assert log == [(3.0, "cancelled")]
+
+    def test_interrupt_finished_process_rejected(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(sim, 1.0)
+
+        proc = sim.process(body())
+        sim.run()
+        with pytest.raises(ProcessError):
+            proc.interrupt()
+
+
+class TestComposition:
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield Timeout(sim, period)
+                log.append((name, sim.now))
+
+        sim.process(ticker("fast", 1.0))
+        sim.process(ticker("slow", 2.5))
+        sim.run()
+        assert log == [
+            ("fast", 1.0),
+            ("fast", 2.0),
+            ("slow", 2.5),
+            ("fast", 3.0),
+            ("slow", 5.0),
+            ("slow", 7.5),
+        ]
+
+    def test_process_waits_on_all_of(self):
+        sim = Simulator()
+        got = []
+
+        def body():
+            values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+            got.append((sim.now, values))
+
+        sim.process(body())
+        sim.run()
+        assert got == [(2.0, ["a", "b"])]

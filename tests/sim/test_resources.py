@@ -1,0 +1,151 @@
+"""Tests for Store and Resource queueing primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, Store, Timeout
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield Timeout(sim, 2.0)
+            yield store.put("apple")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(2.0, "apple")]
+
+    def test_fifo_ordering_of_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_fifo_ordering_of_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+
+        def producer():
+            yield Timeout(sim, 1.0)
+            yield store.put("x")
+            yield store.put("y")
+
+        sim.process(producer())
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_capacity_blocks_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put-a", sim.now))
+            yield store.put("b")
+            log.append(("put-b", sim.now))
+
+        def consumer():
+            yield Timeout(sim, 5.0)
+            item = yield store.get()
+            log.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert log == [("put-a", 0.0), ("got", "a", 5.0), ("put-b", 5.0)]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+    def test_len_and_items_snapshot(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        sim.run()
+        assert len(store) == 2
+        assert store.items == (1, 2)
+
+
+class TestResource:
+    def test_capacity_one_serializes_holders(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def worker(name, hold):
+            yield res.request()
+            log.append((name, "acquired", sim.now))
+            yield Timeout(sim, hold)
+            res.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert log == [("a", "acquired", 0.0), ("b", "acquired", 2.0)]
+
+    def test_capacity_two_allows_parallel(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def worker(name):
+            yield res.request()
+            log.append((name, sim.now))
+            yield Timeout(sim, 1.0)
+            res.release()
+
+        for name in "abc":
+            sim.process(worker(name))
+        sim.run()
+        assert log == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_release_without_request_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator()).release()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_counters(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        res.request()
+        sim.run()
+        assert res.in_use == 1
+        assert res.queued == 1

@@ -1,0 +1,34 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Keeps the documentation honest: if an API example in a docstring drifts from
+the implementation, this test fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro.rng
+import repro.sim.kernel
+import repro.workload.zipf
+
+MODULES_WITH_EXAMPLES = [
+    repro.rng,
+    repro.sim.kernel,
+    repro.workload.zipf,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_EXAMPLES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_at_least_one_example_per_module():
+    for module in MODULES_WITH_EXAMPLES:
+        finder = doctest.DocTestFinder()
+        examples = sum(len(t.examples) for t in finder.find(module))
+        assert examples > 0, f"{module.__name__} lists no runnable examples"

@@ -1,0 +1,45 @@
+"""Smoke tests: every shipped example must run clean and tell its story.
+
+Examples are documentation that executes; breaking one silently is how
+reproduction repos rot. Each runs in a subprocess exactly as a user would
+run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_PHRASES = {
+    "quickstart.py": ["adaptation cut messages"],
+    "music_sharing.py": ["static vs dynamic", "reconfigurations performed"],
+    "web_cache.py": ["neighbor hit rate", "+digests"],
+    "olap_cache.py": ["warehouse offload", "saved an extra"],
+    "strategy_comparison.py": ["directed BFT", "local indices"],
+    "convergence.py": ["taste clustering over", "mean neighbor degree"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_PHRASES))
+def test_example_runs_and_reports(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    for phrase in EXPECTED_PHRASES[script]:
+        assert phrase in result.stdout, (
+            f"{script} output lost its '{phrase}' line:\n{result.stdout[-2000:]}"
+        )
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_PHRASES), (
+        "examples/ and the smoke-test table drifted apart"
+    )

@@ -1,0 +1,87 @@
+"""Tests for deterministic RNG stream management."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import RngStreams, stream_key
+
+
+class TestStreamKey:
+    def test_stable_across_calls(self):
+        assert stream_key("churn") == stream_key("churn")
+
+    def test_distinct_names_distinct_keys(self):
+        assert stream_key("churn") != stream_key("queries")
+
+    def test_known_range(self):
+        key = stream_key("anything")
+        assert 0 <= key < 2**64
+
+
+class TestRngStreams:
+    def test_same_seed_same_draws(self):
+        a = RngStreams(seed=42).get("x").random(8)
+        b = RngStreams(seed=42).get("x").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).get("x").random(8)
+        b = RngStreams(seed=2).get("x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        streams = RngStreams(seed=0)
+        a = streams.get("a").random(8)
+        b = streams.get("b").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_get_is_cached(self):
+        streams = RngStreams(seed=0)
+        assert streams.get("a") is streams.get("a")
+
+    def test_consuming_one_stream_does_not_shift_another(self):
+        s1 = RngStreams(seed=9)
+        s1.get("noise").random(1000)
+        after = s1.get("signal").random(4)
+
+        s2 = RngStreams(seed=9)
+        untouched = s2.get("signal").random(4)
+        np.testing.assert_array_equal(after, untouched)
+
+    def test_fresh_bypasses_cache(self):
+        streams = RngStreams(seed=3)
+        cached = streams.get("x")
+        cached.random(100)
+        fresh = streams.fresh("x")
+        assert fresh is not cached
+        # Fresh stream starts from the beginning of the sequence.
+        np.testing.assert_array_equal(
+            fresh.random(4), RngStreams(seed=3).get("x").random(4)
+        )
+
+    def test_child_streams_independent_of_parent(self):
+        parent = RngStreams(seed=5)
+        child = parent.child("replica-0")
+        a = parent.get("x").random(4)
+        b = child.get("x").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_child_deterministic(self):
+        a = RngStreams(seed=5).child("r").get("x").random(4)
+        b = RngStreams(seed=5).child("r").get("x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(TypeError):
+            RngStreams(seed="abc")  # type: ignore[arg-type]
+
+    def test_seed_property(self):
+        assert RngStreams(seed=17).seed == 17
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.text(min_size=1, max_size=20))
+    def test_property_determinism(self, seed, name):
+        a = RngStreams(seed=seed).get(name).integers(0, 1 << 30, size=4)
+        b = RngStreams(seed=seed).get(name).integers(0, 1 << 30, size=4)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,60 @@
+"""Tests for the shared result types."""
+
+import pytest
+
+from repro.types import DAY, HOUR, QueryOutcome, QueryResult
+
+
+def make_outcome(results, messages=10, contacted=5):
+    return QueryOutcome(
+        initiator=0,
+        item=7,
+        issued_at=100.0,
+        results=tuple(results),
+        messages=messages,
+        nodes_contacted=contacted,
+    )
+
+
+class TestQueryResult:
+    def test_fields(self):
+        r = QueryResult(responder=3, item=7, hops=2, delay=0.45)
+        assert r.responder == 3
+        assert r.item == 7
+        assert r.hops == 2
+        assert r.delay == pytest.approx(0.45)
+
+    def test_frozen(self):
+        r = QueryResult(responder=3, item=7, hops=2, delay=0.45)
+        with pytest.raises(AttributeError):
+            r.hops = 5  # type: ignore[misc]
+
+
+class TestQueryOutcome:
+    def test_miss_has_no_hit(self):
+        o = make_outcome([])
+        assert not o.hit
+        assert o.first_result_delay is None
+        assert o.result_count == 0
+
+    def test_hit_and_first_delay_is_minimum(self):
+        o = make_outcome(
+            [
+                QueryResult(1, 7, 2, 0.9),
+                QueryResult(2, 7, 1, 0.3),
+                QueryResult(3, 7, 3, 1.2),
+            ]
+        )
+        assert o.hit
+        assert o.result_count == 3
+        assert o.first_result_delay == pytest.approx(0.3)
+
+    def test_message_accounting_passthrough(self):
+        o = make_outcome([], messages=42, contacted=17)
+        assert o.messages == 42
+        assert o.nodes_contacted == 17
+
+
+def test_time_constants():
+    assert HOUR == 3600.0
+    assert DAY == 24 * HOUR

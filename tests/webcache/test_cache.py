@@ -1,0 +1,85 @@
+"""Tests for the LRU cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.webcache.cache import LRUCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        c = LRUCache(2)
+        c.put(1)
+        assert c.get(1)
+        assert not c.get(2)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction_order(self):
+        c = LRUCache(2)
+        c.put(1)
+        c.put(2)
+        evicted = c.put(3)
+        assert evicted == 1
+        assert 1 not in c and 2 in c and 3 in c
+        assert c.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put(1)
+        c.put(2)
+        c.get(1)
+        assert c.put(3) == 2  # 2 was least recently used
+
+    def test_put_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put(1)
+        c.put(2)
+        c.put(1)  # refresh, no eviction
+        assert c.put(3) == 2
+
+    def test_reinsert_present_no_eviction(self):
+        c = LRUCache(1)
+        c.put(1)
+        assert c.put(1) is None
+        assert c.evictions == 0
+
+    def test_keys_order(self):
+        c = LRUCache(3)
+        for i in (1, 2, 3):
+            c.put(i)
+        c.get(1)
+        assert c.keys() == (2, 3, 1)
+
+    def test_hit_rate(self):
+        c = LRUCache(2)
+        assert c.hit_rate == 0.0
+        c.put(1)
+        c.get(1)
+        c.get(9)
+        assert c.hit_rate == 0.5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(0)
+
+
+class TestMirror:
+    def test_mirror_tracks_contents(self):
+        mirror = set()
+        c = LRUCache(2, mirror=mirror)
+        c.put(1)
+        c.put(2)
+        assert mirror == {1, 2}
+        c.put(3)
+        assert mirror == {2, 3}
+
+    @given(st.lists(st.integers(0, 12), max_size=60))
+    def test_property_mirror_always_equals_keys(self, items):
+        mirror = set()
+        c = LRUCache(4, mirror=mirror)
+        for item in items:
+            c.put(item)
+            assert mirror == set(c.keys())
+            assert len(c) <= 4

@@ -1,0 +1,65 @@
+"""Convergence series: adaptation must *learn* over the run, not just win on
+totals, in both non-Gnutella instantiations."""
+
+import numpy as np
+
+from repro.olap import OlapConfig, run_olap_simulation
+from repro.webcache import WebCacheConfig, run_webcache_simulation
+from repro.workload.olap_workload import OlapWorkloadConfig
+from repro.workload.webtrace import WebTraceConfig
+
+
+def halves(series):
+    arr = np.asarray(series, dtype=float)
+    mid = len(arr) // 2
+    return arr[:mid].mean(), arr[mid:].mean()
+
+
+class TestWebCacheConvergence:
+    def test_series_length_matches_rounds(self):
+        cfg = WebCacheConfig(
+            trace=WebTraceConfig(n_proxies=12, n_objects=2000, n_sites=20),
+            n_rounds=100,
+            seed=2,
+        )
+        result = run_webcache_simulation(cfg)
+        assert len(result.neighbor_hits_per_round) == 100
+        assert sum(result.neighbor_hits_per_round) == result.neighbor_hits
+
+    def test_adaptive_second_half_beats_first(self):
+        cfg = WebCacheConfig(n_rounds=400, seed=2, adaptive=True)
+        result = run_webcache_simulation(cfg)
+        early, late = halves(result.neighbor_hits_per_round)
+        assert late > early, "cooperation must improve as updates accumulate"
+
+    def test_adaptive_outlearns_static_late(self):
+        base = WebCacheConfig(n_rounds=400, seed=2)
+        adaptive = run_webcache_simulation(base)
+        from dataclasses import replace
+
+        static = run_webcache_simulation(replace(base, adaptive=False))
+        _, adaptive_late = halves(adaptive.neighbor_hits_per_round)
+        _, static_late = halves(static.neighbor_hits_per_round)
+        assert adaptive_late > static_late
+
+
+class TestOlapConvergence:
+    def test_series_length_matches_rounds(self):
+        cfg = OlapConfig(
+            workload=OlapWorkloadConfig(n_peers=15, n_chunks=800, n_regions=10),
+            n_rounds=80,
+            seed=4,
+        )
+        result = run_olap_simulation(cfg)
+        assert len(result.peer_chunks_per_round) == 80
+        assert sum(result.peer_chunks_per_round) == result.peer_chunks
+
+    def test_adaptive_outlearns_static_late(self):
+        from dataclasses import replace
+
+        base = OlapConfig(n_rounds=300, seed=4)
+        adaptive = run_olap_simulation(base)
+        static = run_olap_simulation(replace(base, adaptive=False))
+        _, adaptive_late = halves(adaptive.peer_chunks_per_round)
+        _, static_late = halves(static.peer_chunks_per_round)
+        assert adaptive_late > static_late

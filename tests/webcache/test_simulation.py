@@ -1,0 +1,124 @@
+"""Tests for the cooperative web-caching simulation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.webcache import WebCacheConfig, run_webcache_simulation
+from repro.webcache.origin import OriginServer
+from repro.workload.webtrace import WebTraceConfig
+
+import numpy as np
+
+
+class TestOrigin:
+    def test_fetch_counts_and_latency(self):
+        origin = OriginServer(100, np.random.default_rng(0))
+        lat = origin.fetch(5)
+        assert lat >= 0.2
+        assert origin.fetches == 1
+        assert origin.latency_of(5) == lat
+
+    def test_invalid_object(self):
+        origin = OriginServer(10, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            origin.fetch(10)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            OriginServer(0, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            OriginServer(10, np.random.default_rng(0), mean_latency=0)
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        trace=WebTraceConfig(n_proxies=12, n_objects=2000, n_sites=20),
+        cache_capacity=80,
+        n_rounds=150,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return WebCacheConfig(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cache_capacity": 0},
+            {"neighbor_slots": 0},
+            {"n_rounds": 0},
+            {"explore_every": 0},
+            {"update_every": 0},
+            {"explore_ttl": 0},
+            {"proxy_delay": 0},
+            {"recent_misses_tracked": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            quick_config(**kwargs)
+
+
+class TestSimulation:
+    def test_accounting_adds_up(self):
+        r = run_webcache_simulation(quick_config())
+        assert r.requests == 12 * 150
+        assert r.local_hits + r.neighbor_hits + r.origin_fetches == r.requests
+        assert r.total_latency > 0
+        assert 0 <= r.local_hit_rate <= 1
+        assert 0 <= r.neighbor_hit_rate <= 1
+
+    def test_static_never_explores(self):
+        r = run_webcache_simulation(quick_config(adaptive=False))
+        assert r.exploration_messages == 0
+
+    def test_adaptive_explores(self):
+        r = run_webcache_simulation(quick_config(adaptive=True))
+        assert r.exploration_messages > 0
+
+    def test_deterministic(self):
+        a = run_webcache_simulation(quick_config())
+        b = run_webcache_simulation(quick_config())
+        assert a == b
+
+    def test_adaptation_improves_cooperation(self):
+        static = run_webcache_simulation(quick_config(adaptive=False, n_rounds=400))
+        adaptive = run_webcache_simulation(quick_config(adaptive=True, n_rounds=400))
+        assert adaptive.neighbor_hit_rate > static.neighbor_hit_rate
+        assert adaptive.mean_latency < static.mean_latency
+
+    def test_search_one_hop_only(self):
+        # TTL-1 search: per missed request at most `neighbor_slots` messages.
+        cfg = quick_config(neighbor_slots=3)
+        r = run_webcache_simulation(cfg)
+        non_local = r.requests - r.local_hits
+        assert r.search_messages <= 3 * non_local
+
+
+class TestCacheDigests:
+    def test_digests_slash_search_messages(self):
+        plain = run_webcache_simulation(quick_config())
+        guided = run_webcache_simulation(quick_config(use_digests=True))
+        assert guided.search_messages < 0.3 * plain.search_messages
+        # Staleness costs some neighbor hits but most survive.
+        assert guided.neighbor_hits > 0.6 * plain.neighbor_hits
+        assert guided.digest_refreshes > 0
+
+    def test_digest_refresh_cadence(self):
+        r = run_webcache_simulation(
+            quick_config(use_digests=True, digest_refresh_every=50, n_rounds=150)
+        )
+        # Publishes at rounds 1, 50, 100, 150 for 12 proxies.
+        assert r.digest_refreshes == 4 * 12
+
+    def test_digest_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            quick_config(use_digests=True, digest_refresh_every=0)
+        with pytest.raises(ConfigurationError):
+            quick_config(digest_fp_rate=0.0)
+
+    def test_digests_deterministic(self):
+        a = run_webcache_simulation(quick_config(use_digests=True))
+        b = run_webcache_simulation(quick_config(use_digests=True))
+        assert a == b

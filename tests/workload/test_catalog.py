@@ -1,0 +1,73 @@
+"""Tests for the music catalog layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload.catalog import MusicCatalog
+
+
+@pytest.fixture
+def catalog():
+    return MusicCatalog(n_items=1000, n_categories=10, theta=0.9)
+
+
+class TestLayout:
+    def test_paper_defaults(self):
+        c = MusicCatalog()
+        assert c.n_items == 200_000
+        assert c.n_categories == 50
+        assert c.items_per_category == 4000
+        assert c.theta == 0.9
+
+    def test_category_of_contiguous_blocks(self, catalog):
+        assert catalog.category_of(0) == 0
+        assert catalog.category_of(99) == 0
+        assert catalog.category_of(100) == 1
+        assert catalog.category_of(999) == 9
+
+    def test_rank_of(self, catalog):
+        assert catalog.rank_of(0) == 0
+        assert catalog.rank_of(105) == 5
+
+    def test_item_at_inverts_category_and_rank(self, catalog):
+        assert catalog.item_at(3, 7) == 307
+        assert catalog.category_of(307) == 3
+        assert catalog.rank_of(307) == 7
+
+    def test_category_range(self, catalog):
+        r = catalog.category_range(2)
+        assert list(r)[:3] == [200, 201, 202]
+        assert len(r) == 100
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(WorkloadError):
+            MusicCatalog(n_items=1001, n_categories=10)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(WorkloadError):
+            MusicCatalog(n_items=0, n_categories=1)
+        with pytest.raises(WorkloadError):
+            MusicCatalog(n_items=10, n_categories=0)
+
+    def test_out_of_range_lookups(self, catalog):
+        with pytest.raises(WorkloadError):
+            catalog.category_of(1000)
+        with pytest.raises(WorkloadError):
+            catalog.rank_of(-1)
+        with pytest.raises(WorkloadError):
+            catalog.item_at(10, 0)
+        with pytest.raises(WorkloadError):
+            catalog.item_at(0, 100)
+        with pytest.raises(WorkloadError):
+            catalog.category_range(10)
+
+    @given(st.integers(0, 999))
+    def test_property_roundtrip(self, item):
+        c = MusicCatalog(n_items=1000, n_categories=10)
+        assert c.item_at(c.category_of(item), c.rank_of(item)) == item
+
+
+def test_popularity_support_matches_category_size(catalog):
+    assert catalog.popularity.n == catalog.items_per_category

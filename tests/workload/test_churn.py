@@ -1,0 +1,110 @@
+"""Tests for the exponential on/off churn model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.types import HOUR
+from repro.workload.churn import ChurnModel, SessionSchedule
+
+
+class TestChurnModel:
+    def test_paper_defaults(self):
+        m = ChurnModel()
+        assert m.mean_online == 3 * HOUR
+        assert m.mean_offline == 3 * HOUR
+        assert m.stationary_online_probability == 0.5
+
+    def test_asymmetric_stationary_probability(self):
+        m = ChurnModel(mean_online=HOUR, mean_offline=3 * HOUR)
+        assert m.stationary_online_probability == pytest.approx(0.25)
+
+    def test_invalid_means(self):
+        with pytest.raises(WorkloadError):
+            ChurnModel(mean_online=0)
+        with pytest.raises(WorkloadError):
+            ChurnModel(mean_offline=-1)
+
+    def test_duration_means(self):
+        m = ChurnModel()
+        rng = np.random.default_rng(0)
+        durations = [m.online_duration(rng) for _ in range(4000)]
+        assert np.mean(durations) == pytest.approx(3 * HOUR, rel=0.05)
+
+    def test_initial_online_roughly_half(self):
+        m = ChurnModel()
+        rng = np.random.default_rng(1)
+        online = sum(m.initial_online(rng) for _ in range(4000))
+        assert abs(online / 4000 - 0.5) < 0.03
+
+
+class TestSessionSchedule:
+    def test_transitions_increasing_and_within_horizon(self):
+        m = ChurnModel()
+        s = SessionSchedule.generate(0, m, horizon=96 * HOUR, rng=np.random.default_rng(2))
+        times = s.transitions
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert all(0 < t < 96 * HOUR for t in times)
+
+    def test_state_at_alternates(self):
+        s = SessionSchedule(user=0, initially_online=True, transitions=(10.0, 20.0, 30.0))
+        # online [0,10), offline [10,20), online [20,30), offline [30,...)
+        assert s.state_at(5.0) is True
+        assert s.state_at(10.0) is False
+        assert s.state_at(15.0) is False
+        assert s.state_at(25.0) is True
+        assert s.state_at(35.0) is False
+
+    def test_state_at_initially_offline(self):
+        s = SessionSchedule(user=0, initially_online=False, transitions=(10.0,))
+        assert s.state_at(0.0) is False
+        assert s.state_at(10.0) is True
+
+    def test_intervals_online_first(self):
+        s = SessionSchedule(user=0, initially_online=True, transitions=(10.0, 20.0))
+        assert s.intervals(horizon=30.0) == [(0.0, 10.0), (20.0, 30.0)]
+
+    def test_intervals_offline_first(self):
+        s = SessionSchedule(user=0, initially_online=False, transitions=(10.0, 20.0))
+        assert s.intervals(horizon=30.0) == [(10.0, 20.0)]
+
+    def test_no_transitions(self):
+        always_on = SessionSchedule(0, True, ())
+        assert always_on.intervals(50.0) == [(0.0, 50.0)]
+        always_off = SessionSchedule(0, False, ())
+        assert always_off.intervals(50.0) == []
+
+    def test_invalid_horizon(self):
+        with pytest.raises(WorkloadError):
+            SessionSchedule.generate(0, ChurnModel(), horizon=0, rng=np.random.default_rng(0))
+
+    def test_stationary_online_fraction(self):
+        # Average online time fraction across many users should be ~ 1/2.
+        m = ChurnModel()
+        rng = np.random.default_rng(3)
+        horizon = 96 * HOUR
+        total_online = 0.0
+        n_users = 300
+        for u in range(n_users):
+            s = SessionSchedule.generate(u, m, horizon, rng)
+            total_online += sum(e - s_ for s_, e in s.intervals(horizon))
+        fraction = total_online / (n_users * horizon)
+        assert abs(fraction - 0.5) < 0.03
+
+    def test_deterministic(self):
+        m = ChurnModel()
+        a = SessionSchedule.generate(0, m, 10 * HOUR, np.random.default_rng(4))
+        b = SessionSchedule.generate(0, m, 10 * HOUR, np.random.default_rng(4))
+        assert a == b
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20)
+    def test_property_intervals_cover_state_at(self, seed):
+        m = ChurnModel(mean_online=100.0, mean_offline=100.0)
+        s = SessionSchedule.generate(0, m, 1000.0, np.random.default_rng(seed))
+        intervals = s.intervals(1000.0)
+        for probe in np.linspace(0.0, 999.0, 23):
+            in_interval = any(start <= probe < end for start, end in intervals)
+            assert in_interval == s.state_at(probe)

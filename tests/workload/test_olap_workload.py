@@ -1,0 +1,81 @@
+"""Tests for the chunked OLAP workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.olap_workload import OlapWorkload, OlapWorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return OlapWorkload(OlapWorkloadConfig(), np.random.default_rng(0))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            OlapWorkloadConfig(n_peers=0)
+        with pytest.raises(WorkloadError):
+            OlapWorkloadConfig(n_chunks=2001, n_regions=20)
+        with pytest.raises(WorkloadError):
+            OlapWorkloadConfig(mean_query_span=0.5)
+        with pytest.raises(WorkloadError):
+            OlapWorkloadConfig(locality=-0.1)
+
+
+class TestSampling:
+    def test_query_chunks_contiguous_and_in_range(self, workload):
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            q = workload.sample_query(0, rng)
+            chunks = q.chunks
+            assert len(chunks) >= 1
+            assert all(b == a + 1 for a, b in zip(chunks, chunks[1:]))
+            assert 0 <= chunks[0] and chunks[-1] < workload.config.n_chunks
+
+    def test_mean_span_roughly_configured(self, workload):
+        rng = np.random.default_rng(2)
+        spans = [len(workload.sample_query(0, rng).chunks) for _ in range(4000)]
+        assert np.mean(spans) == pytest.approx(workload.config.mean_query_span, rel=0.15)
+
+    def test_locality_concentrates_on_hot_region(self, workload):
+        rng = np.random.default_rng(3)
+        peer = 0
+        hot = int(workload.hot_region[peer])
+        hits = 0
+        n = 2000
+        for _ in range(n):
+            q = workload.sample_query(peer, rng)
+            mid = q.chunks[len(q.chunks) // 2]
+            hits += workload.region_of(mid) == hot
+        assert hits / n > 0.6
+
+    def test_region_of(self, workload):
+        per = workload.chunks_per_region
+        assert workload.region_of(0) == 0
+        assert workload.region_of(per) == 1
+        with pytest.raises(WorkloadError):
+            workload.region_of(workload.config.n_chunks)
+
+    def test_invalid_peer(self, workload):
+        with pytest.raises(WorkloadError):
+            workload.sample_query(999, np.random.default_rng(0))
+
+    def test_query_records_peer(self, workload):
+        q = workload.sample_query(3, np.random.default_rng(4))
+        assert q.peer == 3
+
+    def test_shared_hot_regions_exist(self):
+        wl = OlapWorkload(OlapWorkloadConfig(n_peers=30), np.random.default_rng(5))
+        counts = np.bincount(wl.hot_region, minlength=wl.config.n_regions)
+        assert counts.max() >= 2
+
+    def test_deterministic(self):
+        cfg = OlapWorkloadConfig()
+        a = OlapWorkload(cfg, np.random.default_rng(6))
+        b = OlapWorkload(cfg, np.random.default_rng(6))
+        np.testing.assert_array_equal(a.hot_region, b.hot_region)
+        qa = a.sample_query(0, np.random.default_rng(7))
+        qb = b.sample_query(0, np.random.default_rng(7))
+        assert qa == qb

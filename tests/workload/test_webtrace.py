@@ -1,0 +1,76 @@
+"""Tests for the synthetic web workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.webtrace import WebTraceConfig, WebWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WebWorkload(WebTraceConfig(), np.random.default_rng(0))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WebTraceConfig(n_proxies=0)
+        with pytest.raises(WorkloadError):
+            WebTraceConfig(n_objects=101, n_sites=50)
+        with pytest.raises(WorkloadError):
+            WebTraceConfig(locality=1.5)
+
+
+class TestSampling:
+    def test_objects_in_range(self, workload):
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            obj = workload.sample_request(0, rng)
+            assert 0 <= obj < workload.config.n_objects
+
+    def test_site_of(self, workload):
+        per = workload.objects_per_site
+        assert workload.site_of(0) == 0
+        assert workload.site_of(per) == 1
+        with pytest.raises(WorkloadError):
+            workload.site_of(workload.config.n_objects)
+
+    def test_locality_concentrates_on_primary_site(self, workload):
+        rng = np.random.default_rng(2)
+        proxy = 0
+        primary = int(workload.primary_site[proxy])
+        hits = sum(
+            workload.site_of(workload.sample_request(proxy, rng)) == primary
+            for _ in range(3000)
+        )
+        # locality=0.6 plus uniform background that sometimes lands there too.
+        assert hits / 3000 > 0.55
+
+    def test_zero_locality_uniform_sites(self):
+        wl = WebWorkload(WebTraceConfig(locality=0.0), np.random.default_rng(0))
+        rng = np.random.default_rng(3)
+        sites = [wl.site_of(wl.sample_request(0, rng)) for _ in range(5000)]
+        counts = np.bincount(sites, minlength=wl.config.n_sites)
+        assert counts.min() > 0  # every site hit at least once
+
+    def test_shared_interest_groups_exist(self):
+        # Zipf site assignment must give at least two proxies the same
+        # primary site for a reasonably sized population.
+        wl = WebWorkload(WebTraceConfig(n_proxies=30), np.random.default_rng(4))
+        counts = np.bincount(wl.primary_site, minlength=wl.config.n_sites)
+        assert counts.max() >= 2
+
+    def test_invalid_proxy(self, workload):
+        with pytest.raises(WorkloadError):
+            workload.sample_request(999, np.random.default_rng(0))
+
+    def test_trace_shape_and_determinism(self, workload):
+        a = workload.trace(1, 50, np.random.default_rng(5))
+        b = workload.trace(1, 50, np.random.default_rng(5))
+        assert a.shape == (50,)
+        np.testing.assert_array_equal(a, b)
+
+    def test_trace_negative_length(self, workload):
+        with pytest.raises(WorkloadError):
+            workload.trace(0, -1, np.random.default_rng(0))
