@@ -104,9 +104,12 @@ def plan_reconfiguration(
     excluded = set(exclude)
     current_set = set(current)
     candidates = set(stats.known_nodes()) | current_set
+    # Iterate in id order: the final sort key is total (id tiebreak), so this
+    # does not change the result — it removes the set-ordering dependence the
+    # R003 lint rule guards against, keeping the plan stable by construction.
     pool = [
         n
-        for n in candidates
+        for n in sorted(candidates)
         if n not in excluded and (eligible is None or eligible(n) or n in current_set)
     ]
     pool.sort(key=lambda n: (-stats.benefit_of(n), n not in current_set, n))

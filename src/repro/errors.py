@@ -46,3 +46,7 @@ class NeighborListError(FrameworkError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid experiment or scenario configuration."""
+
+
+class SanitizerError(ReproError):
+    """Raised by :mod:`repro.lint.sanitize` when a runtime invariant breaks."""

@@ -10,7 +10,7 @@ from repro.gnutella.detailed import DetailedGnutellaEngine
 from repro.gnutella.fast import FastGnutellaEngine
 from repro.gnutella.metrics import SimulationMetrics
 
-__all__ = ["SimulationResult", "run_simulation"]
+__all__ = ["SimulationResult", "build_engine", "run_simulation", "summarize"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,7 +41,38 @@ class SimulationResult:
         return "Dynamic_Gnutella" if self.config.dynamic else "Gnutella"
 
 
-def run_simulation(config: GnutellaConfig, engine: str = "fast") -> SimulationResult:
+def build_engine(config: GnutellaConfig, engine: str = "fast") -> FastGnutellaEngine:
+    """Construct (but do not run) the engine named by ``engine``.
+
+    Split out of :func:`run_simulation` so callers can instrument the engine
+    before running — e.g. :func:`repro.lint.sanitize.attach_hasher` wraps the
+    kernel's event queue, and :func:`~repro.lint.sanitize.install_consistency_checks`
+    schedules periodic invariant probes.
+    """
+    if engine == "fast":
+        return FastGnutellaEngine(config)
+    if engine == "detailed":
+        return DetailedGnutellaEngine(config)
+    raise ConfigurationError(f"unknown engine {engine!r}; use 'fast' or 'detailed'")
+
+
+def summarize(eng: FastGnutellaEngine) -> SimulationResult:
+    """Summarize a completed engine run into a :class:`SimulationResult`."""
+    online = [p for p in eng.peers if p.online]
+    mean_degree = (
+        sum(p.degree for p in online) / len(online) if online else 0.0
+    )
+    return SimulationResult(
+        config=eng.config,
+        metrics=eng.metrics,
+        taste_clustering=eng.taste_clustering(),
+        mean_degree=mean_degree,
+    )
+
+
+def run_simulation(
+    config: GnutellaConfig, engine: str = "fast", *, sanitize: bool | None = None
+) -> SimulationResult:
     """Build the world from ``config``, run it, and summarize.
 
     Parameters
@@ -51,21 +82,20 @@ def run_simulation(config: GnutellaConfig, engine: str = "fast") -> SimulationRe
     engine:
         ``"fast"`` (atomic queries; the figure-scale default) or
         ``"detailed"`` (message-level; validation scale).
+    sanitize:
+        Install the periodic Section 3.1 consistency assertions of
+        :mod:`repro.lint.sanitize` into the run (debug mode; a violation
+        raises :class:`~repro.errors.SanitizerError`).  ``None`` (default)
+        defers to the ``REPRO_SANITIZE`` environment variable.
     """
-    if engine == "fast":
-        eng: FastGnutellaEngine = FastGnutellaEngine(config)
-    elif engine == "detailed":
-        eng = DetailedGnutellaEngine(config)
-    else:
-        raise ConfigurationError(f"unknown engine {engine!r}; use 'fast' or 'detailed'")
-    metrics = eng.run()
-    online = [p for p in eng.peers if p.online]
-    mean_degree = (
-        sum(p.degree for p in online) / len(online) if online else 0.0
-    )
-    return SimulationResult(
-        config=config,
-        metrics=metrics,
-        taste_clustering=eng.taste_clustering(),
-        mean_degree=mean_degree,
-    )
+    eng = build_engine(config, engine)
+    if sanitize is None:
+        from repro.lint.sanitize import sanitizer_env_enabled
+
+        sanitize = sanitizer_env_enabled()
+    if sanitize:
+        from repro.lint.sanitize import install_consistency_checks
+
+        install_consistency_checks(eng)
+    eng.run()
+    return summarize(eng)

@@ -1,0 +1,34 @@
+"""repro-lint: determinism & protocol-invariant static analysis.
+
+The paper's framework only produces meaningful numbers when simulations are
+reproducible (same seed => bit-identical event stream) and the Section 3.1
+consistency predicate holds throughout a run.  This subpackage enforces both:
+
+* a static layer — an AST-based linter (``python -m repro.lint``, console
+  script ``repro-lint``) with a registry of rules targeting this codebase's
+  real determinism hazards (see :mod:`repro.lint.rules` for the catalogue);
+* a runtime layer — :mod:`repro.lint.sanitize`, which hashes the executed
+  event stream of a :class:`~repro.sim.kernel.Simulator` so same-seed runs
+  can be asserted identical, and installs periodic Section 3.1 consistency
+  assertions into the Gnutella engines.
+
+Suppress a finding with a trailing ``# repro-lint: disable=CODE`` comment or
+a file-wide ``# repro-lint: disable-file=CODE`` comment (see
+``docs/development.md``).
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Finding, LintResult, lint_file, lint_paths, lint_source
+from repro.lint.rules import RULES, Rule, all_rules
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

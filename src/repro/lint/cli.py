@@ -1,0 +1,108 @@
+"""Command-line interface: ``repro-lint`` / ``python -m repro.lint``.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json, render_rule_list, render_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Determinism & protocol-invariant static analysis for the repro "
+            "package. Checks for unseeded RNG use, wall-clock reads, "
+            "ordering-sensitive set iteration, float timestamp equality, and "
+            "shared mutable state."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by suppression comments",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"repro-lint: error: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = lint_paths(
+            args.paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except ValueError as exc:  # unknown rule codes
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.format == "json":
+            print(render_json(result))
+        else:
+            print(render_text(result, show_suppressed=args.show_suppressed))
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; that is not
+        # an error. Detach stdout so interpreter shutdown doesn't retry.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

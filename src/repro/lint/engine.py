@@ -1,0 +1,153 @@
+"""File collection, rule execution, and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.model import Finding, ModuleContext, parse_suppressions
+from repro.lint.rules import RULES
+
+__all__ = ["LintResult", "lint_file", "lint_paths", "lint_source"]
+
+#: Pseudo-code reported for unparseable files; never suppressible.
+PARSE_ERROR_CODE = "R000"
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Aggregate outcome of one lint invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the tree is clean (no unsuppressed findings)."""
+        return not self.findings
+
+    def merge(self, other: "LintResult") -> None:
+        """Fold ``other`` into this result."""
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.checked_files += other.checked_files
+
+
+def _module_name(path: Path) -> str | None:
+    """Dotted module name for files inside a ``repro`` package tree."""
+    parts = list(path.with_suffix("").parts)
+    for i, part in enumerate(parts):
+        if part == "repro":
+            name = ".".join(parts[i:])
+            return name.removesuffix(".__init__")
+    return None
+
+
+def _select_rules(
+    select: Sequence[str] | None, ignore: Sequence[str] | None
+) -> list[str]:
+    codes = sorted(select) if select else sorted(RULES)
+    unknown = [c for c in {*(select or ()), *(ignore or ())} if c not in RULES]
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    ignored = set(ignore or ())
+    return [c for c in codes if c not in ignored]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    module: str | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint a source string; the core entry point the others delegate to."""
+    result = LintResult(checked_files=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse file: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        )
+        return result
+    ctx = ModuleContext(path=path, tree=tree, module=module)
+    suppressions = parse_suppressions(source)
+    for code in _select_rules(select, ignore):
+        rule_cls = RULES[code]
+        if not rule_cls.applies(ctx):
+            continue
+        for finding in rule_cls(ctx).run():
+            if suppressions.is_suppressed(finding):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result
+
+
+def lint_file(
+    path: Path | str,
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint one file on disk."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (UnicodeDecodeError, OSError) as exc:
+        # One unreadable file must not abort a tree-wide lint run.
+        return LintResult(
+            checked_files=1,
+            findings=[
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    message=f"could not read file: {exc}",
+                    path=str(path),
+                    line=1,
+                    col=0,
+                )
+            ],
+        )
+    return lint_source(
+        source,
+        path=str(path),
+        module=_module_name(path),
+        select=select,
+        ignore=ignore,
+    )
+
+
+def _collect(paths: Iterable[Path | str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint files and directories (recursively); findings sorted by location."""
+    result = LintResult()
+    for path in _collect(paths):
+        result.merge(lint_file(path, select=select, ignore=ignore))
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result

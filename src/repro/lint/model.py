@@ -1,0 +1,105 @@
+"""Shared data model for the lint engine and its rules."""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+
+__all__ = ["Finding", "ModuleContext", "Suppressions", "parse_suppressions"]
+
+#: Matches ``# repro-lint: disable=R001,R003`` and the file-wide variant
+#: ``# repro-lint: disable-file=R002``.  ``all`` suppresses every rule.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+        }
+
+
+@dataclass(slots=True)
+class Suppressions:
+    """Parsed ``# repro-lint: disable=...`` comments for one file."""
+
+    #: line number -> codes suppressed on that line ("all" wildcards).
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: codes suppressed for the whole file.
+    file_wide: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by a suppression comment."""
+        if "all" in self.file_wide or finding.code in self.file_wide:
+            return True
+        codes = self.by_line.get(finding.line)
+        return codes is not None and ("all" in codes or finding.code in codes)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract suppression comments from ``source``.
+
+    Uses :mod:`tokenize` so string literals that merely *look* like
+    suppression comments are ignored.  Unterminated files (tokenize errors)
+    degrade gracefully to no suppressions beyond those already seen.
+    """
+    sup = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = {c.strip() for c in match.group("codes").split(",") if c.strip()}
+            if match.group("kind") == "disable-file":
+                sup.file_wide |= codes
+            else:
+                sup.by_line.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return sup
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """Everything a rule needs to know about the module under analysis."""
+
+    path: str
+    tree: ast.Module
+    #: Dotted module name when the file lives inside the ``repro`` package
+    #: (e.g. ``repro.gnutella.fast``); ``None`` for files outside it, in
+    #: which case package-scoped rules apply unconditionally.
+    module: str | None = None
+
+    @property
+    def subpackage(self) -> str | None:
+        """First component below ``repro`` (``gnutella`` for repro.gnutella.fast)."""
+        if self.module is None:
+            return None
+        parts = self.module.split(".")
+        return parts[1] if len(parts) > 1 else ""

@@ -1,0 +1,53 @@
+"""Rendering lint results as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import all_rules
+
+__all__ = ["render_json", "render_rule_list", "render_text"]
+
+
+def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.format() for f in result.findings]
+    if show_suppressed and result.suppressed:
+        lines.append("-- suppressed --")
+        lines.extend(f.format() + "  (suppressed)" for f in sorted(
+            result.suppressed, key=lambda f: (f.path, f.line, f.col, f.code)
+        ))
+    if result.findings:
+        by_code = Counter(f.code for f in result.findings)
+        breakdown = ", ".join(f"{code}: {n}" for code, n in sorted(by_code.items()))
+        lines.append(
+            f"found {len(result.findings)} issue(s) in {result.checked_files} "
+            f"file(s) ({breakdown}); {len(result.suppressed)} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {result.checked_files} file(s), "
+            f"{len(result.suppressed)} finding(s) suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "checked_files": result.checked_files,
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The registry as a table (``--list-rules``)."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name:<22} {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,607 @@
+"""The rule registry and the five determinism/invariant rules.
+
+Each rule is an :class:`ast.NodeVisitor` instantiated per module.  Rules are
+registered by code in :data:`RULES`; adding a rule is: subclass :class:`Rule`,
+set ``code``/``name``/``rationale``, implement ``visit_*`` methods that call
+:meth:`Rule.report`, and decorate with :func:`register` (see
+``docs/development.md``).
+
+Catalogue
+---------
+R001  unseeded-rng        module-level ``random``/``numpy.random`` draws
+                          instead of :class:`repro.rng.RngStreams` generators
+R002  wall-clock          real-time reads inside the deterministic packages
+R003  unordered-iteration iteration over ``set``/``dict.keys()`` without
+                          ``sorted(...)`` (nondeterministic event order)
+R004  float-time-equality ``==``/``!=`` on simulation timestamps
+R005  mutable-default     mutable defaults / shared-mutable class attributes
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.lint.model import Finding, ModuleContext
+
+__all__ = ["RULES", "Rule", "all_rules", "register"]
+
+#: Subpackages of ``repro`` whose execution must be bit-reproducible.  The
+#: package-scoped rules (R002, R003) only fire here — ``experiments`` may
+#: legitimately read ``time.perf_counter`` for progress reporting, for
+#: example — but fire everywhere on files outside the ``repro`` tree (lint
+#: fixtures, scripts, downstream code).
+DETERMINISTIC_PACKAGES = frozenset(
+    {"core", "sim", "net", "gnutella", "webcache", "olap"}
+)
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one instance analyses one module and accumulates findings."""
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    rationale: ClassVar[str]
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies(cls, ctx: ModuleContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (default: always)."""
+        return True
+
+    def run(self) -> list[Finding]:
+        """Visit the module tree and return the findings."""
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                code=self.code,
+                message=message,
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``cls`` to the :data:`RULES` registry."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code!r}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_rules() -> Iterator[type[Rule]]:
+    """Registered rules in code order."""
+    for code in sorted(RULES):
+        yield RULES[code]
+
+
+class _PackageScopedRule(Rule):
+    """A rule active only in the deterministic subpackages of ``repro``.
+
+    Files outside the ``repro`` package (fixtures, user scripts) are always
+    checked, so the rule remains testable and useful downstream.
+    """
+
+    @classmethod
+    def applies(cls, ctx: ModuleContext) -> bool:
+        sub = ctx.subpackage
+        if sub is None:
+            return True
+        return sub in DETERMINISTIC_PACKAGES
+
+
+# ---------------------------------------------------------------------------
+# R001 — unseeded module-level RNG
+# ---------------------------------------------------------------------------
+@register
+class UnseededRngRule(Rule):
+    """Direct ``random`` / ``numpy.random`` draws bypass :class:`RngStreams`.
+
+    Module-level generators share hidden global state: a draw added in one
+    component silently perturbs every other component's sequence, destroying
+    the paired-comparison property the experiments rely on.  All randomness
+    must flow through named ``RngStreams`` generators (or an explicitly
+    seeded ``numpy.random.default_rng(seed)``).
+    """
+
+    code = "R001"
+    name = "unseeded-rng"
+    rationale = "module-level RNG calls break seed-reproducibility"
+
+    #: numpy.random attributes that are fine to reference: constructing an
+    #: explicitly seeded generator is the sanctioned escape hatch.
+    _NUMPY_ALLOWED = frozenset({"Generator", "SeedSequence", "BitGenerator", "PCG64"})
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self._random_aliases: set[str] = set()
+        self._numpy_aliases: set[str] = set()
+        self._numpy_random_aliases: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self._random_aliases.add(bound)
+            elif alias.name == "numpy":
+                self._numpy_aliases.add(bound)
+            elif alias.name == "numpy.random":
+                if alias.asname is not None:
+                    self._numpy_random_aliases.add(alias.asname)
+                else:
+                    self._numpy_aliases.add("numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            self.report(
+                node,
+                "import from the stdlib `random` module; draw from a named "
+                "RngStreams generator instead",
+            )
+        elif node.module == "numpy.random" and node.level == 0:
+            bad = [a.name for a in node.names if a.name not in self._NUMPY_ALLOWED]
+            if bad:
+                self.report(
+                    node,
+                    f"import of numpy.random function(s) {', '.join(sorted(bad))}; "
+                    "use an RngStreams generator instead",
+                )
+        elif node.module == "numpy" and node.level == 0:
+            for alias in node.names:
+                if alias.name == "random":
+                    self._numpy_random_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    def _numpy_random_attr(self, func: ast.AST) -> str | None:
+        """The attribute name for ``np.random.<attr>`` / ``npr.<attr>`` calls."""
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in self._numpy_random_aliases:
+            return func.attr
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self._numpy_aliases
+        ):
+            return func.attr
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._random_aliases
+        ):
+            self.report(
+                node,
+                f"call to random.{func.attr}() uses the global stdlib RNG; "
+                "draw from a named RngStreams generator instead",
+            )
+        else:
+            attr = self._numpy_random_attr(func)
+            if attr is not None and attr not in self._NUMPY_ALLOWED:
+                if attr == "default_rng" and node.args:
+                    pass  # explicitly seeded generator: sanctioned
+                else:
+                    self.report(
+                        node,
+                        f"call to numpy.random.{attr}() "
+                        + (
+                            "without a seed argument; "
+                            if attr == "default_rng"
+                            else "uses numpy's global RNG state; "
+                        )
+                        + "derive generators from RngStreams",
+                    )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# R002 — wall-clock access in deterministic packages
+# ---------------------------------------------------------------------------
+@register
+class WallClockRule(_PackageScopedRule):
+    """Real time must never leak into simulation logic.
+
+    Inside the deterministic packages the only clock is ``Simulator.now``;
+    any wall-clock read makes behaviour (or at least logs/metrics) differ
+    between two same-seed runs.
+    """
+
+    code = "R002"
+    name = "wall-clock"
+    rationale = "wall-clock reads make same-seed runs diverge"
+
+    _TIME_FUNCS = frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "perf_counter",
+            "perf_counter_ns",
+            "process_time",
+            "process_time_ns",
+        }
+    )
+    _DATETIME_FUNCS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self._time_aliases: set[str] = set()
+        self._datetime_aliases: set[str] = set()  # the datetime *module*
+        self._datetime_classes: set[str] = set()  # datetime/date classes
+        self._time_func_aliases: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "time":
+                self._time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self._datetime_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level != 0:
+            self.generic_visit(node)
+            return
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in self._TIME_FUNCS:
+                    self._time_func_aliases.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in {"datetime", "date"}:
+                    self._datetime_classes.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._time_func_aliases:
+            self.report(
+                node,
+                f"wall-clock call {func.id}(); simulation code must use "
+                "Simulator.now (sim time) only",
+            )
+        elif isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self._time_aliases
+                and func.attr in self._TIME_FUNCS
+            ):
+                self.report(
+                    node,
+                    f"wall-clock call time.{func.attr}(); simulation code must "
+                    "use Simulator.now (sim time) only",
+                )
+            elif func.attr in self._DATETIME_FUNCS:
+                dotted = _dotted_name(base)
+                if dotted is not None and (
+                    dotted in self._datetime_classes
+                    or any(
+                        dotted in (f"{m}.datetime", f"{m}.date")
+                        for m in self._datetime_aliases
+                    )
+                ):
+                    self.report(
+                        node,
+                        f"wall-clock call {dotted}.{func.attr}(); simulation "
+                        "code must use Simulator.now (sim time) only",
+                    )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# R003 — unordered iteration
+# ---------------------------------------------------------------------------
+@register
+class UnorderedIterationRule(_PackageScopedRule):
+    """Iterating a ``set`` (or ``dict.keys()``) without ``sorted(...)``.
+
+    Set iteration order depends on element hashes and insertion history; when
+    it feeds scheduling, RNG draws, or returned collections, two runs that
+    are logically identical can diverge.  Wrap the iterable in ``sorted()``
+    or iterate an insertion-ordered structure instead.  Iterations whose
+    *result* is order-insensitive (feeding ``set``/``frozenset``/``sum``/...)
+    are not flagged.
+    """
+
+    code = "R003"
+    name = "unordered-iteration"
+    rationale = "set/dict-key iteration order is not a stable contract"
+
+    #: Consumers for which operand order cannot matter.
+    _ORDER_FREE_SINKS = frozenset(
+        {"set", "frozenset", "sum", "len", "any", "all", "min", "max", "sorted", "Counter"}
+    )
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        #: Names known (heuristically) to be bound to sets in this module.
+        self._set_names: set[str] = set()
+        #: ``self.<attr>`` attributes known to be sets.
+        self._set_attrs: set[str] = set()
+        #: Generator expressions exempt because they feed an order-free sink.
+        self._exempt: set[int] = set()
+
+    # -- set-typedness heuristics ---------------------------------------
+    def _is_set_annotation(self, annotation: ast.AST | None) -> bool:
+        if annotation is None:
+            return False
+        dotted = _dotted_name(
+            annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        )
+        return dotted in {"set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+                          "typing.Set", "typing.FrozenSet", "typing.AbstractSet"}
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        """Whether ``node`` is (heuristically) a set-valued expression."""
+        if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            return dotted in {"set", "frozenset"}
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr in self._set_attrs
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def _record_binding(self, target: ast.AST, is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            if is_set:
+                self._set_names.add(target.id)
+            else:
+                self._set_names.discard(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            if is_set:
+                self._set_attrs.add(target.attr)
+            else:
+                self._set_attrs.discard(target.attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            self._record_binding(target, is_set)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_binding(node.target, self._is_set_annotation(node.annotation))
+        self.generic_visit(node)
+
+    def _bind_args(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if self._is_set_annotation(arg.annotation):
+                self._set_names.add(arg.arg)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._bind_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._bind_args(node)
+        self.generic_visit(node)
+
+    # -- exemptions ------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        sink = dotted.rsplit(".", 1)[-1] if dotted else None
+        if sink in self._ORDER_FREE_SINKS:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                    self._exempt.add(id(arg))
+        self.generic_visit(node)
+
+    # -- the actual checks -----------------------------------------------
+    def _check_iterable(self, node: ast.AST, where: str) -> None:
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            if dotted is not None and dotted.rsplit(".", 1)[-1] == "sorted":
+                return
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+                self.report(
+                    node,
+                    f"iteration over dict .keys() in {where}; key order follows "
+                    "insertion history — iterate sorted(...) for a stable order",
+                )
+                return
+        if self._is_set_expr(node):
+            self.report(
+                node,
+                f"iteration over a set in {where}; set order is hash/"
+                "insertion-history dependent — wrap in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, "a for loop")
+        self.generic_visit(node)
+
+    def _visit_comp(self, node: ast.ListComp | ast.GeneratorExp | ast.DictComp) -> None:
+        if id(node) not in self._exempt:
+            kind = "a dict comprehension" if isinstance(node, ast.DictComp) else "a comprehension"
+            for gen in node.generators:
+                self._check_iterable(gen.iter, kind)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+    visit_DictComp = _visit_comp
+    # SetComp results are themselves unordered; iterating a set into a set
+    # cannot leak ordering, so SetComp generators are deliberately exempt.
+
+
+# ---------------------------------------------------------------------------
+# R004 — floating-point equality on timestamps
+# ---------------------------------------------------------------------------
+@register
+class FloatTimeEqualityRule(Rule):
+    """``==`` / ``!=`` between simulation timestamps.
+
+    Timestamps are sums of floating-point delays; equality comparisons work
+    by accident until an arithmetic reassociation (or a different platform's
+    libm) flips the result.  Compare with an ordering predicate or
+    ``math.isclose`` instead.
+    """
+
+    code = "R004"
+    name = "float-time-equality"
+    rationale = "float timestamp equality is representation-dependent"
+
+    _EXACT = frozenset({"now", "_now", "timestamp", "issued_at", "sim_time"})
+    _SUFFIXES = ("_time", "_at", "_timestamp", "_deadline")
+
+    def _is_timey(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            # ``datetime.now()``-style calls compared for equality.
+            return isinstance(node.func, ast.Attribute) and self._is_timey(node.func)
+        name: str | None = None
+        if isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Name):
+            name = node.id
+        if name is None:
+            return False
+        return name in self._EXACT or name.endswith(self._SUFFIXES)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            # Comparing a timestamp against the literal 0 sentinel is exact
+            # (0.0 is representable); everything else is flagged.
+            if any(self._is_timey(side) for side in (left, right)) and not any(
+                isinstance(side, ast.Constant) and side.value == 0
+                for side in (left, right)
+            ):
+                self.report(
+                    node,
+                    "floating-point equality on a simulation timestamp; use an "
+                    "ordering comparison or math.isclose",
+                )
+                break
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# R005 — mutable defaults and shared-mutable class attributes
+# ---------------------------------------------------------------------------
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default arguments / class-level mutable state.
+
+    A mutable default is evaluated once and shared by every call; a mutable
+    class attribute is shared by every instance.  In node/protocol state
+    classes this aliases *per-peer* state across the whole population — a
+    consistency-predicate violation waiting to happen.
+    """
+
+    code = "R005"
+    name = "mutable-default"
+    rationale = "shared mutable state aliases per-node protocol state"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "deque", "bytearray"})
+
+    def _is_mutable(self, node: ast.AST | None) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted_name(node.func)
+            return dotted is not None and dotted.rsplit(".", 1)[-1] in self._MUTABLE_CALLS
+        return False
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        args = node.args
+        named = [*args.posonlyargs, *args.args]
+        for arg, default in zip(named[len(named) - len(args.defaults):], args.defaults):
+            if self._is_mutable(default):
+                self.report(
+                    default,
+                    f"mutable default for parameter {arg.arg!r} is shared across "
+                    "calls; default to None and construct inside the function",
+                )
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None and self._is_mutable(kw_default):
+                self.report(
+                    kw_default,
+                    f"mutable default for parameter {arg.arg!r} is shared across "
+                    "calls; default to None and construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            targets: list[ast.AST] = []
+            value: ast.AST | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not self._is_mutable(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.isupper() or (name.startswith("__") and name.endswith("__")):
+                    continue  # constants and dunders are conventionally shared
+                self.report(
+                    stmt,
+                    f"class attribute {name!r} holds a mutable object shared by "
+                    "all instances; initialise it per-instance in __init__",
+                )
+        self.generic_visit(node)

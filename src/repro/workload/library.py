@@ -106,7 +106,7 @@ class UserLibraries:
         """Inverted index item -> sorted list of holders (analysis helper)."""
         index: dict[ItemId, list[NodeId]] = {}
         for user, lib in enumerate(self.libraries):
-            for item in lib:
+            for item in sorted(lib):
                 index.setdefault(item, []).append(NodeId(user))
         for holders in index.values():
             holders.sort()

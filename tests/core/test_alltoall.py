@@ -5,7 +5,6 @@ repositories. Such a case happens, for instance, when the repositories are
 organized in a single multicast group ... applicable only for small N."
 """
 
-import pytest
 
 from repro.core import (
     AllToAllRelation,

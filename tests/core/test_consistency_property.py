@@ -1,0 +1,94 @@
+"""Property tests: the consistency predicates agree with brute-force oracles.
+
+Random neighbor states (including out-edges to nodes missing from the
+snapshot, and deliberately asymmetric Out/In lists) are generated with
+hypothesis; :func:`state_inconsistencies` and :func:`symmetric_violations`
+must agree with straight-from-the-definition oracles (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consistency import (
+    check_consistent,
+    state_inconsistencies,
+    symmetric_violations,
+)
+from repro.core.neighbors import NeighborState
+from repro.types import NodeId
+
+#: Node ids may exceed the snapshot's population: a recorded out-edge to a
+#: node with no state is a dangling (inconsistent) edge by definition.
+_NODE_IDS = st.integers(min_value=0, max_value=11)
+
+
+@st.composite
+def neighbor_states(draw) -> dict[NodeId, NeighborState]:
+    n_nodes = draw(st.integers(min_value=0, max_value=8))
+    states: dict[NodeId, NeighborState] = {}
+    for node in range(n_nodes):
+        state = NeighborState(NodeId(node), math.inf, math.inf)
+        outgoing = draw(st.sets(_NODE_IDS.filter(lambda x: x != node), max_size=5))
+        incoming = draw(st.sets(_NODE_IDS.filter(lambda x: x != node), max_size=5))
+        for other in sorted(outgoing):
+            state.outgoing.add(NodeId(other))
+        for other in sorted(incoming):
+            state.incoming.add(NodeId(other))
+        states[NodeId(node)] = state
+    return states
+
+
+def oracle_inconsistencies(states) -> set[tuple[NodeId, NodeId]]:
+    """Literal Section 3.1: all (i, j) with j in Out(i) but i not in In(j)."""
+    bad = set()
+    for i, state in states.items():
+        for j in state.outgoing.as_tuple():
+            j_state = states.get(j)
+            if j_state is None or i not in j_state.incoming.as_tuple():
+                bad.add((i, j))
+    return bad
+
+
+def oracle_symmetric_violations(states) -> set[NodeId]:
+    """Nodes whose Out and In differ as sets (symmetric relations forbid it)."""
+    return {
+        n
+        for n, state in states.items()
+        if set(state.outgoing.as_tuple()) != set(state.incoming.as_tuple())
+    }
+
+
+@settings(max_examples=200, deadline=None)
+@given(states=neighbor_states())
+def test_state_inconsistencies_matches_oracle(states):
+    reported = state_inconsistencies(states)
+    assert len(reported) == len(set(reported)), "no duplicate reports"
+    assert set(reported) == oracle_inconsistencies(states)
+    assert check_consistent(states) == (not oracle_inconsistencies(states))
+
+
+@settings(max_examples=200, deadline=None)
+@given(states=neighbor_states())
+def test_symmetric_violations_matches_oracle(states):
+    reported = symmetric_violations(states)
+    assert len(reported) == len(set(reported)), "no duplicate reports"
+    assert set(reported) == oracle_symmetric_violations(states)
+
+
+@settings(max_examples=100, deadline=None)
+@given(states=neighbor_states())
+def test_mutual_completion_restores_consistency(states):
+    """Adding the reciprocal in-edge for every reported pair always repairs
+    the snapshot — the predicate is exactly the set of missing reciprocals."""
+    for i, j in state_inconsistencies(states):
+        j_state = states.get(j)
+        if j_state is None:
+            j_state = NeighborState(j, math.inf, math.inf)
+            states[j] = j_state
+        if i not in j_state.incoming:
+            j_state.incoming.add(i)
+    assert check_consistent(states)

@@ -1,6 +1,5 @@
 """Tests for the asymmetric-relations counterfactual (Section 4.1's claim)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,78 @@
+"""End-to-end tests for the repro-lint command line."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import main
+
+FIXTURE = Path(__file__).parent / "fixtures" / "violations.py"
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_clean_tree_exits_zero(capsys):
+    assert main([str(SRC_REPRO)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_fixture_exits_nonzero_with_located_findings(capsys):
+    assert main([str(FIXTURE)]) == 1
+    out = capsys.readouterr().out
+    # every rule code appears, attributed to the fixture path with a line
+    for code in ("R001", "R002", "R003", "R004", "R005"):
+        assert code in out
+    assert f"{FIXTURE}:" in out
+
+
+def test_json_format_is_machine_readable(capsys):
+    assert main([str(FIXTURE), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["checked_files"] == 1
+    codes = {f["code"] for f in payload["findings"]}
+    assert codes == {"R001", "R002", "R003", "R004", "R005"}
+    assert all(f["line"] > 0 and f["path"] for f in payload["findings"])
+    assert [f["code"] for f in payload["suppressed"]] == ["R001"]
+
+
+def test_select_restricts_rules(capsys):
+    assert main([str(FIXTURE), "--select", "R004"]) == 1
+    out = capsys.readouterr().out
+    assert "R004" in out and "R001" not in out
+
+
+def test_usage_errors_exit_two(capsys):
+    assert main([]) == 2
+    assert main(["/no/such/path.py"]) == 2
+    assert main([str(FIXTURE), "--select", "R999"]) == 2
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("R001", "R002", "R003", "R004", "R005"):
+        assert code in out
+
+
+def test_module_invocation_matches_cli():
+    """``python -m repro.lint`` is the documented CI entry point."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(FIXTURE)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "R001" in proc.stdout
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(SRC_REPRO)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(SRC_REPRO.parent), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,180 @@
+"""Unit tests for the repro-lint rule catalogue."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file, lint_source
+from repro.lint.engine import PARSE_ERROR_CODE
+from repro.lint.rules import RULES
+
+FIXTURE = Path(__file__).parent / "fixtures" / "violations.py"
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(R\d{3})")
+
+
+def codes(source: str, **kwargs) -> list[tuple[str, int]]:
+    """(code, line) pairs reported for ``source``."""
+    result = lint_source(source, **kwargs)
+    return [(f.code, f.line) for f in result.findings]
+
+
+# ---------------------------------------------------------------------------
+# The acceptance fixture: exact code/line agreement with the # expect: tags
+# ---------------------------------------------------------------------------
+def test_fixture_reports_every_tagged_violation_and_nothing_else():
+    expected = set()
+    for lineno, line in enumerate(FIXTURE.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            expected.add((match.group(1), lineno))
+    assert expected, "fixture must carry # expect: tags"
+    result = lint_file(FIXTURE)
+    assert {(f.code, f.line) for f in result.findings} == expected
+    # the deliberately suppressed R001 is reported as suppressed, not lost
+    assert [f.code for f in result.suppressed] == ["R001"]
+
+
+def test_fixture_covers_all_registered_rules():
+    result = lint_file(FIXTURE)
+    assert {f.code for f in result.findings} == set(RULES)
+
+
+# ---------------------------------------------------------------------------
+# R001 — unseeded RNG
+# ---------------------------------------------------------------------------
+def test_r001_flags_stdlib_random_import_from():
+    found = codes("from random import choice\n")
+    assert found == [("R001", 1)]
+
+
+def test_r001_flags_aliased_numpy():
+    src = "import numpy\nx = numpy.random.randint(3)\n"
+    assert codes(src) == [("R001", 2)]
+
+
+def test_r001_allows_rngstreams_and_seeded_default_rng():
+    src = (
+        "import numpy as np\n"
+        "from repro.rng import RngStreams\n"
+        "rng = RngStreams(7).get('churn')\n"
+        "gen = np.random.default_rng(np.random.SeedSequence(1))\n"
+        "x = rng.random()\n"
+    )
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# R002 — wall clock, scoped to the deterministic packages
+# ---------------------------------------------------------------------------
+def test_r002_flags_datetime_now():
+    src = "from datetime import datetime\nt = datetime.now()\n"
+    assert codes(src) == [("R002", 2)]
+
+
+def test_r002_exempts_experiments_package():
+    src = "import time\nt = time.perf_counter()\n"
+    assert codes(src, module="repro.experiments.runner") == []
+    assert codes(src, module="repro.sim.kernel") == [("R002", 2)]
+    # files outside the repro tree are always checked
+    assert codes(src) == [("R002", 2)]
+
+
+# ---------------------------------------------------------------------------
+# R003 — unordered iteration
+# ---------------------------------------------------------------------------
+def test_r003_tracks_local_set_bindings():
+    src = "s = set(items)\nout = [x for x in s]\n"
+    assert codes(src) == [("R003", 2)]
+
+
+def test_r003_flags_dict_keys_iteration():
+    src = "for k in mapping.keys():\n    use(k)\n"
+    assert codes(src) == [("R003", 1)]
+
+
+def test_r003_accepts_sorted_wrapping():
+    src = "s = set(items)\nout = [x for x in sorted(s)]\nfor x in sorted(s):\n    use(x)\n"
+    assert codes(src) == []
+
+
+def test_r003_exempts_order_free_sinks():
+    # feeding a set comprehension or frozenset cannot leak ordering
+    src = (
+        "s = set(items)\n"
+        "total = sum(x for x in s)\n"
+        "f = frozenset(x for x in s)\n"
+        "t = {x * 2 for x in s}\n"
+    )
+    assert codes(src) == []
+
+
+def test_r003_flags_set_union_iteration():
+    src = "pool = set(a) | set(b)\nout = [x for x in pool]\n"
+    assert codes(src) == [("R003", 2)]
+
+
+# ---------------------------------------------------------------------------
+# R004 — float time equality
+# ---------------------------------------------------------------------------
+def test_r004_flags_sim_now_equality():
+    assert codes("if sim.now == deadline_time:\n    pass\n") == [("R004", 1)]
+    assert codes("ready = issued_at != t\n") == [("R004", 1)]
+
+
+def test_r004_allows_ordering_and_zero_sentinel():
+    src = "if sim.now >= deadline_time:\n    pass\nif issued_at == 0:\n    pass\n"
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# R005 — mutable defaults / shared class attributes
+# ---------------------------------------------------------------------------
+def test_r005_flags_kwonly_and_lambda_defaults():
+    src = "def f(*, acc={}):\n    return acc\ng = lambda xs=[]: xs\n"
+    assert [c for c, _ in codes(src)] == ["R005", "R005"]
+
+
+def test_r005_allows_constants_dunders_and_none():
+    src = (
+        "class Config:\n"
+        "    PRESETS = {'a': 1}\n"
+        "    __slots__ = ['x']\n"
+        "    name = 'static'\n"
+        "def f(x=None, y=()):\n"
+        "    return x, y\n"
+    )
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+def test_syntax_errors_surface_as_r000():
+    result = lint_source("def broken(:\n")
+    assert [f.code for f in result.findings] == [PARSE_ERROR_CODE]
+
+
+def test_file_wide_suppression():
+    src = (
+        "# repro-lint: disable-file=R001\n"
+        "import random\n"
+        "x = random.random()\n"
+        "t = __import__('time').time()\n"
+    )
+    result = lint_source(src)
+    assert [f.code for f in result.findings] == []  # R002 needs a real import
+    assert [f.code for f in result.suppressed] == ["R001"]
+
+
+def test_unknown_select_code_rejected():
+    with pytest.raises(ValueError):
+        lint_source("x = 1\n", select=["R999"])
+
+
+def test_select_and_ignore_narrow_the_rule_set():
+    src = "import random\nx = random.random()\nd = lambda xs=[]: xs\n"
+    assert [c for c, _ in codes(src, select=["R001"])] == ["R001"]
+    assert [c for c, _ in codes(src, ignore=["R001"])] == ["R005"]

@@ -1,0 +1,160 @@
+"""Runtime sanitizer tests: event-stream hashing and invariant probes.
+
+The same-seed tests are the repo's determinism regression guard: any change
+that makes two identical-config runs execute a different event stream —
+unseeded randomness, wall-clock coupling, ordering-sensitive iteration —
+shows up here as a digest mismatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SanitizerError
+from repro.experiments.common import preset_config
+from repro.experiments.figure1 import MAX_HOPS
+from repro.gnutella.simulation import build_engine, run_simulation
+from repro.lint.sanitize import (
+    attach_hasher,
+    install_consistency_checks,
+    run_hashed,
+    stable_repr,
+)
+from repro.sim.kernel import Simulator
+from repro.types import HOUR
+
+
+def smoke_config(seed: int = 3, **overrides):
+    """A shrunken Figure-1 smoke configuration (fast enough for every CI run)."""
+    defaults = dict(
+        n_users=60,
+        n_items=6_000,
+        mean_library=40.0,
+        std_library=10.0,
+        horizon=2 * HOUR,
+        warmup_hours=0,
+        max_hops=MAX_HOPS,
+    )
+    defaults.update(overrides)
+    return preset_config("smoke", seed=seed, **defaults)
+
+
+# ---------------------------------------------------------------------------
+# Event-stream hashing
+# ---------------------------------------------------------------------------
+def test_hasher_covers_executed_events_only():
+    sim = Simulator()
+    hasher = attach_hasher(sim)
+    fired: list[str] = []
+    sim.schedule(1.0, fired.append, "a")
+    cancelled = sim.schedule(2.0, fired.append, "never")
+    cancelled.cancel()
+    sim.schedule(3.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b"]
+    assert hasher.events_hashed == 2
+
+
+def test_hasher_digest_distinguishes_streams():
+    def digest_of(*events: tuple[float, str]) -> str:
+        sim = Simulator()
+        hasher = attach_hasher(sim)
+        sink: list[str] = []
+        for delay, tag in events:
+            sim.schedule(delay, sink.append, tag)
+        sim.run()
+        return hasher.hexdigest()
+
+    assert digest_of((1.0, "a"), (2.0, "b")) == digest_of((1.0, "a"), (2.0, "b"))
+    # different firing times, different payloads, different lengths all show
+    assert digest_of((1.0, "a"), (2.0, "b")) != digest_of((1.0, "a"), (3.0, "b"))
+    assert digest_of((1.0, "a")) != digest_of((1.0, "b"))
+    assert digest_of((1.0, "a")) != digest_of((1.0, "a"), (2.0, "b"))
+
+
+def test_stable_repr_is_value_based():
+    assert stable_repr((1, "a", 2.5)) == stable_repr((1, "a", 2.5))
+    assert stable_repr({3, 1, 2}) == stable_repr({2, 1, 3})
+    assert "0x1.4" in stable_repr(1.25)  # floats hash bit-exactly
+    # arbitrary objects render by type, not by id-bearing repr
+    assert stable_repr(object()) == "<object>"
+
+
+# ---------------------------------------------------------------------------
+# Same-seed determinism regression guard (Figure-1 smoke shape)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("dynamic", [False, True], ids=["static", "dynamic"])
+def test_same_seed_figure1_smoke_runs_hash_identically(dynamic):
+    config = smoke_config(seed=11)
+    config = config.as_dynamic() if dynamic else config.as_static()
+    result_a, digest_a = run_hashed(config)
+    result_b, digest_b = run_hashed(config)
+    assert digest_a == digest_b
+    assert result_a.metrics.total_hits == result_b.metrics.total_hits
+    assert result_a.metrics.messages_total() == result_b.metrics.messages_total()
+
+
+def test_different_seeds_hash_differently():
+    _, digest_a = run_hashed(smoke_config(seed=1))
+    _, digest_b = run_hashed(smoke_config(seed=2))
+    assert digest_a != digest_b
+
+
+# ---------------------------------------------------------------------------
+# Periodic Section 3.1 consistency assertions
+# ---------------------------------------------------------------------------
+def test_clean_run_passes_consistency_probes():
+    # run_simulation(sanitize=True) is the public debug-flag entry point
+    result = run_simulation(smoke_config(seed=5), sanitize=True)
+    assert result.metrics.total_queries > 0
+
+
+def test_corrupted_state_raises_sanitizer_error():
+    engine = build_engine(smoke_config(seed=5))
+
+    def corrupt() -> None:
+        # a dangling out-edge with no reciprocal in-edge: exactly the
+        # Section 3.1 inconsistency the probe must catch; offline peers have
+        # empty lists, so the add cannot hit capacity or duplicate errors
+        offline = [p for p in engine.peers if not p.online]
+        a, b = offline[0], offline[1]
+        a.neighbors.outgoing.add(b.node)
+
+    install_consistency_checks(engine, every=600.0)
+    engine.sim.schedule(900.0, corrupt)
+    with pytest.raises(SanitizerError, match="consistency violated"):
+        engine.run()
+
+
+def test_asymmetric_state_raises_symmetry_error():
+    engine = build_engine(smoke_config(seed=5))
+
+    def corrupt() -> None:
+        # the edge is consistent (a in In(b)) but Out != In at both ends,
+        # which the symmetric relation forbids
+        offline = [p for p in engine.peers if not p.online]
+        a, b = offline[0], offline[1]
+        a.neighbors.outgoing.add(b.node)
+        b.neighbors.incoming.add(a.node)
+
+    install_consistency_checks(engine, every=600.0)
+    engine.sim.schedule(900.0, corrupt)
+    with pytest.raises(SanitizerError, match="symmetry violated"):
+        engine.run()
+
+
+def test_invalid_interval_rejected():
+    engine = build_engine(smoke_config())
+    with pytest.raises(SanitizerError):
+        install_consistency_checks(engine, every=0.0)
+
+
+def test_env_flag_enables_sanitizer(monkeypatch):
+    from repro.lint import sanitize
+
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitize.sanitizer_env_enabled()
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not sanitize.sanitizer_env_enabled()
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert not sanitize.sanitizer_env_enabled()

@@ -6,7 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import NetworkError
-from repro.net.bandwidth import BandwidthClass, BandwidthModel
+from repro.net.bandwidth import BandwidthModel
 from repro.net.latency import DelayParameters, LatencyModel
 
 

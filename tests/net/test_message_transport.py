@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import NetworkError
 from repro.net.bandwidth import BandwidthModel
-from repro.net.latency import DelayParameters, LatencyModel
+from repro.net.latency import LatencyModel
 from repro.net.message import Message, MessageKind
 from repro.net.transport import Transport
 from repro.sim import HourlyBuckets, Simulator

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ProcessError
-from repro.sim import Process, Simulator, Timeout
+from repro.sim import Simulator, Timeout
 from repro.sim.process import Interrupt
 
 
