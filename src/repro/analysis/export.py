@@ -14,7 +14,7 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["result_to_jsonable", "write_csv", "write_json"]
+__all__ = ["canonical_json", "result_to_jsonable", "write_csv", "write_json"]
 
 
 def result_to_jsonable(obj: Any) -> Any:
@@ -44,6 +44,17 @@ def result_to_jsonable(obj: Any) -> Any:
             for field in dataclasses.fields(obj)
         }
     return repr(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    """A canonical single-line JSON rendering of ``obj``.
+
+    Keys are sorted and separators minimal, so equal values always render to
+    equal bytes — the property :mod:`repro.orchestrate.cache` relies on to
+    derive stable content digests. Floats render via ``repr`` (shortest
+    round-trip), which is bit-faithful on every supported CPython.
+    """
+    return json.dumps(result_to_jsonable(obj), sort_keys=True, separators=(",", ":"))
 
 
 def write_json(obj: Any, path: str | Path) -> Path:

@@ -11,14 +11,56 @@ exists for tests and pytest-benchmark.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.gnutella.config import GnutellaConfig
 from repro.gnutella.simulation import SimulationResult, run_simulation
 from repro.types import DAY, HOUR
 
-__all__ = ["PRESETS", "paired_run", "preset_config"]
+__all__ = [
+    "PRESETS",
+    "SimRequest",
+    "SimulateFn",
+    "execute_requests",
+    "paired_run",
+    "preset_config",
+]
+
+#: Anything that turns ``(config, engine)`` into a result — the seam the
+#: orchestrator (:mod:`repro.orchestrate`) plugs cached/pooled execution into.
+SimulateFn = Callable[[GnutellaConfig, str], SimulationResult]
+
+
+@dataclass(frozen=True, slots=True)
+class SimRequest:
+    """One simulation a figure needs, under a figure-local key.
+
+    Every figure runner is split into a *plan* phase that returns these and
+    an *assemble* phase that turns ``{key: result}`` back into the figure's
+    result object. The split is what lets :mod:`repro.orchestrate` execute a
+    whole grid's requests out of order, in parallel, deduplicated across
+    figures, and memoized — while the serial ``run()`` path just executes
+    them in plan order.
+    """
+
+    key: str
+    config: GnutellaConfig
+    engine: str = "fast"
+
+
+def execute_requests(
+    requests: Sequence[SimRequest], simulate: SimulateFn | None = None
+) -> dict[str, SimulationResult]:
+    """Run ``requests`` serially, in order; the figures' default executor."""
+    run = simulate if simulate is not None else run_simulation
+    results: dict[str, SimulationResult] = {}
+    for request in requests:
+        if request.key in results:
+            raise ConfigurationError(f"duplicate request key {request.key!r}")
+        results[request.key] = run(request.config, request.engine)
+    return results
 
 #: Named base configurations. ``max_hops`` etc. are overridden per figure.
 PRESETS: dict[str, GnutellaConfig] = {

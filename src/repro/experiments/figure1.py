@@ -15,15 +15,21 @@ static on messages; both gaps modest at TTL 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from repro.analysis.summary import compare_runs
-from repro.experiments.common import paired_run, preset_config
+from repro.experiments.common import (
+    SimRequest,
+    SimulateFn,
+    execute_requests,
+    preset_config,
+)
 from repro.experiments.report import format_series_table, header, kv_table
 from repro.gnutella.simulation import SimulationResult
 
-__all__ = ["Figure1Result", "print_report", "run"]
+__all__ = ["Figure1Result", "assemble", "plan", "print_report", "run"]
 
 #: TTL used by this figure (Figure 2 overrides it).
 MAX_HOPS = 2
@@ -45,11 +51,26 @@ class Figure1Result:
     dynamic_messages: np.ndarray
 
 
-def run(preset: str = "scaled", seed: int = 0, max_hops: int = MAX_HOPS) -> Figure1Result:
-    """Execute the paired simulation and extract both panels' series."""
-    config = preset_config(preset, seed=seed, max_hops=max_hops)
-    static, dynamic = paired_run(config)
-    warmup = config.warmup_hours
+def plan(
+    preset: str = "scaled",
+    seed: int = 0,
+    max_hops: int = MAX_HOPS,
+    overrides: Mapping[str, object] | None = None,
+) -> tuple[SimRequest, ...]:
+    """The two paired simulations this figure needs (static first)."""
+    config = preset_config(preset, seed=seed, max_hops=max_hops, **(overrides or {}))
+    return (
+        SimRequest("static", config.as_static()),
+        SimRequest("dynamic", config.as_dynamic()),
+    )
+
+
+def assemble(
+    results: Mapping[str, SimulationResult], *, preset: str, max_hops: int = MAX_HOPS
+) -> Figure1Result:
+    """Turn the planned runs' results back into both panels' series."""
+    static, dynamic = results["static"], results["dynamic"]
+    warmup = static.config.warmup_hours
     hours, static_hits = static.metrics.hits_series(warmup)
     _, dynamic_hits = dynamic.metrics.hits_series(warmup)
     _, static_messages = static.metrics.messages_series(warmup)
@@ -65,6 +86,18 @@ def run(preset: str = "scaled", seed: int = 0, max_hops: int = MAX_HOPS) -> Figu
         static_messages=static_messages.astype(float),
         dynamic_messages=dynamic_messages.astype(float),
     )
+
+
+def run(
+    preset: str = "scaled",
+    seed: int = 0,
+    max_hops: int = MAX_HOPS,
+    simulate: SimulateFn | None = None,
+) -> Figure1Result:
+    """Execute the paired simulation and extract both panels' series."""
+    requests = plan(preset, seed=seed, max_hops=max_hops)
+    results = execute_requests(requests, simulate)
+    return assemble(results, preset=preset, max_hops=max_hops)
 
 
 def print_report(result: Figure1Result, title: str | None = None) -> None:

@@ -15,9 +15,13 @@ comparison against the paper's claimed 50 % message reduction).
 
 from __future__ import annotations
 
-from repro.experiments import figure1
+from typing import Mapping
 
-__all__ = ["Figure2Result", "print_report", "run"]
+from repro.experiments import figure1
+from repro.experiments.common import SimRequest, SimulateFn
+from repro.gnutella.simulation import SimulationResult
+
+__all__ = ["Figure2Result", "assemble", "plan", "print_report", "run"]
 
 #: TTL used by this figure.
 MAX_HOPS = 4
@@ -25,9 +29,31 @@ MAX_HOPS = 4
 Figure2Result = figure1.Figure1Result
 
 
-def run(preset: str = "scaled", seed: int = 0, max_hops: int = MAX_HOPS) -> Figure2Result:
+def plan(
+    preset: str = "scaled",
+    seed: int = 0,
+    max_hops: int = MAX_HOPS,
+    overrides: Mapping[str, object] | None = None,
+) -> tuple[SimRequest, ...]:
+    """Figure 1's paired plan with the terminating condition raised to 4."""
+    return figure1.plan(preset, seed=seed, max_hops=max_hops, overrides=overrides)
+
+
+def assemble(
+    results: Mapping[str, SimulationResult], *, preset: str, max_hops: int = MAX_HOPS
+) -> Figure2Result:
+    """Assemble the TTL-4 panels from the planned runs' results."""
+    return figure1.assemble(results, preset=preset, max_hops=max_hops)
+
+
+def run(
+    preset: str = "scaled",
+    seed: int = 0,
+    max_hops: int = MAX_HOPS,
+    simulate: SimulateFn | None = None,
+) -> Figure2Result:
     """Execute the paired simulation at TTL 4."""
-    return figure1.run(preset=preset, seed=seed, max_hops=max_hops)
+    return figure1.run(preset=preset, seed=seed, max_hops=max_hops, simulate=simulate)
 
 
 def print_report(result: Figure2Result) -> None:

@@ -15,11 +15,19 @@ flatter while returning at least as many results at every TTL >= 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-from repro.experiments.common import paired_run, preset_config
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    SimRequest,
+    SimulateFn,
+    execute_requests,
+    preset_config,
+)
 from repro.experiments.report import format_series_table, header, kv_table
+from repro.gnutella.simulation import SimulationResult
 
-__all__ = ["Figure3aResult", "print_report", "run"]
+__all__ = ["Figure3aResult", "assemble", "plan", "print_report", "run"]
 
 #: The sweep of terminating conditions (hops) shown on the x-axis.
 HOPS_SWEEP = (1, 2, 3, 4)
@@ -38,19 +46,36 @@ class Figure3aResult:
     seed: int
 
 
-def run(
-    preset: str = "scaled", seed: int = 0, hops_sweep: tuple[int, ...] = HOPS_SWEEP
-) -> Figure3aResult:
+def plan(
+    preset: str = "scaled",
+    seed: int = 0,
+    hops_sweep: tuple[int, ...] = HOPS_SWEEP,
+    overrides: Mapping[str, object] | None = None,
+) -> tuple[SimRequest, ...]:
     """One paired simulation per TTL value in ``hops_sweep``."""
     if not hops_sweep:
-        from repro.errors import ConfigurationError
-
         raise ConfigurationError("hops_sweep must not be empty")
+    requests: list[SimRequest] = []
+    for hops in hops_sweep:
+        config = preset_config(preset, seed=seed, max_hops=hops, **(overrides or {}))
+        requests.append(SimRequest(f"static@hops={hops}", config.as_static()))
+        requests.append(SimRequest(f"dynamic@hops={hops}", config.as_dynamic()))
+    return tuple(requests)
+
+
+def assemble(
+    results: Mapping[str, SimulationResult],
+    *,
+    preset: str,
+    seed: int = 0,
+    hops_sweep: tuple[int, ...] = HOPS_SWEEP,
+) -> Figure3aResult:
+    """Collect per-TTL delay means and result counts from the planned runs."""
     static_delay, dynamic_delay = [], []
     static_results, dynamic_results = [], []
     for hops in hops_sweep:
-        config = preset_config(preset, seed=seed, max_hops=hops)
-        static, dynamic = paired_run(config)
+        static = results[f"static@hops={hops}"]
+        dynamic = results[f"dynamic@hops={hops}"]
         static_delay.append(static.metrics.mean_first_result_delay_ms())
         dynamic_delay.append(dynamic.metrics.mean_first_result_delay_ms())
         static_results.append(static.metrics.total_results)
@@ -64,6 +89,17 @@ def run(
         dynamic_results=tuple(dynamic_results),
         seed=seed,
     )
+
+
+def run(
+    preset: str = "scaled",
+    seed: int = 0,
+    hops_sweep: tuple[int, ...] = HOPS_SWEEP,
+    simulate: SimulateFn | None = None,
+) -> Figure3aResult:
+    """One paired simulation per TTL value in ``hops_sweep``."""
+    results = execute_requests(plan(preset, seed=seed, hops_sweep=hops_sweep), simulate)
+    return assemble(results, preset=preset, seed=seed, hops_sweep=hops_sweep)
 
 
 def print_report(result: Figure3aResult) -> None:

@@ -16,12 +16,19 @@ bending back toward the static baseline. TTL is 2, as in Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
-from repro.experiments.common import preset_config
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    SimRequest,
+    SimulateFn,
+    execute_requests,
+    preset_config,
+)
 from repro.experiments.report import format_series_table, header, kv_table
-from repro.gnutella.simulation import run_simulation
+from repro.gnutella.simulation import SimulationResult
 
-__all__ = ["Figure3bResult", "print_report", "run"]
+__all__ = ["Figure3bResult", "assemble", "plan", "print_report", "run"]
 
 #: The threshold sweep on the x-axis.
 THRESHOLD_SWEEP = (1, 2, 4, 8, 16)
@@ -46,26 +53,43 @@ class Figure3bResult:
         return self.thresholds[best]
 
 
-def run(
+def plan(
     preset: str = "scaled",
     seed: int = 0,
     thresholds: tuple[int, ...] = THRESHOLD_SWEEP,
-) -> Figure3bResult:
+    overrides: Mapping[str, object] | None = None,
+) -> tuple[SimRequest, ...]:
     """One static run plus one dynamic run per threshold value."""
     if not thresholds:
-        from repro.errors import ConfigurationError
-
         raise ConfigurationError("thresholds must not be empty")
-    base = preset_config(preset, seed=seed, max_hops=MAX_HOPS)
-    static = run_simulation(base.as_static())
-    warmup = base.warmup_hours
-    dynamic_hits = []
+    base = preset_config(preset, seed=seed, max_hops=MAX_HOPS, **(overrides or {}))
+    requests = [SimRequest("static", base.as_static())]
     for threshold in thresholds:
         config = preset_config(
-            preset, seed=seed, max_hops=MAX_HOPS, reconfiguration_threshold=threshold
+            preset,
+            seed=seed,
+            max_hops=MAX_HOPS,
+            reconfiguration_threshold=threshold,
+            **(overrides or {}),
         )
-        result = run_simulation(config.as_dynamic())
-        dynamic_hits.append(result.metrics.hits_total(warmup))
+        requests.append(SimRequest(f"dynamic@T={threshold}", config.as_dynamic()))
+    return tuple(requests)
+
+
+def assemble(
+    results: Mapping[str, SimulationResult],
+    *,
+    preset: str,
+    seed: int = 0,
+    thresholds: tuple[int, ...] = THRESHOLD_SWEEP,
+) -> Figure3bResult:
+    """Collect the threshold sweep's totals from the planned runs."""
+    static = results["static"]
+    warmup = static.config.warmup_hours
+    dynamic_hits = [
+        results[f"dynamic@T={threshold}"].metrics.hits_total(warmup)
+        for threshold in thresholds
+    ]
     return Figure3bResult(
         preset=preset,
         thresholds=tuple(thresholds),
@@ -73,6 +97,17 @@ def run(
         static_hits=static.metrics.hits_total(warmup),
         seed=seed,
     )
+
+
+def run(
+    preset: str = "scaled",
+    seed: int = 0,
+    thresholds: tuple[int, ...] = THRESHOLD_SWEEP,
+    simulate: SimulateFn | None = None,
+) -> Figure3bResult:
+    """One static run plus one dynamic run per threshold value."""
+    results = execute_requests(plan(preset, seed=seed, thresholds=thresholds), simulate)
+    return assemble(results, preset=preset, seed=seed, thresholds=thresholds)
 
 
 def print_report(result: Figure3bResult) -> None:

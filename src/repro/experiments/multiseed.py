@@ -9,14 +9,26 @@ how often the dynamic scheme actually won.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 import scipy.stats
 
 from repro.errors import ConfigurationError
-from repro.experiments.common import paired_run, preset_config
+from repro.experiments.common import SimRequest, preset_config
 
-__all__ = ["MetricReplication", "MultiSeedResult", "print_report", "run"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gnutella.simulation import SimulationResult
+    from repro.orchestrate.cache import ResultCache
+
+__all__ = [
+    "MetricReplication",
+    "MultiSeedResult",
+    "assemble",
+    "plan",
+    "print_report",
+    "run",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,21 +81,38 @@ class MultiSeedResult:
     metrics: tuple[MetricReplication, ...]
 
 
-def run(
+def plan(
     preset: str = "smoke",
     seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
     max_hops: int = 2,
-) -> MultiSeedResult:
-    """Rerun the paired comparison once per seed."""
+    overrides: Mapping[str, object] | None = None,
+) -> tuple[SimRequest, ...]:
+    """One paired (static, dynamic) simulation per seed."""
     if len(seeds) < 2:
         raise ConfigurationError("need at least two seeds for replication")
+    requests: list[SimRequest] = []
+    for seed in seeds:
+        config = preset_config(preset, seed=seed, max_hops=max_hops, **(overrides or {}))
+        requests.append(SimRequest(f"static@seed={seed}", config.as_static()))
+        requests.append(SimRequest(f"dynamic@seed={seed}", config.as_dynamic()))
+    return tuple(requests)
+
+
+def assemble(
+    results: Mapping[str, "SimulationResult"],
+    *,
+    preset: str,
+    seeds: tuple[int, ...],
+    max_hops: int = 2,
+) -> MultiSeedResult:
+    """Fold the per-seed paired runs into replicated metrics."""
     hits_s, hits_d = [], []
     msgs_s, msgs_d = [], []
     delay_s, delay_d = [], []
     for seed in seeds:
-        config = preset_config(preset, seed=seed, max_hops=max_hops)
-        static, dynamic = paired_run(config)
-        warmup = config.warmup_hours
+        static = results[f"static@seed={seed}"]
+        dynamic = results[f"dynamic@seed={seed}"]
+        warmup = static.config.warmup_hours
         hits_s.append(float(static.metrics.hits_total(warmup)))
         hits_d.append(float(dynamic.metrics.hits_total(warmup)))
         msgs_s.append(float(static.metrics.messages_total(warmup)))
@@ -102,6 +131,29 @@ def run(
             ),
         ),
     )
+
+
+def run(
+    preset: str = "smoke",
+    seeds: tuple[int, ...] = (0, 1, 2, 3, 4),
+    max_hops: int = 2,
+    *,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+) -> MultiSeedResult:
+    """Rerun the paired comparison once per seed.
+
+    The seed loop is delegated to :mod:`repro.orchestrate`: with ``jobs > 1``
+    the per-seed simulations fan out over a process pool, and with a
+    ``cache`` previously computed seeds are served from disk. ``jobs=1``
+    without a cache executes inline, bit-identically to the historical
+    serial loop.
+    """
+    from repro.orchestrate.pool import run_requests
+
+    requests = plan(preset, seeds=seeds, max_hops=max_hops)
+    results = run_requests(requests, jobs=jobs, cache=cache)
+    return assemble(results, preset=preset, seeds=tuple(seeds), max_hops=max_hops)
 
 
 def print_report(result: MultiSeedResult) -> None:

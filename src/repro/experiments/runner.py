@@ -3,34 +3,32 @@
 Usage::
 
     python -m repro.experiments fig1 [--preset scaled] [--seed 0]
-    python -m repro.experiments all --preset smoke
+    python -m repro.experiments all --preset smoke --jobs 4
     repro-experiments fig3b --preset paper
+    repro-experiments replicate --replicates 10 --jobs 4
+
+Execution is routed through :mod:`repro.orchestrate`: identical simulations
+shared between figures run once, ``--jobs N`` fans cache misses out over N
+worker processes, and completed simulations are memoized in a
+content-addressed cache (``--cache-dir`` / ``--no-cache``) so re-runs and
+interrupted ``all`` invocations resume where they left off.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable, Sequence
+from typing import Sequence
 
-from repro.experiments import figure1, figure2, figure3a, figure3b, multiseed
+from repro.analysis.export import write_json
 from repro.experiments.common import PRESETS
+from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.cli import CACHE_DIR_ENV, default_cache_dir
+from repro.orchestrate.grid import FIGURES, expand_grid, run_grid
+from repro.orchestrate.manifest import build_manifest, write_manifest
+from repro.orchestrate.progress import ProgressPrinter
 
-__all__ = ["main"]
-
-_RUNNERS: dict[str, tuple[Callable, Callable]] = {
-    "fig1": (figure1.run, figure1.print_report),
-    "fig2": (figure2.run, figure2.print_report),
-    "fig3a": (figure3a.run, figure3a.print_report),
-    "fig3b": (figure3b.run, figure3b.print_report),
-    "replicate": (
-        lambda preset, seed: multiseed.run(
-            preset=preset, seeds=tuple(range(seed, seed + 5))
-        ),
-        multiseed.print_report,
-    ),
-}
+__all__ = ["build_parser", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=[*_RUNNERS, "all"],
+        choices=[*FIGURES, "all"],
         help="which figure to regenerate ('all' runs every one)",
     )
     parser.add_argument(
@@ -55,6 +53,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="world size: paper (full scale), scaled (default), smoke (tiny)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--replicates",
+        type=int,
+        default=5,
+        metavar="N",
+        help="seeds used by 'replicate' (seed..seed+N-1; default 5)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulations (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="where completed simulations are memoized "
+        f"(default ${CACHE_DIR_ENV} or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always recompute; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="also write the orchestration run manifest (tasks, digests, "
+        "cache hits) as JSON to PATH",
+    )
     parser.add_argument(
         "--json",
         metavar="PATH",
@@ -70,26 +101,60 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.figure == "all":
         # 'all' regenerates the paper figures; replication is opt-in.
-        figures = [name for name in _RUNNERS if name != "replicate"]
+        figures = [name for name in FIGURES if name != "replicate"]
     else:
         figures = [args.figure]
-    for name in figures:
-        run, print_report = _RUNNERS[name]
-        started = time.perf_counter()
-        result = run(preset=args.preset, seed=args.seed)
-        elapsed = time.perf_counter() - started
-        print_report(result)
+    grid = expand_grid(
+        figures, args.preset, seeds=(args.seed,), replicates=args.replicates
+    )
+    cache: ResultCache | None = None
+    cache_dir: str | None = None
+    if not args.no_cache:
+        cache_dir = str(args.cache_dir if args.cache_dir else default_cache_dir())
+        cache = ResultCache(cache_dir)
+    progress = ProgressPrinter(enabled=args.jobs > 1)
+    outcome = run_grid(
+        grid, jobs=args.jobs, cache=cache, progress=progress, on_error="record"
+    )
+    failed = False
+    for figure in outcome.figures:
+        name = figure.job.figure
+        if figure.error is not None:
+            # One broken figure must not abort the rest of an 'all' run;
+            # the exit code still reports the failure.
+            print(f"[{name} FAILED: {figure.error}]", file=sys.stderr)
+            failed = True
+            continue
+        figure.job.print_report(figure.result)
         if args.json:
-            from repro.analysis.export import write_json
-
             target = args.json
             if len(figures) > 1:
                 stem, dot, ext = target.rpartition(".")
                 target = f"{stem}-{name}.{ext}" if dot else f"{target}-{name}"
-            written = write_json(result, target)
+            written = write_json(figure.result, target)
             print(f"[json written to {written}]")
+        elapsed = sum(
+            record.elapsed_s
+            for record in outcome.run.records
+            if record.key in figure.keys
+        )
         print(f"\n[{name} completed in {elapsed:.1f}s]\n")
-    return 0
+    if args.manifest:
+        manifest = build_manifest(
+            grid={
+                "figures": figures,
+                "preset": args.preset,
+                "seeds": [args.seed],
+                "replicates": args.replicates,
+                "overrides": {},
+            },
+            jobs=args.jobs,
+            records=list(outcome.run.records),
+            cache_dir=cache_dir,
+            wall_s=outcome.run.wall_s,
+        )
+        print(f"[manifest written to {write_manifest(manifest, args.manifest)}]")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -21,6 +21,7 @@ ablation bench measures the exact ratio).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.gnutella.config import GnutellaConfig
@@ -71,6 +72,14 @@ class DetailedGnutellaEngine(FastGnutellaEngine):
             loss_rate=config.message_loss_rate,
             rng=loss_rng,
         )
+        #: Engine-local query-id source. Message's default factory is a
+        #: *process*-global counter, so its values depend on how many
+        #: messages earlier runs in the same process created — harmless for
+        #: behaviour (ids are only compared for equality) but it leaks into
+        #: the sanitizer's event-stream digest via the ``_collect`` timer
+        #: argument. Allocating ids per engine keeps same-config digests
+        #: identical no matter which worker process runs the task.
+        self._qid_source = itertools.count()
         #: qid -> pending record at the initiator.
         self._pending: dict[int, _PendingQuery] = {}
         #: node -> set of query ids already processed (duplicate suppression;
@@ -107,6 +116,7 @@ class DetailedGnutellaEngine(FastGnutellaEngine):
                 sender=node,
                 receiver=neighbors[0],
                 origin=node,
+                query_id=next(self._qid_source),
                 hops=1,
                 payload=item,
                 path=(node, neighbors[0]),

@@ -10,7 +10,13 @@ from repro.gnutella.detailed import DetailedGnutellaEngine
 from repro.gnutella.fast import FastGnutellaEngine
 from repro.gnutella.metrics import SimulationMetrics
 
-__all__ = ["SimulationResult", "build_engine", "run_simulation", "summarize"]
+__all__ = [
+    "SimulationResult",
+    "build_engine",
+    "run_simulation",
+    "simulate_task",
+    "summarize",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,3 +105,27 @@ def run_simulation(
         install_consistency_checks(eng)
     eng.run()
     return summarize(eng)
+
+
+def simulate_task(
+    config: GnutellaConfig, engine: str = "fast", *, hash_events: bool = False
+) -> tuple[SimulationResult, str | None]:
+    """Worker-safe simulation entry point for process pools.
+
+    A module-level function (so executors can pickle it by reference) taking
+    only picklable arguments and touching no shared state — the contract
+    :mod:`repro.orchestrate.pool` needs to fan simulations out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Every stochastic
+    component seeds from ``config.seed`` via :class:`repro.rng.RngStreams`,
+    so the result is bit-identical wherever (and alongside whatever) the
+    task runs.
+
+    Returns ``(result, event_digest)``; ``event_digest`` is the
+    :mod:`repro.lint.sanitize` event-stream SHA-256 when ``hash_events`` is
+    true, else ``None``.
+    """
+    if hash_events:
+        from repro.lint.sanitize import run_hashed, sanitizer_env_enabled
+
+        return run_hashed(config, engine, sanitize=sanitizer_env_enabled())
+    return run_simulation(config, engine), None

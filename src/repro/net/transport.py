@@ -32,14 +32,16 @@ class Transport:
     latency:
         Pairwise delay model.
     query_buckets:
-        Optional per-hour accumulator; every delivered message whose kind is
-        ``QUERY`` is counted (the paper's overhead figures count propagated
-        queries).
+        Optional per-hour accumulator; every ``QUERY`` that survives the loss
+        draw is counted (the paper's overhead figures count propagated
+        queries — a copy lost in transit never propagates, so it is excluded
+        from the overhead series).
 
     loss_rate:
         Probability that any sent message is lost in transit (failure
         injection; requires ``rng``). Lost messages count as sent (the
-        sender paid for them) but never reach a handler.
+        sender paid for them) but never reach a handler and never enter
+        ``query_buckets``.
     rng:
         Randomness source for loss decisions; required when ``loss_rate`` is
         positive.
@@ -93,11 +95,11 @@ class Transport:
             raise NetworkError(f"node {message.sender} cannot send to itself")
         self.sent += 1
         self.sent_by_kind[message.kind] += 1
-        if message.kind is MessageKind.QUERY and self.query_buckets is not None:
-            self.query_buckets.add(self.sim.now)
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.lost += 1
             return
+        if message.kind is MessageKind.QUERY and self.query_buckets is not None:
+            self.query_buckets.add(self.sim.now)
         delay = self.latency.one_way_delay(message.sender, message.receiver)
         self.sim.schedule(delay, self._deliver, message)
 

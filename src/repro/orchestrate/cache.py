@@ -1,0 +1,151 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A completed :class:`~repro.gnutella.simulation.SimulationResult` is stored
+under a SHA-256 key derived from everything that determines it:
+
+* the canonical JSON rendering of the full :class:`GnutellaConfig` (every
+  field, including the seed),
+* the engine name (``fast`` / ``detailed``),
+* the package version, and
+* a fingerprint of the simulation source code itself (every ``.py`` file of
+  the deterministic subpackages), so editing the engine during development
+  invalidates stale entries instead of silently serving them.
+
+Because simulations are pure functions of their configuration, the cache
+needs no expiry or dependency tracking: a key either holds the one true
+result or nothing. Entries are a pickle (full fidelity, numpy arrays and
+all) plus a small human-readable ``.json`` sidecar describing what the
+opaque key means. Writes go through a temp file and :func:`os.replace`, so
+a crashed or interrupted grid never leaves a truncated entry behind —
+re-running the grid simply resumes from the entries that completed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro._version import __version__
+from repro.analysis.export import canonical_json, write_json
+from repro.gnutella.config import GnutellaConfig
+from repro.gnutella.simulation import SimulationResult
+
+__all__ = ["ResultCache", "code_fingerprint", "task_key"]
+
+#: Subpackages (and top-level modules) whose source participates in the
+#: cache key — the code that can change what a simulation produces. Mirrors
+#: ``repro.lint.rules.DETERMINISTIC_PACKAGES`` plus their shared substrate.
+FINGERPRINTED = (
+    "core",
+    "sim",
+    "net",
+    "gnutella",
+    "workload",
+    "rng.py",
+    "types.py",
+    "errors.py",
+)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over the simulation-relevant source files of this install.
+
+    Stable for a given checkout; any edit to the engines, kernel, network
+    models, or workload generators changes it and thereby invalidates every
+    cached result. Hashing the ~100 files costs a few milliseconds, paid
+    once per process.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for entry in FINGERPRINTED:
+        target = package_root / entry
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for path in files:
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def task_key(
+    config: GnutellaConfig, engine: str = "fast", *, fingerprint: str | None = None
+) -> str:
+    """The content address of the simulation ``(config, engine)`` denotes.
+
+    Two invocations agree iff they would produce the same result: same
+    configuration (field by field), same engine, same package version, same
+    simulation source. ``fingerprint`` overrides the source fingerprint —
+    tests use a constant to get machine-independent expectations.
+    """
+    payload = {
+        "config": dataclasses.asdict(config),
+        "engine": engine,
+        "version": __version__,
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed simulation results.
+
+    Layout: ``root/<key[:2]>/<key>.pkl`` (the pickled result) next to
+    ``<key>.json`` (a human-readable description: scheme, preset-scale
+    fields, digests, timing). The two-character shard keeps directories
+    small on grids with thousands of tasks.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _entry(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def __contains__(self, key: str) -> bool:
+        return self._entry(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The cached result under ``key``, or ``None``.
+
+        Unreadable or corrupt entries (interrupted writes predating the
+        atomic-replace scheme, disk faults, unpicklable schema drift) are
+        treated as misses, never as errors — the orchestrator simply
+        recomputes and overwrites them.
+        """
+        try:
+            with self._entry(key).open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return None
+        return result if isinstance(result, SimulationResult) else None
+
+    def put(self, key: str, result: SimulationResult, meta: Mapping[str, Any]) -> None:
+        """Store ``result`` under ``key`` atomically, with a JSON sidecar."""
+        entry = self._entry(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=entry.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, entry)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        write_json(dict(meta), entry.with_suffix(".json"))

@@ -1,0 +1,221 @@
+"""Declarative job grids: (figure × preset × seed × overrides) → tasks.
+
+A grid names *figures*; each figure's ``plan()`` names the simulations it
+needs. Expansion flattens the grid into namespaced requests, deduplicates
+them by content key (shared simulations run once for the whole grid), and
+``run_grid`` executes the unique tasks through :mod:`repro.orchestrate.pool`
+before handing each figure its slice of results to ``assemble``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments import figure1, figure2, figure3a, figure3b, multiseed
+from repro.experiments.common import SimRequest
+from repro.gnutella.simulation import SimulationResult
+from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.pool import (
+    GridRun,
+    ProgressFn,
+    SimTask,
+    requests_to_tasks,
+    run_tasks,
+)
+
+__all__ = [
+    "FIGURES",
+    "FigureJob",
+    "FigureOutcome",
+    "GridOutcome",
+    "expand_grid",
+    "grid_tasks",
+    "plan_figure",
+    "run_grid",
+]
+
+#: Grid-runnable figure names, in report order.
+FIGURES = ("fig1", "fig2", "fig3a", "fig3b", "replicate")
+
+
+@dataclass(frozen=True)
+class FigureJob:
+    """One figure instance of a grid: its requests plus how to finish it."""
+
+    figure: str
+    label: str
+    requests: tuple[SimRequest, ...]
+    assemble: Callable[[Mapping[str, SimulationResult]], Any]
+    print_report: Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class FigureOutcome:
+    """A figure's assembled result, or the error that prevented it.
+
+    ``keys`` are the content keys of the tasks this figure consumed, in plan
+    order — the join between a figure and the manifest's task records.
+    """
+
+    job: FigureJob
+    result: Any | None
+    error: str | None
+    keys: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class GridOutcome:
+    """Everything a grid run produced: task bookkeeping plus figure results."""
+
+    run: GridRun
+    figures: tuple[FigureOutcome, ...]
+
+    @property
+    def failed(self) -> bool:
+        """Whether any figure failed to materialize."""
+        return any(outcome.error is not None for outcome in self.figures)
+
+
+def plan_figure(
+    figure: str,
+    preset: str,
+    seed: int = 0,
+    *,
+    replicates: int = 5,
+    overrides: Mapping[str, object] | None = None,
+) -> FigureJob:
+    """Build one figure's job: its simulation plan plus assembly closures."""
+    label = f"{figure}/{preset}/seed={seed}"
+    if figure == "fig1":
+        requests = figure1.plan(preset, seed=seed, overrides=overrides)
+
+        def assemble_fig1(results: Mapping[str, SimulationResult]) -> Any:
+            return figure1.assemble(results, preset=preset)
+
+        return FigureJob(figure, label, requests, assemble_fig1, figure1.print_report)
+    if figure == "fig2":
+        requests = figure2.plan(preset, seed=seed, overrides=overrides)
+
+        def assemble_fig2(results: Mapping[str, SimulationResult]) -> Any:
+            return figure2.assemble(results, preset=preset)
+
+        return FigureJob(figure, label, requests, assemble_fig2, figure2.print_report)
+    if figure == "fig3a":
+        requests = figure3a.plan(preset, seed=seed, overrides=overrides)
+
+        def assemble_fig3a(results: Mapping[str, SimulationResult]) -> Any:
+            return figure3a.assemble(results, preset=preset, seed=seed)
+
+        return FigureJob(figure, label, requests, assemble_fig3a, figure3a.print_report)
+    if figure == "fig3b":
+        requests = figure3b.plan(preset, seed=seed, overrides=overrides)
+
+        def assemble_fig3b(results: Mapping[str, SimulationResult]) -> Any:
+            return figure3b.assemble(results, preset=preset, seed=seed)
+
+        return FigureJob(figure, label, requests, assemble_fig3b, figure3b.print_report)
+    if figure == "replicate":
+        seeds = tuple(range(seed, seed + replicates))
+        requests = multiseed.plan(preset, seeds=seeds, overrides=overrides)
+
+        def assemble_replicate(results: Mapping[str, SimulationResult]) -> Any:
+            return multiseed.assemble(results, preset=preset, seeds=seeds)
+
+        return FigureJob(
+            figure, label, requests, assemble_replicate, multiseed.print_report
+        )
+    raise ConfigurationError(f"unknown figure {figure!r}; choose from {FIGURES}")
+
+
+def expand_grid(
+    figures: Sequence[str],
+    preset: str,
+    seeds: Sequence[int] = (0,),
+    *,
+    replicates: int = 5,
+    overrides: Mapping[str, object] | None = None,
+) -> tuple[FigureJob, ...]:
+    """Every (figure × seed) job of the grid, figures varying fastest."""
+    if not figures:
+        raise ConfigurationError("grid needs at least one figure")
+    if not seeds:
+        raise ConfigurationError("grid needs at least one seed")
+    jobs = [
+        plan_figure(figure, preset, seed, replicates=replicates, overrides=overrides)
+        for seed in seeds
+        for figure in figures
+    ]
+    labels = [job.label for job in jobs]
+    if len(set(labels)) != len(labels):
+        raise ConfigurationError(f"grid expands to duplicate jobs: {labels}")
+    return tuple(jobs)
+
+
+def grid_tasks(
+    jobs: Sequence[FigureJob],
+) -> tuple[tuple[SimTask, ...], dict[str, dict[str, str]]]:
+    """Deduplicate all jobs' requests into content-unique tasks.
+
+    Returns ``(tasks, {job.label: {request.key: content_key}})`` — the
+    mapping each figure needs to find its results again after shared
+    simulations (e.g. Figure 1's pair inside Figure 3(a)'s sweep) collapse.
+    """
+    namespaced = [
+        SimRequest(f"{job.label}/{request.key}", request.config, request.engine)
+        for job in jobs
+        for request in job.requests
+    ]
+    tasks, flat = requests_to_tasks(namespaced)
+    per_job = {
+        job.label: {
+            request.key: flat[f"{job.label}/{request.key}"] for request in job.requests
+        }
+        for job in jobs
+    }
+    return tasks, per_job
+
+
+def run_grid(
+    figure_jobs: Sequence[FigureJob],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    hash_events: bool = False,
+    progress: ProgressFn | None = None,
+    on_error: str = "record",
+) -> GridOutcome:
+    """Execute a grid end to end: dedupe, fan out, cache, assemble.
+
+    With ``on_error="record"`` (the default) a failing simulation takes
+    down only the figures that needed it; the rest of the grid completes
+    and the failure is reported on the outcome.
+    """
+    tasks, per_job = grid_tasks(figure_jobs)
+    run = run_tasks(
+        tasks,
+        jobs=jobs,
+        cache=cache,
+        hash_events=hash_events,
+        progress=progress,
+        on_error=on_error,
+    )
+    outcomes: list[FigureOutcome] = []
+    for job in figure_jobs:
+        key_map = per_job[job.label]
+        keys = tuple(key_map[request.key] for request in job.requests)
+        broken = sorted(key for key in keys if key in run.errors)
+        if broken:
+            outcomes.append(FigureOutcome(job, None, run.errors[broken[0]], keys))
+            continue
+        results = {request_key: run.results[key] for request_key, key in key_map.items()}
+        try:
+            outcomes.append(FigureOutcome(job, job.assemble(results), None, keys))
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            outcomes.append(
+                FigureOutcome(job, None, f"{type(exc).__name__}: {exc}", keys)
+            )
+    return GridOutcome(run=run, figures=tuple(outcomes))

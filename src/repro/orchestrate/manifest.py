@@ -1,0 +1,110 @@
+"""Run manifests: a JSON record of what a grid executed and why.
+
+One manifest per grid invocation, written through
+:func:`repro.analysis.export.write_json` so it lands next to (and diffs
+like) the figure exports. Everything except the ``timing``/``host`` blocks
+and the per-task ``elapsed_s`` fields is a pure function of the grid and the
+code — :func:`stable_view` projects a manifest down to exactly that
+deterministic core, which is what the serial-vs-parallel determinism test
+compares byte for byte.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro._version import __version__
+from repro.analysis.export import write_json
+from repro.orchestrate.pool import TaskRecord
+
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "stable_view", "write_manifest"]
+
+#: Schema tag stamped into every manifest (bump on incompatible layout).
+MANIFEST_SCHEMA = "repro.orchestrate/manifest/v1"
+
+#: Per-task fields that vary between otherwise identical runs.
+_VOLATILE_TASK_FIELDS = frozenset({"elapsed_s"})
+#: Top-level blocks/fields describing the machine or the execution width,
+#: not the computation — ``jobs`` is here because parallelism must not
+#: change what a grid computes, only how fast.
+_VOLATILE_BLOCKS = frozenset({"timing", "host", "jobs"})
+#: Cache fields tied to a run-local location rather than the computation.
+_VOLATILE_CACHE_FIELDS = frozenset({"dir"})
+
+
+def build_manifest(
+    *,
+    grid: Mapping[str, Any],
+    jobs: int,
+    records: Sequence[TaskRecord],
+    cache_dir: str | None,
+    wall_s: float,
+) -> dict[str, Any]:
+    """Assemble the manifest document for one completed grid run."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "version": __version__,
+        "grid": dict(grid),
+        "jobs": jobs,
+        "tasks": [
+            {
+                "task_id": record.task_id,
+                "key": record.key,
+                "engine": record.engine,
+                "cache_hit": record.cache_hit,
+                "elapsed_s": record.elapsed_s,
+                "result_digest": record.result_digest,
+                "event_digest": record.event_digest,
+                "error": record.error,
+            }
+            for record in records
+        ],
+        "cache": {
+            "dir": cache_dir,
+            "enabled": cache_dir is not None,
+            "hits": sum(1 for r in records if r.cache_hit),
+            "executed": sum(1 for r in records if not r.cache_hit and r.error is None),
+            "errors": sum(1 for r in records if r.error is not None),
+        },
+        "timing": {"wall_s": wall_s},
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+
+def stable_view(manifest: Mapping[str, Any]) -> dict[str, Any]:
+    """The manifest minus every machine- or run-local field.
+
+    Two runs of the same grid against the same code must produce equal
+    stable views regardless of ``--jobs``, host speed, or where the cache
+    lives — the serial-vs-parallel determinism contract. (``cache_hit``
+    flags stay: they are deterministic given the cache state the run
+    started from.)
+    """
+    view: dict[str, Any] = {}
+    for block, value in manifest.items():
+        if block in _VOLATILE_BLOCKS:
+            continue
+        if block == "tasks":
+            view[block] = [
+                {k: v for k, v in task.items() if k not in _VOLATILE_TASK_FIELDS}
+                for task in value
+            ]
+        elif block == "cache":
+            view[block] = {
+                k: v for k, v in value.items() if k not in _VOLATILE_CACHE_FIELDS
+            }
+        else:
+            view[block] = value
+    return view
+
+
+def write_manifest(manifest: Mapping[str, Any], path: str | Path) -> Path:
+    """Serialize ``manifest`` to ``path`` as indented, sorted JSON."""
+    return write_json(dict(manifest), path)

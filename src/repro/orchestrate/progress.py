@@ -1,0 +1,59 @@
+"""Live progress reporting for grid runs.
+
+Progress goes to ``stderr`` so figure reports and JSON on ``stdout`` stay
+machine-consumable; each completed task prints one line in completion order
+(the manifest, not this stream, is the deterministic record).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.orchestrate.pool import TaskRecord
+
+__all__ = ["ProgressPrinter"]
+
+
+class ProgressPrinter:
+    """Prints one status line per finished task plus a final summary.
+
+    Matches the :data:`repro.orchestrate.pool.ProgressFn` signature — pass
+    an instance directly as ``progress=``.
+    """
+
+    def __init__(self, stream: TextIO | None = None, enabled: bool = True) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.seen = 0
+
+    def __call__(self, record: TaskRecord, done: int, total: int) -> None:
+        self.seen = done
+        if not self.enabled:
+            return
+        width = len(str(total))
+        if record.error is not None:
+            status = "FAIL"
+            detail = record.error
+        elif record.cache_hit:
+            status = "hit "
+            detail = "cached"
+        else:
+            status = "run "
+            detail = f"{record.elapsed_s:.1f}s"
+        print(
+            f"[{done:>{width}}/{total}] {status} {record.task_id} ({detail})",
+            file=self.stream,
+            flush=True,
+        )
+
+    def summary(self, hits: int, executed: int, errors: int, wall_s: float) -> None:
+        """Print the closing one-line tally."""
+        if not self.enabled:
+            return
+        print(
+            f"orchestrated {self.seen} task(s) in {wall_s:.1f}s: "
+            f"{hits} cache hit(s), {executed} executed, {errors} error(s)",
+            file=self.stream,
+            flush=True,
+        )

@@ -58,6 +58,16 @@ class TestMessageLoss:
         dynamic = DetailedGnutellaEngine(cfg.as_dynamic()).run()
         assert dynamic.total_hits > static.total_hits
 
+    def test_same_seed_loss_run_is_deterministic(self):
+        """Two same-config lossy runs in one process produce identical
+        kernel event streams (digest equality), not just equal metrics —
+        the property the parallel orchestrator relies on."""
+        from repro.lint.sanitize import run_hashed
+
+        config = lossy_config(0.25)
+        digests = {run_hashed(config, "detailed", sanitize=False)[1] for _ in range(2)}
+        assert len(digests) == 1
+
     def test_fast_engine_ignores_loss_rate(self):
         """The fast engine's atomic queries model loss-free links; the knob
         is detailed-engine-only by design (documented)."""

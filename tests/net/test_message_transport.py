@@ -11,11 +11,14 @@ from repro.net.transport import Transport
 from repro.sim import HourlyBuckets, Simulator
 
 
-def make_transport(n=10, seed=0, buckets=None):
+def make_transport(n=10, seed=0, buckets=None, loss_rate=0.0, rng=None):
     sim = Simulator()
     bw = BandwidthModel(n, np.random.default_rng(seed))
     latency = LatencyModel(bw, np.random.default_rng(seed + 1))
-    return sim, Transport(sim, latency, query_buckets=buckets), latency
+    transport = Transport(
+        sim, latency, query_buckets=buckets, loss_rate=loss_rate, rng=rng
+    )
+    return sim, transport, latency
 
 
 class TestMessage:
@@ -102,3 +105,85 @@ class TestTransport:
         transport.send(Message(MessageKind.QUERY, 0, 1, origin=0, payload="second"))
         sim.run()
         assert got == ["first", "second"]
+
+
+class TestTransportLoss:
+    """Failure injection on the wire (satellite of the orchestration PR)."""
+
+    N_MESSAGES = 400
+
+    def flood(self, transport, kind=MessageKind.QUERY):
+        for _ in range(self.N_MESSAGES):
+            transport.send(Message(kind, 0, 1, origin=0))
+
+    def test_loss_rate_validated(self):
+        with pytest.raises(NetworkError):
+            make_transport(loss_rate=1.0, rng=np.random.default_rng(0))
+        with pytest.raises(NetworkError):
+            make_transport(loss_rate=-0.1, rng=np.random.default_rng(0))
+
+    def test_positive_loss_requires_rng(self):
+        with pytest.raises(NetworkError):
+            make_transport(loss_rate=0.2)
+
+    def test_loss_accounting_is_exhaustive(self):
+        sim, transport, _ = make_transport(
+            loss_rate=0.3, rng=np.random.default_rng(42)
+        )
+        transport.register(1, lambda m: None)
+        self.flood(transport)
+        sim.run()
+        assert transport.sent == self.N_MESSAGES
+        assert 0 < transport.lost < self.N_MESSAGES
+        assert transport.dropped == 0
+        # Every sent message is either lost in transit or delivered.
+        assert transport.lost + transport.delivered == transport.sent
+
+    def test_lost_messages_still_count_as_sent_by_kind(self):
+        sim, transport, _ = make_transport(
+            loss_rate=0.5, rng=np.random.default_rng(7)
+        )
+        transport.register(1, lambda m: None)
+        self.flood(transport)
+        sim.run()
+        # The sender paid for every copy, lost or not.
+        assert transport.sent_by_kind[MessageKind.QUERY] == self.N_MESSAGES
+
+    def test_query_buckets_exclude_lost_messages(self):
+        buckets = HourlyBuckets(horizon=3600.0)
+        sim, transport, _ = make_transport(
+            buckets=buckets, loss_rate=0.4, rng=np.random.default_rng(3)
+        )
+        transport.register(1, lambda m: None)
+        self.flood(transport)
+        sim.run()
+        # A copy lost in transit never propagates, so the overhead series
+        # counts exactly the surviving copies.
+        assert buckets.total() == transport.sent - transport.lost
+        assert buckets.total() == transport.delivered
+
+    def test_same_seed_loses_the_same_messages(self):
+        outcomes = []
+        for _ in range(2):
+            sim, transport, _ = make_transport(
+                loss_rate=0.25, rng=np.random.default_rng(11)
+            )
+            got = []
+            transport.register(1, lambda m: got.append(m.payload))
+            for i in range(100):
+                transport.send(
+                    Message(MessageKind.QUERY, 0, 1, origin=0, payload=i)
+                )
+            sim.run()
+            outcomes.append((transport.lost, tuple(got)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_zero_rate_loses_nothing(self):
+        sim, transport, _ = make_transport(
+            loss_rate=0.0, rng=np.random.default_rng(0)
+        )
+        transport.register(1, lambda m: None)
+        self.flood(transport)
+        sim.run()
+        assert transport.lost == 0
+        assert transport.delivered == self.N_MESSAGES

@@ -1,0 +1,22 @@
+"""Shared scaffolding for the orchestration tests: a tiny, fast world."""
+
+import pytest
+
+from repro.experiments.common import preset_config
+from repro.types import HOUR
+
+#: Overrides shrinking the smoke preset to sub-second simulations.
+TINY = {"n_users": 60, "n_items": 3000, "horizon": 4 * HOUR}
+
+#: The same overrides as CLI --set arguments.
+TINY_ARGS = [
+    "--set", "n_users=60",
+    "--set", "n_items=3000",
+    "--set", f"horizon={float(4 * HOUR)}",
+]
+
+
+@pytest.fixture()
+def tiny_config():
+    """One tiny static configuration (smoke preset shrunk further)."""
+    return preset_config("smoke", seed=0, **TINY).as_static()

@@ -1,0 +1,109 @@
+"""Content addressing and the on-disk result cache."""
+
+import pickle
+
+import pytest
+
+from repro.gnutella.simulation import run_simulation
+from repro.orchestrate.cache import ResultCache, code_fingerprint, task_key
+
+from .conftest import TINY
+
+
+class TestTaskKey:
+    def test_deterministic(self, tiny_config):
+        assert task_key(tiny_config) == task_key(tiny_config)
+
+    def test_sensitive_to_seed(self, tiny_config):
+        import dataclasses
+
+        other = dataclasses.replace(tiny_config, seed=tiny_config.seed + 1)
+        assert task_key(tiny_config) != task_key(other)
+
+    def test_sensitive_to_any_config_field(self, tiny_config):
+        import dataclasses
+
+        other = dataclasses.replace(tiny_config, queries_per_hour=9.5)
+        assert task_key(tiny_config) != task_key(other)
+
+    def test_sensitive_to_engine(self, tiny_config):
+        assert task_key(tiny_config, "fast") != task_key(tiny_config, "detailed")
+
+    def test_sensitive_to_code_fingerprint(self, tiny_config):
+        a = task_key(tiny_config, fingerprint="aaaa")
+        b = task_key(tiny_config, fingerprint="bbbb")
+        assert a != b
+        # And the default fingerprint is the real one.
+        assert task_key(tiny_config) == task_key(
+            tiny_config, fingerprint=code_fingerprint()
+        )
+
+    def test_shape(self, tiny_config):
+        key = task_key(tiny_config)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_hex_digest(self):
+        fp = code_fingerprint()
+        assert len(fp) == 64
+        assert set(fp) <= set("0123456789abcdef")
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    """One real simulation result to round-trip through the cache."""
+    from repro.experiments.common import preset_config
+
+    return run_simulation(preset_config("smoke", seed=0, **TINY).as_static())
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, tiny_result, {"note": "test"})
+        assert key in cache
+        assert len(cache) == 1
+        got = cache.get(key)
+        assert got is not None
+        from repro.orchestrate.pool import result_digest
+
+        assert got.scheme == tiny_result.scheme
+        assert result_digest(got) == result_digest(tiny_result)
+
+    def test_sidecar_written(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, tiny_result, {"engine": "fast", "seed": 0})
+        sidecar = tmp_path / key[:2] / f"{key}.json"
+        assert sidecar.is_file()
+        assert '"engine"' in sidecar.read_text()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "2" * 62
+        cache.put(key, tiny_result, {})
+        entry = tmp_path / key[:2] / f"{key}.pkl"
+        entry.write_bytes(b"not a pickle at all")
+        assert cache.get(key) is None
+
+    def test_wrong_type_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "01" + "3" * 62
+        entry = tmp_path / key[:2] / f"{key}.pkl"
+        entry.parent.mkdir(parents=True)
+        entry.write_bytes(pickle.dumps({"not": "a result"}))
+        assert cache.get(key) is None
+
+    def test_sharded_layout(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        key = "7f" + "4" * 62
+        cache.put(key, tiny_result, {})
+        assert (tmp_path / "7f" / f"{key}.pkl").is_file()

@@ -1,0 +1,169 @@
+"""The repro-orchestrate CLI: argument parsing and end-to-end smoke."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.orchestrate.cli import (
+    CACHE_DIR_ENV,
+    default_cache_dir,
+    main,
+    parse_figures,
+    parse_overrides,
+    parse_seeds,
+)
+
+from .conftest import TINY_ARGS
+
+
+class TestParseFigures:
+    def test_all_excludes_replicate(self):
+        assert parse_figures("all") == ("fig1", "fig2", "fig3a", "fig3b")
+
+    def test_comma_list(self):
+        assert parse_figures("fig1, fig3b") == ("fig1", "fig3b")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_figures("fig9")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_figures(",")
+
+
+class TestParseSeeds:
+    def test_comma_list(self):
+        assert parse_seeds("0,5,7") == (0, 5, 7)
+
+    def test_range(self):
+        assert parse_seeds("0-3") == (0, 1, 2, 3)
+
+    def test_mixed(self):
+        assert parse_seeds("9,0-2") == (9, 0, 1, 2)
+
+    def test_negative_seed(self):
+        assert parse_seeds("-1") == (-1,)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_seeds("1,1")
+        with pytest.raises(ConfigurationError):
+            parse_seeds("0-2,1")
+
+    def test_empty_and_malformed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_seeds("")
+        with pytest.raises(ConfigurationError):
+            parse_seeds("two")
+        with pytest.raises(ConfigurationError):
+            parse_seeds("3-1")
+
+
+class TestParseOverrides:
+    def test_literals_and_strings(self):
+        overrides = parse_overrides(
+            ["n_users=60", "horizon=14400.0", "benefit=hit-count", "dynamic=True"]
+        )
+        assert overrides == {
+            "n_users": 60,
+            "horizon": 14400.0,
+            "benefit": "hit-count",
+            "dynamic": True,
+        }
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_overrides(["n_users"])
+        with pytest.raises(ConfigurationError):
+            parse_overrides(["=60"])
+
+    def test_empty_is_empty(self):
+        assert parse_overrides([]) == {}
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "/tmp/somewhere")
+        assert str(default_cache_dir()) == "/tmp/somewhere"
+
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert str(default_cache_dir()) == ".repro-cache"
+
+
+class TestMain:
+    def test_bad_arguments_exit_2(self, capsys):
+        assert main(["--figures", "fig9"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+        assert main(["--figures", "fig1", "--seeds", "nope"]) == 2
+
+    def test_smoke_grid_end_to_end(self, tmp_path, capsys):
+        manifest_path = tmp_path / "manifest.json"
+        json_path = tmp_path / "out.json"
+        code = main(
+            [
+                "--figures",
+                "fig1",
+                "--preset",
+                "smoke",
+                "--seeds",
+                "0",
+                *TINY_ARGS,
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--manifest",
+                str(manifest_path),
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "panel (a)" in out  # figure report printed
+        assert "manifest written" in out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["grid"]["figures"] == ["fig1"]
+        assert len(manifest["tasks"]) == 2
+        assert json_path.is_file()
+
+    def test_multi_figure_json_gets_suffixes(self, tmp_path):
+        code = main(
+            [
+                "--figures",
+                "fig1,fig2",
+                "--preset",
+                "smoke",
+                "--seeds",
+                "0",
+                "--quiet",
+                *TINY_ARGS,
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--json",
+                str(tmp_path / "out.json"),
+            ]
+        )
+        assert code == 0
+        written = sorted(p.name for p in tmp_path.glob("out-*.json"))
+        assert written == ["out-fig1-smoke-seed0.json", "out-fig2-smoke-seed0.json"]
+
+    def test_quiet_silences_reports(self, tmp_path, capsys):
+        code = main(
+            [
+                "--figures",
+                "fig1",
+                "--preset",
+                "smoke",
+                "--seeds",
+                "0",
+                "--quiet",
+                *TINY_ARGS,
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""

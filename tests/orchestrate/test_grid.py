@@ -1,0 +1,142 @@
+"""Grid expansion, cross-figure dedup, and figure-level failure isolation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import SimRequest, preset_config
+from repro.orchestrate.grid import (
+    FIGURES,
+    FigureJob,
+    expand_grid,
+    grid_tasks,
+    plan_figure,
+    run_grid,
+)
+
+from .conftest import TINY
+
+
+class TestPlanFigure:
+    def test_every_known_figure_plans(self):
+        for figure in FIGURES:
+            job = plan_figure(figure, "smoke", seed=0, overrides=TINY)
+            assert job.figure == figure
+            assert job.label == f"{figure}/smoke/seed=0"
+            assert len(job.requests) >= 2
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_figure("fig9", "smoke")
+
+    def test_replicate_respects_replicates(self):
+        job = plan_figure("replicate", "smoke", seed=3, replicates=4, overrides=TINY)
+        # One static + one dynamic request per seed.
+        assert len(job.requests) == 8
+        assert any("seed=6" in r.key for r in job.requests)
+        assert not any("seed=7" in r.key for r in job.requests)
+
+
+class TestExpandGrid:
+    def test_figures_times_seeds(self):
+        jobs = expand_grid(("fig1", "fig2"), "smoke", seeds=(0, 1), overrides=TINY)
+        assert [job.label for job in jobs] == [
+            "fig1/smoke/seed=0",
+            "fig2/smoke/seed=0",
+            "fig1/smoke/seed=1",
+            "fig2/smoke/seed=1",
+        ]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid((), "smoke")
+        with pytest.raises(ConfigurationError):
+            expand_grid(("fig1",), "smoke", seeds=())
+
+    def test_duplicate_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(("fig1", "fig1"), "smoke")
+
+
+class TestGridTasks:
+    def test_cross_figure_dedup(self):
+        # Figure 1 is the TTL-2 paired run; Figure 3(a) sweeps TTL 1-4 and
+        # therefore contains that exact pair as its hops=2 column. The grid
+        # must run 8 unique simulations, not 10.
+        jobs = expand_grid(("fig1", "fig3a"), "smoke", overrides=TINY)
+        total_requests = sum(len(job.requests) for job in jobs)
+        tasks, per_job = grid_tasks(jobs)
+        assert total_requests == 10
+        assert len(tasks) == 8
+        fig1_keys = set(per_job["fig1/smoke/seed=0"].values())
+        fig3a_keys = set(per_job["fig3a/smoke/seed=0"].values())
+        assert fig1_keys <= fig3a_keys
+
+    def test_full_paper_grid_is_12_tasks(self):
+        # fig1 (2) + fig2 (2) + fig3a (8) + fig3b (1+5): fig1 == fig3a's
+        # hops=2 column, fig2 == fig3a's hops=4 column, and fig3b's static
+        # and T=2 dynamic (the config default) == the fig1 pair -> 12
+        # unique simulations, not 18.
+        jobs = expand_grid(("fig1", "fig2", "fig3a", "fig3b"), "smoke", overrides=TINY)
+        tasks, _ = grid_tasks(jobs)
+        assert sum(len(job.requests) for job in jobs) == 18
+        assert len(tasks) == 12
+
+    def test_distinct_seeds_share_nothing(self):
+        jobs = expand_grid(("fig1",), "smoke", seeds=(0, 1), overrides=TINY)
+        tasks, _ = grid_tasks(jobs)
+        assert len(tasks) == 4
+
+
+def failing_job(label="boom/smoke/seed=0"):
+    """A figure job whose assembly always explodes."""
+    config = preset_config("smoke", seed=0, **TINY).as_static()
+
+    def assemble(results):
+        raise ValueError("assembly exploded")
+
+    return FigureJob(
+        figure="boom",
+        label=label,
+        requests=(SimRequest("static", config),),
+        assemble=assemble,
+        print_report=lambda result: None,
+    )
+
+
+class TestRunGrid:
+    def test_assembles_each_figure(self):
+        jobs = expand_grid(("fig1",), "smoke", overrides=TINY)
+        outcome = run_grid(jobs)
+        assert not outcome.failed
+        (figure,) = outcome.figures
+        assert figure.error is None
+        assert figure.result.dynamic_hits.sum() > 0
+        assert len(figure.keys) == 2
+        assert outcome.run.executed == 2
+
+    def test_bad_simulation_breaks_only_its_figures(self):
+        config = preset_config("smoke", seed=0, **TINY).as_static()
+        bad = FigureJob(
+            figure="bad",
+            label="bad/smoke/seed=0",
+            requests=(SimRequest("static", config, engine="bogus"),),
+            assemble=lambda results: "assembled",
+            print_report=lambda result: None,
+        )
+        good = plan_figure("fig1", "smoke", overrides=TINY)
+        outcome = run_grid((bad, good), on_error="record")
+        assert outcome.failed
+        bad_outcome, good_outcome = outcome.figures
+        assert bad_outcome.result is None
+        assert "bogus" in bad_outcome.error
+        assert good_outcome.error is None
+        assert good_outcome.result is not None
+
+    def test_assembly_failure_recorded(self):
+        outcome = run_grid((failing_job(),), on_error="record")
+        assert outcome.failed
+        assert "assembly exploded" in outcome.figures[0].error
+
+    def test_assembly_failure_raises_when_asked(self):
+        with pytest.raises(ValueError):
+            run_grid((failing_job(),), on_error="raise")

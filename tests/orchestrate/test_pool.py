@@ -1,0 +1,136 @@
+"""The task executor: dedup, cache integration, error policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import SimRequest, preset_config
+from repro.gnutella.simulation import run_simulation
+from repro.orchestrate.cache import ResultCache, task_key
+from repro.orchestrate.pool import (
+    SimTask,
+    requests_to_tasks,
+    result_digest,
+    run_requests,
+    run_tasks,
+)
+
+from .conftest import TINY
+
+
+def tiny(seed=0, **overrides):
+    return preset_config("smoke", seed=seed, **{**TINY, **overrides})
+
+
+def make_task(config, task_id="t", engine="fast"):
+    return SimTask(task_id, task_key(config, engine), config, engine)
+
+
+class TestRequestsToTasks:
+    def test_dedup_by_content(self):
+        cfg = tiny().as_static()
+        requests = [SimRequest("a", cfg), SimRequest("b", cfg)]
+        tasks, mapping = requests_to_tasks(requests)
+        assert len(tasks) == 1
+        assert mapping["a"] == mapping["b"] == tasks[0].key
+        assert tasks[0].task_id == "a"  # first occurrence names the task
+
+    def test_distinct_configs_stay_distinct(self):
+        tasks, _ = requests_to_tasks(
+            [SimRequest("a", tiny(0).as_static()), SimRequest("b", tiny(1).as_static())]
+        )
+        assert len(tasks) == 2
+
+    def test_duplicate_request_keys_rejected(self):
+        cfg = tiny().as_static()
+        with pytest.raises(ConfigurationError):
+            requests_to_tasks([SimRequest("a", cfg), SimRequest("a", cfg)])
+
+
+class TestRunTasks:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            run_tasks([], jobs=0)
+
+    def test_on_error_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_tasks([], on_error="ignore")
+
+    def test_duplicate_task_keys_rejected(self):
+        task = make_task(tiny().as_static())
+        with pytest.raises(ConfigurationError):
+            run_tasks([task, task])
+
+    def test_inline_matches_direct_simulation(self):
+        cfg = tiny().as_static()
+        run = run_tasks([make_task(cfg)], jobs=1)
+        direct = run_simulation(cfg)
+        assert run.executed == 1
+        assert run.cache_hits == 0
+        record = run.records[0]
+        assert not record.cache_hit
+        assert record.elapsed_s > 0
+        assert record.result_digest == result_digest(direct)
+
+    def test_cache_roundtrip_and_resume(self, tmp_path):
+        cfg = tiny().as_static()
+        cache = ResultCache(tmp_path)
+        cold = run_tasks([make_task(cfg)], cache=cache)
+        assert cold.executed == 1 and cold.cache_hits == 0
+        warm = run_tasks([make_task(cfg)], cache=cache)
+        assert warm.executed == 0 and warm.cache_hits == 1
+        assert warm.records[0].result_digest == cold.records[0].result_digest
+        assert warm.records[0].elapsed_s == 0.0
+
+    def test_on_error_record_captures_failure(self):
+        bad = make_task(tiny().as_static(), task_id="bad", engine="bogus")
+        good = make_task(tiny(seed=1).as_static(), task_id="good")
+        run = run_tasks([bad, good], on_error="record")
+        assert run.errors == {bad.key: run.records[0].error}
+        assert "bogus" in run.records[0].error
+        assert run.records[1].error is None
+        assert good.key in run.results
+        assert bad.key not in run.results
+
+    def test_on_error_raise_propagates(self):
+        bad = make_task(tiny().as_static(), engine="bogus")
+        with pytest.raises(ConfigurationError):
+            run_tasks([bad], on_error="raise")
+
+    def test_progress_callback_sees_every_task(self):
+        seen = []
+        run_tasks(
+            [make_task(tiny().as_static())],
+            progress=lambda record, done, total: seen.append((record.task_id, done, total)),
+        )
+        assert seen == [("t", 1, 1)]
+
+    def test_records_in_task_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = [
+            make_task(tiny(seed=s).as_static(), task_id=f"s{s}") for s in (0, 1, 2)
+        ]
+        # Pre-warm the middle task so hits and misses interleave.
+        run_tasks([tasks[1]], cache=cache)
+        run = run_tasks(tasks, cache=cache)
+        assert [r.task_id for r in run.records] == ["s0", "s1", "s2"]
+        assert [r.cache_hit for r in run.records] == [False, True, False]
+
+
+class TestRunRequests:
+    def test_maps_results_back_to_request_keys(self):
+        cfg = tiny()
+        results = run_requests(
+            [SimRequest("static", cfg.as_static()), SimRequest("dynamic", cfg.as_dynamic())]
+        )
+        assert set(results) == {"static", "dynamic"}
+        assert not results["static"].config.dynamic
+        assert results["dynamic"].config.dynamic
+
+    def test_shared_content_executes_once(self, tmp_path):
+        cfg = tiny().as_static()
+        cache = ResultCache(tmp_path)
+        results = run_requests(
+            [SimRequest("a", cfg), SimRequest("b", cfg)], cache=cache
+        )
+        assert len(cache) == 1  # one simulation stored, two keys served
+        assert result_digest(results["a"]) == result_digest(results["b"])
