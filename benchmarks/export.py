@@ -1,0 +1,15 @@
+"""Runnable shim for the ``repro-bench`` CLI.
+
+The substance lives in :mod:`repro.bench` (installed with the package, so
+the ``repro-bench`` console script works anywhere); this file exists so the
+benchmark exporter can also be launched straight from a checkout::
+
+    PYTHONPATH=src python benchmarks/export.py --smoke
+"""
+
+import sys
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -110,6 +110,30 @@ def test_bench_search_flood_ttl6(benchmark):
     assert outcome.nodes_contacted > 50
 
 
+def test_bench_fastpath_speedup_over_reference(benchmark):
+    """ISSUE acceptance gate: fast path >= 2x the reference on the default config.
+
+    One live overlay grown by a real engine run under the default flood
+    configuration, then the same 2000-query workload driven through both the
+    FloodFastPath kernel and generic_search, interleaved best-of-N so machine
+    noise lands on both sides alike.
+    """
+    from repro.bench.kernels import KernelReport, _bench_flood_search
+
+    report = KernelReport()
+
+    def run():
+        _bench_flood_search(report, rounds=5)
+        return report.flood_search
+
+    flood = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert flood["speedup"] >= 2.0, (
+        f"fast path only {flood['speedup']:.2f}x the reference "
+        f"({flood['fastpath_us_per_query']:.2f} vs "
+        f"{flood['reference_us_per_query']:.2f} us/query)"
+    )
+
+
 def test_bench_latency_cache(benchmark):
     """First-touch sampling plus cached lookups over 500 nodes."""
     bw = BandwidthModel(500, np.random.default_rng(0))

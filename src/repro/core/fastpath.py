@@ -1,0 +1,363 @@
+"""Specialized flood fast path: Algo 1 without abstraction tax.
+
+:func:`~repro.core.search.generic_search` is the simulation's cost center:
+every figure in the paper's Section 4 evaluation is thousands of flood
+queries over a churning overlay, and each one pays per-hop method dispatch
+(``NetworkView.neighbors`` / ``holds`` / ``link_delay``), per-query ``set`` /
+``deque`` / tuple allocations, and a selection-policy call per node.
+
+:class:`FloodFastPath` is the same hop-layered BFS specialized for the
+default case-study configuration — :class:`~repro.core.selection.SelectAll`
+flooding, ``forward_from_holders=False``, a plain hop-limit termination —
+with these structural replacements:
+
+* an :class:`AdjacencySnapshot`: one flat list of per-node adjacency rows
+  bound to the *live* backing lists of each node's outgoing
+  :class:`~repro.core.neighbors.NeighborList` (:meth:`~repro.core.neighbors.
+  NeighborList.view`). Every link add / sever / logoff the protocol performs
+  mutates those rows in place, so the snapshot is incrementally maintained by
+  construction and is never re-materialized — not per query, not per hop;
+* an **epoch-stamped visited array** (generation-counter trick): the
+  per-query ``seen`` set becomes a preallocated int array reused across
+  queries; marking a node visited is one integer store, clearing is one
+  epoch increment, and a query costs zero hashing. Nodes are marked at
+  *enqueue* time, so duplicate deliveries never enter the trace and the
+  processing loops carry no dedup branches at all;
+* a **span-compressed parent trace**: the BFS trace is a flat node list
+  whose FIFO order makes each hop level a contiguous index range (the trace
+  *is* the frontier — no deque, no per-entry tuples). Parent pointers are
+  not stored per entry: each forwarding node appends one *(parent index,
+  cumulative end)* span, the sender of a whole span is computed once, and a
+  result's discovery path is recovered by binary search over the span ends
+  (results are rare; enqueues are not);
+* an **inverted holder index** (item -> set of holders), so a node's "do I
+  hold this?" check is one set membership and — decisively — the *final*
+  hop level, which is the bulk of a flood and never forwards, collapses to
+  a single C-level ``set.intersection`` over the level slice instead of a
+  Python-level loop;
+* **precomputed delay rows** (:meth:`~repro.net.latency.LatencyModel.
+  delay_rows`): each result's path delay is reconstructed by plain
+  list-of-lists indexing instead of a method call per path edge.
+
+The reference :func:`~repro.core.search.generic_search` stays the semantics
+oracle. The fast path is an optimization, not a semantics change: for every
+``(overlay, holdings, delays, initiator, item, max_hops)`` it returns a
+:class:`~repro.types.QueryOutcome` *bit-identical* to the reference — same
+results in the same order, same message and contact counts, and delays
+accumulated in the same floating-point order. ``tests/core/test_fastpath.py``
+asserts this property over randomized topologies, and the engine-level
+digest-equality tests (and the ``repro-bench`` CI gate) assert it end to end
+over whole simulations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+from repro.core.neighbors import NeighborList
+from repro.types import ItemId, NodeId, QueryOutcome, QueryResult
+
+__all__ = ["AdjacencySnapshot", "FloodFastPath"]
+
+#: Shared holder set for items nobody holds (no per-query allocation).
+_NO_HOLDERS: frozenset[NodeId] = frozenset()
+
+
+class AdjacencySnapshot:
+    """Flat per-node adjacency rows over the live overlay.
+
+    ``rows[u]`` is the live backing list of node ``u``'s outgoing
+    :class:`~repro.core.neighbors.NeighborList` — the very list object the
+    protocol mutates on every link add, sever, and logoff
+    (:meth:`~repro.core.neighbors.NeighborList.view` guarantees the object's
+    identity is stable for the list's lifetime). Holding the rows once
+    therefore keeps the snapshot permanently current at zero maintenance
+    cost, and the search inner loop reaches a node's neighbors with a single
+    list index instead of an attribute chase plus method call per hop.
+
+    Rows are read-only to this class; mutate only through the owning
+    :class:`~repro.core.neighbors.NeighborList`.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, neighbor_lists: Iterable[NeighborList]) -> None:
+        self.rows: list[list[NodeId]] = [nl.view() for nl in neighbor_lists]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class FloodFastPath:
+    """The flood-query hot path over one live overlay.
+
+    Parameters
+    ----------
+    adjacency:
+        Live adjacency rows (one per node, dense by node id). Rows must obey
+        the :class:`~repro.core.neighbors.NeighborList` invariants the
+        protocol maintains: no duplicate members and no self-membership.
+    holdings:
+        ``holdings[u]`` is node ``u``'s item set at construction time. The
+        constructor builds an inverted item -> holders index from it; any
+        later mutation **must** be mirrored through :meth:`add_holder`
+        (the engines' download path does).
+    delay_rows:
+        ``delay_rows[a][b]`` is the one-way delay of the ``a``-``b`` link —
+        :meth:`repro.net.latency.LatencyModel.delay_rows`.
+    max_hops:
+        The default hop-limit terminating condition (Gnutella TTL).
+
+    One instance owns reusable per-query buffers, so it is not safe for
+    concurrent queries — exactly the contract of the single-threaded
+    simulation engines.
+    """
+
+    __slots__ = (
+        "_rows",
+        "_holders_of",
+        "_delay_rows",
+        "max_hops",
+        "_visited",
+        "_epoch",
+        "_trace_node",
+        "_span_parent",
+        "_span_end",
+        "queries_run",
+    )
+
+    def __init__(
+        self,
+        adjacency: AdjacencySnapshot,
+        holdings: Sequence[set[ItemId]],
+        delay_rows: Sequence[Sequence[float]],
+        max_hops: int,
+    ) -> None:
+        n = len(adjacency)
+        if len(holdings) != n or len(delay_rows) != n:
+            raise ValueError(
+                f"adjacency ({n}), holdings ({len(holdings)}) and delay rows "
+                f"({len(delay_rows)}) must cover the same node population"
+            )
+        if max_hops < 1:
+            raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+        self._rows = adjacency.rows
+        self._delay_rows = delay_rows
+        self.max_hops = max_hops
+        # Inverted holder index: _holders_of[item] is the set of nodes
+        # holding item. `node in _holders_of[item]` == `item in
+        # holdings[node]`, but the set-of-holders orientation also lets a
+        # whole hop level be checked with one set.intersection call.
+        holders_of: dict[ItemId, set[NodeId]] = {}
+        for node, library in enumerate(holdings):
+            for item in library:
+                members = holders_of.get(item)
+                if members is None:
+                    holders_of[item] = {NodeId(node)}
+                else:
+                    members.add(NodeId(node))
+        self._holders_of = holders_of
+        # Epoch-stamped visited marks: visited[u] == current epoch <=> u has
+        # been delivered the current query. Bumping the epoch "clears" the
+        # array in O(1); the buffers below are reused across queries.
+        self._visited = [0] * n
+        self._epoch = 0
+        # trace_node[i]: the i-th *first* delivery, in send order (duplicate
+        # deliveries are filtered at enqueue and never materialize). FIFO
+        # append order makes the trace double as the frontier: hop levels
+        # are contiguous index ranges. Parent pointers are span-compressed:
+        # span k covers trace entries [_span_end[k-1], _span_end[k]) and all
+        # of them were sent by trace entry _span_parent[k] (-1 = initiator).
+        self._trace_node: list[NodeId] = []
+        self._span_parent: list[int] = []
+        self._span_end: list[int] = []
+        #: Number of queries executed (introspection / bench bookkeeping).
+        self.queries_run = 0
+
+    def add_holder(self, node: NodeId, item: ItemId) -> None:
+        """Mirror ``holdings[node].add(item)`` into the inverted index.
+
+        The engines call this when a download grows a live library; the
+        index and the library sets must never diverge (idempotent, like
+        ``set.add``).
+        """
+        members = self._holders_of.get(item)
+        if members is None:
+            self._holders_of[item] = {node}
+        else:
+            members.add(node)
+
+    def _path_delay(self, initiator: NodeId, node: NodeId, parent: int) -> float:
+        """One-way delay of ``node``'s discovery path, walked backwards in
+        the reference's exact accumulation order.
+
+        ``parent`` is the trace index of the entry that delivered to
+        ``node`` (-1 if the initiator sent directly). Each step's parent is
+        recovered by binary search over the span ends — only results pay
+        this, and results are rare relative to enqueues.
+        """
+        total = 0.0
+        delay_rows = self._delay_rows
+        trace_node = self._trace_node
+        span_end = self._span_end
+        span_parent = self._span_parent
+        while parent >= 0:
+            prev = trace_node[parent]
+            total += delay_rows[prev][node]
+            node = prev
+            parent = span_parent[bisect_right(span_end, parent)]
+        return total + delay_rows[initiator][node]
+
+    def search(
+        self,
+        initiator: NodeId,
+        item: ItemId,
+        issued_at: float = 0.0,
+        max_hops: int | None = None,
+    ) -> QueryOutcome:
+        """Run one flood query; bit-identical to the reference search.
+
+        Equivalent to ``generic_search(view, initiator, item,
+        TTLTermination(max_hops))`` over a view of the same overlay,
+        holdings, and delays — same results in the same order, same message
+        and contact counts, delays accumulated in the same order.
+        """
+        limit = self.max_hops if max_hops is None else max_hops
+        self.queries_run += 1
+        self._epoch += 1
+        epoch = self._epoch
+        visited = self._visited
+        rows = self._rows
+        delay_rows = self._delay_rows
+        holders = self._holders_of.get(item, _NO_HOLDERS)
+        trace_node = self._trace_node
+        span_parent = self._span_parent
+        span_end = self._span_end
+        del trace_node[:]
+        del span_parent[:]
+        del span_end[:]
+        extend_node = trace_node.extend
+        parent_append = span_parent.append
+        end_append = span_end.append
+
+        results: list[QueryResult] = []
+        results_append = results.append
+
+        # Nodes are marked visited at ENQUEUE time. During level h only
+        # level-h+1 targets get marked, and nothing at level h reads those
+        # marks except the enqueue filter itself — so the trace holds
+        # exactly the first delivery of each contacted node, in first-send
+        # order, which is precisely the set and order the reference
+        # processes (its duplicate entries are dropped unprocessed at pop).
+        # Duplicates therefore never enter the trace, the processing loops
+        # carry no dedup branches, and ``nodes_contacted`` is simply the
+        # final trace length. Message counts are unaffected: they are
+        # charged on send (``len(row) - (sender in row)``), never from the
+        # trace. The sender itself is always already marked (it was
+        # enqueued, or is the initiator), so the visited filter subsumes the
+        # reference's explicit ``target != sender`` test.
+        visited[initiator] = epoch
+        first_row = rows[initiator]
+        messages = len(first_row)
+        for t in first_row:
+            visited[t] = epoch
+        extend_node(first_row)
+        parent_append(-1)
+        end_append(len(first_row))
+        node_append = trace_node.append
+
+        if limit > 1:
+            # Level 1, hoisted: the sender is the initiator for every entry,
+            # a hit's path is the single initiator link, and the level needs
+            # no span segmentation — for the default TTL-2 configuration
+            # this loop plus the final intersection is the whole query.
+            for idx, node in enumerate(first_row):
+                if node in holders:
+                    # Holders reply and do not propagate.
+                    results_append(
+                        QueryResult(node, item, 1, 2.0 * delay_rows[initiator][node])
+                    )
+                    continue
+                row = rows[node]
+                # Duplicate deliveries consume bandwidth: count every copy
+                # sent — all neighbors except the sender.
+                messages += len(row) - (initiator in row)
+                before = len(trace_node)
+                for t in row:
+                    if visited[t] != epoch:
+                        visited[t] = epoch
+                        node_append(t)
+                grown = len(trace_node)
+                if grown != before:
+                    parent_append(idx)
+                    end_append(grown)
+            start, end = len(first_row), len(trace_node)
+            hops = 2
+            level_span = 1  # skip the initial level-1 span
+        else:
+            start, end = 0, len(first_row)
+            hops = 1
+
+        while start < end and hops < limit:
+            # Middle levels, span by span: every entry of a span was sent by
+            # the same node, so the sender lookup happens once per span, not
+            # once per entry. Spans appended while the level runs belong to
+            # the next level (n_spans is snapshotted).
+            n_spans = len(span_parent)
+            seg_lo = start
+            for k in range(level_span, n_spans):
+                seg_hi = span_end[k]
+                parent = span_parent[k]
+                sender = trace_node[parent]
+                for idx, node in enumerate(trace_node[seg_lo:seg_hi], seg_lo):
+                    if node in holders:
+                        results_append(
+                            QueryResult(
+                                node,
+                                item,
+                                hops,
+                                2.0 * self._path_delay(initiator, node, parent),
+                            )
+                        )
+                        continue
+                    row = rows[node]
+                    messages += len(row) - (sender in row)
+                    before = len(trace_node)
+                    for t in row:
+                        if visited[t] != epoch:
+                            visited[t] = epoch
+                            node_append(t)
+                    grown = len(trace_node)
+                    if grown != before:
+                        parent_append(idx)
+                        end_append(grown)
+                seg_lo = seg_hi
+            level_span = n_spans
+            start, end = end, len(trace_node)
+            hops += 1
+
+        # Final level: the hop limit is reached, nobody forwards — only
+        # holder replies remain, so one C-level intersection over the level
+        # slice replaces the per-node loop (and usually proves it empty).
+        if start < end:
+            level = trace_node[start:end]
+            hits = holders.intersection(level)
+            if hits:
+                # Entries are unique, so .index recovers each hit's slot;
+                # sorting restores first-delivery (reply) order.
+                for offset in sorted(level.index(h) for h in hits):
+                    node = level[offset]
+                    parent = span_parent[bisect_right(span_end, start + offset)]
+                    results_append(
+                        QueryResult(
+                            node,
+                            item,
+                            hops,
+                            2.0 * self._path_delay(initiator, node, parent),
+                        )
+                    )
+
+        return QueryOutcome(
+            initiator, item, issued_at, tuple(results), messages, len(trace_node)
+        )

@@ -14,9 +14,12 @@
   discovery path, doubled, because replies route back along the reverse path
   (the Gnutella convention).
 
-This one function is both the reference semantics tested against the
-message-level engine and the hot path of the fast Gnutella engine, so it
-avoids allocation in the inner loop where reasonable.
+This one function is the reference semantics tested against the
+message-level engine, so it avoids allocation in the inner loop where
+reasonable. For the default flood configuration the fast Gnutella engine
+routes queries to the specialized twin in :mod:`repro.core.fastpath`, which
+must stay *bit-identical* to this function — ``generic_search`` is the
+oracle the fast path is property-tested against.
 """
 
 from __future__ import annotations
@@ -34,6 +37,13 @@ from repro.types import ItemId, NodeId, QueryOutcome, QueryResult
 __all__ = ["NetworkView", "generic_search", "iterative_deepening_search"]
 
 _EMPTY_STATS = StatsTable()
+
+#: Shared fallback generator for callers that pass no ``rng``. Those callers
+#: use non-drawing selection (the default flood never samples), so this
+#: sentinel only satisfies the ``SelectionPolicy.select`` signature — hoisted
+#: to module level so the hot path does not allocate a fresh ``Generator``
+#: per query. Pass an explicit ``rng`` for any policy that actually draws.
+_SENTINEL_RNG = np.random.default_rng(0)
 
 
 @runtime_checkable
@@ -95,7 +105,7 @@ def generic_search(
     if stats is None:
         stats = _EMPTY_STATS
     if rng is None:
-        rng = np.random.default_rng(0)
+        rng = _SENTINEL_RNG
 
     results: list[QueryResult] = []
     messages = 0

@@ -187,8 +187,10 @@ class AsymmetricFastEngine(FastGnutellaEngine):
         )
         if config.dynamic and config.evicted_refill_immediate:
             self.protocol.on_eviction = self._on_eviction
-        # The view reads neighbor lists through self.peers; rebuild it.
+        # The view reads neighbor lists through self.peers; rebuild it, and
+        # re-bind the flood fast path to the new peers' live rows likewise.
         self.view = type(self.view)(self.peers, self.live_libraries, self.latency)
+        self._rebind_fastpath()
         #: Results served per node (the load-imbalance measurement).
         self.served = np.zeros(config.n_users, dtype=np.int64)
 

@@ -23,6 +23,7 @@ live libraries differ; arrival times never do.)
 from __future__ import annotations
 
 from repro.core.exploration import generic_explore
+from repro.core.fastpath import AdjacencySnapshot, FloodFastPath
 from repro.core.search import generic_search, iterative_deepening_search
 from repro.core.selection import SelectRandomK, SelectTopKBenefit
 from repro.core.termination import TTLTermination
@@ -76,9 +77,35 @@ class FastGnutellaEngine:
     >>> cfg = GnutellaConfig(n_users=60, n_items=5000, horizon=3600.0,
     ...                      warmup_hours=0)
     >>> metrics = FastGnutellaEngine(cfg).run()        # doctest: +SKIP
+
+    Parameters
+    ----------
+    config:
+        Simulation parameters.
+    use_fastpath:
+        Whether flood queries may run on the specialized engine of
+        :mod:`repro.core.fastpath` (engaged automatically for the default
+        case-study configuration). ``False`` forces every query through the
+        reference :func:`~repro.core.search.generic_search`; outcomes — and
+        therefore same-seed event-stream digests — are bit-identical either
+        way, which the digest-equality tests and the ``repro-bench`` CI gate
+        assert.
+    eager_delay_matrix:
+        Build the full pairwise delay matrix up front (one canonical
+        vectorized draw; see :meth:`repro.net.latency.LatencyModel.
+        delay_matrix`). Required by (and forced on by) the fast path; kept
+        on for the reference mode so ``fast`` and ``fast-reference`` runs
+        observe identical per-pair floats. The detailed engine turns it off
+        to preserve its historical lazy first-touch sampling.
     """
 
-    def __init__(self, config: GnutellaConfig) -> None:
+    def __init__(
+        self,
+        config: GnutellaConfig,
+        *,
+        use_fastpath: bool = True,
+        eager_delay_matrix: bool = True,
+    ) -> None:
         self.config = config
         streams = RngStreams(config.seed)
 
@@ -122,6 +149,15 @@ class FastGnutellaEngine:
         self.live_libraries: list[set] = [set(lib) for lib in self.libraries.libraries]
         self.view = _QueryView(self.peers, self.live_libraries, self.latency)
         self.termination = TTLTermination(config.max_hops)
+        # Delays are static per run, so materialize the full pairwise matrix
+        # up front (one canonical vectorized draw). Built for the reference
+        # mode too — not only when the fast path engages — so a ``fast`` and
+        # a ``fast-reference`` run of the same config observe the exact same
+        # per-pair floats, which is what makes their event-stream digests
+        # bit-identical.
+        self._delay_rows: list[list[float]] | None = None
+        if eager_delay_matrix:
+            self._delay_rows = self.latency.delay_rows()
 
         self._bootstrap_rng = streams.get("bootstrap")
         # Timing and item choice draw from separate streams so that query
@@ -139,12 +175,42 @@ class FastGnutellaEngine:
             self._selection_policy = SelectTopKBenefit(k)
         else:
             self._selection_policy = None
+        # The specialized flood engine (repro.core.fastpath) engages
+        # automatically for the default case-study configuration: SelectAll
+        # flooding with holders replying and not propagating, under a plain
+        # hop limit. Every other strategy keeps the generic reference path.
+        self._fastpath: FloodFastPath | None = None
+        self._use_fastpath = use_fastpath and kind == "flood"
+        if self._use_fastpath:
+            self._rebind_fastpath()
         self._ran = False
         if config.dynamic and config.evicted_refill_immediate:
             # Evicted peers promptly fall back to the bootstrap server for a
             # random replacement (scheduled, not synchronous: the eviction
             # fires mid-reconfiguration).
             self.protocol.on_eviction = self._on_eviction
+
+    def _rebind_fastpath(self) -> None:
+        """(Re)build the flood fast path over the *current* ``self.peers``.
+
+        The fast path holds the identity-stable backing lists of each peer's
+        outgoing :class:`~repro.core.neighbors.NeighborList`, so any subclass
+        that replaces ``self.peers`` (or their neighbor state) after the base
+        constructor ran must call this again — exactly like it must rebuild
+        ``self.view``. No-op when the fast path is disabled or the strategy
+        is not a plain flood.
+        """
+        if not self._use_fastpath:
+            return
+        if self._delay_rows is None:
+            # The fast path needs the precomputed rows; force the build.
+            self._delay_rows = self.latency.delay_rows()
+        self._fastpath = FloodFastPath(
+            AdjacencySnapshot(p.neighbors.outgoing for p in self.peers),
+            self.live_libraries,
+            self._delay_rows,
+            self.termination.max_hops,
+        )
 
     def _on_eviction(self, evicted: NodeId) -> None:
         self.sim.schedule(0.0, self._refill_evicted, evicted)
@@ -221,6 +287,10 @@ class FastGnutellaEngine:
         if outcome.hit and self.config.downloads_grow_libraries:
             # The user downloads the song and shares it from now on.
             self.live_libraries[node].add(item)
+            if self._fastpath is not None:
+                # Keep the fast path's inverted holder index in lockstep
+                # with the live library mutation above.
+                self._fastpath.add_holder(node, item)
         self.metrics.record_query(
             self.sim.now,
             outcome.hit,
@@ -233,18 +303,25 @@ class FastGnutellaEngine:
             peer.requests_since_update += 1
             if peer.requests_since_update >= self.config.reconfiguration_threshold:
                 self.protocol.reconfigure(
-                node,
-                self.config.max_swaps_per_update,
-                self.config.swap_margin,
-                self.config.stats_decay_on_update,
-            )
+                    node,
+                    self.config.max_swaps_per_update,
+                    self.config.swap_margin,
+                    self.config.stats_decay_on_update,
+                )
                 self.protocol.fill_random(node, self._bootstrap_rng)
         self._schedule_next_query(node, epoch)
+
+    @property
+    def fastpath_engaged(self) -> bool:
+        """Whether flood queries run on the specialized fast path."""
+        return self._fastpath is not None
 
     def _execute_search(self, node: NodeId, item, peer: PeerState):
         """Run one query with the configured search strategy."""
         kind, k = self._strategy
         if kind == "flood":
+            if self._fastpath is not None:
+                return self._fastpath.search(node, item, issued_at=self.sim.now)
             return generic_search(
                 self.view, node, item, self.termination, issued_at=self.sim.now
             )

@@ -13,6 +13,13 @@ random online candidates*; the dynamic scheme differs by first claiming slots
 for the statistically best peers via invitations. With an empty statistics
 table a dynamic reconfiguration degenerates to exactly the static behaviour,
 which is why Figure 3(b)'s T=1 point sits near the static line.
+
+Every link mutation here (:meth:`GnutellaProtocol.link`,
+:meth:`~GnutellaProtocol.unlink`, :meth:`~GnutellaProtocol.sever_all`) goes
+through :class:`~repro.core.neighbors.NeighborList`, whose backing lists are
+identity-stable — so the protocol is also what incrementally maintains the
+flood fast path's live :class:`~repro.core.fastpath.AdjacencySnapshot` on
+link add, sever, and logoff.
 """
 
 from __future__ import annotations

@@ -54,12 +54,22 @@ def build_engine(config: GnutellaConfig, engine: str = "fast") -> FastGnutellaEn
     before running — e.g. :func:`repro.lint.sanitize.attach_hasher` wraps the
     kernel's event queue, and :func:`~repro.lint.sanitize.install_consistency_checks`
     schedules periodic invariant probes.
+
+    ``"fast-reference"`` is the fast engine with the specialized flood fast
+    path disabled (every query runs the reference
+    :func:`~repro.core.search.generic_search`). It exists for the
+    digest-equality gate: a ``fast`` and a ``fast-reference`` run of the same
+    config must produce bit-identical event-stream digests.
     """
     if engine == "fast":
         return FastGnutellaEngine(config)
+    if engine == "fast-reference":
+        return FastGnutellaEngine(config, use_fastpath=False)
     if engine == "detailed":
         return DetailedGnutellaEngine(config)
-    raise ConfigurationError(f"unknown engine {engine!r}; use 'fast' or 'detailed'")
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; use 'fast', 'fast-reference' or 'detailed'"
+    )
 
 
 def summarize(eng: FastGnutellaEngine) -> SimulationResult:

@@ -12,6 +12,14 @@ latency is static per pair for the lifetime of a simulation — consistent with
 the paper's description of delay as a property of the user pair. Sampling per
 pair (rather than per message) also lets the fast engine compute path delays
 analytically.
+
+Because delays are static per run, the whole pairwise table can be
+precomputed: :meth:`LatencyModel.delay_matrix` materializes every pair in one
+vectorized draw (canonical upper-triangle order), after which
+:meth:`~LatencyModel.one_way_delay` becomes a plain table read and
+:meth:`~LatencyModel.delay_rows` hands the flood fast path raw per-row lists
+with no method dispatch at all. The matrix is built lazily (first request)
+and never invalidated.
 """
 
 from __future__ import annotations
@@ -94,6 +102,8 @@ class LatencyModel:
         self._cache: dict[int, float] = {}
         self._means = np.asarray(self.params.means, dtype=float)
         self._n = bandwidth.n_nodes
+        self._matrix: np.ndarray | None = None
+        self._rows: list[list[float]] | None = None
 
     def _pair_key(self, a: NodeId, b: NodeId) -> int:
         lo, hi = (a, b) if a <= b else (b, a)
@@ -102,18 +112,72 @@ class LatencyModel:
     def one_way_delay(self, a: NodeId, b: NodeId) -> float:
         """One-way delay in seconds between ``a`` and ``b`` (symmetric).
 
-        A node's delay to itself is zero (local service).
+        A node's delay to itself is zero (local service). Once the pairwise
+        matrix has been materialized (:meth:`delay_matrix`), every lookup is
+        served from it, so matrix users and per-pair users observe the exact
+        same floats.
         """
         if a == b:
             return 0.0
         if not (0 <= a < self._n and 0 <= b < self._n):
             raise NetworkError(f"node ids out of range: {a}, {b} (n={self._n})")
+        if self._rows is not None:
+            return self._rows[a][b]
         key = self._pair_key(a, b)
         delay = self._cache.get(key)
         if delay is None:
             delay = self._draw(a, b)
             self._cache[key] = delay
         return delay
+
+    def delay_matrix(self) -> np.ndarray:
+        """The full symmetric ``n x n`` one-way-delay matrix (seconds).
+
+        Built lazily on first request with one vectorized draw over the
+        upper triangle in canonical ``(a, b), a < b`` order, then never
+        invalidated — delays are static per run. Pairs that were already
+        drawn lazily keep their observed values (the matrix overlays the
+        per-pair cache), so a warm model stays self-consistent. After the
+        build, :meth:`one_way_delay` reads from this table. Treat the
+        returned array as read-only.
+        """
+        if self._matrix is None:
+            n = self._n
+            p = self.params
+            # The slower endpoint of each pair governs the delay mean.
+            slowest = np.minimum.outer(self.bandwidth.classes, self.bandwidth.classes)
+            means = self._means[slowest]
+            if p.std == 0.0:
+                matrix = np.maximum(means, p.floor)
+            else:
+                upper = np.triu_indices(n, k=1)
+                pair_means = means[upper]
+                raw = self._rng.normal(pair_means, p.std)
+                lo = np.maximum(pair_means - p.truncation_sigmas * p.std, p.floor)
+                hi = pair_means + p.truncation_sigmas * p.std
+                matrix = np.zeros((n, n), dtype=float)
+                matrix[upper] = np.clip(raw, lo, hi)
+                matrix = matrix + matrix.T
+            np.fill_diagonal(matrix, 0.0)
+            for key, value in self._cache.items():
+                a, b = divmod(key, n)
+                matrix[a, b] = value
+                matrix[b, a] = value
+            self._matrix = matrix
+            self._rows = matrix.tolist()
+        return self._matrix
+
+    def delay_rows(self) -> list[list[float]]:
+        """Per-row Python lists of :meth:`delay_matrix` (hot-path view).
+
+        ``delay_rows()[a][b]`` is the exact float ``one_way_delay(a, b)``
+        returns, with zero method dispatch — the representation the flood
+        fast path indexes per path edge. Treat as read-only.
+        """
+        if self._rows is None:
+            self.delay_matrix()
+            assert self._rows is not None
+        return self._rows
 
     def round_trip(self, a: NodeId, b: NodeId) -> float:
         """Round-trip time: twice the one-way delay."""
@@ -131,5 +195,15 @@ class LatencyModel:
 
     @property
     def cached_pairs(self) -> int:
-        """Number of pair delays drawn so far (memory introspection)."""
+        """Number of pair delays drawn so far (memory introspection).
+
+        Once the full matrix is materialized every pair is resident.
+        """
+        if self._matrix is not None:
+            return self._n * (self._n - 1) // 2
         return len(self._cache)
+
+    @property
+    def has_matrix(self) -> bool:
+        """Whether the full pairwise matrix has been materialized."""
+        return self._matrix is not None

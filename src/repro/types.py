@@ -1,15 +1,17 @@
 """Shared light-weight types used across the :mod:`repro` package.
 
-These are deliberately plain (``int`` aliases and small frozen dataclasses) so
+These are deliberately plain (``int`` aliases and small named tuples) so
 that hot simulation loops pay no abstraction tax: a :data:`NodeId` is just an
 ``int`` index into per-node arrays, an :data:`ItemId` is just an ``int`` index
-into the catalog.
+into the catalog, and :class:`QueryResult` / :class:`QueryOutcome` are
+:class:`typing.NamedTuple` subclasses whose constructors run at C speed —
+they are built once per result / per query on the search hot path, where a
+frozen-dataclass ``__init__`` measurably dominates small floods.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import NewType
+from typing import NamedTuple, NewType
 
 #: Identifier of a repository node (peer, proxy, OLAP peer ...). Dense,
 #: zero-based, so it can index numpy arrays directly.
@@ -34,8 +36,7 @@ DAY: Time = 24.0 * HOUR
 MILLISECOND: Time = 1e-3
 
 
-@dataclass(frozen=True, slots=True)
-class QueryResult:
+class QueryResult(NamedTuple):
     """A single search result returned to an initiating node.
 
     Attributes
@@ -58,8 +59,7 @@ class QueryResult:
     delay: Time
 
 
-@dataclass(frozen=True, slots=True)
-class QueryOutcome:
+class QueryOutcome(NamedTuple):
     """Aggregate outcome of one search, as observed by the initiator.
 
     Attributes

@@ -90,6 +90,47 @@ class TestNeighborList:
         assert len(nl) == len(nodes)
 
 
+class TestView:
+    def test_view_reflects_live_state(self):
+        nl = NeighborList()
+        view = nl.view()
+        assert view == []
+        nl.add(4)
+        nl.add(9)
+        assert view == [4, 9]
+        nl.remove(4)
+        assert view == [9]
+        nl.discard(9)
+        nl.discard(9)  # absent: no-op
+        assert view == []
+
+    def test_view_identity_stable_across_mutation(self):
+        """The same list object survives add/remove/discard/clear.
+
+        The flood fast path captures these objects once per snapshot; if any
+        mutation rebound the internal list, the snapshot would silently go
+        stale (the bug class the AsymmetricFastEngine rebind guards against).
+        """
+        nl = NeighborList(capacity=4)
+        view = nl.view()
+        for n in (1, 2, 3):
+            nl.add(n)
+        assert nl.view() is view
+        nl.remove(2)
+        nl.discard(3)
+        assert nl.view() is view
+        nl.clear()
+        assert nl.view() is view
+        assert view == []
+
+    def test_view_preserves_insertion_order(self):
+        nl = NeighborList()
+        for n in (7, 2, 5):
+            nl.add(n)
+        assert nl.view() == [7, 2, 5]
+        assert tuple(nl.view()) == nl.as_tuple()
+
+
 class TestNeighborState:
     def test_capacities(self):
         s = NeighborState(0, out_capacity=4, in_capacity=math.inf)

@@ -97,3 +97,64 @@ class TestLatencyModel:
         assert d == lm.one_way_delay(b, a)
         if a != b:
             assert d > 0.0
+
+
+class TestDelayMatrix:
+    def test_symmetric_zero_diagonal(self):
+        lm = make_model(n=60)
+        matrix = lm.delay_matrix()
+        assert matrix.shape == (60, 60)
+        assert np.array_equal(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+        off_diag = matrix[~np.eye(60, dtype=bool)]
+        assert np.all(off_diag > 0.0)
+
+    def test_lookup_served_from_matrix(self):
+        """After the build, one_way_delay reads the exact matrix floats."""
+        lm = make_model(n=40)
+        rows = lm.delay_rows()
+        for a in range(40):
+            for b in range(40):
+                assert lm.one_way_delay(a, b) == rows[a][b]
+
+    def test_precached_lazy_pairs_preserved(self):
+        """Pairs drawn before the build keep their observed values."""
+        lm = make_model(n=30)
+        warm = {(a, b): lm.one_way_delay(a, b) for a, b in [(0, 1), (7, 3), (29, 10)]}
+        matrix = lm.delay_matrix()
+        for (a, b), value in warm.items():
+            assert matrix[a, b] == value
+            assert matrix[b, a] == value
+            assert lm.one_way_delay(a, b) == value
+
+    def test_has_matrix_and_cached_pairs(self):
+        lm = make_model(n=20)
+        assert not lm.has_matrix
+        lm.one_way_delay(0, 1)
+        assert lm.cached_pairs == 1
+        lm.delay_matrix()
+        assert lm.has_matrix
+        assert lm.cached_pairs == 20 * 19 // 2
+
+    def test_matrix_built_once(self):
+        lm = make_model(n=15)
+        assert lm.delay_matrix() is lm.delay_matrix()
+        assert lm.delay_rows() is lm.delay_rows()
+
+    def test_truncation_respected_in_matrix(self):
+        lm = make_model(n=50)
+        matrix = lm.delay_matrix()
+        p = lm.params
+        for i in range(50):
+            for j in range(i + 1, 50):
+                mean = p.means[lm.bandwidth.slowest_class(i, j)]
+                lo = max(mean - p.truncation_sigmas * p.std, p.floor)
+                hi = mean + p.truncation_sigmas * p.std
+                assert lo - 1e-12 <= matrix[i, j] <= hi + 1e-12
+
+    def test_zero_std_matrix_is_exact_means(self):
+        params = DelayParameters(std=0.0)
+        lm = make_model(n=20, classes=[2] * 20, params=params)
+        matrix = lm.delay_matrix()
+        off_diag = matrix[~np.eye(20, dtype=bool)]
+        assert np.all(off_diag == 0.070)
