@@ -13,12 +13,14 @@ SHA-256 digests. A mismatch fails the CLI (and CI).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.experiments import figure1
 from repro.experiments.common import preset_config
+from repro.gnutella.simulation import simulate_profiled
 from repro.lint.sanitize import run_hashed
+from repro.obs.profile import PhaseTimers
 
 __all__ = ["DigestGateReport", "FigureReport", "digest_gate", "figure_smoke"]
 
@@ -35,6 +37,10 @@ class FigureReport:
     dynamic_hits: int
     static_messages: int
     dynamic_messages: int
+    #: Aggregated ``repro.obs`` wall-clock phase timings across both runs
+    #: (setup / kernel run / fast-path kernel / teardown) — where the
+    #: benchmark's ``seconds`` actually went.
+    phases: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -46,6 +52,7 @@ class FigureReport:
             "dynamic_hits": self.dynamic_hits,
             "static_messages": self.static_messages,
             "dynamic_messages": self.dynamic_messages,
+            "phases": self.phases,
         }
 
 
@@ -73,9 +80,20 @@ class DigestGateReport:
 
 
 def figure_smoke(preset: str = "smoke", seed: int = 0) -> FigureReport:
-    """Run Figure 1 (both schemes, TTL 2) at ``preset`` scale, timed."""
+    """Run Figure 1 (both schemes, TTL 2) at ``preset`` scale, timed.
+
+    Runs through :func:`~repro.gnutella.simulation.simulate_profiled` so the
+    snapshot also records where the wall time went (phase breakdown).
+    """
+    timers = PhaseTimers()
+
+    def simulate(config, engine="fast"):
+        result, _digest, phases = simulate_profiled(config, engine)
+        timers.merge(phases)
+        return result
+
     t0 = time.perf_counter()
-    result = figure1.run(preset=preset, seed=seed)
+    result = figure1.run(preset=preset, seed=seed, simulate=simulate)
     seconds = time.perf_counter() - t0
     return FigureReport(
         preset=preset,
@@ -86,6 +104,7 @@ def figure_smoke(preset: str = "smoke", seed: int = 0) -> FigureReport:
         dynamic_hits=result.dynamic.metrics.total_hits,
         static_messages=int(result.static_messages.sum()),
         dynamic_messages=int(result.dynamic_messages.sum()),
+        phases=timers.as_dict(),
     )
 
 

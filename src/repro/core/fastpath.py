@@ -53,6 +53,7 @@ over whole simulations.
 from __future__ import annotations
 
 from bisect import bisect_right
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.core.neighbors import NeighborList
@@ -125,6 +126,9 @@ class FloodFastPath:
         "_span_parent",
         "_span_end",
         "queries_run",
+        "collect_levels",
+        "last_level_ends",
+        "profile",
     )
 
     def __init__(
@@ -174,6 +178,17 @@ class FloodFastPath:
         self._span_end: list[int] = []
         #: Number of queries executed (introspection / bench bookkeeping).
         self.queries_run = 0
+        #: Observability hooks (repro.obs), both off by default. With
+        #: ``collect_levels`` on, :meth:`search` records the cumulative
+        #: contacted-count at each hop level into ``last_level_ends`` (one
+        #: list append per *level*, not per node — the tracer's per-hop
+        #: events read it). ``profile`` is an optional
+        #: :class:`repro.obs.profile.PhaseTimers` accumulating this kernel's
+        #: wall time under ``"fastpath.search"`` (one branch per query when
+        #: unset). Neither hook touches outcomes, RNG, or event order.
+        self.collect_levels = False
+        self.last_level_ends: list[int] | None = None
+        self.profile = None
 
     def add_holder(self, node: NodeId, item: ItemId) -> None:
         """Mirror ``holdings[node].add(item)`` into the inverted index.
@@ -223,6 +238,9 @@ class FloodFastPath:
         holdings, and delays — same results in the same order, same message
         and contact counts, delays accumulated in the same order.
         """
+        # Wall-clock on purpose: the profiler measures real elapsed time and
+        # never feeds back into query outcomes.
+        t0 = perf_counter() if self.profile is not None else 0.0  # repro-lint: disable=R002
         limit = self.max_hops if max_hops is None else max_hops
         self.queries_run += 1
         self._epoch += 1
@@ -266,6 +284,9 @@ class FloodFastPath:
         parent_append(-1)
         end_append(len(first_row))
         node_append = trace_node.append
+        # Cumulative contacted-count at each hop level (observability; one
+        # append per level when enabled, a no-op None check otherwise).
+        level_ends = [len(first_row)] if self.collect_levels else None
 
         if limit > 1:
             # Level 1, hoisted: the sender is the initiator for every entry,
@@ -293,6 +314,8 @@ class FloodFastPath:
                     parent_append(idx)
                     end_append(grown)
             start, end = len(first_row), len(trace_node)
+            if level_ends is not None and end > start:
+                level_ends.append(end)
             hops = 2
             level_span = 1  # skip the initial level-1 span
         else:
@@ -335,6 +358,8 @@ class FloodFastPath:
                 seg_lo = seg_hi
             level_span = n_spans
             start, end = end, len(trace_node)
+            if level_ends is not None and end > start:
+                level_ends.append(end)
             hops += 1
 
         # Final level: the hop limit is reached, nobody forwards — only
@@ -358,6 +383,10 @@ class FloodFastPath:
                         )
                     )
 
+        if level_ends is not None:
+            self.last_level_ends = level_ends
+        if self.profile is not None:
+            self.profile.add("fastpath.search", perf_counter() - t0)  # repro-lint: disable=R002
         return QueryOutcome(
             initiator, item, issued_at, tuple(results), messages, len(trace_node)
         )

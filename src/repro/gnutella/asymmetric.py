@@ -27,6 +27,7 @@ from repro.core.update import plan_reconfiguration
 from repro.gnutella.fast import FastGnutellaEngine
 from repro.gnutella.node import PeerState
 from repro.gnutella.protocol import GnutellaProtocol
+from repro.obs.trace import PID_PROTOCOL
 from repro.types import NodeId
 
 __all__ = ["AsymmetricFastEngine", "AsymmetricProtocol", "service_gini"]
@@ -75,6 +76,15 @@ class AsymmetricProtocol(GnutellaProtocol):
         the other side (it never pointed back)."""
         self.unlink(evictor, evicted)
         self.metrics.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "evict",
+                "protocol",
+                self.now(),
+                pid=PID_PROTOCOL,
+                tid=int(evictor),
+                args={"evicted": int(evicted)},
+            )
         if self.on_eviction is not None:
             self.on_eviction(evicted)
 
@@ -127,6 +137,15 @@ class AsymmetricProtocol(GnutellaProtocol):
             adopted += 1
         peer.requests_since_update = 0
         self.metrics.reconfigurations += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "reconfigure",
+                "protocol",
+                self.now(),
+                pid=PID_PROTOCOL,
+                tid=int(node),
+                args={"adopted": adopted, "invites": len(additions)},
+            )
         if stats_decay == 0.0:
             peer.stats.clear()
         elif stats_decay < 1.0:

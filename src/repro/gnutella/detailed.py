@@ -28,6 +28,7 @@ from repro.gnutella.config import GnutellaConfig
 from repro.gnutella.fast import FastGnutellaEngine
 from repro.net.message import Message, MessageKind
 from repro.net.transport import Transport
+from repro.obs.trace import PID_QUERY
 from repro.types import ItemId, NodeId
 
 __all__ = ["DetailedGnutellaEngine"]
@@ -167,8 +168,28 @@ class DetailedGnutellaEngine(FastGnutellaEngine):
         seen.add(qid)
         item: ItemId = message.payload
 
+        if self.tracer.enabled:
+            # Unlike the fast engine's schematic hop placement, these are
+            # real message arrival times.
+            self.tracer.instant(
+                f"hop{message.hops}",
+                "query",
+                self.sim.now,
+                pid=PID_QUERY,
+                tid=int(node),
+                args={"hop": message.hops, "query": qid},
+            )
         if item in self.live_libraries[node]:
             # Reply to the initiator along the reverse path; do not forward.
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "hit",
+                    "query",
+                    self.sim.now,
+                    pid=PID_QUERY,
+                    tid=int(node),
+                    args={"query": qid, "hop": message.hops},
+                )
             self._route_reply(message, responder=node)
             return
         if message.hops >= self.config.max_hops:
@@ -208,6 +229,15 @@ class DetailedGnutellaEngine(FastGnutellaEngine):
                 return  # reply arrived after the time-out window
             responder, hops = message.payload
             record.results.append((responder, self.sim.now - record.issued_at, hops))
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "reply",
+                    "query",
+                    self.sim.now,
+                    pid=PID_QUERY,
+                    tid=int(node),
+                    args={"query": message.query_id, "responder": int(responder)},
+                )
             return
         # Relay one hop closer to the initiator.
         path = message.path
@@ -240,6 +270,22 @@ class DetailedGnutellaEngine(FastGnutellaEngine):
         n_results = len(record.results)
         hit = n_results > 0
         first_delay = min((d for _, d, _ in record.results), default=None)
+        if self.tracer.enabled:
+            # The span covers issue-to-collection, in real simulated time.
+            self.tracer.complete(
+                "query",
+                "query",
+                record.issued_at,
+                max(self.sim.now - record.issued_at, 1e-3),
+                pid=PID_QUERY,
+                tid=int(record.initiator),
+                args={
+                    "item": int(record.item),
+                    "messages": record.messages,
+                    "results": n_results,
+                    "hit": hit,
+                },
+            )
         # Query messages were bucketed individually at send time (they carry
         # their own timestamps), so record_query adds none here.
         self.metrics.record_query(

@@ -35,6 +35,7 @@ from repro.gnutella.node import PeerState
 from repro.gnutella.protocol import GnutellaProtocol
 from repro.net.bandwidth import BandwidthModel
 from repro.net.latency import LatencyModel
+from repro.obs.trace import NULL_TRACER, PID_CHURN, emit_flood_query
 from repro.rng import RngStreams
 from repro.sim.kernel import Simulator
 from repro.types import NodeId
@@ -107,6 +108,12 @@ class FastGnutellaEngine:
         eager_delay_matrix: bool = True,
     ) -> None:
         self.config = config
+        #: Observability (repro.obs): a no-op tracer by default; swap in a
+        #: live one with :meth:`attach_tracer` *before* :meth:`run`. Every
+        #: emission site is guarded by ``tracer.enabled``, draws no RNG, and
+        #: schedules nothing — event-stream digests are identical traced or
+        #: untraced.
+        self.tracer = NULL_TRACER
         streams = RngStreams(config.seed)
 
         catalog = MusicCatalog(config.n_items, config.n_categories, config.zipf_theta)
@@ -211,6 +218,25 @@ class FastGnutellaEngine:
             self._delay_rows,
             self.termination.max_hops,
         )
+        # Per-hop level collection rides the tracer: free when untraced.
+        self._fastpath.collect_levels = self.tracer.enabled
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a live :class:`~repro.obs.trace.Tracer` on this engine.
+
+        Wires the tracer through the protocol (lending it the kernel clock —
+        the protocol has no kernel reference of its own) and switches the
+        flood fast path to collect per-hop level boundaries. Must happen
+        before :meth:`run`; tracing half a run would produce a misleading
+        trace.
+        """
+        if self._ran:
+            raise ConfigurationError("attach_tracer() must be called before run()")
+        self.tracer = tracer
+        self.protocol.tracer = tracer
+        self.protocol.now = lambda: self.sim.now
+        if self._fastpath is not None:
+            self._fastpath.collect_levels = tracer.enabled
 
     def _on_eviction(self, evicted: NodeId) -> None:
         self.sim.schedule(0.0, self._refill_evicted, evicted)
@@ -228,6 +254,10 @@ class FastGnutellaEngine:
         peer.online = True
         peer.sessions += 1
         self.metrics.logins += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "login", "churn", self.sim.now, pid=PID_CHURN, tid=int(node)
+            )
         self.bootstrap.join(node)
         self.protocol.fill_random(node, self._bootstrap_rng)
         self._schedule_next_query(node, peer.query_epoch)
@@ -239,6 +269,10 @@ class FastGnutellaEngine:
         peer.online = False
         peer.query_epoch += 1
         self.metrics.logoffs += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "logoff", "churn", self.sim.now, pid=PID_CHURN, tid=int(node)
+            )
         self.bootstrap.leave(node)
         if not self.config.persist_stats:
             peer.stats.clear()
@@ -298,6 +332,16 @@ class FastGnutellaEngine:
             outcome.result_count,
             outcome.first_result_delay,
         )
+        if self.tracer.enabled:
+            emit_flood_query(
+                self.tracer,
+                outcome,
+                level_ends=(
+                    self._fastpath.last_level_ends
+                    if self._fastpath is not None
+                    else None
+                ),
+            )
         if self.config.dynamic:
             self._record_benefit(peer, outcome)
             peer.requests_since_update += 1

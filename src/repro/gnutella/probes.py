@@ -10,26 +10,45 @@ those claims.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 from repro.errors import ConfigurationError
-from repro.gnutella.fast import FastGnutellaEngine
 from repro.sim.monitor import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 __all__ = ["ClusteringProbe", "DegreeProbe"]
 
 
 class _PeriodicProbe:
-    """Base: schedules itself on the engine's kernel every ``interval``."""
+    """Base: schedules itself on the engine's kernel every ``interval``.
+
+    ``engine`` is duck-typed: any object exposing a kernel as ``sim``, a
+    ``config.horizon``, and (optionally) a ``_ran`` run-once flag works —
+    the fast engine, its asymmetric/detailed subclasses, or a test double.
+    Pass a :class:`~repro.obs.registry.MetricsRegistry` to make the probe's
+    time series part of the run's unified metrics snapshot (registered as
+    ``probe.<name>``).
+    """
 
     name = "probe"
 
-    def __init__(self, engine: FastGnutellaEngine, interval: float) -> None:
+    def __init__(
+        self,
+        engine: Any,
+        interval: float,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         if interval <= 0:
             raise ConfigurationError("probe interval must be positive")
-        if engine._ran:
+        if getattr(engine, "_ran", False):
             raise ConfigurationError("attach probes before running the engine")
         self.engine = engine
         self.interval = interval
         self.series = TimeSeries(self.name)
+        if registry is not None:
+            registry.register(f"probe.{self.name}", self.series)
         engine.sim.schedule(interval, self._fire)
 
     def _fire(self) -> None:

@@ -37,6 +37,7 @@ from repro.errors import FrameworkError
 from repro.gnutella.bootstrap import BootstrapServer
 from repro.gnutella.metrics import SimulationMetrics
 from repro.gnutella.node import PeerState
+from repro.obs.trace import NULL_TRACER, PID_PROTOCOL
 from repro.types import NodeId
 
 __all__ = ["GnutellaProtocol"]
@@ -77,6 +78,14 @@ class GnutellaProtocol:
         #: ``evicted_refill_immediate`` policy); it must not rewire links
         #: synchronously — a reconfiguration may be mid-flight.
         self.on_eviction = None
+        #: Observability (repro.obs): the engine's tracer plus a clock
+        #: callable, both installed by ``FastGnutellaEngine.attach_tracer``.
+        #: The protocol has no kernel reference of its own — control actions
+        #: are instantaneous — so the engine lends it ``now``. Emission is
+        #: guarded by ``tracer.enabled`` and observes only; it never draws
+        #: RNG or schedules events.
+        self.tracer = NULL_TRACER
+        self.now = lambda: 0.0
 
     # ------------------------------------------------------------------
     # Link primitives
@@ -109,6 +118,15 @@ class GnutellaProtocol:
         self.unlink(evictor, evicted)
         self.peers[evicted].stats.reset(evictor)
         self.metrics.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "evict",
+                "protocol",
+                self.now(),
+                pid=PID_PROTOCOL,
+                tid=int(evictor),
+                args={"evicted": int(evicted)},
+            )
         if self.on_eviction is not None:
             self.on_eviction(evicted)
 
@@ -177,6 +195,15 @@ class GnutellaProtocol:
                     break  # invites are benefit-ordered; later ones are worse
                 self.evict(node, victim.evicted)
             self.metrics.invitations += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "invite",
+                    "protocol",
+                    self.now(),
+                    pid=PID_PROTOCOL,
+                    tid=int(node),
+                    args={"invitee": int(action.invitee)},
+                )
             decision = process_invitation(
                 invitee.neighbors, node, invitee.stats, always_accept=self.always_accept
             )
@@ -189,6 +216,15 @@ class GnutellaProtocol:
             adopted += 1
         peer.requests_since_update = 0
         self.metrics.reconfigurations += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "reconfigure",
+                "protocol",
+                self.now(),
+                pid=PID_PROTOCOL,
+                tid=int(node),
+                args={"adopted": adopted, "invites": len(invites)},
+            )
         if stats_decay == 0.0:
             peer.stats.clear()
         elif stats_decay < 1.0:

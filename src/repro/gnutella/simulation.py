@@ -14,6 +14,7 @@ __all__ = [
     "SimulationResult",
     "build_engine",
     "run_simulation",
+    "simulate_profiled",
     "simulate_task",
     "summarize",
 ]
@@ -47,7 +48,9 @@ class SimulationResult:
         return "Dynamic_Gnutella" if self.config.dynamic else "Gnutella"
 
 
-def build_engine(config: GnutellaConfig, engine: str = "fast") -> FastGnutellaEngine:
+def build_engine(
+    config: GnutellaConfig, engine: str = "fast", *, trace=None
+) -> FastGnutellaEngine:
     """Construct (but do not run) the engine named by ``engine``.
 
     Split out of :func:`run_simulation` so callers can instrument the engine
@@ -60,16 +63,25 @@ def build_engine(config: GnutellaConfig, engine: str = "fast") -> FastGnutellaEn
     :func:`~repro.core.search.generic_search`). It exists for the
     digest-equality gate: a ``fast`` and a ``fast-reference`` run of the same
     config must produce bit-identical event-stream digests.
+
+    ``trace`` optionally attaches a live :class:`repro.obs.trace.Tracer` (via
+    :meth:`~repro.gnutella.fast.FastGnutellaEngine.attach_tracer`) before the
+    engine runs. Tracing only observes — it draws no RNG and schedules
+    nothing — so it cannot move the event-stream digest.
     """
     if engine == "fast":
-        return FastGnutellaEngine(config)
-    if engine == "fast-reference":
-        return FastGnutellaEngine(config, use_fastpath=False)
-    if engine == "detailed":
-        return DetailedGnutellaEngine(config)
-    raise ConfigurationError(
-        f"unknown engine {engine!r}; use 'fast', 'fast-reference' or 'detailed'"
-    )
+        eng = FastGnutellaEngine(config)
+    elif engine == "fast-reference":
+        eng = FastGnutellaEngine(config, use_fastpath=False)
+    elif engine == "detailed":
+        eng = DetailedGnutellaEngine(config)
+    else:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; use 'fast', 'fast-reference' or 'detailed'"
+        )
+    if trace is not None:
+        eng.attach_tracer(trace)
+    return eng
 
 
 def summarize(eng: FastGnutellaEngine) -> SimulationResult:
@@ -87,7 +99,11 @@ def summarize(eng: FastGnutellaEngine) -> SimulationResult:
 
 
 def run_simulation(
-    config: GnutellaConfig, engine: str = "fast", *, sanitize: bool | None = None
+    config: GnutellaConfig,
+    engine: str = "fast",
+    *,
+    sanitize: bool | None = None,
+    trace=None,
 ) -> SimulationResult:
     """Build the world from ``config``, run it, and summarize.
 
@@ -103,8 +119,20 @@ def run_simulation(
         :mod:`repro.lint.sanitize` into the run (debug mode; a violation
         raises :class:`~repro.errors.SanitizerError`).  ``None`` (default)
         defers to the ``REPRO_SANITIZE`` environment variable.
+    trace:
+        Attach a live :class:`repro.obs.trace.Tracer` for the run. ``None``
+        (default) defers to the ``REPRO_TRACE`` environment variable: when
+        that names a path, a tracer is created and its JSONL event stream is
+        written there after the run.
     """
-    eng = build_engine(config, engine)
+    trace_path = None
+    if trace is None:
+        from repro.obs.trace import Tracer, trace_env_path
+
+        trace_path = trace_env_path()
+        if trace_path is not None:
+            trace = Tracer()
+    eng = build_engine(config, engine, trace=trace)
     if sanitize is None:
         from repro.lint.sanitize import sanitizer_env_enabled
 
@@ -114,6 +142,8 @@ def run_simulation(
 
         install_consistency_checks(eng)
     eng.run()
+    if trace_path is not None:
+        trace.write_jsonl(trace_path)
     return summarize(eng)
 
 
@@ -139,3 +169,36 @@ def simulate_task(
 
         return run_hashed(config, engine, sanitize=sanitizer_env_enabled())
     return run_simulation(config, engine), None
+
+
+def simulate_profiled(
+    config: GnutellaConfig, engine: str = "fast", *, hash_events: bool = False
+) -> tuple[SimulationResult, str | None, dict]:
+    """:func:`simulate_task` plus wall-clock phase timings.
+
+    Same worker-safe contract (module-level, picklable arguments, no shared
+    state); additionally threads a :class:`repro.obs.profile.PhaseTimers`
+    through engine setup, the kernel run loop, the flood fast path, and
+    teardown, returning its ``as_dict()`` as the third element. Profiling is
+    purely observational, so the digest matches :func:`simulate_task`'s for
+    the same config.
+    """
+    from repro.obs.profile import PhaseTimers
+
+    timers = PhaseTimers()
+    with timers.phase("engine.setup"):
+        eng = build_engine(config, engine)
+    eng.sim.profile = timers
+    if eng._fastpath is not None:
+        eng._fastpath.profile = timers
+    hasher = None
+    if hash_events:
+        from repro.lint.sanitize import attach_hasher
+
+        hasher = attach_hasher(eng.sim)
+    with timers.phase("engine.run"):
+        eng.run()
+    digest = hasher.hexdigest() if hasher is not None else None
+    with timers.phase("engine.teardown"):
+        result = summarize(eng)
+    return result, digest, timers.as_dict()

@@ -1,0 +1,55 @@
+"""Observability: query-level tracing, metrics registry, profiling hooks.
+
+The paper's claims are about *dynamics* — "as the time evolves, new
+beneficial neighbors are being discovered" (Section 4.3) — but end-state
+aggregates cannot show *why* a query found its hits or how a
+reconfiguration wave propagated. This package is the observation layer:
+
+* :mod:`repro.obs.trace` — a tracer producing structured spans and instant
+  events over the query lifecycle (issue → per-hop propagation → hit →
+  reply-path) and protocol events (reconfigure, invite/evict,
+  login/logoff), buffered in memory;
+* :mod:`repro.obs.chrome` — export as Chrome trace-event JSON (loadable in
+  ``chrome://tracing`` / Perfetto), with simulated seconds mapped to trace
+  microseconds, plus a validator for the format;
+* :mod:`repro.obs.registry` — a metrics registry unifying the scattered
+  :mod:`repro.sim.monitor` instruments behind named counters / gauges /
+  histograms with labeled dimensions and a ``snapshot()`` export;
+* :mod:`repro.obs.profile` — wall-clock phase timers (engine setup / run /
+  teardown, the flood fast-path kernel, orchestrator tasks) surfaced in run
+  manifests and bench snapshots;
+* :mod:`repro.obs.record` — one-call traced simulation runs;
+* :mod:`repro.obs.cli` — the ``repro-trace`` command.
+
+The cardinal rule, test-enforced: **tracing observes, it never draws RNG,
+schedules kernel events, or reorders anything** — a traced run's
+event-stream SHA-256 digest is bit-identical to an untraced run's, and with
+tracing disabled (the :data:`~repro.obs.trace.NULL_TRACER` default) the
+fast-path kernel benchmark still clears its 2.0x floor.
+"""
+
+from repro.obs.chrome import to_chrome, validate_chrome, write_chrome
+from repro.obs.profile import PhaseTimers
+from repro.obs.record import record_run
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    trace_env_path,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseTimers",
+    "TraceEvent",
+    "Tracer",
+    "record_run",
+    "to_chrome",
+    "trace_env_path",
+    "validate_chrome",
+    "write_chrome",
+]

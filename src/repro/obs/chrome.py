@@ -1,0 +1,145 @@
+"""Chrome trace-event JSON export and validation.
+
+The `trace-event format <https://docs.google.com/document/d/1CvAClvFfyA5R-
+PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_ is the lingua franca of timeline viewers:
+``chrome://tracing``, `Perfetto <https://ui.perfetto.dev>`_, Speedscope.
+:func:`to_chrome` wraps a tracer's buffered events into the *JSON object
+format* (``{"traceEvents": [...]}``) and prepends ``process_name`` /
+``thread_sort_index`` metadata so the viewer labels the query / protocol /
+churn lanes. Timestamps are already microseconds (the format's unit); one
+trace microsecond equals one simulated microsecond, so the viewer's ruler
+reads in simulated time directly.
+
+:func:`validate_chrome` is the schema check CI runs against recorded smoke
+traces: structural (required keys, phase-specific fields, value types), not
+semantic — it will not catch a wrong duration, only a malformed document no
+viewer could load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.trace import PROCESS_NAMES, TraceEvent, _iter_event_dicts
+
+__all__ = ["CHROME_SCHEMA_VERSION", "to_chrome", "validate_chrome", "write_chrome"]
+
+#: Stamped into the exported document's ``otherData`` (bump on layout change).
+CHROME_SCHEMA_VERSION = "repro.obs/chrome/v1"
+
+#: Phases this exporter emits / the validator accepts.
+_KNOWN_PHASES = frozenset({"X", "i", "M", "C"})
+#: Keys every event must carry.
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _metadata_events(pids: Iterable[int]) -> list[dict[str, Any]]:
+    """``process_name`` metadata so viewers label the family lanes."""
+    events: list[dict[str, Any]] = []
+    for pid in sorted(set(pids)):
+        name = PROCESS_NAMES.get(pid, f"pid{pid}")
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+    return events
+
+
+def to_chrome(
+    events: Iterable[TraceEvent | Mapping[str, Any]],
+) -> dict[str, Any]:
+    """Assemble the Chrome trace JSON object for ``events``.
+
+    Accepts :class:`~repro.obs.trace.TraceEvent` objects or already-exported
+    event dicts (the JSONL loader's output), so ``repro-trace convert`` can
+    round-trip a JSONL capture without the original tracer.
+    """
+    body = list(_iter_event_dicts(events))
+    pids = {ev["pid"] for ev in body if ev.get("ph") != "M"}
+    return {
+        "traceEvents": _metadata_events(pids) + body,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": CHROME_SCHEMA_VERSION,
+            "clock": "simulated",
+            "timeUnit": "us (simulated)",
+        },
+    }
+
+
+def write_chrome(
+    events: Iterable[TraceEvent | Mapping[str, Any]], path: str | Path
+) -> Path:
+    """Write the Chrome trace JSON for ``events`` to ``path``."""
+    target = Path(path)
+    if target.parent != Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(to_chrome(events), sort_keys=True) + "\n")
+    return target
+
+
+def validate_chrome(document: Any) -> list[str]:
+    """Structural schema check; returns a list of problems (empty = valid).
+
+    Checks the JSON *object* format this package writes: a dict whose
+    ``traceEvents`` is a list of event dicts, each carrying the required
+    keys with sane types, ``X`` events carrying a non-negative ``dur``, and
+    ``M`` metadata carrying ``args``. Problem strings name the offending
+    event index so CI failures point at the bad record.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be a JSON object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in ev]
+        if missing:
+            problems.append(f"event {i}: missing key(s) {missing}")
+            continue
+        ph = ev["ph"]
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            problems.append(f"event {i}: 'name' must be a non-empty string")
+        if not isinstance(ev["ts"], (int, float)):
+            problems.append(f"event {i}: 'ts' must be numeric")
+        elif ph != "M" and ev["ts"] < 0:
+            problems.append(f"event {i}: negative ts {ev['ts']!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev[key], int):
+                problems.append(f"event {i}: {key!r} must be an integer")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: 'X' event needs non-negative 'dur'")
+        if ph == "M" and not isinstance(ev.get("args"), dict):
+            problems.append(f"event {i}: metadata event needs 'args'")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"event {i}: 'args' must be an object")
+    return problems

@@ -1,0 +1,161 @@
+"""``repro-trace``: record, summarize, and convert simulation traces.
+
+Usage::
+
+    repro-trace record --preset smoke --seed 0 --out trace.jsonl \
+        --chrome trace.json            # run traced, export both formats
+    repro-trace summarize trace.jsonl  # headline counts as JSON
+    repro-trace convert trace.jsonl --out trace.json   # JSONL -> Chrome
+
+``record`` runs one simulation with a live tracer attached, hashes its
+event stream (the digest is reported so recordings double as
+determinism evidence), and writes the JSONL trace and optionally the
+Chrome trace-event JSON (open it in chrome://tracing or Perfetto).
+All human-readable output goes to stdout as one JSON document, so the
+command composes with ``jq``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.chrome import validate_chrome, write_chrome
+from repro.obs.trace import read_jsonl
+
+__all__ = ["main"]
+
+
+def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """The :meth:`~repro.obs.trace.Tracer.summary` shape over event dicts."""
+    per_cat: dict[str, int] = {}
+    per_name: dict[str, int] = {}
+    spans = 0
+    total = 0
+    for ev in events:
+        total += 1
+        cat = str(ev.get("cat", ""))
+        per_cat[cat] = per_cat.get(cat, 0) + 1
+        key = f"{cat}/{ev.get('name', '')}"
+        per_name[key] = per_name.get(key, 0) + 1
+        if ev.get("ph") == "X":
+            spans += 1
+    return {
+        "events": total,
+        "spans": spans,
+        "by_category": dict(sorted(per_cat.items())),
+        "by_name": dict(sorted(per_name.items())),
+    }
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.experiments.common import preset_config
+    from repro.obs.record import record_run
+
+    config = preset_config(args.preset, seed=args.seed)
+    config = config.as_static() if args.scheme == "static" else config.as_dynamic()
+    recorded = record_run(config, args.engine, hash_events=not args.no_digest)
+    out = recorded.tracer.write_jsonl(args.out)
+    report: dict[str, Any] = recorded.summary()
+    report["jsonl"] = str(out)
+    if args.chrome is not None:
+        chrome_path = write_chrome(recorded.tracer.events, args.chrome)
+        report["chrome"] = str(chrome_path)
+    if args.metrics:
+        report["metrics"] = recorded.registry.snapshot()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    path = Path(args.trace)
+    if path.suffix == ".json":
+        document = json.loads(path.read_text(encoding="utf-8"))
+        events = document.get("traceEvents", [])
+        events = [ev for ev in events if ev.get("ph") != "M"]
+    else:
+        events = read_jsonl(path)
+    print(json.dumps(summarize_events(events), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    events = read_jsonl(args.trace)
+    if not events:
+        print(f"repro-trace: error: {args.trace} holds no events", file=sys.stderr)
+        return 1
+    path = write_chrome(events, args.out)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate_chrome(document)
+    if errors:
+        for error in errors:
+            print(f"repro-trace: invalid chrome trace: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps({"chrome": str(path), "events": len(events)}, sort_keys=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Record, summarize, and convert simulation traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="run one traced simulation")
+    record.add_argument("--preset", default="smoke", help="world-size preset")
+    record.add_argument("--seed", type=int, default=0, help="root seed")
+    record.add_argument(
+        "--engine",
+        default="fast",
+        choices=("fast", "fast-reference", "detailed"),
+        help="engine to trace (default: fast)",
+    )
+    record.add_argument(
+        "--scheme",
+        default="dynamic",
+        choices=("static", "dynamic"),
+        help="link-management scheme (default: dynamic)",
+    )
+    record.add_argument(
+        "--out",
+        default="repro-trace.jsonl",
+        help="JSONL trace output path (default: repro-trace.jsonl)",
+    )
+    record.add_argument(
+        "--chrome",
+        default=None,
+        help="also write Chrome trace-event JSON to this path",
+    )
+    record.add_argument(
+        "--metrics",
+        action="store_true",
+        help="include the metrics-registry snapshot in the report",
+    )
+    record.add_argument(
+        "--no-digest",
+        action="store_true",
+        help="skip event-stream hashing (slightly faster)",
+    )
+    record.set_defaults(func=_cmd_record)
+
+    summarize = sub.add_parser("summarize", help="headline counts of a trace")
+    summarize.add_argument("trace", help="JSONL trace (or .json Chrome trace)")
+    summarize.set_defaults(func=_cmd_summarize)
+
+    convert = sub.add_parser("convert", help="JSONL -> Chrome trace-event JSON")
+    convert.add_argument("trace", help="JSONL trace path")
+    convert.add_argument(
+        "--out", default="repro-trace.json", help="Chrome JSON output path"
+    )
+    convert.set_defaults(func=_cmd_convert)
+
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

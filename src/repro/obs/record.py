@@ -1,0 +1,95 @@
+"""One-call traced simulation runs (the ``repro-trace record`` backend).
+
+Ties the pieces together: build an engine with a live :class:`~repro.obs.
+trace.Tracer` attached, hash its event stream (so every recording doubles
+as a digest-equality check against untraced runs), bind its metrics into a
+:class:`~repro.obs.registry.MetricsRegistry`, and time the setup / run /
+teardown phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.profile import PhaseTimers
+from repro.obs.registry import MetricsRegistry, bind_simulation_metrics
+from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gnutella.config import GnutellaConfig
+    from repro.gnutella.simulation import SimulationResult
+
+__all__ = ["RecordedRun", "record_run"]
+
+
+@dataclass(frozen=True)
+class RecordedRun:
+    """Everything one traced run produced."""
+
+    result: "SimulationResult"
+    tracer: Tracer
+    registry: MetricsRegistry
+    timers: PhaseTimers
+    event_digest: str | None
+
+    def summary(self) -> dict[str, Any]:
+        """Headline numbers for reporting: trace, phases, run outcome."""
+        metrics = self.result.metrics
+        return {
+            "trace": self.tracer.summary(),
+            "phases": self.timers.as_dict(),
+            "event_digest": self.event_digest,
+            "run": {
+                "scheme": self.result.scheme,
+                "total_queries": metrics.total_queries,
+                "total_hits": metrics.total_hits,
+                "hit_rate": metrics.hit_rate(),
+            },
+        }
+
+
+def record_run(
+    config: "GnutellaConfig",
+    engine: str = "fast",
+    *,
+    tracer: Tracer | None = None,
+    hash_events: bool = True,
+) -> RecordedRun:
+    """Run one simulation with tracing, profiling, and metrics bound.
+
+    Returns a :class:`RecordedRun`; ``event_digest`` is the event-stream
+    SHA-256 (``None`` when ``hash_events`` is false). Because tracing only
+    observes, the digest equals the one an untraced run of the same config
+    produces — the equality ``tests/gnutella/test_trace_digest.py`` and the
+    CI obs-smoke job assert.
+    """
+    from repro.gnutella.simulation import build_engine, summarize
+
+    trace = tracer if tracer is not None else Tracer()
+    registry = MetricsRegistry()
+    timers = PhaseTimers()
+    with timers.phase("engine.setup"):
+        eng = build_engine(config, engine, trace=trace)
+    bind_simulation_metrics(registry, eng.metrics)
+    eng.sim.profile = timers
+    if eng._fastpath is not None:
+        eng._fastpath.profile = timers
+    digest = None
+    if hash_events:
+        from repro.lint.sanitize import attach_hasher
+
+        hasher = attach_hasher(eng.sim)
+    with timers.phase("engine.run"):
+        eng.run()
+    if hash_events:
+        digest = hasher.hexdigest()
+    with timers.phase("engine.teardown"):
+        result = summarize(eng)
+    return RecordedRun(
+        result=result,
+        tracer=trace,
+        registry=registry,
+        timers=timers,
+        event_digest=digest,
+    )

@@ -25,14 +25,27 @@ __all__ = ["MANIFEST_SCHEMA", "build_manifest", "stable_view", "write_manifest"]
 #: Schema tag stamped into every manifest (bump on incompatible layout).
 MANIFEST_SCHEMA = "repro.orchestrate/manifest/v1"
 
-#: Per-task fields that vary between otherwise identical runs.
-_VOLATILE_TASK_FIELDS = frozenset({"elapsed_s"})
+#: Per-task fields that vary between otherwise identical runs. ``phases``
+#: holds wall-clock profile timings — observability, not computation.
+_VOLATILE_TASK_FIELDS = frozenset({"elapsed_s", "phases"})
 #: Top-level blocks/fields describing the machine or the execution width,
 #: not the computation — ``jobs`` is here because parallelism must not
-#: change what a grid computes, only how fast.
-_VOLATILE_BLOCKS = frozenset({"timing", "host", "jobs"})
+#: change what a grid computes, only how fast; ``obs`` holds aggregate
+#: wall-clock phase totals.
+_VOLATILE_BLOCKS = frozenset({"timing", "host", "jobs", "obs"})
 #: Cache fields tied to a run-local location rather than the computation.
 _VOLATILE_CACHE_FIELDS = frozenset({"dir"})
+
+
+def _aggregate_phases(records: Sequence[TaskRecord]) -> dict[str, Any]:
+    """Sum the per-task phase timings into one grid-level profile."""
+    from repro.obs.profile import PhaseTimers
+
+    totals = PhaseTimers()
+    for record in records:
+        if record.phases:
+            totals.merge(record.phases)
+    return totals.as_dict()
 
 
 def build_manifest(
@@ -59,9 +72,11 @@ def build_manifest(
                 "result_digest": record.result_digest,
                 "event_digest": record.event_digest,
                 "error": record.error,
+                "phases": record.phases,
             }
             for record in records
         ],
+        "obs": {"phases": _aggregate_phases(records)},
         "cache": {
             "dir": cache_dir,
             "enabled": cache_dir is not None,

@@ -25,7 +25,7 @@ from repro.analysis.export import canonical_json, result_to_jsonable
 from repro.errors import ConfigurationError
 from repro.experiments.common import SimRequest
 from repro.gnutella.config import GnutellaConfig
-from repro.gnutella.simulation import SimulationResult, simulate_task
+from repro.gnutella.simulation import SimulationResult, simulate_profiled
 from repro.orchestrate.cache import ResultCache, task_key
 
 __all__ = [
@@ -69,6 +69,10 @@ class TaskRecord:
     result_digest: str = ""
     event_digest: str | None = None
     error: str | None = None
+    #: Wall-clock phase timings from the worker (``repro.obs`` PhaseTimers
+    #: ``as_dict()``); ``None`` for cache hits and failures. Volatile — the
+    #: manifest's ``stable_view`` strips it like ``elapsed_s``.
+    phases: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -138,11 +142,13 @@ def requests_to_tasks(
 
 def _execute(
     config: GnutellaConfig, engine: str, hash_events: bool
-) -> tuple[SimulationResult, str | None, float]:
-    """Worker body: run one simulation and time it (runs in the child)."""
+) -> tuple[SimulationResult, str | None, float, dict]:
+    """Worker body: run one simulation, timed and phase-profiled (in the child)."""
     started = time.perf_counter()
-    result, event_digest = simulate_task(config, engine, hash_events=hash_events)
-    return result, event_digest, time.perf_counter() - started
+    result, event_digest, phases = simulate_profiled(
+        config, engine, hash_events=hash_events
+    )
+    return result, event_digest, time.perf_counter() - started, phases
 
 
 def run_tasks(
@@ -197,9 +203,9 @@ def run_tasks(
         )
 
     def complete(
-        task: SimTask, outcome: tuple[SimulationResult, str | None, float]
+        task: SimTask, outcome: tuple[SimulationResult, str | None, float, dict]
     ) -> None:
-        result, event_digest, elapsed = outcome
+        result, event_digest, elapsed, phases = outcome
         digest = result_digest(result)
         results[task.key] = result
         if cache is not None:
@@ -227,6 +233,7 @@ def run_tasks(
                 elapsed_s=elapsed,
                 result_digest=digest,
                 event_digest=event_digest,
+                phases=phases,
             )
         )
 
@@ -254,7 +261,9 @@ def run_tasks(
                 complete(task, outcome)
     elif misses:
         with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as executor:
-            pending: dict[Future[tuple[SimulationResult, str | None, float]], SimTask]
+            pending: dict[
+                Future[tuple[SimulationResult, str | None, float, dict]], SimTask
+            ]
             pending = {
                 executor.submit(_execute, task.config, task.engine, hash_events): task
                 for task in misses

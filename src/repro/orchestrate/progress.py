@@ -8,6 +8,7 @@ machine-consumable; each completed task prints one line in completion order
 from __future__ import annotations
 
 import sys
+from time import perf_counter
 from typing import TextIO
 
 from repro.orchestrate.pool import TaskRecord
@@ -18,14 +19,28 @@ __all__ = ["ProgressPrinter"]
 class ProgressPrinter:
     """Prints one status line per finished task plus a final summary.
 
-    Matches the :data:`repro.orchestrate.pool.ProgressFn` signature — pass
-    an instance directly as ``progress=``.
+    Each line carries the task's own wall seconds and a running ETA for the
+    rest of the grid (wall time so far divided by tasks done, times tasks
+    remaining — crude but self-correcting as the grid drains). Matches the
+    :data:`repro.orchestrate.pool.ProgressFn` signature — pass an instance
+    directly as ``progress=``.
     """
 
     def __init__(self, stream: TextIO | None = None, enabled: bool = True) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.enabled = enabled
         self.seen = 0
+        self._started = perf_counter()
+
+    def _eta(self, done: int, total: int) -> str:
+        remaining = total - done
+        if done <= 0 or remaining <= 0:
+            return ""
+        per_task = (perf_counter() - self._started) / done
+        eta_s = per_task * remaining
+        if eta_s >= 90.0:
+            return f" eta {eta_s / 60.0:.1f}m"
+        return f" eta {eta_s:.0f}s"
 
     def __call__(self, record: TaskRecord, done: int, total: int) -> None:
         self.seen = done
@@ -37,12 +52,13 @@ class ProgressPrinter:
             detail = record.error
         elif record.cache_hit:
             status = "hit "
-            detail = "cached"
+            detail = f"cached, {record.elapsed_s:.1f}s"
         else:
             status = "run "
             detail = f"{record.elapsed_s:.1f}s"
         print(
-            f"[{done:>{width}}/{total}] {status} {record.task_id} ({detail})",
+            f"[{done:>{width}}/{total}] {status} {record.task_id} "
+            f"({detail}){self._eta(done, total)}",
             file=self.stream,
             flush=True,
         )

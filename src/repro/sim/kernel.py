@@ -9,6 +9,7 @@ queueing primitives).
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SchedulingError, SimulationError
@@ -44,6 +45,12 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        #: Optional wall-clock profiler (:class:`repro.obs.profile.
+        #: PhaseTimers`); when set, every :meth:`run` folds its wall time
+        #: into the ``"kernel.run"`` phase. Checked once per ``run()`` call,
+        #: never per event, and purely observational — it cannot change
+        #: event order or the event-stream digest.
+        self.profile: Any = None
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -205,6 +212,10 @@ class Simulator:
             raise SchedulingError(f"until={until!r} is in the past (now={self._now!r})")
         self._running = True
         self._stopped = False
+        profile = self.profile
+        # Wall-clock on purpose: profiling measures real elapsed time, not
+        # simulated time, and never feeds back into the simulation.
+        t0 = perf_counter() if profile is not None else 0.0  # repro-lint: disable=R002
         try:
             while self._queue and not self._stopped:
                 # Skip over cancelled entries without advancing the clock.
@@ -214,6 +225,8 @@ class Simulator:
                 self.step()
         finally:
             self._running = False
+            if profile is not None:
+                profile.add("kernel.run", perf_counter() - t0)  # repro-lint: disable=R002
         if until is not None and not self._stopped:
             self._now = max(self._now, until)
 

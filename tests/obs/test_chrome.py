@@ -1,0 +1,88 @@
+"""Tests for the Chrome trace-event export and its validator."""
+
+import json
+
+from repro.obs.chrome import (
+    CHROME_SCHEMA_VERSION,
+    to_chrome,
+    validate_chrome,
+    write_chrome,
+)
+from repro.obs.trace import PID_CHURN, PID_QUERY, Tracer
+
+
+def _tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.complete("query", "query", 1.0, 0.5, pid=PID_QUERY, tid=3)
+    tracer.instant("hop1", "query", 1.1, pid=PID_QUERY, tid=3)
+    tracer.instant("login", "churn", 0.0, pid=PID_CHURN, tid=9)
+    return tracer
+
+
+class TestToChrome:
+    def test_document_shape(self):
+        document = to_chrome(_tracer().events)
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert document["otherData"]["schema"] == CHROME_SCHEMA_VERSION
+
+    def test_metadata_labels_each_pid(self):
+        document = to_chrome(_tracer().events)
+        meta = [ev for ev in document["traceEvents"] if ev["ph"] == "M"]
+        names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in meta
+            if ev["name"] == "process_name"
+        }
+        assert names == {PID_QUERY: "queries", PID_CHURN: "churn"}
+
+    def test_accepts_dicts_for_jsonl_roundtrip(self, tmp_path):
+        tracer = _tracer()
+        jsonl = tracer.write_jsonl(tmp_path / "t.jsonl")
+        from repro.obs.trace import read_jsonl
+
+        document = to_chrome(read_jsonl(jsonl))
+        assert validate_chrome(document) == []
+
+    def test_exported_document_is_valid(self):
+        assert validate_chrome(to_chrome(_tracer().events)) == []
+
+
+class TestWriteChrome:
+    def test_writes_loadable_json(self, tmp_path):
+        path = write_chrome(_tracer().events, tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert validate_chrome(document) == []
+
+
+class TestValidateChrome:
+    def test_rejects_non_object(self):
+        assert validate_chrome([]) != []
+        assert validate_chrome(None) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome({}) == ["'traceEvents' must be a list"]
+
+    def test_flags_empty_trace(self):
+        assert "'traceEvents' is empty" in validate_chrome({"traceEvents": []})
+
+    def test_flags_missing_keys(self):
+        problems = validate_chrome({"traceEvents": [{"name": "x"}]})
+        assert any("missing key" in p for p in problems)
+
+    def test_flags_unknown_phase(self):
+        ev = {"name": "x", "ph": "Z", "ts": 0, "pid": 1, "tid": 0}
+        assert any("unknown phase" in p for p in validate_chrome({"traceEvents": [ev]}))
+
+    def test_flags_span_without_duration(self):
+        ev = {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0}
+        problems = validate_chrome({"traceEvents": [ev]})
+        assert any("'dur'" in p for p in problems)
+
+    def test_flags_negative_timestamp(self):
+        ev = {"name": "x", "ph": "i", "ts": -1, "pid": 1, "tid": 0, "s": "t"}
+        assert any("negative ts" in p for p in validate_chrome({"traceEvents": [ev]}))
+
+    def test_flags_metadata_without_args(self):
+        ev = {"name": "process_name", "ph": "M", "ts": 0, "pid": 1, "tid": 0}
+        problems = validate_chrome({"traceEvents": [ev]})
+        assert any("metadata" in p for p in problems)

@@ -1,0 +1,86 @@
+"""Tests for the ``repro-trace`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main, summarize_events
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def jsonl_trace(tmp_path):
+    tracer = Tracer()
+    tracer.complete("query", "query", 1.0, 0.5, tid=3)
+    tracer.instant("hop1", "query", 1.1, tid=3)
+    tracer.instant("login", "churn", 0.0, pid=3, tid=9)
+    return tracer.write_jsonl(tmp_path / "trace.jsonl")
+
+
+class TestSummarizeEvents:
+    def test_counts_match_tracer_summary(self):
+        tracer = Tracer()
+        tracer.complete("query", "query", 0.0, 1.0)
+        tracer.instant("login", "churn", 0.0)
+        rendered = summarize_events(ev.as_dict() for ev in tracer.events)
+        assert rendered == tracer.summary()
+
+
+class TestSummarizeCommand:
+    def test_prints_summary_json(self, jsonl_trace, capsys):
+        assert main(["summarize", str(jsonl_trace)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["events"] == 3
+        assert out["spans"] == 1
+        assert out["by_category"] == {"churn": 1, "query": 2}
+
+    def test_summarizes_chrome_json_without_metadata(self, jsonl_trace, tmp_path, capsys):
+        chrome = tmp_path / "trace.json"
+        assert main(["convert", str(jsonl_trace), "--out", str(chrome)]) == 0
+        capsys.readouterr()
+        assert main(["summarize", str(chrome)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["events"] == 3  # metadata events excluded
+
+
+class TestConvertCommand:
+    def test_writes_valid_chrome_document(self, jsonl_trace, tmp_path, capsys):
+        chrome = tmp_path / "out.json"
+        assert main(["convert", str(jsonl_trace), "--out", str(chrome)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["events"] == 3
+        from repro.obs.chrome import validate_chrome
+
+        assert validate_chrome(json.loads(chrome.read_text())) == []
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["convert", str(empty), "--out", str(tmp_path / "o.json")]) == 1
+        assert "no events" in capsys.readouterr().err
+
+
+class TestRecordCommand:
+    def test_record_produces_trace_and_digest(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "record",
+                "--preset",
+                "smoke",
+                "--seed",
+                "0",
+                "--out",
+                str(tmp_path / "t.jsonl"),
+                "--chrome",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["event_digest"]
+        assert report["trace"]["spans"] > 0
+        assert (tmp_path / "t.jsonl").exists()
+        from repro.obs.chrome import validate_chrome
+
+        assert validate_chrome(json.loads((tmp_path / "t.json").read_text())) == []

@@ -1,0 +1,70 @@
+"""Tests for the wall-clock phase timers."""
+
+import pytest
+
+from repro.obs.profile import PhaseTimers
+
+
+class TestPhaseTimers:
+    def test_add_accumulates_seconds_and_counts(self):
+        timers = PhaseTimers()
+        timers.add("kernel.run", 0.25)
+        timers.add("kernel.run", 0.75)
+        assert timers.seconds("kernel.run") == pytest.approx(1.0)
+        assert timers.count("kernel.run") == 2
+        assert len(timers) == 1
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimers().add("x", -0.1)
+
+    def test_unknown_phase_reads_zero(self):
+        timers = PhaseTimers()
+        assert timers.seconds("never") == 0.0
+        assert timers.count("never") == 0
+
+    def test_phase_context_manager_times_block(self):
+        timers = PhaseTimers()
+        with timers.phase("setup"):
+            pass
+        assert timers.count("setup") == 1
+        assert timers.seconds("setup") >= 0.0
+
+    def test_phase_records_even_on_exception(self):
+        timers = PhaseTimers()
+        with pytest.raises(RuntimeError):
+            with timers.phase("boom"):
+                raise RuntimeError("x")
+        assert timers.count("boom") == 1
+
+    def test_total_seconds_sums_phases(self):
+        timers = PhaseTimers()
+        timers.add("a", 1.0)
+        timers.add("b", 2.0)
+        assert timers.total_seconds == pytest.approx(3.0)
+
+    def test_as_dict_is_sorted_and_json_ready(self):
+        timers = PhaseTimers()
+        timers.add("b", 2.0)
+        timers.add("a", 1.0)
+        rendered = timers.as_dict()
+        assert list(rendered) == ["a", "b"]
+        assert rendered["a"] == {"seconds": 1.0, "count": 1}
+
+    def test_merge_timers(self):
+        a, b = PhaseTimers(), PhaseTimers()
+        a.add("run", 1.0)
+        b.add("run", 2.0)
+        b.add("setup", 0.5)
+        a.merge(b)
+        assert a.seconds("run") == pytest.approx(3.0)
+        assert a.count("run") == 2
+        assert a.seconds("setup") == pytest.approx(0.5)
+
+    def test_merge_accepts_as_dict_rendering(self):
+        a, b = PhaseTimers(), PhaseTimers()
+        a.add("run", 1.0)
+        b.add("run", 2.0)
+        a.merge(b.as_dict())
+        assert a.seconds("run") == pytest.approx(3.0)
+        assert a.count("run") == 2

@@ -1,0 +1,156 @@
+"""Tests for the unified metrics registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
+    MetricsRegistry,
+    bind_simulation_metrics,
+)
+from repro.sim.monitor import Counter, HourlyBuckets, TimeSeries, WelfordStats
+
+
+class TestLabeledCounter:
+    def test_inc_and_get_by_labels(self):
+        c = LabeledCounter("queries")
+        c.inc(scheme="static")
+        c.inc(2, scheme="static")
+        c.inc(scheme="dynamic")
+        assert c.get(scheme="static") == 3.0
+        assert c.get(scheme="dynamic") == 1.0
+        assert c.get(scheme="missing") == 0.0
+
+    def test_label_order_is_irrelevant(self):
+        c = LabeledCounter("x")
+        c.inc(a=1, b=2)
+        assert c.get(b=2, a=1) == 1.0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            LabeledCounter("x").inc(-1.0)
+
+    def test_snapshot(self):
+        c = LabeledCounter("x")
+        c.inc(5, scheme="static")
+        snap = c.snapshot()
+        assert snap["type"] == "counter"
+        assert snap["values"] == {"scheme=static": 5.0}
+
+
+class TestLabeledGauge:
+    def test_set_overwrites(self):
+        g = LabeledGauge("online")
+        g.set(10.0)
+        g.set(7.0)
+        assert g.get() == 7.0
+
+    def test_unset_reads_nan(self):
+        assert math.isnan(LabeledGauge("x").get(node=3))
+
+
+class TestLabeledHistogram:
+    def test_observations_fill_buckets_and_moments(self):
+        h = LabeledHistogram("delay", bounds=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)
+        assert h.count() == 3
+        snap = h.snapshot()
+        series = snap["values"][""]
+        assert series["buckets"] == [1, 1, 1]  # <=1, <=10, +inf
+        assert series["mean"] == pytest.approx((0.5 + 5.0 + 100.0) / 3)
+
+    def test_labeled_series_are_independent(self):
+        h = LabeledHistogram("delay")
+        h.observe(1.0, scheme="static")
+        assert h.count(scheme="static") == 1
+        assert h.count(scheme="dynamic") == 0
+
+    def test_bounds_must_be_ascending(self):
+        with pytest.raises(ConfigurationError):
+            LabeledHistogram("x", bounds=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            LabeledHistogram("x", bounds=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+
+    def test_register_adopts_legacy_instruments(self):
+        registry = MetricsRegistry()
+        counter = Counter("hits", 4)
+        stats = WelfordStats()
+        stats.add(2.0)
+        buckets = HourlyBuckets(horizon=2 * 3600.0)
+        buckets.add(10.0)
+        series = TimeSeries("clustering")
+        series.record(0.0, 0.5)
+        registry.register("hits", counter)
+        registry.register("delay", stats)
+        registry.register("hourly", buckets)
+        registry.register("clustering", series)
+        registry.register("computed", lambda: 42)
+        snap = registry.snapshot()
+        assert snap["hits"] == {"type": "counter", "values": {"": 4.0}}
+        assert snap["delay"]["count"] == 1
+        assert snap["hourly"]["counts"] == [1, 0]
+        assert snap["clustering"]["times"] == [0.0]
+        assert snap["computed"] == {"type": "value", "value": 42}
+
+    def test_register_rejects_duplicates_and_unknown_types(self):
+        registry = MetricsRegistry()
+        registry.register("a", lambda: 1)
+        with pytest.raises(ConfigurationError):
+            registry.register("a", lambda: 2)
+        with pytest.raises(ConfigurationError):
+            registry.register("b", object())
+        registry.counter("native")
+        with pytest.raises(ConfigurationError):
+            registry.register("native", lambda: 3)
+        with pytest.raises(ConfigurationError):
+            registry.counter("a")  # adopted name can't become native
+
+    def test_names_contains_len(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.register("a", lambda: 1)
+        assert registry.names() == ("a", "b")
+        assert len(registry) == 2
+        assert "a" in registry and "b" in registry and "c" not in registry
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(scheme="x")
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.2)
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestBindSimulationMetrics:
+    def test_binds_bundle_under_prefix(self):
+        from repro.gnutella.metrics import SimulationMetrics
+
+        metrics = SimulationMetrics(2 * 3600.0)
+        metrics.record_query(10.0, True, 5, 1, 0.2)
+        registry = MetricsRegistry()
+        bind_simulation_metrics(registry, metrics)
+        snap = registry.snapshot()
+        assert snap["sim.total_queries"]["value"] == 1
+        assert snap["sim.total_hits"]["value"] == 1
+        assert snap["sim.first_result_delay"]["count"] == 1
+        assert "sim.hits" in snap and "sim.messages" in snap

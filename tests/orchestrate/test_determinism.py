@@ -103,6 +103,28 @@ class TestSerialVsParallel:
         ]
 
 
+class TestPhaseProfile:
+    def test_executed_tasks_carry_phase_timings(self, serial_and_parallel):
+        _, serial, _ = serial_and_parallel
+        for task in serial["tasks"]:
+            assert task["phases"], f"task {task['task_id']} missing phases"
+            assert "engine.run" in task["phases"]
+            assert task["phases"]["kernel.run"]["seconds"] >= 0.0
+
+    def test_obs_block_aggregates_across_tasks(self, serial_and_parallel):
+        _, serial, _ = serial_and_parallel
+        phases = serial["obs"]["phases"]
+        assert phases["engine.run"]["count"] == len(serial["tasks"])
+        total = sum(t["phases"]["engine.run"]["seconds"] for t in serial["tasks"])
+        assert phases["engine.run"]["seconds"] == pytest.approx(total)
+
+    def test_stable_view_strips_profiling(self, serial_and_parallel):
+        _, serial, _ = serial_and_parallel
+        view = stable_view(serial)
+        assert "obs" not in view
+        assert all("phases" not in t for t in view["tasks"])
+
+
 class TestEventStreamDigests:
     def test_hash_events_stable_across_jobs(self, tmp_path):
         """The kernel event-stream digest (not just the result digest) is

@@ -1,0 +1,65 @@
+"""Tests for the live progress printer."""
+
+import io
+
+from repro.orchestrate.pool import TaskRecord
+from repro.orchestrate.progress import ProgressPrinter
+
+
+def _record(**overrides):
+    base = dict(
+        task_id="fig1/smoke/seed=0/static",
+        key="k" * 16,
+        engine="fast",
+        cache_hit=False,
+        elapsed_s=2.5,
+        result_digest="d",
+    )
+    base.update(overrides)
+    return TaskRecord(**base)
+
+
+class TestProgressPrinter:
+    def test_run_line_shows_wall_seconds_and_eta(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(_record(), done=1, total=3)
+        line = stream.getvalue()
+        assert "run " in line
+        assert "(2.5s)" in line
+        assert "eta" in line  # two tasks remain
+
+    def test_final_task_has_no_eta(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(_record(), done=3, total=3)
+        assert "eta" not in stream.getvalue()
+
+    def test_cache_hit_line(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(_record(cache_hit=True, elapsed_s=0.0), done=1, total=1)
+        assert "hit " in stream.getvalue()
+        assert "cached" in stream.getvalue()
+
+    def test_failure_line_shows_error(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(_record(error="ValueError: boom"), done=1, total=1)
+        assert "FAIL" in stream.getvalue()
+        assert "boom" in stream.getvalue()
+
+    def test_disabled_printer_is_silent_but_counts(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream, enabled=False)
+        printer(_record(), done=1, total=2)
+        printer.summary(0, 1, 0, 1.0)
+        assert stream.getvalue() == ""
+        assert printer.seen == 1
+
+    def test_summary_line(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(_record(), done=1, total=1)
+        printer.summary(hits=0, executed=1, errors=0, wall_s=3.0)
+        assert "orchestrated 1 task(s)" in stream.getvalue()

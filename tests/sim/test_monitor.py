@@ -23,6 +23,18 @@ class TestCounter:
         with pytest.raises(ValueError):
             Counter("x").increment(-1)
 
+    def test_negative_increment_leaves_value_untouched(self):
+        c = Counter("x")
+        c.increment(3)
+        with pytest.raises(ValueError):
+            c.increment(-5)
+        assert c.value == 3
+
+    def test_zero_increment_is_a_noop(self):
+        c = Counter("x")
+        c.increment(0)
+        assert c.value == 0
+
 
 class TestWelfordStats:
     def test_empty_stats_are_nan(self):
@@ -38,6 +50,14 @@ class TestWelfordStats:
         assert s.mean == 3.0
         assert math.isnan(s.variance)
         assert s.min == s.max == 3.0
+
+    def test_single_sample_std_is_nan_until_second_sample(self):
+        s = WelfordStats()
+        s.add(3.0)
+        assert math.isnan(s.std)
+        s.add(5.0)
+        assert s.variance == pytest.approx(2.0)  # ((3-4)^2 + (5-4)^2) / 1
+        assert s.std == pytest.approx(math.sqrt(2.0))
 
     def test_matches_numpy(self):
         rng = np.random.default_rng(0)
@@ -114,6 +134,18 @@ class TestHourlyBuckets:
         hb.add(3600.0)
         hb.add(2 * 3600.0 + 1, amount=5)
         np.testing.assert_array_equal(hb.counts, [2, 1, 5])
+
+    def test_exact_hour_boundaries_open_the_next_bucket(self):
+        # t = k * width belongs to bucket k, not k-1 (half-open intervals).
+        hb = HourlyBuckets(horizon=4 * 3600.0)
+        for k in range(4):
+            hb.add(k * 3600.0)
+        np.testing.assert_array_equal(hb.counts, [1, 1, 1, 1])
+
+    def test_far_beyond_horizon_folds_into_last_bucket(self):
+        hb = HourlyBuckets(horizon=2 * 3600.0)
+        hb.add(50 * 3600.0)
+        np.testing.assert_array_equal(hb.counts, [0, 1])
 
     def test_event_at_horizon_folds_into_last_bucket(self):
         hb = HourlyBuckets(horizon=2 * 3600.0)
