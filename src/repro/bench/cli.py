@@ -5,6 +5,7 @@ Usage::
     repro-bench --smoke            # CI mode: smoke preset, digest gate fatal
     repro-bench --preset scaled    # bigger figure runs, same trajectory
     repro-bench --skip-figures     # kernels + digest gate only
+    repro-bench compare OLD NEW    # regression gate between two snapshots
 
 The snapshot lands in the current directory (or ``--output-dir``) as
 ``BENCH_<rev>.json`` where ``<rev>`` is the short git revision, so a series
@@ -51,6 +52,15 @@ def _log(message: str) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommand dispatch bolted in front of the legacy flag interface, so
+    # "repro-bench --smoke" keeps working unchanged next to "repro-bench
+    # compare OLD NEW".
+    if argv and argv[0] == "compare":
+        from repro.bench.compare import main as compare_main
+
+        return compare_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Run the canonical macro benchmarks and write BENCH_<rev>.json.",

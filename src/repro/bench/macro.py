@@ -41,6 +41,11 @@ class FigureReport:
     #: (setup / kernel run / fast-path kernel / teardown) — where the
     #: benchmark's ``seconds`` actually went.
     phases: dict[str, Any] = field(default_factory=dict)
+    #: Time-to-convergence in hours per scheme (``repro.obs.convergence``
+    #: over the reconfiguration series); ``None`` when the run never
+    #: settled. Deterministic, unlike ``seconds``/``phases``.
+    static_convergence_h: float | None = None
+    dynamic_convergence_h: float | None = None
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -53,6 +58,8 @@ class FigureReport:
             "static_messages": self.static_messages,
             "dynamic_messages": self.dynamic_messages,
             "phases": self.phases,
+            "static_convergence_h": self.static_convergence_h,
+            "dynamic_convergence_h": self.dynamic_convergence_h,
         }
 
 
@@ -95,6 +102,11 @@ def figure_smoke(preset: str = "smoke", seed: int = 0) -> FigureReport:
     t0 = time.perf_counter()
     result = figure1.run(preset=preset, seed=seed, simulate=simulate)
     seconds = time.perf_counter() - t0
+
+    def convergence_hours(sim_result: Any) -> float | None:
+        report = getattr(sim_result, "convergence", None)
+        return report.get("time") if report else None
+
     return FigureReport(
         preset=preset,
         seed=seed,
@@ -105,6 +117,8 @@ def figure_smoke(preset: str = "smoke", seed: int = 0) -> FigureReport:
         static_messages=int(result.static_messages.sum()),
         dynamic_messages=int(result.dynamic_messages.sum()),
         phases=timers.as_dict(),
+        static_convergence_h=convergence_hours(result.static),
+        dynamic_convergence_h=convergence_hours(result.dynamic),
     )
 
 

@@ -136,16 +136,7 @@ class AsymmetricProtocol(GnutellaProtocol):
             self.link(node, target)
             adopted += 1
         peer.requests_since_update = 0
-        self.metrics.reconfigurations += 1
-        if self.tracer.enabled:
-            self.tracer.instant(
-                "reconfigure",
-                "protocol",
-                self.now(),
-                pid=PID_PROTOCOL,
-                tid=int(node),
-                args={"adopted": adopted, "invites": len(additions)},
-            )
+        self._note_reconfiguration(node, adopted, len(additions))
         if stats_decay == 0.0:
             peer.stats.clear()
         elif stats_decay < 1.0:
@@ -204,6 +195,8 @@ class AsymmetricFastEngine(FastGnutellaEngine):
         self.protocol = AsymmetricProtocol(
             self.peers, self.bootstrap, self.metrics, config.neighbor_slots
         )
+        # The replacement protocol needs the kernel clock lent again.
+        self.protocol.now = lambda: self.sim.now
         if config.dynamic and config.evicted_refill_immediate:
             self.protocol.on_eviction = self._on_eviction
         # The view reads neighbor lists through self.peers; rebuild it, and

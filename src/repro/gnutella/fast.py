@@ -152,6 +152,10 @@ class FastGnutellaEngine:
         self.protocol = GnutellaProtocol(
             self.peers, self.bootstrap, self.metrics, config.neighbor_slots
         )
+        # Lend the protocol the kernel clock unconditionally (not only when a
+        # tracer attaches): the per-hour reconfiguration series needs real
+        # simulated timestamps on every run.
+        self.protocol.now = lambda: self.sim.now
         #: Live shared libraries; grow with downloads when configured.
         self.live_libraries: list[set] = [set(lib) for lib in self.libraries.libraries]
         self.view = _QueryView(self.peers, self.live_libraries, self.latency)
@@ -484,13 +488,12 @@ class FastGnutellaEngine:
         """Fraction of links whose endpoints share a favorite category.
 
         The mechanism behind the paper's gains: dynamic reconfiguration
-        "groups nodes with similar content together" (Section 4.3).
+        "groups nodes with similar content together" (Section 4.3). Computed
+        on the shared overlay walk (:func:`repro.obs.topology.walk_overlay`)
+        so periodic probes pay one pass over the peers, no graph library.
         """
-        from repro.net.topology import NeighborGraph
+        from repro.obs.topology import walk_overlay
 
-        snapshot = {
-            p.node: p.neighbors.outgoing.as_tuple() for p in self.peers if p.online
-        }
-        graph = NeighborGraph(snapshot)
+        view = walk_overlay(self.peers)
         favorite = {p.node: int(self.libraries.favorite[p.node]) for p in self.peers}
-        return graph.clustering_by_attribute(favorite)
+        return view.clustering_by_attribute(favorite)

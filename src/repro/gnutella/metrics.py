@@ -27,6 +27,9 @@ class SimulationMetrics:
         self.hits = HourlyBuckets(horizon, width=HOUR)
         self.messages = HourlyBuckets(horizon, width=HOUR)
         self.queries = HourlyBuckets(horizon, width=HOUR)
+        #: Reconfigurations per hour — the overlay's "slots still moving"
+        #: signal the convergence detector (repro.obs.convergence) consumes.
+        self.reconfigs = HourlyBuckets(horizon, width=HOUR)
         self.first_result_delay = WelfordStats()
         self.total_results = 0
         self.total_queries = 0
@@ -57,6 +60,11 @@ class SimulationMetrics:
             if first_delay is not None:
                 self.first_result_delay.add(first_delay)
 
+    def record_reconfiguration(self, time: float) -> None:
+        """Fold one reconfiguration into the total and the hourly series."""
+        self.reconfigurations += 1
+        self.reconfigs.add(time)
+
     # ------------------------------------------------------------------
     # Series accessors (figure data)
     # ------------------------------------------------------------------
@@ -75,6 +83,28 @@ class SimulationMetrics:
     def messages_total(self, warmup_hours: int = 0) -> int:
         """Total query messages net of warm-up."""
         return self.messages.total(skip=warmup_hours)
+
+    def reconfigurations_series(
+        self, warmup_hours: int = 0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(hour index, reconfigurations) per hour, net of warm-up."""
+        return self.reconfigs.series(skip=warmup_hours)
+
+    def recall_series(self, warmup_hours: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        """(hour index, hits/queries) per hour — the recall curve.
+
+        Hours with no queries report a recall of 0.0 (an offline interval
+        satisfies nothing).
+        """
+        hours, hits = self.hits.series(skip=warmup_hours)
+        _, queries = self.queries.series(skip=warmup_hours)
+        recall = np.divide(
+            hits.astype(float),
+            queries.astype(float),
+            out=np.zeros(len(hits), dtype=float),
+            where=queries > 0,
+        )
+        return hours, recall
 
     def hit_rate(self) -> float:
         """Fraction of queries that found at least one result."""

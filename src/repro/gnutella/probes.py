@@ -6,6 +6,13 @@ similar content together" — is about *convergence*, which a single end-state
 number cannot show. A probe attaches to an engine before ``run()`` and
 samples a statistic on a fixed period, producing the time series behind
 those claims.
+
+Probes sample through the shared overlay walk
+(:func:`repro.obs.topology.walk_overlay` / :class:`~repro.obs.topology.
+OverlayView`): one pass over the peer population per sample, no graph
+library. Probe callbacks are marked with :func:`repro.sim.events.
+mark_observer` — they only read state, so the event-stream SHA-256 digest of
+a probed run is bit-identical to an unprobed run's.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigurationError
+from repro.obs.topology import OverlayView, walk_overlay
+from repro.sim.events import mark_observer
 from repro.sim.monitor import TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,13 +60,14 @@ class _PeriodicProbe:
             registry.register(f"probe.{self.name}", self.series)
         engine.sim.schedule(interval, self._fire)
 
+    @mark_observer
     def _fire(self) -> None:
-        self.series.record(self.engine.sim.now, self.sample())
+        self.series.record(self.engine.sim.now, self.sample(walk_overlay(self.engine.peers)))
         if self.engine.sim.now + self.interval < self.engine.config.horizon:
             self.engine.sim.schedule(self.interval, self._fire)
 
-    def sample(self) -> float:
-        """The sampled statistic; subclasses override."""
+    def sample(self, view: OverlayView) -> float:
+        """The sampled statistic over one overlay walk; subclasses override."""
         raise NotImplementedError
 
 
@@ -70,8 +80,10 @@ class ClusteringProbe(_PeriodicProbe):
 
     name = "taste_clustering"
 
-    def sample(self) -> float:
-        return self.engine.taste_clustering()
+    def sample(self, view: OverlayView) -> float:
+        libraries = self.engine.libraries
+        favorite = {node: int(libraries.favorite[node]) for node in view.online}
+        return view.clustering_by_attribute(favorite)
 
 
 class DegreeProbe(_PeriodicProbe):
@@ -83,8 +95,7 @@ class DegreeProbe(_PeriodicProbe):
 
     name = "mean_degree"
 
-    def sample(self) -> float:
-        online = [p for p in self.engine.peers if p.online]
-        if not online:
+    def sample(self, view: OverlayView) -> float:
+        if not view.n_online:
             return 0.0
-        return sum(p.degree for p in online) / len(online)
+        return sum(view.out_degrees()) / view.n_online

@@ -78,13 +78,16 @@ class GnutellaProtocol:
         #: ``evicted_refill_immediate`` policy); it must not rewire links
         #: synchronously — a reconfiguration may be mid-flight.
         self.on_eviction = None
-        #: Observability (repro.obs): the engine's tracer plus a clock
-        #: callable, both installed by ``FastGnutellaEngine.attach_tracer``.
-        #: The protocol has no kernel reference of its own — control actions
-        #: are instantaneous — so the engine lends it ``now``. Emission is
-        #: guarded by ``tracer.enabled`` and observes only; it never draws
-        #: RNG or schedules events.
+        #: Observability (repro.obs): the engine's tracer, installed by
+        #: ``FastGnutellaEngine.attach_tracer``. Emission is guarded by
+        #: ``tracer.enabled`` and observes only; it never draws RNG or
+        #: schedules events.
         self.tracer = NULL_TRACER
+        #: Clock callable. The protocol has no kernel reference of its own —
+        #: control actions are instantaneous — so the engines lend it
+        #: ``sim.now`` at construction; standalone protocol instances (unit
+        #: tests) run at a frozen t=0. Used for trace timestamps and the
+        #: per-hour reconfiguration series.
         self.now = lambda: 0.0
 
     # ------------------------------------------------------------------
@@ -215,16 +218,7 @@ class GnutellaProtocol:
             invitee.requests_since_update = 0
             adopted += 1
         peer.requests_since_update = 0
-        self.metrics.reconfigurations += 1
-        if self.tracer.enabled:
-            self.tracer.instant(
-                "reconfigure",
-                "protocol",
-                self.now(),
-                pid=PID_PROTOCOL,
-                tid=int(node),
-                args={"adopted": adopted, "invites": len(invites)},
-            )
+        self._note_reconfiguration(node, adopted, len(invites))
         if stats_decay == 0.0:
             peer.stats.clear()
         elif stats_decay < 1.0:
@@ -232,6 +226,19 @@ class GnutellaProtocol:
             # observed in its own window (see GnutellaConfig docs).
             peer.stats.decay(stats_decay)
         return adopted
+
+    def _note_reconfiguration(self, node: NodeId, adopted: int, invites: int) -> None:
+        """Book one completed reconfiguration: counters, series, trace."""
+        self.metrics.record_reconfiguration(self.now())
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "reconfigure",
+                "protocol",
+                self.now(),
+                pid=PID_PROTOCOL,
+                tid=int(node),
+                args={"adopted": adopted, "invites": invites},
+            )
 
     # ------------------------------------------------------------------
     # Random acquisition (login / slot top-up; both schemes)

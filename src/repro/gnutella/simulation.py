@@ -35,12 +35,17 @@ class SimulationResult:
         the "groups nodes with similar content together" evidence.
     mean_degree:
         Final average neighbor count among online peers.
+    convergence:
+        Time-to-convergence diagnostics (:class:`repro.obs.convergence.
+        ConvergenceReport` ``as_dict()``), derived from the per-hour
+        reconfiguration series. Deterministic — part of result digests.
     """
 
     config: GnutellaConfig
     metrics: SimulationMetrics
     taste_clustering: float
     mean_degree: float
+    convergence: dict | None = None
 
     @property
     def scheme(self) -> str:
@@ -86,6 +91,8 @@ def build_engine(
 
 def summarize(eng: FastGnutellaEngine) -> SimulationResult:
     """Summarize a completed engine run into a :class:`SimulationResult`."""
+    from repro.obs.convergence import convergence_from_metrics
+
     online = [p for p in eng.peers if p.online]
     mean_degree = (
         sum(p.degree for p in online) / len(online) if online else 0.0
@@ -95,6 +102,7 @@ def summarize(eng: FastGnutellaEngine) -> SimulationResult:
         metrics=eng.metrics,
         taste_clustering=eng.taste_clustering(),
         mean_degree=mean_degree,
+        convergence=convergence_from_metrics(eng.metrics).as_dict(),
     )
 
 
@@ -123,7 +131,9 @@ def run_simulation(
         Attach a live :class:`repro.obs.trace.Tracer` for the run. ``None``
         (default) defers to the ``REPRO_TRACE`` environment variable: when
         that names a path, a tracer is created and its JSONL event stream is
-        written there after the run.
+        written there after the run — exception-safely, via
+        :meth:`~repro.obs.trace.Tracer.flushed`, so a mid-run crash still
+        leaves a valid parseable trace of everything up to the failure.
     """
     trace_path = None
     if trace is None:
@@ -141,9 +151,11 @@ def run_simulation(
         from repro.lint.sanitize import install_consistency_checks
 
         install_consistency_checks(eng)
-    eng.run()
     if trace_path is not None:
-        trace.write_jsonl(trace_path)
+        with trace.flushed(trace_path):
+            eng.run()
+    else:
+        eng.run()
     return summarize(eng)
 
 

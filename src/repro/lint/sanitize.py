@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.consistency import state_inconsistencies, symmetric_violations
 from repro.errors import SanitizerError
-from repro.sim.events import EventQueue, ScheduledCallback
+from repro.sim.events import EventQueue, ScheduledCallback, is_observer, mark_observer
 from repro.sim.kernel import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -83,7 +83,11 @@ class EventStreamHasher:
     The digest covers, per event: the firing time (bit-exact), the callback's
     qualified name, and a stable rendering of its arguments.  Cancelled
     entries are excluded — they never execute, so they are not part of the
-    observable behaviour two runs must agree on.
+    observable behaviour two runs must agree on.  So are *observer* events
+    (:func:`repro.sim.events.mark_observer`): periodic probes, topology
+    snapshotters and this module's own consistency checks only read state,
+    so attaching them must not move the digest — that exclusion is what the
+    snapshotted-vs-plain digest-equality tests rely on.
     """
 
     __slots__ = ("_digest", "events_hashed")
@@ -114,7 +118,8 @@ class _RecordingQueue:
 
     The kernel pops *every* surfaced entry (including cancelled ones, which
     it then skips); the proxy mirrors that contract and records only entries
-    that will actually execute.
+    that will actually execute — minus pure-observation callbacks, which are
+    behaviourally inert by contract.
     """
 
     __slots__ = ("_inner", "_hasher")
@@ -137,7 +142,7 @@ class _RecordingQueue:
 
     def pop(self) -> tuple[float, ScheduledCallback]:
         time, handle = self._inner.pop()
-        if not handle.cancelled:
+        if not handle.cancelled and not is_observer(handle.fn):
             self._hasher.record(time, handle)
         return time, handle
 
@@ -176,6 +181,9 @@ def install_consistency_checks(
     sim = engine.sim
     horizon = engine.config.horizon
 
+    # The probe only asserts; marking it an observer keeps sanitized and
+    # unsanitized event-stream digests of the same config identical.
+    @mark_observer
     def probe() -> None:
         states = {p.node: p.neighbors for p in engine.peers}
         bad = state_inconsistencies(states)

@@ -18,6 +18,16 @@ reconfiguration wave propagated. This package is the observation layer:
 * :mod:`repro.obs.profile` — wall-clock phase timers (engine setup / run /
   teardown, the flood fast-path kernel, orchestrator tasks) surfaced in run
   manifests and bench snapshots;
+* :mod:`repro.obs.topology` — periodic overlay snapshots (degree
+  distributions, in-degree concentration, neighbor churn, consistency
+  ratio, TTL reachability, benefit distribution), digest-neutral via
+  observer-marked callbacks;
+* :mod:`repro.obs.convergence` — time-to-convergence detection over the
+  per-hour reconfiguration series, surfaced in results, manifests and
+  bench reports;
+* :mod:`repro.obs.report` — ``repro-report``: one self-contained HTML run
+  report (inline SVG, no external assets) from a record directory or
+  manifest;
 * :mod:`repro.obs.record` — one-call traced simulation runs;
 * :mod:`repro.obs.cli` — the ``repro-trace`` command.
 
@@ -29,9 +39,21 @@ fast-path kernel benchmark still clears its 2.0x floor.
 """
 
 from repro.obs.chrome import to_chrome, validate_chrome, write_chrome
+from repro.obs.convergence import (
+    ConvergenceReport,
+    convergence_from_metrics,
+    detect_convergence,
+)
 from repro.obs.profile import PhaseTimers
-from repro.obs.record import record_run
+from repro.obs.record import record_run, record_run_dir
 from repro.obs.registry import MetricsRegistry
+from repro.obs.report import render_report, write_report
+from repro.obs.topology import (
+    OverlayView,
+    TopologySnapshot,
+    TopologySnapshotter,
+    walk_overlay,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -41,15 +63,25 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ConvergenceReport",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "OverlayView",
     "PhaseTimers",
+    "TopologySnapshot",
+    "TopologySnapshotter",
     "TraceEvent",
     "Tracer",
+    "convergence_from_metrics",
+    "detect_convergence",
     "record_run",
+    "record_run_dir",
+    "render_report",
     "to_chrome",
     "trace_env_path",
     "validate_chrome",
+    "walk_overlay",
     "write_chrome",
+    "write_report",
 ]

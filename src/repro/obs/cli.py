@@ -4,6 +4,8 @@ Usage::
 
     repro-trace record --preset smoke --seed 0 --out trace.jsonl \
         --chrome trace.json            # run traced, export both formats
+    repro-trace record --preset smoke --record-dir runs/smoke \
+        --topology-interval 3600       # full record directory for repro-report
     repro-trace summarize trace.jsonl  # headline counts as JSON
     repro-trace convert trace.jsonl --out trace.json   # JSONL -> Chrome
 
@@ -53,11 +55,27 @@ def summarize_events(events: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
 
 def _cmd_record(args: argparse.Namespace) -> int:
     from repro.experiments.common import preset_config
-    from repro.obs.record import record_run
+    from repro.obs.record import record_run, record_run_dir
 
     config = preset_config(args.preset, seed=args.seed)
     config = config.as_static() if args.scheme == "static" else config.as_dynamic()
-    recorded = record_run(config, args.engine, hash_events=not args.no_digest)
+    if args.record_dir is not None:
+        summary = record_run_dir(
+            config,
+            args.record_dir,
+            args.engine,
+            hash_events=not args.no_digest,
+            topology_interval=args.topology_interval,
+        )
+        summary["record_dir"] = str(args.record_dir)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    recorded = record_run(
+        config,
+        args.engine,
+        hash_events=not args.no_digest,
+        topology_interval=args.topology_interval,
+    )
     out = recorded.tracer.write_jsonl(args.out)
     report: dict[str, Any] = recorded.summary()
     report["jsonl"] = str(out)
@@ -139,6 +157,21 @@ def main(argv: list[str] | None = None) -> int:
         "--no-digest",
         action="store_true",
         help="skip event-stream hashing (slightly faster)",
+    )
+    record.add_argument(
+        "--record-dir",
+        default=None,
+        help="write a full record directory (trace.jsonl / topology.jsonl / "
+        "metrics.json / summary.json) here instead of a lone trace — the "
+        "input format of repro-report",
+    )
+    record.add_argument(
+        "--topology-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also snapshot the overlay every SECONDS of simulated time "
+        "(e.g. 3600 for hourly)",
     )
     record.set_defaults(func=_cmd_record)
 

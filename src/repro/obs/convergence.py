@@ -1,0 +1,156 @@
+"""Convergence diagnostics: when does the overlay stop moving?
+
+Section 4.3's claim is that dynamic reconfiguration *converges* — "as the
+time evolves, new beneficial neighbors are being discovered" until the
+overlay settles into content-correlated neighborhoods.  The figures show the
+consequence (rising hits); this module puts a number on the cause:
+**time-to-convergence**, the first simulated hour from which the
+reconfiguration rate stays at or below a threshold for the rest of the run
+(sustained for at least ``window`` observed intervals).
+
+The detector consumes any ``(times, values)`` rate series — the always-on
+per-hour reconfiguration series of :class:`~repro.gnutella.metrics.
+SimulationMetrics`, a probe's :class:`~repro.sim.monitor.TimeSeries`, or the
+topology snapshotter's churn series — and is deterministic, so the report
+may live in the *stable* view of run manifests (unlike wall-clock timings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gnutella.metrics import SimulationMetrics
+
+__all__ = [
+    "ConvergenceReport",
+    "convergence_from_metrics",
+    "detect_convergence",
+]
+
+#: Default fraction of the peak rate used as the threshold when no absolute
+#: threshold is given.
+DEFAULT_REL_THRESHOLD = 0.1
+
+#: Default number of consecutive at-or-below-threshold intervals required.
+DEFAULT_WINDOW = 3
+
+
+@dataclass(frozen=True, slots=True)
+class ConvergenceReport:
+    """Outcome of one convergence detection.
+
+    ``time`` is in the unit of the input ``times`` axis (hours for the
+    metrics series); ``None`` when the series never settles.
+    """
+
+    converged: bool
+    time: float | None
+    threshold: float
+    window: int
+    peak: float
+    final: float
+    n_intervals: int
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (used by manifests and reports)."""
+        return asdict(self)
+
+
+def detect_convergence(
+    times: Sequence[float],
+    values: Sequence[float],
+    *,
+    threshold: float | None = None,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> ConvergenceReport:
+    """Find the first time from which ``values`` stays at/below a threshold.
+
+    Parameters
+    ----------
+    times / values:
+        A rate series (equal lengths). Typically reconfigurations per hour.
+    threshold:
+        Absolute rate threshold; ``None`` derives one as ``rel_threshold *
+        max(values)`` (so an all-zero series converges at its first
+        interval with threshold 0).
+    rel_threshold:
+        Fraction of the observed peak used when ``threshold`` is ``None``.
+    window:
+        Minimum number of consecutive trailing intervals that must sit
+        at/below the threshold. A series shorter than ``window`` converges
+        only if *every* interval qualifies.
+
+    The detector is suffix-based: convergence means the rate dropped **and
+    stayed down** — a mid-run lull followed by renewed reconfiguration does
+    not count. ``time`` is the start of the qualifying suffix.
+    """
+    if len(times) != len(values):
+        raise ConfigurationError(
+            f"times/values length mismatch: {len(times)} != {len(values)}"
+        )
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if not 0.0 <= rel_threshold <= 1.0:
+        raise ConfigurationError(
+            f"rel_threshold must be in [0, 1], got {rel_threshold}"
+        )
+    vals = [float(v) for v in values]
+    n = len(vals)
+    peak = max(vals, default=0.0)
+    limit = float(threshold) if threshold is not None else rel_threshold * peak
+    if n == 0:
+        return ConvergenceReport(
+            converged=False,
+            time=None,
+            threshold=limit,
+            window=window,
+            peak=0.0,
+            final=0.0,
+            n_intervals=0,
+        )
+    # Start of the maximal qualifying suffix.
+    start = n
+    for i in range(n - 1, -1, -1):
+        if vals[i] > limit:
+            break
+        start = i
+    run_length = n - start
+    converged = run_length >= min(window, n) and run_length > 0
+    return ConvergenceReport(
+        converged=converged,
+        time=float(times[start]) if converged else None,
+        threshold=limit,
+        window=window,
+        peak=peak,
+        final=vals[-1],
+        n_intervals=n,
+    )
+
+
+def convergence_from_metrics(
+    metrics: "SimulationMetrics",
+    *,
+    threshold: float | None = None,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> ConvergenceReport:
+    """Detect convergence from a run's per-hour reconfiguration series.
+
+    Uses the always-on ``metrics.reconfigurations_series()`` (no probes or
+    registry required), so every :func:`~repro.gnutella.simulation.
+    summarize` call can report it. The ``time`` field is in hours. A static
+    run (no reconfigurations at all) converges at hour 0 with threshold 0.
+    """
+    hours, reconfigs = metrics.reconfigurations_series(0)
+    return detect_convergence(
+        [float(h) for h in hours],
+        [float(r) for r in reconfigs],
+        threshold=threshold,
+        rel_threshold=rel_threshold,
+        window=window,
+    )

@@ -3,24 +3,34 @@
 Ties the pieces together: build an engine with a live :class:`~repro.obs.
 trace.Tracer` attached, hash its event stream (so every recording doubles
 as a digest-equality check against untraced runs), bind its metrics into a
-:class:`~repro.obs.registry.MetricsRegistry`, and time the setup / run /
+:class:`~repro.obs.registry.MetricsRegistry`, optionally attach a
+:class:`~repro.obs.topology.TopologySnapshotter`, and time the setup / run /
 teardown phases.
+
+:func:`record_run_dir` is the durable variant: it lays one run out as a
+*record directory* — ``trace.jsonl``, ``topology.jsonl``, ``metrics.json``,
+``summary.json`` — which is the input format of ``repro-report``
+(:mod:`repro.obs.report`). The trace and topology streams are flushed even
+when the engine crashes mid-run, so a partial record still parses.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.obs.profile import PhaseTimers
 from repro.obs.registry import MetricsRegistry, bind_simulation_metrics
+from repro.obs.topology import TopologySnapshotter
 from repro.obs.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gnutella.config import GnutellaConfig
     from repro.gnutella.simulation import SimulationResult
 
-__all__ = ["RecordedRun", "record_run"]
+__all__ = ["RecordedRun", "record_run", "record_run_dir"]
 
 
 @dataclass(frozen=True)
@@ -32,11 +42,13 @@ class RecordedRun:
     registry: MetricsRegistry
     timers: PhaseTimers
     event_digest: str | None
+    #: Present when the run was recorded with ``topology_interval`` set.
+    topology: TopologySnapshotter | None = None
 
     def summary(self) -> dict[str, Any]:
         """Headline numbers for reporting: trace, phases, run outcome."""
         metrics = self.result.metrics
-        return {
+        out: dict[str, Any] = {
             "trace": self.tracer.summary(),
             "phases": self.timers.as_dict(),
             "event_digest": self.event_digest,
@@ -46,25 +58,21 @@ class RecordedRun:
                 "total_hits": metrics.total_hits,
                 "hit_rate": metrics.hit_rate(),
             },
+            "convergence": self.result.convergence,
         }
+        if self.topology is not None:
+            out["topology_snapshots"] = len(self.topology.snapshots)
+        return out
 
 
-def record_run(
+def _build_recorder(
     config: "GnutellaConfig",
-    engine: str = "fast",
-    *,
-    tracer: Tracer | None = None,
-    hash_events: bool = True,
-) -> RecordedRun:
-    """Run one simulation with tracing, profiling, and metrics bound.
-
-    Returns a :class:`RecordedRun`; ``event_digest`` is the event-stream
-    SHA-256 (``None`` when ``hash_events`` is false). Because tracing only
-    observes, the digest equals the one an untraced run of the same config
-    produces — the equality ``tests/gnutella/test_trace_digest.py`` and the
-    CI obs-smoke job assert.
-    """
-    from repro.gnutella.simulation import build_engine, summarize
+    engine: str,
+    tracer: Tracer | None,
+    topology_interval: float | None,
+) -> tuple[Any, Tracer, MetricsRegistry, PhaseTimers, TopologySnapshotter | None]:
+    """Shared setup: engine + tracer + registry + timers (+ snapshotter)."""
+    from repro.gnutella.simulation import build_engine
 
     trace = tracer if tracer is not None else Tracer()
     registry = MetricsRegistry()
@@ -75,6 +83,37 @@ def record_run(
     eng.sim.profile = timers
     if eng._fastpath is not None:
         eng._fastpath.profile = timers
+    snapshotter = None
+    if topology_interval is not None:
+        snapshotter = TopologySnapshotter(eng, topology_interval, registry)
+    return eng, trace, registry, timers, snapshotter
+
+
+def record_run(
+    config: "GnutellaConfig",
+    engine: str = "fast",
+    *,
+    tracer: Tracer | None = None,
+    hash_events: bool = True,
+    topology_interval: float | None = None,
+) -> RecordedRun:
+    """Run one simulation with tracing, profiling, and metrics bound.
+
+    Returns a :class:`RecordedRun`; ``event_digest`` is the event-stream
+    SHA-256 (``None`` when ``hash_events`` is false). Because tracing and
+    the optional topology snapshotter only observe, the digest equals the
+    one a plain run of the same config produces — the equality
+    ``tests/gnutella/test_trace_digest.py`` and the CI obs-smoke job assert.
+
+    ``topology_interval`` (simulated seconds) attaches a
+    :class:`~repro.obs.topology.TopologySnapshotter`; its snapshots land on
+    the returned record's ``topology`` and its series in the registry.
+    """
+    from repro.gnutella.simulation import summarize
+
+    eng, trace, registry, timers, snapshotter = _build_recorder(
+        config, engine, tracer, topology_interval
+    )
     digest = None
     if hash_events:
         from repro.lint.sanitize import attach_hasher
@@ -92,4 +131,97 @@ def record_run(
         registry=registry,
         timers=timers,
         event_digest=digest,
+        topology=snapshotter,
     )
+
+
+def record_run_dir(
+    config: "GnutellaConfig",
+    out_dir: str | Path,
+    engine: str = "fast",
+    *,
+    hash_events: bool = True,
+    topology_interval: float | None = None,
+) -> dict[str, Any]:
+    """Run one recorded simulation and lay it out as a record directory.
+
+    Writes into ``out_dir``:
+
+    * ``trace.jsonl`` — the full event trace (flushed even on a mid-run
+      crash, so a partial record still parses line by line);
+    * ``topology.jsonl`` — one overlay snapshot per line (when
+      ``topology_interval`` is set);
+    * ``metrics.json`` — the metrics-registry snapshot;
+    * ``summary.json`` — config, headline outcome, convergence report,
+      phase timings, and the hourly series the report charts are drawn
+      from.
+
+    Returns the ``summary.json`` document (with a ``files`` block naming
+    what was written). This directory is what ``repro-report`` renders.
+    """
+    from repro.analysis.export import result_to_jsonable
+    from repro.gnutella.simulation import summarize
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    eng, trace, registry, timers, snapshotter = _build_recorder(
+        config, engine, None, topology_interval
+    )
+    digest = None
+    if hash_events:
+        from repro.lint.sanitize import attach_hasher
+
+        hasher = attach_hasher(eng.sim)
+    try:
+        with timers.phase("engine.run"), trace.flushed(out / "trace.jsonl"):
+            eng.run()
+    finally:
+        # Crash-safe like the trace: whatever snapshots exist are written.
+        if snapshotter is not None:
+            snapshotter.write_jsonl(out / "topology.jsonl")
+    if hash_events:
+        digest = hasher.hexdigest()
+    with timers.phase("engine.teardown"):
+        result = summarize(eng)
+    metrics = result.metrics
+    hours, recall = metrics.recall_series(0)
+    _, hits = metrics.hits_series(0)
+    _, queries = metrics.queries.series(skip=0)
+    _, messages = metrics.messages_series(0)
+    _, reconfigs = metrics.reconfigurations_series(0)
+    files = ["summary.json", "metrics.json", "trace.jsonl"]
+    if snapshotter is not None:
+        files.append("topology.jsonl")
+    summary: dict[str, Any] = {
+        "engine": engine,
+        "config": result_to_jsonable(config),
+        "event_digest": digest,
+        "trace": trace.summary(),
+        "phases": timers.as_dict(),
+        "run": {
+            "scheme": result.scheme,
+            "total_queries": metrics.total_queries,
+            "total_hits": metrics.total_hits,
+            "hit_rate": metrics.hit_rate(),
+            "taste_clustering": result.taste_clustering,
+            "mean_degree": result.mean_degree,
+            "reconfigurations": metrics.reconfigurations,
+        },
+        "convergence": result.convergence,
+        "series": {
+            "hours": [int(h) for h in hours],
+            "hits": [int(v) for v in hits],
+            "queries": [int(v) for v in queries],
+            "messages": [int(v) for v in messages],
+            "reconfigs": [int(v) for v in reconfigs],
+            "recall": [float(v) for v in recall],
+        },
+        "files": sorted(files),
+    }
+    (out / "metrics.json").write_text(
+        json.dumps(registry.snapshot(), indent=2, sort_keys=True), encoding="utf-8"
+    )
+    (out / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    return summary

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.types import QueryOutcome
 
@@ -203,6 +204,20 @@ class Tracer:
             for ev in self.events:
                 fh.write(json.dumps(ev.as_dict(), sort_keys=True) + "\n")
         return target
+
+    @contextmanager
+    def flushed(self, path: str | Path) -> Iterator["Tracer"]:
+        """Guarantee the trace reaches ``path`` even if the body raises.
+
+        Wrap the engine run in this so a mid-run crash still leaves a valid,
+        parseable JSONL file holding every event emitted up to the failure
+        (JSONL is prefix-valid by construction; the buffer is written whole
+        on exit, success or exception). The exception propagates unchanged.
+        """
+        try:
+            yield self
+        finally:
+            self.write_jsonl(path)
 
 
 class NullTracer:

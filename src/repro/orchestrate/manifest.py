@@ -73,6 +73,7 @@ def build_manifest(
                 "event_digest": record.event_digest,
                 "error": record.error,
                 "phases": record.phases,
+                "convergence": record.convergence,
             }
             for record in records
         ],

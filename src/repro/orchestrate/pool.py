@@ -73,6 +73,10 @@ class TaskRecord:
     #: ``as_dict()``); ``None`` for cache hits and failures. Volatile — the
     #: manifest's ``stable_view`` strips it like ``elapsed_s``.
     phases: dict | None = None
+    #: Convergence diagnostics (:mod:`repro.obs.convergence` report dict)
+    #: from the result. Deterministic — unlike ``phases``, it stays in the
+    #: manifest's ``stable_view``.
+    convergence: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -199,6 +203,7 @@ def run_tasks(
                 cache_hit=True,
                 elapsed_s=0.0,
                 result_digest=result_digest(cached),
+                convergence=getattr(cached, "convergence", None),
             )
         )
 
@@ -234,6 +239,7 @@ def run_tasks(
                 result_digest=digest,
                 event_digest=event_digest,
                 phases=phases,
+                convergence=result.convergence,
             )
         )
 

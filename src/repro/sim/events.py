@@ -17,12 +17,50 @@ from repro.errors import SchedulingError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.sim.kernel import Simulator
 
-__all__ = ["Event", "EventQueue", "ScheduledCallback", "NORMAL", "HIGH", "LOW"]
+__all__ = [
+    "Event",
+    "EventQueue",
+    "OBSERVER_ATTR",
+    "ScheduledCallback",
+    "is_observer",
+    "mark_observer",
+    "NORMAL",
+    "HIGH",
+    "LOW",
+]
 
 #: Priority levels. Lower value fires first among events at the same time.
 HIGH = 0
 NORMAL = 1
 LOW = 2
+
+#: Attribute marking a callback as *pure observation* (see :func:`mark_observer`).
+OBSERVER_ATTR = "__repro_observer__"
+
+
+def mark_observer(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Declare ``fn`` a pure-observation callback (usable as a decorator).
+
+    An observer callback reads simulation state but never mutates it, draws
+    no RNG, and schedules nothing except its own re-arming — attaching or
+    removing it cannot change what the simulation computes. The event-stream
+    hasher (:mod:`repro.lint.sanitize`) therefore excludes observer events
+    from digests, exactly like cancelled entries: they are not part of the
+    observable behaviour two runs must agree on. That exclusion is what lets
+    periodic probes and topology snapshotters keep traced/snapshotted and
+    plain runs bit-identical.
+
+    Mark the *function* (or the method on its class); bound methods forward
+    attribute reads to the underlying function, so per-instance marking is
+    never needed.
+    """
+    setattr(fn, OBSERVER_ATTR, True)
+    return fn
+
+
+def is_observer(fn: Callable[..., Any]) -> bool:
+    """Whether ``fn`` was marked with :func:`mark_observer`."""
+    return bool(getattr(fn, OBSERVER_ATTR, False))
 
 
 @dataclass(slots=True)

@@ -99,3 +99,18 @@ def test_trace_env_variable_writes_jsonl(tmp_path, monkeypatch):
     run_simulation(_config(n_users=20, n_items=500, horizon=3600.0), "fast")
     events = read_jsonl(out)
     assert events and any(ev["name"] == "query" for ev in events)
+
+
+@pytest.mark.parametrize("engine", ["fast", "fast-reference", "detailed"])
+def test_snapshotted_run_digest_matches_plain(engine):
+    """The topology snapshotter is pure observation: a snapshotted run's
+    event-stream digest is bit-identical to a plain run's, on every
+    engine."""
+    config = _config(n_users=25, n_items=1000, horizon=2 * 3600.0)
+    _, plain = simulate_task(config, engine, hash_events=True)
+    recorded = record_run(config, engine, topology_interval=3600.0)
+    assert recorded.event_digest == plain
+    assert recorded.topology is not None
+    assert len(recorded.topology.snapshots) >= 1
+    # And the snapshots actually saw the overlay, not an empty world.
+    assert all(s.n_online > 0 for s in recorded.topology.snapshots)

@@ -1,0 +1,120 @@
+"""The convergence detector: suffix semantics (dropped AND stayed down),
+threshold derivation, edge cases, and the metrics-driven entry point."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gnutella.metrics import SimulationMetrics
+from repro.obs.convergence import (
+    ConvergenceReport,
+    convergence_from_metrics,
+    detect_convergence,
+)
+
+HOUR = 3600.0
+
+
+def test_converges_at_start_of_trailing_quiet_run():
+    # threshold = 0.1 * 10 = 1.0; qualifying suffix starts at t=3.
+    report = detect_convergence([0, 1, 2, 3, 4, 5], [10, 8, 4, 1, 0, 1])
+    assert report.converged
+    assert report.time == 3.0
+    assert report.threshold == pytest.approx(1.0)
+    assert report.peak == 10.0
+    assert report.final == 1.0
+    assert report.n_intervals == 6
+
+
+def test_mid_run_lull_does_not_count():
+    # Quiet hours 2-4, but the rate comes back up: not converged.
+    report = detect_convergence([0, 1, 2, 3, 4, 5], [30, 20, 1, 0, 1, 25])
+    assert not report.converged
+    assert report.time is None
+
+
+def test_never_settling_series_does_not_converge():
+    report = detect_convergence([0, 1, 2], [50, 60, 55])
+    assert not report.converged
+    assert report.final == 55.0
+
+
+def test_all_zero_series_converges_immediately_with_zero_threshold():
+    report = detect_convergence([0, 1, 2, 3], [0, 0, 0, 0])
+    assert report.converged
+    assert report.time == 0.0
+    assert report.threshold == 0.0
+
+
+def test_short_series_converges_only_if_every_interval_qualifies():
+    ok = detect_convergence([0, 1], [0, 0], window=3)
+    assert ok.converged and ok.time == 0.0
+    bad = detect_convergence([0, 1], [9, 0], window=3)
+    assert not bad.converged
+
+
+def test_window_must_be_sustained():
+    # Only the last 2 intervals qualify; window=3 demands 3.
+    report = detect_convergence([0, 1, 2, 3, 4], [10, 10, 10, 0, 0], window=3)
+    assert not report.converged
+    report = detect_convergence([0, 1, 2, 3, 4], [10, 10, 0, 0, 0], window=3)
+    assert report.converged and report.time == 2.0
+
+
+def test_absolute_threshold_overrides_relative():
+    report = detect_convergence([0, 1, 2, 3, 4], [10, 5, 4, 4, 3], threshold=4.0)
+    assert report.converged
+    assert report.time == 2.0
+    assert report.threshold == 4.0
+
+
+def test_empty_series_reports_not_converged():
+    report = detect_convergence([], [])
+    assert not report.converged
+    assert report.n_intervals == 0
+    assert report.time is None
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigurationError):
+        detect_convergence([0, 1], [1])
+    with pytest.raises(ConfigurationError):
+        detect_convergence([0], [1], window=0)
+    with pytest.raises(ConfigurationError):
+        detect_convergence([0], [1], rel_threshold=1.5)
+
+
+def test_as_dict_is_json_ready():
+    report = detect_convergence([0, 1, 2], [4, 0, 0], window=2)
+    assert report.as_dict() == {
+        "converged": True,
+        "time": 1.0,
+        "threshold": pytest.approx(0.4),
+        "window": 2,
+        "peak": 4.0,
+        "final": 0.0,
+        "n_intervals": 3,
+    }
+    assert isinstance(report, ConvergenceReport)
+
+
+def test_convergence_from_metrics_uses_hourly_reconfigurations():
+    metrics = SimulationMetrics(horizon=5 * HOUR)
+    # 20 reconfigurations in hour 0, 10 in hour 1, then quiet.
+    for _ in range(20):
+        metrics.record_reconfiguration(30 * 60.0)
+    for _ in range(10):
+        metrics.record_reconfiguration(HOUR + 10.0)
+    metrics.record_reconfiguration(3 * HOUR + 1.0)
+    report = convergence_from_metrics(metrics)
+    # threshold = 0.1 * 20 = 2; suffix [0, 1, 0] from hour 2 qualifies.
+    assert report.converged
+    assert report.time == 2.0
+    assert report.peak == 20.0
+
+
+def test_convergence_from_metrics_static_run_converges_at_zero():
+    metrics = SimulationMetrics(horizon=4 * HOUR)
+    report = convergence_from_metrics(metrics)
+    assert report.converged
+    assert report.time == 0.0
+    assert report.threshold == 0.0

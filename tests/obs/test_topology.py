@@ -1,0 +1,319 @@
+"""Topology-observatory metrics vs hand-computed graphs and brute-force
+oracles (pure Python, no networkx), plus snapshotter behavior on a live
+engine — churn must be exactly zero when nothing in the overlay can move."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gnutella.config import GnutellaConfig
+from repro.gnutella.simulation import build_engine
+from repro.obs.registry import MetricsRegistry
+from repro.obs.topology import (
+    OverlayView,
+    TopologySnapshotter,
+    degree_distribution,
+    gini,
+    mean_reachability,
+    neighbor_churn,
+    reachable_within,
+    snapshot_overlay,
+    symmetric_consistency_ratio,
+    top_k_share,
+    walk_overlay,
+)
+from repro.obs.trace import Tracer
+
+HOUR = 3600.0
+
+
+# ----------------------------------------------------------------------
+# Brute-force oracles
+# ----------------------------------------------------------------------
+def gini_oracle(values):
+    """Mean-absolute-difference definition: sum |xi - xj| / (2 n^2 mean)."""
+    n = len(values)
+    total = sum(values)
+    if n < 2 or total == 0:
+        return 0.0
+    diff_sum = sum(abs(a - b) for a in values for b in values)
+    return diff_sum / (2 * n * total)
+
+
+def reachable_oracle(outgoing, source, ttl):
+    """Set-based hop expansion, independent of the BFS implementation."""
+    if ttl <= 0 or source not in outgoing:
+        return 0
+    frontier = {source}
+    seen = {source}
+    for _ in range(ttl):
+        frontier = {
+            j for i in frontier for j in outgoing.get(i, ())
+        } - seen
+        seen |= frontier
+    return len(seen) - 1
+
+
+# ----------------------------------------------------------------------
+# Hand-computed graphs
+# ----------------------------------------------------------------------
+def test_gini_hand_computed():
+    assert gini([1, 1, 1, 1]) == 0.0
+    # one holder has everything: sorted [0,0,0,4], oracle gives 0.75
+    assert gini([0, 0, 0, 4]) == pytest.approx(0.75)
+    assert gini([]) == 0.0
+    assert gini([5]) == 0.0
+    assert gini([0, 0, 0]) == 0.0
+
+
+def test_gini_matches_brute_force_oracle():
+    samples = [
+        [1, 2, 3, 4, 5],
+        [0, 0, 1, 9],
+        [3, 3, 3],
+        [7, 1, 1, 1, 1, 1],
+        [0.5, 2.5, 2.5, 10.0],
+    ]
+    for values in samples:
+        assert gini(values) == pytest.approx(gini_oracle(values), abs=1e-12)
+
+
+def test_top_k_share_hand_computed():
+    assert top_k_share([0, 0, 0, 4], 1) == 1.0
+    assert top_k_share([1, 1, 1, 1], 2) == pytest.approx(0.5)
+    assert top_k_share([3, 1], 0) == 0.0
+    assert top_k_share([], 5) == 0.0
+    assert top_k_share([0, 0], 1) == 0.0
+    with pytest.raises(ConfigurationError):
+        top_k_share([1], -1)
+
+
+def test_degree_distribution_sorted_histogram():
+    assert degree_distribution([2, 1, 2, 0]) == {0: 1, 1: 1, 2: 2}
+    assert degree_distribution([]) == {}
+    assert list(degree_distribution([9, 0, 9, 4])) == [0, 4, 9]
+
+
+def test_symmetric_consistency_ratio_hand_computed():
+    outgoing = {1: (2,), 2: (1, 3), 3: ()}
+    # 1->2 mirrored (2's incoming has 1); 2->1 mirrored; 2->3 NOT mirrored.
+    incoming = {1: (2,), 2: (1,), 3: ()}
+    assert symmetric_consistency_ratio(outgoing, incoming) == pytest.approx(2 / 3)
+    # Fully consistent overlay.
+    incoming_ok = {1: (2,), 2: (1,), 3: (2,)}
+    assert symmetric_consistency_ratio(outgoing, incoming_ok) == 1.0
+    # No edges is vacuously consistent.
+    assert symmetric_consistency_ratio({1: ()}, {1: ()}) == 1.0
+    # Nodes missing from incoming count as empty.
+    assert symmetric_consistency_ratio({1: (2,)}, {}) == 0.0
+
+
+def test_neighbor_churn_hand_computed():
+    a = {1: (2, 3), 2: (1,)}
+    b = {1: (2, 4), 2: (1,)}
+    # edges: a={12,13,21} b={12,14,21}; symm diff {13,14}, union 4 -> 0.5
+    assert neighbor_churn(a, b) == pytest.approx(0.5)
+    assert neighbor_churn(a, a) == 0.0
+    assert neighbor_churn({}, {}) == 0.0
+    assert neighbor_churn(a, {1: (), 2: ()}) == 1.0
+
+
+def test_reachable_within_hand_computed():
+    chain = {1: (2,), 2: (3,), 3: (4,), 4: ()}
+    assert reachable_within(chain, 1, 1) == 1
+    assert reachable_within(chain, 1, 2) == 2
+    assert reachable_within(chain, 1, 99) == 3
+    assert reachable_within(chain, 4, 2) == 0
+    assert reachable_within(chain, 1, 0) == 0
+    assert reachable_within(chain, 99, 2) == 0
+    # A cycle never revisits nodes.
+    ring = {1: (2,), 2: (3,), 3: (1,)}
+    assert reachable_within(ring, 1, 10) == 2
+
+
+def test_reachable_within_matches_oracle():
+    graph = {
+        0: (1, 2),
+        1: (3,),
+        2: (3, 4),
+        3: (0,),
+        4: (),
+        5: (0,),
+    }
+    for source in graph:
+        for ttl in range(0, 5):
+            assert reachable_within(graph, source, ttl) == reachable_oracle(
+                graph, source, ttl
+            )
+
+
+def test_mean_reachability_complete_graph_is_one():
+    nodes = range(5)
+    complete = {i: tuple(j for j in nodes if j != i) for i in nodes}
+    assert mean_reachability(complete, 1) == 1.0
+    assert mean_reachability({0: ()}, 2) == 0.0
+    # Source truncation stays deterministic: lowest ids first.
+    assert mean_reachability(complete, 1, max_sources=2) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Property: churn of identical snapshots is zero; ranges hold
+# ----------------------------------------------------------------------
+edge_maps = st.dictionaries(
+    st.integers(min_value=0, max_value=20),
+    st.lists(st.integers(min_value=0, max_value=20), max_size=5, unique=True),
+    max_size=10,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_maps)
+def test_churn_of_identical_snapshots_is_zero(edges):
+    snapshot = {node: tuple(outs) for node, outs in edges.items()}
+    assert neighbor_churn(snapshot, snapshot) == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_maps, edge_maps)
+def test_churn_is_a_fraction_and_symmetric(a, b):
+    churn = neighbor_churn(a, b)
+    assert 0.0 <= churn <= 1.0
+    assert churn == pytest.approx(neighbor_churn(b, a))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=20))
+def test_gini_property_matches_oracle_and_range(values):
+    value = gini(values)
+    assert 0.0 <= value <= 1.0
+    assert value == pytest.approx(gini_oracle(values), abs=1e-9)
+    assert not math.isnan(value)
+
+
+# ----------------------------------------------------------------------
+# Overlay walk + snapshot assembly
+# ----------------------------------------------------------------------
+class _FakePeer:
+    class _Lists:
+        def __init__(self, outgoing, incoming):
+            self.outgoing = _FakeList(outgoing)
+            self.incoming = _FakeList(incoming)
+
+    def __init__(self, node, online, outgoing, incoming):
+        self.node = node
+        self.online = online
+        self.neighbors = self._Lists(outgoing, incoming)
+
+
+class _FakeList:
+    def __init__(self, items):
+        self._items = tuple(items)
+
+    def as_tuple(self):
+        return self._items
+
+
+def test_walk_overlay_skips_offline_and_sorts():
+    peers = [
+        _FakePeer(2, True, (1,), ()),
+        _FakePeer(0, False, (1, 2), (1,)),
+        _FakePeer(1, True, (2,), (2,)),
+    ]
+    view = walk_overlay(peers)
+    assert view.online == (1, 2)
+    assert view.n_online == 2
+    assert view.n_edges == 2
+    assert 0 not in view.outgoing
+    assert view.out_degrees() == [1, 1]
+
+
+def test_snapshot_overlay_first_snapshot_has_zero_churn():
+    view = OverlayView((1, 2), {1: (2,), 2: (1,)}, {1: (2,), 2: (1,)})
+    snap = snapshot_overlay(view, 7.0, ttl=2)
+    assert snap.churn == 0.0
+    assert snap.consistency_ratio == 1.0
+    assert snap.mean_out_degree == 1.0
+    assert snap.reachability == 1.0
+    # Degree-dist keys become strings in the JSONL rendering.
+    rendered = snap.to_jsonable()
+    assert rendered["out_degree_distribution"] == {"1": 2}
+    json.dumps(rendered)
+
+
+# ----------------------------------------------------------------------
+# Snapshotter on a live engine
+# ----------------------------------------------------------------------
+def _engine(**overrides):
+    base = dict(
+        n_users=40, n_items=2000, horizon=4 * HOUR, warmup_hours=0, dynamic=True
+    )
+    base.update(overrides)
+    return build_engine(GnutellaConfig(**base))
+
+
+def test_snapshotter_records_hourly_series_in_registry():
+    eng = _engine()
+    registry = MetricsRegistry()
+    snapshotter = TopologySnapshotter(eng, HOUR, registry)
+    eng.run()
+    # Hourly firing over a 4h horizon: snapshots at 1h, 2h, 3h (the 4h one
+    # would land on the horizon boundary and is not scheduled).
+    assert len(snapshotter.snapshots) == 3
+    assert [s.time for s in snapshotter.snapshots] == [HOUR, 2 * HOUR, 3 * HOUR]
+    snap = registry.snapshot()
+    assert "topology.churn" in snap
+    assert "topology.reachability" in snap
+    first = snapshotter.snapshots[0]
+    assert first.churn == 0.0  # no previous snapshot to differ from
+    assert 0.0 <= first.in_degree_gini <= 1.0
+    assert 0.0 < first.consistency_ratio <= 1.0
+    assert first.benefit["count"] >= 0.0
+
+
+def test_snapshotter_validates_interval_and_timing():
+    eng = _engine()
+    with pytest.raises(ConfigurationError):
+        TopologySnapshotter(eng, 0.0)
+    eng.run()
+    with pytest.raises(ConfigurationError):
+        TopologySnapshotter(eng, HOUR)
+
+
+def test_churn_is_zero_when_overlay_cannot_move():
+    """Static scheme + sessions far longer than the horizon: no logins, no
+    logoffs, no reconfigurations — every snapshot-to-snapshot churn is 0."""
+    eng = _engine(
+        dynamic=False,
+        mean_online=10_000 * HOUR,
+        mean_offline=10_000 * HOUR,
+        seed=5,
+    )
+    tracer = Tracer()
+    eng.attach_tracer(tracer)
+    snapshotter = TopologySnapshotter(eng, HOUR)
+    eng.run()
+    # Premise: no session transitions after the initial t=0 logins.
+    assert all(ev.ts == 0.0 for ev in tracer.by_category("churn"))
+    assert eng.metrics.reconfigurations == 0
+    assert len(snapshotter.snapshots) == 3
+    assert all(s.churn == 0.0 for s in snapshotter.snapshots)
+    # The edge set itself is frozen, snapshot to snapshot.
+    assert (
+        snapshotter.snapshots[0].out_degree_distribution
+        == snapshotter.snapshots[-1].out_degree_distribution
+    )
+
+
+def test_snapshotter_write_jsonl_round_trips(tmp_path):
+    eng = _engine(horizon=2 * HOUR)
+    snapshotter = TopologySnapshotter(eng, HOUR)
+    eng.run()
+    path = tmp_path / "topology.jsonl"
+    snapshotter.write_jsonl(path)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == len(snapshotter.snapshots) == 1
+    assert lines[0]["n_online"] == snapshotter.snapshots[0].n_online
