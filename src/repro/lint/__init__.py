@@ -4,9 +4,15 @@ The paper's framework only produces meaningful numbers when simulations are
 reproducible (same seed => bit-identical event stream) and the Section 3.1
 consistency predicate holds throughout a run.  This subpackage enforces both:
 
-* a static layer — an AST-based linter (``python -m repro.lint``, console
-  script ``repro-lint``) with a registry of rules targeting this codebase's
-  real determinism hazards (see :mod:`repro.lint.rules` for the catalogue);
+* a static layer — a whole-program analyzer (``python -m repro.lint``,
+  console script ``repro-lint``): per-module AST rules
+  (:mod:`repro.lint.rules`, R001–R005/R008/R010–R012) plus project-wide
+  rules (:mod:`repro.lint.program`, R006/R007/R009) running on a symbol
+  table and call graph (:mod:`repro.lint.graph`) built from intraprocedural
+  effect summaries (:mod:`repro.lint.dataflow`).  Output formats include
+  SARIF 2.1.0 (:mod:`repro.lint.sarif`); existing debt is frozen in a
+  committed baseline (:mod:`repro.lint.baseline`) so only new findings
+  fail CI;
 * a runtime layer — :mod:`repro.lint.sanitize`, which hashes the executed
   event stream of a :class:`~repro.sim.kernel.Simulator` so same-seed runs
   can be asserted identical, and installs periodic Section 3.1 consistency
@@ -19,14 +25,20 @@ a file-wide ``# repro-lint: disable-file=CODE`` comment (see
 
 from __future__ import annotations
 
+from repro.lint.baseline import Baseline
 from repro.lint.engine import Finding, LintResult, lint_file, lint_paths, lint_source
+from repro.lint.program import PROJECT_RULES, ProjectRule, all_project_rules
 from repro.lint.rules import RULES, Rule, all_rules
 
 __all__ = [
+    "Baseline",
     "Finding",
     "LintResult",
+    "PROJECT_RULES",
+    "ProjectRule",
     "RULES",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "lint_file",
     "lint_paths",

@@ -1,0 +1,149 @@
+"""Finding baselines: freeze existing debt so only *new* findings fail CI.
+
+A baseline is a committed multiset of findings keyed on
+``(path, code, message)`` — deliberately **not** on line numbers, so
+unrelated edits that shift a known finding up or down the file do not
+resurrect it.  ``repro-lint --baseline LINT_BASELINE.json`` subtracts the
+baseline from the current findings: matched findings are reported as
+*baselined* (and carried into SARIF with an ``external`` suppression);
+anything unmatched is new debt and fails the run.
+
+The committed file is ``LINT_BASELINE.json`` at the repository root,
+regenerated with ``repro-lint --write-baseline LINT_BASELINE.json <paths>``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.lint.model import Finding
+
+__all__ = ["Baseline", "BaselineError"]
+
+BASELINE_FORMAT_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Raised for unreadable or structurally invalid baseline files."""
+
+
+def _normalize_path(path: str, root: Path | None) -> str:
+    """``path`` relative to ``root`` when possible, forward-slashed.
+
+    Rooting the key at the baseline file's directory makes the same finding
+    match whether the linter was invoked with relative or absolute paths
+    (the committed baseline lives at the repository root, so keys come out
+    repo-relative either way).
+    """
+    text = path.replace("\\", "/")
+    if root is not None:
+        try:
+            return Path(path).resolve().relative_to(root).as_posix()
+        except (OSError, ValueError):
+            pass
+    return text
+
+
+@dataclass(slots=True)
+class Baseline:
+    """A multiset of accepted findings.
+
+    ``root`` anchors path keys (normally the directory holding the baseline
+    file); it is not serialized.
+    """
+
+    counts: dict[_Key, int] = field(default_factory=dict)
+    root: Path | None = None
+
+    def _key(self, finding: Finding) -> _Key:
+        return (
+            _normalize_path(finding.path, self.root),
+            finding.code,
+            finding.message,
+        )
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], *, root: Path | None = None
+    ) -> "Baseline":
+        baseline = cls(root=root)
+        for finding in findings:
+            key = baseline._key(finding)
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+        return baseline
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split ``findings`` into ``(new, baselined)``.
+
+        Each baseline entry absorbs at most its recorded count: if a file
+        gains a *second* identical finding, the extra occurrence is new.
+        """
+        remaining = dict(self.counts)
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            key = self._key(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    # -- (de)serialization ---------------------------------------------------
+    def as_payload(self) -> dict[str, Any]:
+        entries = [
+            {"path": path, "code": code, "message": message, "count": count}
+            for (path, code, message), count in sorted(self.counts.items())
+        ]
+        return {"version": BASELINE_FORMAT_VERSION, "entries": entries}
+
+    @classmethod
+    def from_payload(
+        cls, payload: Any, *, root: Path | None = None
+    ) -> "Baseline":
+        if not isinstance(payload, dict):
+            raise BaselineError("baseline must be a JSON object")
+        if payload.get("version") != BASELINE_FORMAT_VERSION:
+            raise BaselineError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"(expected {BASELINE_FORMAT_VERSION})"
+            )
+        counts: dict[_Key, int] = {}
+        for entry in payload.get("entries", ()):
+            try:
+                key = (str(entry["path"]), str(entry["code"]),
+                       str(entry["message"]))
+                count = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(f"malformed baseline entry: {entry!r}") from exc
+            if count < 1:
+                raise BaselineError(f"non-positive count in entry: {entry!r}")
+            counts[key] = counts.get(key, 0) + count
+        return cls(counts=counts, root=root)
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.as_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"invalid JSON in baseline {path}: {exc}") from exc
+        return cls.from_payload(payload, root=Path(path).resolve().parent)

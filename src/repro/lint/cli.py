@@ -1,17 +1,26 @@
 """Command-line interface: ``repro-lint`` / ``python -m repro.lint``.
 
-Exit codes: 0 clean, 1 findings reported, 2 usage error.
+Exit codes: 0 clean (or all findings baselined), 1 new findings reported,
+2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.lint.engine import lint_paths
-from repro.lint.report import render_json, render_rule_list, render_text
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.report import (
+    render_explain,
+    render_json,
+    render_rule_list,
+    render_text,
+)
+from repro.lint.sarif import render_sarif
 
 __all__ = ["main"]
 
@@ -21,9 +30,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Determinism & protocol-invariant static analysis for the repro "
-            "package. Checks for unseeded RNG use, wall-clock reads, "
-            "ordering-sensitive set iteration, float timestamp equality, and "
-            "shared mutable state."
+            "package. Per-module rules check for unseeded RNG use, wall-clock "
+            "reads, ordering-sensitive set iteration, float timestamp "
+            "equality, shared mutable state, environment reads, and "
+            "fork-unsafe caches; whole-program rules check observer purity, "
+            "process-pool worker state, and fastpath/reference parity."
         ),
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
@@ -53,6 +64,45 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule registry and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help="print a rule's rationale, failing example, and fix, then exit",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "subtract the committed baseline: matched findings are reported "
+            "as baselined and only new findings fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings as a new baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only files changed vs git HEAD (plus untracked files), "
+            "intersected with the given paths"
+        ),
+    )
+    parser.add_argument(
+        "--symtab-cache",
+        metavar="DIR",
+        help=(
+            "directory caching the whole-program symbol table keyed on "
+            "source hash (used by CI between runs)"
+        ),
+    )
     return parser
 
 
@@ -62,12 +112,82 @@ def _split_codes(raw: str | None) -> list[str] | None:
     return [c.strip() for c in raw.split(",") if c.strip()]
 
 
+def _git_changed_files() -> set[Path] | None:
+    """Files changed vs HEAD plus untracked files, resolved; None on failure."""
+    changed: set[Path] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line:
+                changed.add(Path(line).resolve())
+    return changed
+
+
+def _restrict_to_changed(paths: Sequence[str]) -> list[Path] | None:
+    """The changed ``.py`` files contained in ``paths``; None if git failed."""
+    changed = _git_changed_files()
+    if changed is None:
+        return None
+    roots = [Path(p).resolve() for p in paths]
+    selected: list[Path] = []
+    for candidate in sorted(changed):
+        if candidate.suffix != ".py" or not candidate.exists():
+            continue
+        for root in roots:
+            if candidate == root or candidate.is_relative_to(root):
+                selected.append(candidate)
+                break
+    return selected
+
+
+def _emit_sarif(target: str, result: LintResult,
+                baselined: Sequence) -> None:
+    document = render_sarif(
+        result.findings, baselined=baselined, suppressed=result.suppressed
+    )
+    if target == "-":
+        _safe_print(document)
+    else:
+        Path(target).write_text(document + "\n", encoding="utf-8")
+
+
+def _safe_print(text: str) -> None:
+    """Print to stdout, tolerating a consumer (e.g. ``| head``) that closed
+    the pipe early — that is not an error and must not change the exit code.
+    Detaches stdout so interpreter shutdown doesn't retry the write."""
+    import os
+
+    try:
+        print(text)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
-        print(render_rule_list())
+        _safe_print(render_rule_list())
+        return 0
+    if args.explain:
+        page = render_explain(args.explain)
+        if page is None:
+            print(
+                f"repro-lint: error: unknown rule code {args.explain!r} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+        _safe_print(page)
         return 0
     if not args.paths:
         parser.print_usage(sys.stderr)
@@ -80,27 +200,69 @@ def main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+
+    lint_targets: Sequence[Path | str] = args.paths
+    if args.changed:
+        restricted = _restrict_to_changed(args.paths)
+        if restricted is None:
+            print(
+                "repro-lint: error: --changed requires a git work tree",
+                file=sys.stderr,
+            )
+            return 2
+        if not restricted:
+            _safe_print("clean: no changed Python files under the given paths")
+            return 0
+        lint_targets = restricted
+
     try:
         result = lint_paths(
-            args.paths,
+            lint_targets,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
+            symtab_cache=args.symtab_cache,
         )
     except ValueError as exc:  # unknown rule codes
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
-    try:
-        if args.format == "json":
-            print(render_json(result))
-        else:
-            print(render_text(result, show_suppressed=args.show_suppressed))
-        sys.stdout.flush()
-    except BrokenPipeError:
-        # Downstream consumer (e.g. `| head`) closed the pipe; that is not
-        # an error. Detach stdout so interpreter shutdown doesn't retry.
-        import os
 
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    if args.write_baseline:
+        baseline = Baseline.from_findings(
+            result.findings, root=Path(args.write_baseline).resolve().parent
+        )
+        baseline.save(args.write_baseline)
+        _safe_print(
+            f"wrote baseline {args.write_baseline}: {len(baseline)} finding(s) "
+            f"from {result.checked_files} file(s)"
+        )
+        return 0
+
+    baselined: list = []
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+        new, baselined = baseline.apply(result.findings)
+        result = LintResult(
+            findings=new,
+            suppressed=result.suppressed,
+            checked_files=result.checked_files,
+        )
+
+    if args.sarif:
+        _emit_sarif(args.sarif, result, baselined)
+    if args.format == "json":
+        _safe_print(render_json(result, baselined=baselined))
+    elif args.sarif != "-":
+        _safe_print(
+            render_text(
+                result,
+                show_suppressed=args.show_suppressed,
+                baselined=baselined,
+            )
+        )
     return 0 if result.ok else 1
 
 

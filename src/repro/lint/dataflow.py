@@ -1,0 +1,333 @@
+"""Intraprocedural write-set / effect extraction for the whole-program rules.
+
+This module turns one function body into a flat, serializable *effect
+summary*: every name/attribute the function writes, every call it makes
+(with the receiver's attribute chain and the chains of its arguments), the
+simple aliases it establishes, and the names it declares ``global``.  The
+project-level rules (:mod:`repro.lint.program`) consume these summaries —
+never the AST — which is what makes the symbol table cacheable between runs
+(:mod:`repro.lint.graph`).
+
+The unit of reference is the *chain*: a ``Name``/``Attribute`` path rendered
+as a tuple of segments, e.g. ``self.engine.sim.schedule`` becomes
+``("self", "engine", "sim", "schedule")``.  Chains deliberately ignore
+subscripts and calls in the middle of a path (``a.b[0].c`` has no chain) —
+the analysis is a conservative approximation tuned for this codebase's
+idioms, not a general points-to analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Union
+
+__all__ = [
+    "CallSite",
+    "DRAW_METHODS",
+    "FunctionEffects",
+    "MUTATOR_METHODS",
+    "RNG_NAME_HINTS",
+    "SCHEDULE_METHODS",
+    "WriteSite",
+    "attr_chain",
+    "collect_effects",
+    "is_rng_chain",
+]
+
+#: Attribute chain: root name first (``("self", "engine", "sim")``).
+Chain = tuple[str, ...]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+#: Method names that mutate their receiver in place (builtin containers and
+#: the container-like objects used throughout the tree).
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "appendleft", "extend", "extendleft", "insert",
+        "add", "update", "setdefault", "pop", "popitem", "popleft",
+        "remove", "discard", "clear", "sort", "reverse",
+    }
+)
+
+#: Kernel entry points that enqueue work (mutate the event queue).
+SCHEDULE_METHODS = frozenset({"schedule", "schedule_at"})
+
+#: Generator methods that consume RNG state when called.
+DRAW_METHODS = frozenset(
+    {
+        "random", "normal", "standard_normal", "integers", "choice",
+        "shuffle", "uniform", "exponential", "poisson", "permutation",
+        "rand", "randint", "randn", "sample", "betavariate", "gauss",
+    }
+)
+
+#: Chain segments that smell like a random generator binding.
+RNG_NAME_HINTS = ("rng", "random")
+
+
+def attr_chain(node: ast.AST) -> Chain | None:
+    """``("a", "b", "c")`` for a pure Name/Attribute path, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def is_rng_chain(chain: Chain) -> bool:
+    """Whether a receiver chain looks like a random generator.
+
+    Matches segments named/suffixed ``rng`` (``self._rng``, ``churn_rng``)
+    or exactly ``random``.
+    """
+    return any(
+        seg == "random" or seg == "rng" or seg.endswith("_rng") or seg.endswith("rng")
+        for seg in chain
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WriteSite:
+    """One state write inside a function body.
+
+    ``kind`` is one of ``"assign"`` (plain / annotated / for-target /
+    with-target assignment), ``"augassign"``, ``"subscript"`` (store through
+    ``x[...] = ...`` where ``x`` has a chain), ``"delete"``, or
+    ``"global"`` (assignment to a name declared ``global``).
+    """
+
+    chain: Chain
+    kind: str
+    line: int
+    col: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"chain": list(self.chain), "kind": self.kind,
+                "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "WriteSite":
+        return cls(tuple(d["chain"]), d["kind"], d["line"], d["col"])
+
+
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One call inside a function body, with chain-level argument info.
+
+    ``chain`` is the callee path (``("self", "series", "record")``); calls
+    through subscripts or call results carry no chain and are not recorded.
+    ``args`` holds one entry per positional argument: its chain, or ``None``
+    when the argument is not a plain Name/Attribute path.
+    """
+
+    chain: Chain
+    args: tuple[Chain | None, ...]
+    line: int
+    col: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "chain": list(self.chain),
+            "args": [list(a) if a is not None else None for a in self.args],
+            "line": self.line,
+            "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CallSite":
+        return cls(
+            tuple(d["chain"]),
+            tuple(tuple(a) if a is not None else None for a in d["args"]),
+            d["line"],
+            d["col"],
+        )
+
+
+@dataclass(slots=True)
+class FunctionEffects:
+    """The flat effect summary of one function body.
+
+    Nested ``def``\\ s are *excluded* (they get their own record in the
+    project index); lambdas are folded into the enclosing body (a lambda
+    mutating shared state acts when the enclosing scope runs it).
+    """
+
+    params: tuple[str, ...] = ()
+    writes: tuple[WriteSite, ...] = ()
+    calls: tuple[CallSite, ...] = ()
+    #: Simple ``name = <chain>`` aliases (last binding wins).
+    aliases: dict[str, Chain] = field(default_factory=dict)
+    #: Names assigned from non-chain expressions (fresh locals).
+    locals: frozenset[str] = frozenset()
+    #: Names declared ``global`` in this body.
+    globals_declared: frozenset[str] = frozenset()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "params": list(self.params),
+            "writes": [w.as_dict() for w in self.writes],
+            "calls": [c.as_dict() for c in self.calls],
+            "aliases": {k: list(v) for k, v in sorted(self.aliases.items())},
+            "locals": sorted(self.locals),
+            "globals_declared": sorted(self.globals_declared),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FunctionEffects":
+        return cls(
+            params=tuple(d["params"]),
+            writes=tuple(WriteSite.from_dict(w) for w in d["writes"]),
+            calls=tuple(CallSite.from_dict(c) for c in d["calls"]),
+            aliases={k: tuple(v) for k, v in d["aliases"].items()},
+            locals=frozenset(d["locals"]),
+            globals_declared=frozenset(d["globals_declared"]),
+        )
+
+    def resolve(self, chain: Chain, *, depth: int = 4) -> Chain:
+        """Expand leading alias segments (``sim`` -> ``engine.sim``)."""
+        for _ in range(depth):
+            target = self.aliases.get(chain[0])
+            if target is None:
+                return chain
+            chain = target + chain[1:]
+        return chain
+
+
+def _param_names(node: _FuncNode) -> tuple[str, ...]:
+    a = node.args
+    names = [p.arg for p in (*a.posonlyargs, *a.args)]
+    if a.vararg:
+        names.append(a.vararg.arg)
+    names.extend(p.arg for p in a.kwonlyargs)
+    if a.kwarg:
+        names.append(a.kwarg.arg)
+    return tuple(names)
+
+
+class _EffectVisitor(ast.NodeVisitor):
+    """Walks one function body, skipping nested ``def``/``class`` scopes."""
+
+    def __init__(self) -> None:
+        self.writes: list[WriteSite] = []
+        self.calls: list[CallSite] = []
+        self.aliases: dict[str, Chain] = {}
+        self.locals: set[str] = set()
+        self.globals_declared: set[str] = set()
+
+    # -- scope boundaries -------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.locals.add(node.name)  # the nested def binds a local name
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.locals.add(node.name)
+
+    # -- declarations ------------------------------------------------------
+    def visit_Global(self, node: ast.Global) -> None:
+        self.globals_declared.update(node.names)
+
+    # -- writes ------------------------------------------------------------
+    def _record_target(self, target: ast.AST, value: ast.AST | None,
+                       kind: str) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self.writes.append(
+                    WriteSite((target.id,), "global",
+                              target.lineno, target.col_offset)
+                )
+            elif kind == "assign" and value is not None:
+                chain = attr_chain(value)
+                if chain is not None:
+                    self.aliases[target.id] = chain
+                else:
+                    self.aliases.pop(target.id, None)
+                    self.locals.add(target.id)
+            else:
+                self.locals.add(target.id)
+            return
+        if isinstance(target, ast.Attribute):
+            chain = attr_chain(target)
+            if chain is not None:
+                self.writes.append(
+                    WriteSite(chain, kind if kind != "assign" else "assign",
+                              target.lineno, target.col_offset)
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            chain = attr_chain(target.value)
+            if chain is not None:
+                self.writes.append(
+                    WriteSite(chain, "subscript",
+                              target.lineno, target.col_offset)
+                )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_target(elt, None, kind)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_target(target.value, None, kind)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record_target(target, node.value, "assign")
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_target(node.target, node.value, "assign")
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_target(node.target, None, "augassign")
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._record_target(target, None, "delete")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._record_target(node.target, None, "loop")
+        self.generic_visit(node)
+
+    def visit_withitem(self, node: ast.withitem) -> None:
+        if node.optional_vars is not None:
+            self._record_target(node.optional_vars, None, "with")
+        self.visit(node.context_expr)
+
+    # -- calls -------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = attr_chain(node.func)
+        if chain is not None:
+            args = tuple(attr_chain(a) for a in node.args)
+            self.calls.append(
+                CallSite(chain, args, node.lineno, node.col_offset)
+            )
+        self.generic_visit(node)
+
+
+def _body_nodes(node: _FuncNode) -> Iterator[ast.AST]:
+    if isinstance(node, ast.Lambda):
+        yield node.body
+    else:
+        yield from node.body
+
+
+def collect_effects(node: _FuncNode) -> FunctionEffects:
+    """Extract the :class:`FunctionEffects` summary of one function body."""
+    visitor = _EffectVisitor()
+    for stmt in _body_nodes(node):
+        visitor.visit(stmt)
+    return FunctionEffects(
+        params=_param_names(node),
+        writes=tuple(visitor.writes),
+        calls=tuple(visitor.calls),
+        aliases=visitor.aliases,
+        locals=frozenset(visitor.locals),
+        globals_declared=frozenset(visitor.globals_declared),
+    )

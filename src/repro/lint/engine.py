@@ -1,4 +1,19 @@
-"""File collection, rule execution, and suppression filtering."""
+"""File collection, rule execution, and suppression filtering.
+
+Linting is a two-pass pipeline:
+
+1. every file is read and parsed, and the per-module rules
+   (:data:`~repro.lint.rules.RULES`) run on each module in isolation;
+2. all parsed modules are folded into one
+   :class:`~repro.lint.graph.ProjectIndex` and the whole-program rules
+   (:data:`~repro.lint.program.PROJECT_RULES` — observer purity, worker
+   state, parity audit) run once over it.
+
+Findings from both passes share one suppression mechanism and one sorted
+output.  When the dataflow-upgraded rules (R008/R011) fire on a line, the
+style-grade R003 finding for the same line is dropped — the sharper finding
+subsumes it.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +22,23 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.lint.model import Finding, ModuleContext, parse_suppressions
+from repro.lint.graph import (
+    build_index,
+    index_cache_key,
+    load_cached_index,
+    store_cached_index,
+)
+from repro.lint.model import Finding, ModuleContext, Suppressions, parse_suppressions
+from repro.lint.program import PROJECT_RULES
 from repro.lint.rules import RULES
 
 __all__ = ["LintResult", "lint_file", "lint_paths", "lint_source"]
 
 #: Pseudo-code reported for unparseable files; never suppressible.
 PARSE_ERROR_CODE = "R000"
+
+#: Dataflow-upgraded codes that subsume an R003 finding on the same line.
+_R003_UPGRADES = frozenset({"R008", "R011"})
 
 
 @dataclass(slots=True)
@@ -48,13 +73,76 @@ def _module_name(path: Path) -> str | None:
 
 def _select_rules(
     select: Sequence[str] | None, ignore: Sequence[str] | None
-) -> list[str]:
-    codes = sorted(select) if select else sorted(RULES)
-    unknown = [c for c in {*(select or ()), *(ignore or ())} if c not in RULES]
+) -> tuple[list[str], list[str]]:
+    """Validated (per-module codes, project codes) honouring select/ignore."""
+    known = {**RULES, **PROJECT_RULES}
+    codes = sorted(select) if select else sorted(known)
+    unknown = [c for c in {*(select or ()), *(ignore or ())} if c not in known]
     if unknown:
         raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
     ignored = set(ignore or ())
-    return [c for c in codes if c not in ignored]
+    active = [c for c in codes if c not in ignored]
+    return (
+        [c for c in active if c in RULES],
+        [c for c in active if c in PROJECT_RULES],
+    )
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    """Drop R003 findings subsumed by an R008/R011 finding on the same line."""
+    upgraded = {
+        (f.path, f.line) for f in findings if f.code in _R003_UPGRADES
+    }
+    return [
+        f for f in findings
+        if not (f.code == "R003" and (f.path, f.line) in upgraded)
+    ]
+
+
+def _parse_error(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        code=PARSE_ERROR_CODE,
+        message=f"could not parse file: {exc.msg}",
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+    )
+
+
+def _run_local_rules(ctx: ModuleContext, codes: Sequence[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for code in codes:
+        rule_cls = RULES[code]
+        if rule_cls.applies(ctx):
+            findings.extend(rule_cls(ctx).run())
+    return findings
+
+
+def _run_project_rules(index, codes: Sequence[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for code in codes:
+        findings.extend(PROJECT_RULES[code](index).run())
+    return findings
+
+
+def _location_key(finding: Finding) -> tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.col, finding.code)
+
+
+def _partition(
+    result: LintResult,
+    findings: list[Finding],
+    suppressions: dict[str, Suppressions],
+) -> None:
+    """Split raw findings into reported vs suppressed, sorted by location."""
+    for finding in _dedupe(findings):
+        supp = suppressions.get(finding.path)
+        if supp is not None and supp.is_suppressed(finding):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=_location_key)
+    result.suppressed.sort(key=_location_key)
 
 
 def lint_source(
@@ -65,33 +153,19 @@ def lint_source(
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
 ) -> LintResult:
-    """Lint a source string; the core entry point the others delegate to."""
+    """Lint a source string (both passes, over a one-module project)."""
+    local_codes, project_codes = _select_rules(select, ignore)
     result = LintResult(checked_files=1)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        result.findings.append(
-            Finding(
-                code=PARSE_ERROR_CODE,
-                message=f"could not parse file: {exc.msg}",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-            )
-        )
+        result.findings.append(_parse_error(path, exc))
         return result
     ctx = ModuleContext(path=path, tree=tree, module=module)
-    suppressions = parse_suppressions(source)
-    for code in _select_rules(select, ignore):
-        rule_cls = RULES[code]
-        if not rule_cls.applies(ctx):
-            continue
-        for finding in rule_cls(ctx).run():
-            if suppressions.is_suppressed(finding):
-                result.suppressed.append(finding)
-            else:
-                result.findings.append(finding)
-    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    findings = _run_local_rules(ctx, local_codes)
+    if project_codes:
+        findings.extend(_run_project_rules(build_index([ctx]), project_codes))
+    _partition(result, findings, {path: parse_suppressions(source)})
     return result
 
 
@@ -144,10 +218,55 @@ def lint_paths(
     *,
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
+    symtab_cache: Path | str | None = None,
 ) -> LintResult:
-    """Lint files and directories (recursively); findings sorted by location."""
+    """Lint files and directories (recursively); findings sorted by location.
+
+    ``symtab_cache`` names a directory for the serialized project index,
+    keyed on a hash of the source set: unchanged trees skip the symbol-table
+    build entirely (the CI cache hook).
+    """
+    local_codes, project_codes = _select_rules(select, ignore)
     result = LintResult()
+    contexts: list[ModuleContext] = []
+    sources: list[tuple[str, str]] = []
+    suppressions: dict[str, Suppressions] = {}
+    findings: list[Finding] = []
+
     for path in _collect(paths):
-        result.merge(lint_file(path, select=select, ignore=ignore))
-    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        result.checked_files += 1
+        path_str = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (UnicodeDecodeError, OSError) as exc:
+            findings.append(
+                Finding(code=PARSE_ERROR_CODE, path=path_str, line=1, col=0,
+                        message=f"could not read file: {exc}")
+            )
+            continue
+        try:
+            tree = ast.parse(source, filename=path_str)
+        except SyntaxError as exc:
+            findings.append(_parse_error(path_str, exc))
+            continue
+        ctx = ModuleContext(path=path_str, tree=tree,
+                            module=_module_name(path))
+        contexts.append(ctx)
+        sources.append((path_str, source))
+        suppressions[path_str] = parse_suppressions(source)
+        findings.extend(_run_local_rules(ctx, local_codes))
+
+    if project_codes and contexts:
+        index = None
+        cache_key = None
+        if symtab_cache is not None:
+            cache_key = index_cache_key(sources)
+            index = load_cached_index(Path(symtab_cache), cache_key)
+        if index is None:
+            index = build_index(contexts)
+            if symtab_cache is not None and cache_key is not None:
+                store_cached_index(Path(symtab_cache), cache_key, index)
+        findings.extend(_run_project_rules(index, project_codes))
+
+    _partition(result, findings, suppressions)
     return result

@@ -1,17 +1,26 @@
-"""Rendering lint results as text or JSON."""
+"""Rendering lint results as text or JSON, rule listings, and --explain."""
 
 from __future__ import annotations
 
+import inspect
 import json
 from collections import Counter
+from typing import Sequence
 
 from repro.lint.engine import LintResult
+from repro.lint.model import Finding
+from repro.lint.program import all_project_rules
 from repro.lint.rules import all_rules
 
-__all__ = ["render_json", "render_rule_list", "render_text"]
+__all__ = ["render_explain", "render_json", "render_rule_list", "render_text"]
 
 
-def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
+def render_text(
+    result: LintResult,
+    *,
+    show_suppressed: bool = False,
+    baselined: Sequence[Finding] = (),
+) -> str:
     """Human-readable report: one line per finding plus a summary."""
     lines = [f.format() for f in result.findings]
     if show_suppressed and result.suppressed:
@@ -19,35 +28,101 @@ def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
         lines.extend(f.format() + "  (suppressed)" for f in sorted(
             result.suppressed, key=lambda f: (f.path, f.line, f.col, f.code)
         ))
+    baseline_note = f", {len(baselined)} baselined" if baselined else ""
     if result.findings:
         by_code = Counter(f.code for f in result.findings)
         breakdown = ", ".join(f"{code}: {n}" for code, n in sorted(by_code.items()))
         lines.append(
             f"found {len(result.findings)} issue(s) in {result.checked_files} "
             f"file(s) ({breakdown}); {len(result.suppressed)} suppressed"
+            f"{baseline_note}"
         )
     else:
         lines.append(
             f"clean: {result.checked_files} file(s), "
-            f"{len(result.suppressed)} finding(s) suppressed"
+            f"{len(result.suppressed)} finding(s) suppressed{baseline_note}"
         )
     return "\n".join(lines)
 
 
-def render_json(result: LintResult) -> str:
+def render_json(
+    result: LintResult, *, baselined: Sequence[Finding] = ()
+) -> str:
     """Machine-readable report (stable key order)."""
     payload = {
         "checked_files": result.checked_files,
         "findings": [f.as_dict() for f in result.findings],
         "suppressed": [f.as_dict() for f in result.suppressed],
+        "baselined": [f.as_dict() for f in baselined],
         "ok": result.ok,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _catalogue():
+    """Every registered rule class, per-module and project, in code order."""
+    rules = {r.code: r for r in all_rules()}
+    rules.update({r.code: r for r in all_project_rules()})
+    return [rules[code] for code in sorted(rules)]
+
+
 def render_rule_list() -> str:
     """The registry as a table (``--list-rules``)."""
     lines = []
-    for rule in all_rules():
-        lines.append(f"{rule.code}  {rule.name:<22} {rule.rationale}")
+    for rule in _catalogue():
+        lines.append(f"{rule.code}  {rule.name:<28} {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _doc_sections(doc: str) -> tuple[str, str, str]:
+    """Split a rule docstring into (summary, example, fix) sections.
+
+    Rule docstrings follow the convention of a prose rationale followed by
+    ``Example::`` and ``Fix::`` literal blocks; missing sections come back
+    empty.
+    """
+    summary_lines: list[str] = []
+    example_lines: list[str] = []
+    fix_lines: list[str] = []
+    bucket = summary_lines
+    for line in inspect.cleandoc(doc).splitlines():
+        stripped = line.strip()
+        if stripped == "Example::":
+            bucket = example_lines
+            continue
+        if stripped == "Fix::":
+            bucket = fix_lines
+            continue
+        bucket.append(line)
+
+    def block(lines: list[str]) -> str:
+        text = "\n".join(lines).strip("\n")
+        return inspect.cleandoc(text) if text else ""
+
+    return block(summary_lines), block(example_lines), block(fix_lines)
+
+
+def render_explain(code: str) -> str | None:
+    """The ``--explain CODE`` page, or ``None`` for an unknown code.
+
+    Generated from the rule docstring: rationale prose, the minimal failing
+    example, and the sanctioned fix.
+    """
+    rules = {r.code: r for r in _catalogue()}
+    rule = rules.get(code.upper())
+    if rule is None:
+        return None
+    summary, example, fix = _doc_sections(rule.__doc__ or "")
+    lines = [
+        f"{rule.code} — {rule.name}",
+        f"rationale: {rule.rationale}",
+        "",
+        summary or "(no description)",
+    ]
+    if example:
+        lines += ["", "Minimal failing example:", ""]
+        lines += [f"    {ln}" if ln else "" for ln in example.splitlines()]
+    if fix:
+        lines += ["", "Sanctioned fix:", ""]
+        lines += [f"    {ln}" if ln else "" for ln in fix.splitlines()]
     return "\n".join(lines)

@@ -1,13 +1,15 @@
-"""The rule registry and the five determinism/invariant rules.
+"""The rule registry and the per-module determinism/invariant rules.
 
 Each rule is an :class:`ast.NodeVisitor` instantiated per module.  Rules are
 registered by code in :data:`RULES`; adding a rule is: subclass :class:`Rule`,
 set ``code``/``name``/``rationale``, implement ``visit_*`` methods that call
 :meth:`Rule.report`, and decorate with :func:`register` (see
-``docs/development.md``).
+``docs/development.md``).  Whole-program rules (R006/R007/R009) live in
+:mod:`repro.lint.program` instead — they run once over the project index,
+not once per module.
 
-Catalogue
----------
+Catalogue (per-module rules)
+----------------------------
 R001  unseeded-rng        module-level ``random``/``numpy.random`` draws
                           instead of :class:`repro.rng.RngStreams` generators
 R002  wall-clock          real-time reads inside the deterministic packages
@@ -15,6 +17,15 @@ R003  unordered-iteration iteration over ``set``/``dict.keys()`` without
                           ``sorted(...)`` (nondeterministic event order)
 R004  float-time-equality ``==``/``!=`` on simulation timestamps
 R005  mutable-default     mutable defaults / shared-mutable class attributes
+R008  digest-tainted-iteration
+                          R003's error-grade subset: the unstable order
+                          provably reaches event emission or an RNG draw
+R010  env-read-in-kernel  ``os.environ``/``os.getenv`` inside the
+                          deterministic packages
+R011  unordered-float-accumulation
+                          non-commutative float ``+=`` over sets/dict keys
+R012  fork-unsafe-lazy-cache
+                          module-level lazily-built mutable caches
 """
 
 from __future__ import annotations
@@ -22,6 +33,13 @@ from __future__ import annotations
 import ast
 from typing import ClassVar, Iterator
 
+from repro.lint.dataflow import (
+    DRAW_METHODS,
+    MUTATOR_METHODS,
+    attr_chain,
+    collect_effects,
+    is_rng_chain,
+)
 from repro.lint.model import Finding, ModuleContext
 
 __all__ = ["RULES", "Rule", "all_rules", "register"]
@@ -126,6 +144,16 @@ class UnseededRngRule(Rule):
     the paired-comparison property the experiments rely on.  All randomness
     must flow through named ``RngStreams`` generators (or an explicitly
     seeded ``numpy.random.default_rng(seed)``).
+
+    Example::
+
+        import random
+        delay = random.random()          # global hidden RNG state
+
+    Fix::
+
+        rng = RngStreams(seed).get("churn")
+        delay = rng.random()             # named, seed-derived stream
     """
 
     code = "R001"
@@ -234,6 +262,15 @@ class WallClockRule(_PackageScopedRule):
     Inside the deterministic packages the only clock is ``Simulator.now``;
     any wall-clock read makes behaviour (or at least logs/metrics) differ
     between two same-seed runs.
+
+    Example::
+
+        import time
+        started = time.perf_counter()    # differs every run
+
+    Fix::
+
+        started = sim.now                # simulated time is the only clock
     """
 
     code = "R002"
@@ -334,6 +371,16 @@ class UnorderedIterationRule(_PackageScopedRule):
     or iterate an insertion-ordered structure instead.  Iterations whose
     *result* is order-insensitive (feeding ``set``/``frozenset``/``sum``/...)
     are not flagged.
+
+    Example::
+
+        for peer in reachable:           # reachable: set[int]
+            visit(peer)                  # visit order varies run to run
+
+    Fix::
+
+        for peer in sorted(reachable):
+            visit(peer)
     """
 
     code = "R003"
@@ -436,19 +483,31 @@ class UnorderedIterationRule(_PackageScopedRule):
         self.generic_visit(node)
 
     # -- the actual checks -----------------------------------------------
-    def _check_iterable(self, node: ast.AST, where: str) -> None:
+    def _unordered_reason(self, node: ast.AST) -> str | None:
+        """``"keys"``/``"set"`` when ``node`` iterates in an unstable order.
+
+        Shared with the derived rules (R008, R011) that reuse the set
+        heuristics but apply their own dataflow conditions before reporting.
+        """
         if isinstance(node, ast.Call):
             dotted = _dotted_name(node.func)
             if dotted is not None and dotted.rsplit(".", 1)[-1] == "sorted":
-                return
+                return None
             if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
-                self.report(
-                    node,
-                    f"iteration over dict .keys() in {where}; key order follows "
-                    "insertion history — iterate sorted(...) for a stable order",
-                )
-                return
+                return "keys"
         if self._is_set_expr(node):
+            return "set"
+        return None
+
+    def _check_iterable(self, node: ast.AST, where: str) -> None:
+        reason = self._unordered_reason(node)
+        if reason == "keys":
+            self.report(
+                node,
+                f"iteration over dict .keys() in {where}; key order follows "
+                "insertion history — iterate sorted(...) for a stable order",
+            )
+        elif reason == "set":
             self.report(
                 node,
                 f"iteration over a set in {where}; set order is hash/"
@@ -484,6 +543,16 @@ class FloatTimeEqualityRule(Rule):
     by accident until an arithmetic reassociation (or a different platform's
     libm) flips the result.  Compare with an ordering predicate or
     ``math.isclose`` instead.
+
+    Example::
+
+        if sim.now == deadline_time:     # works until a rounding change
+            expire()
+
+    Fix::
+
+        if sim.now >= deadline_time:
+            expire()
     """
 
     code = "R004"
@@ -537,6 +606,17 @@ class MutableDefaultRule(Rule):
     class attribute is shared by every instance.  In node/protocol state
     classes this aliases *per-peer* state across the whole population — a
     consistency-predicate violation waiting to happen.
+
+    Example::
+
+        class PeerState:
+            neighbors = []               # one list shared by every peer
+
+    Fix::
+
+        class PeerState:
+            def __init__(self):
+                self.neighbors = []      # per-instance state
     """
 
     code = "R005"
@@ -605,3 +685,331 @@ class MutableDefaultRule(Rule):
                     "all instances; initialise it per-instance in __init__",
                 )
         self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# R008 — digest-tainted unordered iteration
+# ---------------------------------------------------------------------------
+@register
+class DigestTaintedIterationRule(UnorderedIterationRule):
+    """Unordered iteration whose loop body reaches the event stream.
+
+    R003 flags every unstable iteration as a hazard; this is its dataflow-
+    confirmed, error-grade subset: the loop body schedules callbacks,
+    triggers events, or draws randomness, so the unstable order provably
+    reaches the event-stream digest.  When R008 and R003 fire on the same
+    line the engine keeps only R008, so fixing the real taint also silences
+    the style finding — no blanket ``disable=R003`` needed.
+
+    Example::
+
+        for peer in frontier:            # frontier: set[int]
+            sim.schedule(delay, notify, peer)   # emission order = set order
+
+    Fix::
+
+        for peer in sorted(frontier):
+            sim.schedule(delay, notify, peer)
+    """
+
+    code = "R008"
+    name = "digest-tainted-iteration"
+    rationale = "unordered iteration order provably reaches the event stream"
+
+    #: Call tails that put the iteration order into the event stream.
+    _SINK_TAILS = frozenset(
+        {"schedule", "schedule_at", "push", "send", "succeed", "fail",
+         "emit", "record_query", "publish"}
+    )
+
+    def _check_iterable(self, node: ast.AST, where: str) -> None:
+        return  # R003-style reporting is disabled in this subclass
+
+    def _sink_chain(self, body: list[ast.stmt]) -> tuple[str, ...] | None:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attr_chain(node.func)
+                if chain is None:
+                    continue
+                if chain[-1] in self._SINK_TAILS:
+                    return chain
+                if (len(chain) > 1 and is_rng_chain(chain[:-1])
+                        and chain[-1] in DRAW_METHODS):
+                    return chain
+        return None
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._unordered_reason(node.iter) is not None:
+            sink = self._sink_chain(node.body)
+            if sink is not None:
+                self.report(
+                    node.iter,
+                    f"unordered iteration feeds '{'.'.join(sink)}' inside "
+                    "the loop body; emission/draw order becomes hash-"
+                    "dependent — iterate sorted(...)",
+                )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# R010 — environment reads in deterministic packages
+# ---------------------------------------------------------------------------
+@register
+class EnvReadRule(_PackageScopedRule):
+    """``os.environ`` / ``os.getenv`` inside the deterministic packages.
+
+    Environment variables vary by host, shell, and CI runner; a kernel or
+    protocol module that reads one computes different results from the same
+    ``Config`` — unreproducible by construction.  Debug switches belong in
+    the orchestration/CLI layer, threaded in through ``Config``.
+
+    Example::
+
+        ttl = int(os.environ.get("REPRO_TTL", "7"))   # host-dependent
+
+    Fix::
+
+        ttl = config.max_hops            # explicit, recorded configuration
+    """
+
+    code = "R010"
+    name = "env-read-in-kernel"
+    rationale = "environment reads make kernel behaviour host-dependent"
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self._os_aliases: set[str] = set()
+        self._env_names: set[str] = set()  # from os import environ/getenv
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "os":
+                self._os_aliases.add(alias.asname or "os")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "os" and node.level == 0:
+            for alias in node.names:
+                if alias.name in {"environ", "getenv"}:
+                    self._env_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            node.attr in {"environ", "getenv"}
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self._os_aliases
+        ):
+            self.report(
+                node,
+                f"os.{node.attr} read inside a deterministic package; "
+                "thread configuration through Config (env switches belong "
+                "in the orchestration/CLI layer)",
+            )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) and node.id in self._env_names:
+            self.report(
+                node,
+                f"environment read via '{node.id}' inside a deterministic "
+                "package; thread configuration through Config",
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# R011 — non-commutative float accumulation over unordered collections
+# ---------------------------------------------------------------------------
+@register
+class FloatAccumulationRule(UnorderedIterationRule):
+    """Float ``+=`` accumulation over a set / dict keys.
+
+    Float addition is not associative: summing the same values in a
+    different order changes the low-order bits, and downstream comparisons
+    or digests amplify the difference.  Iterating a set makes the order
+    hash-dependent, so the sum differs between runs even with identical
+    inputs.  Accumulators are recognised by a float-literal initialisation
+    (``total = 0.0``); integer counters are commutative and exempt.
+
+    Example::
+
+        total = 0.0
+        for d in delays:                 # delays: set[float]
+            total += d                   # low bits depend on hash order
+
+    Fix::
+
+        total = math.fsum(delays)        # order-insensitive, or iterate
+                                         # sorted(delays)
+    """
+
+    code = "R011"
+    name = "unordered-float-accumulation"
+    rationale = "float addition is non-associative; set order changes the sum"
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        super().__init__(ctx)
+        self._float_names: set[str] = set()
+
+    def _check_iterable(self, node: ast.AST, where: str) -> None:
+        return  # R003-style reporting is disabled in this subclass
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_float = isinstance(node.value, ast.Constant) and isinstance(
+            node.value.value, float
+        )
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_float:
+                    self._float_names.add(target.id)
+                else:
+                    self._float_names.discard(target.id)
+        super().visit_Assign(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._unordered_reason(node.iter) is not None:
+            for stmt in node.body:
+                acc = self._float_augassign(stmt)
+                if acc is not None:
+                    name, lineno = acc
+                    self.report(
+                        node.iter,
+                        f"float accumulator '{name}' is summed over an "
+                        f"unordered collection (line {lineno}); addition "
+                        "order changes the low bits — iterate sorted(...) "
+                        "or use math.fsum",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def _float_augassign(self, stmt: ast.stmt) -> tuple[str, int] | None:
+        for sub in ast.walk(stmt):
+            if (
+                isinstance(sub, ast.AugAssign)
+                and isinstance(sub.op, (ast.Add, ast.Sub))
+                and isinstance(sub.target, ast.Name)
+                and sub.target.id in self._float_names
+            ):
+                return sub.target.id, sub.lineno
+        return None
+
+
+# ---------------------------------------------------------------------------
+# R012 — fork-unsafe lazy caches
+# ---------------------------------------------------------------------------
+@register
+class ForkUnsafeLazyCacheRule(_PackageScopedRule):
+    """Module-level lazily-built mutable caches.
+
+    A module-level cache slot (``_CACHE = {}`` or ``_matrix = None``) filled
+    in on first use is a fork hazard: whether a pool worker inherits a
+    built or an empty cache depends on *when* the parent first touched it
+    relative to the fork — per-worker rebuild order then differs, and any
+    order-sensitive build step diverges.  Caches belong on instances (built
+    per engine, inside the worker) or must be built eagerly at import time.
+
+    Example::
+
+        _rows = None
+
+        def delay_rows(n):
+            global _rows
+            if _rows is None:
+                _rows = _build(n)        # built pre- or post-fork?
+
+    Fix::
+
+        class LatencyModel:
+            def delay_rows(self):        # instance-level cache: each
+                if self._rows is None:   # worker builds its own engine
+                    self._rows = self._build()
+    """
+
+    code = "R012"
+    name = "fork-unsafe-lazy-cache"
+    rationale = "lazy module caches make worker state depend on fork timing"
+
+    _EMPTY_CALLS = frozenset(
+        {"dict", "list", "set", "OrderedDict", "defaultdict",
+         "WeakValueDictionary", "WeakKeyDictionary"}
+    )
+
+    def _lazy_slots(self) -> set[str]:
+        """Module-level names bound to ``None`` or an empty container."""
+        slots: set[str] = set()
+        for stmt in self.ctx.tree.body:
+            targets: list[ast.AST] = []
+            value: ast.AST | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not self._is_empty_init(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    slots.add(target.id)
+        return slots
+
+    def _is_empty_init(self, value: ast.AST) -> bool:
+        if isinstance(value, ast.Constant) and value.value is None:
+            return True
+        if isinstance(value, ast.Dict):
+            return not value.keys
+        if isinstance(value, (ast.List, ast.Set)):
+            return not value.elts
+        if isinstance(value, ast.Call) and not value.args and not value.keywords:
+            dotted = _dotted_name(value.func)
+            return (dotted or "").rsplit(".", 1)[-1] in self._EMPTY_CALLS
+        return False
+
+    def run(self) -> list[Finding]:
+        slots = self._lazy_slots()
+        if not slots:
+            return self.findings
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            effects = collect_effects(node)
+            shadowed = (
+                set(effects.params) | set(effects.locals) | set(effects.aliases)
+            ) - set(effects.globals_declared)
+            for w in effects.writes:
+                name = w.chain[0]
+                if (
+                    len(w.chain) == 1
+                    and name in slots
+                    and name not in shadowed
+                    and w.kind in {"global", "subscript", "augassign"}
+                ):
+                    self._report_at(
+                        w.line, w.col,
+                        f"module-level cache '{name}' is lazily written in "
+                        f"'{node.name}'; whether pool workers inherit it "
+                        "built or empty depends on fork timing — make it an "
+                        "instance attribute or build it eagerly at import",
+                    )
+            for c in effects.calls:
+                if (
+                    len(c.chain) == 2
+                    and c.chain[0] in slots
+                    and c.chain[0] not in shadowed
+                    and c.chain[1] in MUTATOR_METHODS
+                ):
+                    self._report_at(
+                        c.line, c.col,
+                        f"module-level cache '{c.chain[0]}' is lazily "
+                        f"mutated in '{node.name}' via .{c.chain[1]}(); "
+                        "fork timing decides what workers inherit — make it "
+                        "an instance attribute or build it eagerly at import",
+                    )
+        return self.findings
+
+    def _report_at(self, line: int, col: int, message: str) -> None:
+        self.findings.append(
+            Finding(code=self.code, message=message, path=self.ctx.path,
+                    line=line, col=col)
+        )

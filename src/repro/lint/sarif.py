@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One run, one driver (``repro-lint``), one result per finding.  Baselined
+findings are included with an ``external`` suppression and comment-
+suppressed findings with an ``inSource`` suppression, so code-scanning UIs
+show them as acknowledged rather than resurfacing frozen debt.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.lint.model import Finding
+from repro.lint.program import PROJECT_RULES
+from repro.lint.rules import RULES
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _tool_version() -> str:
+    try:
+        import repro
+
+        return str(getattr(repro, "__version__", "0"))
+    except ImportError:  # pragma: no cover - repro is always importable here
+        return "0"
+
+
+def _rule_descriptors() -> tuple[list[dict], dict[str, int]]:
+    """SARIF ``rules`` array plus code -> ruleIndex map."""
+    descriptors: list[dict] = []
+    index: dict[str, int] = {}
+    catalogue = {**RULES, **PROJECT_RULES}
+    # R000 is the parse-error pseudo-rule; it has no class in the registry.
+    entries: list[tuple[str, str, str]] = [
+        ("R000", "parse-error", "file could not be parsed")
+    ]
+    for code in sorted(catalogue):
+        rule = catalogue[code]
+        entries.append((code, rule.name, rule.rationale))
+    for code, name, rationale in entries:
+        index[code] = len(descriptors)
+        descriptors.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors, index
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _result(finding: Finding, rule_index: dict[str, int],
+            suppression_kind: str | None) -> dict:
+    result = {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index.get(finding.code, -1),
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _uri(finding.path)},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppression_kind is not None:
+        result["suppressions"] = [{"kind": suppression_kind}]
+    return result
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    *,
+    baselined: Iterable[Finding] = (),
+    suppressed: Iterable[Finding] = (),
+) -> str:
+    """The SARIF document as a JSON string.
+
+    ``findings`` are live results; ``baselined`` carries an ``external``
+    suppression (accepted via the committed baseline); ``suppressed``
+    carries ``inSource`` (silenced by a ``# repro-lint: disable`` comment).
+    """
+    descriptors, rule_index = _rule_descriptors()
+    results = (
+        [_result(f, rule_index, None) for f in findings]
+        + [_result(f, rule_index, "external") for f in baselined]
+        + [_result(f, rule_index, "inSource") for f in suppressed]
+    )
+    document = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": _tool_version(),
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -9,15 +9,12 @@ envelope used by the detailed (message-level) engines; the fast engines only
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.types import NodeId
 
 __all__ = ["Message", "MessageKind"]
-
-_message_ids = itertools.count()
 
 
 class MessageKind(enum.Enum):
@@ -48,7 +45,13 @@ class Message:
     query_id:
         End-to-end identifier shared by all propagated copies of the same
         query; used for duplicate suppression ("each node keeps a list of
-        recent messages", Algo 5 Process_Query).
+        recent messages", Algo 5 Process_Query).  Engines must allocate ids
+        from their *own* counter (the detailed engine's ``_qid_source``
+        pattern) and pass them explicitly: an earlier module-level default
+        counter here was process-global, so id sequences depended on which
+        simulations shared a pool worker (repro-lint R007).  The default is
+        a plain sentinel for ad-hoc messages that never hit duplicate
+        suppression.
     hops:
         Number of hops this copy has traversed so far (initiator -> first
         receiver is hop 1).
@@ -63,7 +66,7 @@ class Message:
     sender: NodeId
     receiver: NodeId
     origin: NodeId
-    query_id: int = field(default_factory=lambda: next(_message_ids))
+    query_id: int = 0
     hops: int = 0
     payload: Any = None
     path: tuple[NodeId, ...] = ()

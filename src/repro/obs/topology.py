@@ -81,7 +81,9 @@ def gini(values: Sequence[float]) -> float:
     for v in vals:
         running += v
         cum_sum += running
-    return (n + 1 - 2 * (cum_sum / total)) / n
+    # Float rounding can land a hair outside [0, 1] (e.g. two identical
+    # values); clamp so callers can rely on the documented range.
+    return min(1.0, max(0.0, (n + 1 - 2 * (cum_sum / total)) / n))
 
 
 def top_k_share(values: Sequence[float], k: int) -> float:

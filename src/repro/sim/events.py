@@ -9,6 +9,7 @@ scheduling order, which is what keeps same-seed runs bit-for-bit reproducible.
 from __future__ import annotations
 
 import heapq
+import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -24,6 +25,7 @@ __all__ = [
     "ScheduledCallback",
     "is_observer",
     "mark_observer",
+    "observer_registry",
     "NORMAL",
     "HIGH",
     "LOW",
@@ -36,6 +38,29 @@ LOW = 2
 
 #: Attribute marking a callback as *pure observation* (see :func:`mark_observer`).
 OBSERVER_ATTR = "__repro_observer__"
+
+#: Every callable ever passed through :func:`mark_observer`, weakly held so
+#: closure observers (e.g. the sanitizer's consistency probe) can be
+#: garbage-collected with their run.  Exposed — as qualified names only, for
+#: determinism — through :func:`observer_registry`; the static observer-
+#: purity rule (repro-lint R006) cross-checks its findings against the same
+#: registration sites.
+_OBSERVER_REGISTRY: "weakref.WeakSet[Callable[..., Any]]" = weakref.WeakSet()
+
+
+def observer_registry() -> tuple[str, ...]:
+    """Qualified names of all currently-live registered observers, sorted.
+
+    Returns names rather than the callables themselves: a ``WeakSet``
+    iterates in an arbitrary, GC-dependent order, and handing that order to
+    callers would be a determinism hazard of exactly the kind the observer
+    contract exists to prevent.
+    """
+    names = {
+        getattr(fn, "__qualname__", None) or type(fn).__qualname__
+        for fn in _OBSERVER_REGISTRY
+    }
+    return tuple(sorted(names))
 
 
 def mark_observer(fn: Callable[..., Any]) -> Callable[..., Any]:
@@ -55,6 +80,9 @@ def mark_observer(fn: Callable[..., Any]) -> Callable[..., Any]:
     never needed.
     """
     setattr(fn, OBSERVER_ATTR, True)
+    # The registry is observational only (never read by simulation logic),
+    # so registering from inside a pool worker cannot diverge behaviour.
+    _OBSERVER_REGISTRY.add(fn)
     return fn
 
 

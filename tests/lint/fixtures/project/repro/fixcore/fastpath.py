@@ -1,0 +1,18 @@
+"""Fast-path half of the R009 parity fixture (see ``search.py``).
+
+``boost_factor`` deliberately has no counterpart in ``generic_search`` and
+no rationale in the parity-contract tables, so R009 must flag it.
+"""
+
+
+class FloodFastPath:
+    def __init__(self, adjacency, boost_factor):  # expect: R009
+        self.adjacency = adjacency
+        self.boost_factor = boost_factor
+
+    def search(self, initiator, item):
+        hits = []
+        for node in sorted(self.adjacency.get(initiator, ())):
+            if item == node:
+                hits.append(node * self.boost_factor)
+        return hits

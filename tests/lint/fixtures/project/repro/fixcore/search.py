@@ -1,0 +1,17 @@
+"""Reference half of the R009 parity fixture (see ``fastpath.py``).
+
+Mirrors the anchor shape of ``repro.core.search.generic_search``: the
+whole-program parity rule pairs this file with its filesystem sibling
+``fastpath.py`` and audits the two parameter sets against the contract
+tables in ``repro.lint.program``.
+"""
+
+
+def generic_search(view, initiator, item, termination, rng):
+    results = []
+    for node in sorted(view):
+        if item in view[node]:
+            results.append(node)
+        if termination(results):
+            break
+    return results

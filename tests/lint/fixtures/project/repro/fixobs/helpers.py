@@ -1,0 +1,13 @@
+"""Helpers called from ``probes.py`` — one pure, one engine-mutating.
+
+The observer-purity rule (R006) must follow calls from an observer into
+this module and flag the mutation in ``advance`` transitively.
+"""
+
+
+def snapshot(engine):
+    return {peer.node: tuple(peer.neighbors) for peer in engine.peers}
+
+
+def advance(engine):
+    engine.clock += 1  # expect: R006

@@ -1,0 +1,19 @@
+"""Observer callbacks for the transitive R006 fixture.
+
+``clean_probe`` only reads through ``snapshot`` and must pass; the
+``tainted_probe`` reaches ``helpers.advance`` which mutates engine state,
+so the purity rule must flag it through the call graph.
+"""
+
+from repro.fixobs.helpers import advance, snapshot
+from repro.sim.events import mark_observer
+
+
+@mark_observer
+def clean_probe(engine):
+    return snapshot(engine)
+
+
+@mark_observer
+def tainted_probe(engine):
+    advance(engine)  # the finding lands on the write in helpers.advance

@@ -1,0 +1,13 @@
+"""Pool-worker entry for the cross-module R007 fixture.
+
+``simulate_task`` is the orchestrator's worker entrypoint name; every
+module in its import closure is executed inside pool workers, which is
+what makes ``state._RESULT_ROWS`` process-global.
+"""
+
+from repro.fixpool import state
+
+
+def simulate_task(spec):
+    state.record(spec)
+    return spec

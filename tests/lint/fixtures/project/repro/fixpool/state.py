@@ -1,0 +1,14 @@
+"""Process-global result store for the cross-module R007 fixture.
+
+Never mutated in *this* module's entrypoints — the hazard only exists
+because ``runner.simulate_task`` (a pool-worker entry) imports it; R007
+must reach it through the import closure.  (R012 stays quiet here on
+purpose: ``fixpool`` is not one of the deterministic subpackages the
+package-scoped rules patrol.)
+"""
+
+_RESULT_ROWS = []
+
+
+def record(row):
+    _RESULT_ROWS.append(row)  # expect: R007

@@ -7,10 +7,14 @@ imported by the test suite — it exists purely as lint input (and is excluded
 from ruff/mypy in ``pyproject.toml``).
 """
 
+import itertools
+import os
 import random
 import time
 
 import numpy as np
+
+from repro.sim.events import mark_observer
 
 
 def stdlib_draw():
@@ -66,6 +70,48 @@ class ProtocolState:
 
     def __init__(self) -> None:
         self.links: list[int] = []
+
+
+@mark_observer
+def impure_probe(engine):
+    engine.tick_count += 1  # expect: R006
+
+
+@mark_observer
+def pure_probe_is_fine(engine):
+    return len(engine.peers)
+
+
+_QUERY_IDS = itertools.count()
+
+
+def simulate_task(spec):
+    return next(_QUERY_IDS)  # expect: R007
+
+
+def flush(sim, waiting: set):
+    for peer in waiting:  # expect: R008
+        sim.schedule(0.0, peer)
+
+
+def worker_count():
+    return int(os.environ.get("REPRO_WORKERS", "1"))  # expect: R010
+
+
+def unstable_total(loads: set):
+    total = 0.0
+    for load in loads:  # expect: R011
+        total += load
+    return total
+
+
+_DELAY_CACHE = {}
+
+
+def delay_for(pair, compute):
+    if pair not in _DELAY_CACHE:
+        _DELAY_CACHE[pair] = compute(pair)  # expect: R007 R012
+    return _DELAY_CACHE[pair]
 
 
 def suppressed_draw():

@@ -1,0 +1,137 @@
+"""Baseline semantics, including the hypothesis round-trip property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.model import Finding
+
+_codes = st.sampled_from(
+    ["R001", "R003", "R004", "R006", "R007", "R009", "R012"]
+)
+_paths = st.sampled_from(
+    ["src/repro/a.py", "src/repro/b.py", "tests/x.py", "benchmarks/y.py"]
+)
+_messages = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\r\n"),
+    min_size=1,
+    max_size=40,
+)
+
+_findings = st.builds(
+    Finding,
+    code=_codes,
+    message=_messages,
+    path=_paths,
+    line=st.integers(min_value=1, max_value=500),
+    col=st.integers(min_value=0, max_value=80),
+)
+
+
+@given(findings=st.lists(_findings, max_size=30))
+def test_roundtrip_unchanged_tree_yields_zero_new_findings(findings, tmp_path_factory):
+    """write -> load -> diff on the identical tree reports nothing new."""
+    tmp = tmp_path_factory.mktemp("baseline")
+    target = tmp / "baseline.json"
+    Baseline.from_findings(findings, root=tmp).save(target)
+    loaded = Baseline.load(target)
+    new, baselined = loaded.apply(findings)
+    assert new == []
+    assert len(baselined) == len(findings)
+
+
+@given(findings=st.lists(_findings, max_size=20))
+def test_roundtrip_is_line_drift_tolerant(findings, tmp_path_factory):
+    """Shifting every finding's line/col leaves the baseline diff empty."""
+    tmp = tmp_path_factory.mktemp("baseline")
+    target = tmp / "baseline.json"
+    Baseline.from_findings(findings, root=tmp).save(target)
+    drifted = [
+        Finding(
+            code=f.code, message=f.message, path=f.path,
+            line=f.line + 7, col=f.col + 1,
+        )
+        for f in findings
+    ]
+    new, baselined = Baseline.load(target).apply(drifted)
+    assert new == []
+    assert len(baselined) == len(findings)
+
+
+@given(findings=st.lists(_findings, min_size=1, max_size=20))
+def test_extra_occurrences_beyond_recorded_count_are_new(findings, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("baseline")
+    target = tmp / "baseline.json"
+    Baseline.from_findings(findings, root=tmp).save(target)
+    doubled = findings + findings
+    new, baselined = Baseline.load(target).apply(doubled)
+    assert len(baselined) == len(findings)
+    assert len(new) == len(findings)
+
+
+def test_relative_and_absolute_invocations_share_keys(tmp_path):
+    """The committed use case: repo-root baseline, any invocation root."""
+    target = tmp_path / "baseline.json"
+    (tmp_path / "pkg").mkdir()
+    source = tmp_path / "pkg" / "mod.py"
+    source.write_text("x = 1\n")
+    relative = Finding(
+        code="R001", message="m", path="pkg/mod.py", line=1, col=0
+    )
+    absolute = Finding(
+        code="R001", message="m", path=str(source), line=1, col=0
+    )
+    import contextlib
+    import os
+
+    @contextlib.contextmanager
+    def chdir(p):
+        old = os.getcwd()
+        os.chdir(p)
+        try:
+            yield
+        finally:
+            os.chdir(old)
+
+    with chdir(tmp_path):
+        Baseline.from_findings([relative], root=tmp_path).save(target)
+        new, baselined = Baseline.load(target).apply([absolute])
+    assert new == []
+    assert len(baselined) == 1
+
+
+def test_malformed_payloads_raise_baseline_error(tmp_path):
+    cases = [
+        "[]",
+        '{"version": 99, "entries": []}',
+        '{"version": 1, "entries": [{"code": "R001"}]}',
+        '{"version": 1, "entries": [{"path": "p", "code": "R001", '
+        '"message": "m", "count": 0}]}',
+        "not json",
+    ]
+    for i, text in enumerate(cases):
+        bad = tmp_path / f"bad{i}.json"
+        bad.write_text(text)
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)
+    with pytest.raises(BaselineError):
+        Baseline.load(tmp_path / "missing.json")
+
+
+def test_saved_payload_is_stable_and_sorted(tmp_path):
+    findings = [
+        Finding(code="R003", message="b", path="z.py", line=9, col=0),
+        Finding(code="R001", message="a", path="a.py", line=1, col=0),
+        Finding(code="R001", message="a", path="a.py", line=2, col=0),
+    ]
+    target = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(target)
+    text = target.read_text()
+    assert text.endswith("\n")
+    # regenerating from the same findings is byte-identical
+    again = tmp_path / "again.json"
+    Baseline.from_findings(list(reversed(findings))).save(again)
+    assert again.read_text() == text

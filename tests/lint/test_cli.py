@@ -34,9 +34,13 @@ def test_json_format_is_machine_readable(capsys):
     assert payload["ok"] is False
     assert payload["checked_files"] == 1
     codes = {f["code"] for f in payload["findings"]}
-    assert codes == {"R001", "R002", "R003", "R004", "R005"}
+    assert codes == {
+        "R001", "R002", "R003", "R004", "R005",
+        "R006", "R007", "R008", "R010", "R011", "R012",
+    }
     assert all(f["line"] > 0 and f["path"] for f in payload["findings"])
     assert [f["code"] for f in payload["suppressed"]] == ["R001"]
+    assert payload["baselined"] == []
 
 
 def test_select_restricts_rules(capsys):
@@ -56,6 +60,132 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     for code in ("R001", "R002", "R003", "R004", "R005"):
         assert code in out
+
+
+def test_explain_renders_rationale_example_and_fix(capsys):
+    assert main(["--explain", "r007"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("R007 — ")
+    assert "rationale:" in out
+    assert "Minimal failing example:" in out
+    assert "Sanctioned fix:" in out
+
+
+def test_explain_unknown_code_exits_two(capsys):
+    assert main(["--explain", "R999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_explain_covers_every_registered_rule(capsys):
+    from repro.lint import PROJECT_RULES, RULES
+
+    for code in sorted({**RULES, **PROJECT_RULES}):
+        assert main(["--explain", code]) == 0, code
+        out = capsys.readouterr().out
+        assert "Minimal failing example:" in out, code
+        assert "Sanctioned fix:" in out, code
+
+
+def test_sarif_output_is_valid_and_locates_findings(tmp_path, capsys):
+    target = tmp_path / "lint.sarif"
+    assert main([str(FIXTURE), "--sarif", str(target)]) == 1
+    capsys.readouterr()
+    doc = json.loads(target.read_text())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"R001", "R006", "R007", "R012"} <= rule_ids
+    results = run["results"]
+    assert results, "fixture findings must appear as SARIF results"
+    for res in results:
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] > 0
+        assert loc["artifactLocation"]["uri"].endswith("violations.py")
+    # the comment-suppressed R001 carries an inSource suppression
+    suppressed = [r for r in results if r.get("suppressions")]
+    assert any(
+        s["kind"] == "inSource" for r in suppressed for s in r["suppressions"]
+    )
+
+
+def test_sarif_to_stdout_replaces_text_report(capsys):
+    assert main([str(FIXTURE), "--sarif", "-"]) == 1
+    out = capsys.readouterr().out
+    json.loads(out)  # whole stdout is one SARIF document
+
+
+def test_baseline_roundtrip_gates_only_new_findings(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([str(FIXTURE), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    # unchanged tree: everything baselined, exit 0
+    assert main([str(FIXTURE), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out and "baselined" in out
+    # a fresh finding not in the baseline still fails the run
+    extra = tmp_path / "fresh.py"
+    extra.write_text("import random\nx = random.random()\n")
+    assert main([str(FIXTURE), str(extra), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out
+
+
+def test_corrupt_baseline_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"version": 99}')
+    assert main([str(FIXTURE), "--baseline", str(bad)]) == 2
+    assert "baseline" in capsys.readouterr().err.lower()
+
+
+def test_symtab_cache_reuse_is_transparent(tmp_path, capsys):
+    cache = tmp_path / "symtab"
+    assert main([str(FIXTURE), "--symtab-cache", str(cache)]) == 1
+    first = capsys.readouterr().out
+    assert list(cache.iterdir()), "cache directory must be populated"
+    assert main([str(FIXTURE), "--symtab-cache", str(cache)]) == 1
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_changed_mode_lints_only_git_changed_files(tmp_path, capsys, monkeypatch):
+    subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    subprocess.run(
+        ["git", "-C", str(tmp_path), "add", "clean.py"], check=True
+    )
+    subprocess.run(
+        ["git", "-C", str(tmp_path), "-c", "user.email=t@t", "-c",
+         "user.name=t", "commit", "-qm", "seed"],
+        check=True,
+    )
+    monkeypatch.chdir(tmp_path)
+    # nothing changed: clean short-circuit
+    assert main([str(tmp_path), "--changed"]) == 0
+    assert "no changed Python files" in capsys.readouterr().out
+    # an untracked hazardous file is picked up
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import random\nx = random.random()\n")
+    assert main([str(tmp_path), "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "dirty.py" in out and "clean.py" not in out
+
+
+def test_self_check_with_committed_baseline():
+    """The documented CI gate is clean on the final tree."""
+    repo = SRC_REPRO.parents[1]
+    baseline = repo / "LINT_BASELINE.json"
+    assert baseline.exists(), "LINT_BASELINE.json must be committed"
+    rc = main(
+        [
+            str(repo / "src"),
+            str(repo / "tests"),
+            str(repo / "benchmarks"),
+            "--baseline",
+            str(baseline),
+        ]
+    )
+    assert rc == 0
 
 
 def test_module_invocation_matches_cli():

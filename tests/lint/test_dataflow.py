@@ -1,0 +1,139 @@
+"""Write-set oracle tests for the intraprocedural effect engine."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.dataflow import attr_chain, collect_effects, is_rng_chain
+
+
+def effects_of(source: str):
+    """Effects of the first function defined in ``source``."""
+    tree = ast.parse(source)
+    fn = next(
+        n for n in tree.body
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return collect_effects(fn)
+
+
+def write_chains(source: str) -> set[tuple[str, ...]]:
+    return {w.chain for w in effects_of(source).writes}
+
+
+# ---------------------------------------------------------------------------
+# attr_chain — the conservative path abstraction everything else rests on
+# ---------------------------------------------------------------------------
+def test_attr_chain_resolves_dotted_paths():
+    node = ast.parse("self.engine.sim.schedule", mode="eval").body
+    assert attr_chain(node) == ("self", "engine", "sim", "schedule")
+
+
+def test_attr_chain_refuses_interrupted_paths():
+    for src in ("a[0].b", "f().b", "(a + b).c"):
+        node = ast.parse(src, mode="eval").body
+        assert attr_chain(node) is None, src
+
+
+def test_is_rng_chain_heuristics():
+    assert is_rng_chain(("self", "rng"))
+    assert is_rng_chain(("random",))
+    assert is_rng_chain(("streams", "churn_rng"))
+    assert not is_rng_chain(("self", "ring"))
+
+
+# ---------------------------------------------------------------------------
+# Write-set oracle: hand-checked effect summaries
+# ---------------------------------------------------------------------------
+def test_attribute_writes_are_sites_and_bare_names_are_locals():
+    src = (
+        "def f(self, x):\n"
+        "    y = x + 1\n"
+        "    self.total = y\n"
+        "    self.stats.count += 1\n"
+    )
+    eff = effects_of(src)
+    assert {w.chain for w in eff.writes} == {
+        ("self", "total"), ("self", "stats", "count"),
+    }
+    assert "y" in eff.locals
+
+
+def test_kind_classification():
+    src = (
+        "def f(self, rows):\n"
+        "    self.cache[0] = rows\n"
+        "    self.n += 1\n"
+        "    del self.tmp\n"
+        "    for row in rows:\n"
+        "        pass\n"
+        "    with open('x') as fh:\n"
+        "        pass\n"
+    )
+    eff = effects_of(src)
+    kinds = {w.chain: w.kind for w in eff.writes}
+    assert kinds[("self", "cache")] == "subscript"
+    assert kinds[("self", "n")] == "augassign"
+    assert kinds[("self", "tmp")] == "delete"
+    # loop/with targets bind locals, not external state
+    assert {"row", "fh"} <= set(eff.locals)
+
+
+def test_global_declaration_taints_writes():
+    src = (
+        "def f():\n"
+        "    global counter\n"
+        "    counter += 1\n"
+    )
+    eff = effects_of(src)
+    assert "counter" in eff.globals_declared
+    assert {w.kind for w in eff.writes if w.chain == ("counter",)} == {"global"}
+
+
+def test_calls_record_receiver_chain_and_args():
+    src = (
+        "def f(self, cb):\n"
+        "    self.sim.schedule(1.0, cb)\n"
+    )
+    eff = effects_of(src)
+    call = next(c for c in eff.calls if c.chain == ("self", "sim", "schedule"))
+    assert call.args[1] == ("cb",)
+
+
+def test_aliases_resolve_through_local_names():
+    src = (
+        "def f(self):\n"
+        "    eng = self.engine\n"
+        "    eng.peers.append(1)\n"
+    )
+    eff = effects_of(src)
+    assert eff.aliases["eng"] == ("self", "engine")
+    call = next(c for c in eff.calls if c.chain[-1] == "append")
+    assert eff.resolve(call.chain) == ("self", "engine", "peers", "append")
+
+
+def test_nested_defs_are_not_folded_in_but_lambdas_are():
+    src = (
+        "def f(self):\n"
+        "    def inner():\n"
+        "        self.hidden = 1\n"
+        "    g = lambda: self.engine.advance()\n"
+        "    return inner, g\n"
+    )
+    eff = effects_of(src)
+    assert ("self", "hidden") not in {w.chain for w in eff.writes}
+    assert ("self", "engine", "advance") in {c.chain for c in eff.calls}
+
+
+def test_effects_serialize_round_trip():
+    src = (
+        "def f(self, xs):\n"
+        "    total = 0.0\n"
+        "    for x in xs:\n"
+        "        total += x\n"
+        "    self.sim.schedule(0.0, self.fire)\n"
+    )
+    eff = effects_of(src)
+    from repro.lint.dataflow import FunctionEffects
+
+    assert FunctionEffects.from_dict(eff.as_dict()) == eff

@@ -7,12 +7,25 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import lint_file, lint_source
+from repro.lint import lint_file, lint_paths, lint_source
 from repro.lint.engine import PARSE_ERROR_CODE
+from repro.lint.program import PROJECT_RULES
 from repro.lint.rules import RULES
 
 FIXTURE = Path(__file__).parent / "fixtures" / "violations.py"
-_EXPECT_RE = re.compile(r"#\s*expect:\s*(R\d{3})")
+PROJECT_FIXTURE = Path(__file__).parent / "fixtures" / "project"
+_EXPECT_RE = re.compile(r"#\s*expect:\s*((?:R\d{3}[ ,]*)+)")
+
+
+def expected_tags(path: Path) -> set[tuple[str, int]]:
+    """(code, line) pairs declared by ``# expect:`` tags (several per line ok)."""
+    expected = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            for code in re.findall(r"R\d{3}", match.group(1)):
+                expected.add((code, lineno))
+    return expected
 
 
 def codes(source: str, **kwargs) -> list[tuple[str, int]]:
@@ -22,14 +35,10 @@ def codes(source: str, **kwargs) -> list[tuple[str, int]]:
 
 
 # ---------------------------------------------------------------------------
-# The acceptance fixture: exact code/line agreement with the # expect: tags
+# The acceptance fixtures: exact code/line agreement with the # expect: tags
 # ---------------------------------------------------------------------------
 def test_fixture_reports_every_tagged_violation_and_nothing_else():
-    expected = set()
-    for lineno, line in enumerate(FIXTURE.read_text().splitlines(), start=1):
-        match = _EXPECT_RE.search(line)
-        if match:
-            expected.add((match.group(1), lineno))
+    expected = expected_tags(FIXTURE)
     assert expected, "fixture must carry # expect: tags"
     result = lint_file(FIXTURE)
     assert {(f.code, f.line) for f in result.findings} == expected
@@ -37,9 +46,26 @@ def test_fixture_reports_every_tagged_violation_and_nothing_else():
     assert [f.code for f in result.suppressed] == ["R001"]
 
 
-def test_fixture_covers_all_registered_rules():
-    result = lint_file(FIXTURE)
-    assert {f.code for f in result.findings} == set(RULES)
+def test_project_fixture_reports_every_tagged_violation_and_nothing_else():
+    expected = {}
+    for path in sorted(PROJECT_FIXTURE.rglob("*.py")):
+        for code, line in expected_tags(path):
+            expected.setdefault(str(path), set()).add((code, line))
+    assert expected, "project fixture must carry # expect: tags"
+    result = lint_paths([PROJECT_FIXTURE])
+    reported: dict[str, set[tuple[str, int]]] = {}
+    for f in result.findings:
+        reported.setdefault(str(Path(f.path).resolve()), set()).add((f.code, f.line))
+    assert reported == {str(Path(p).resolve()): tags for p, tags in expected.items()}
+
+
+def test_fixtures_cover_all_registered_rules():
+    # violations.py covers every per-module rule and the single-file project
+    # rules; the project tree adds the cross-module ones (R009, transitive
+    # R006, import-closure R007).  Together: the full catalogue.
+    single = {f.code for f in lint_file(FIXTURE).findings}
+    tree = {f.code for f in lint_paths([PROJECT_FIXTURE]).findings}
+    assert single | tree == set(RULES) | set(PROJECT_RULES)
 
 
 # ---------------------------------------------------------------------------
@@ -178,3 +204,159 @@ def test_select_and_ignore_narrow_the_rule_set():
     src = "import random\nx = random.random()\nd = lambda xs=[]: xs\n"
     assert [c for c, _ in codes(src, select=["R001"])] == ["R001"]
     assert [c for c, _ in codes(src, ignore=["R001"])] == ["R005"]
+
+
+# ---------------------------------------------------------------------------
+# R008 — digest-tainted unordered iteration (dataflow upgrade of R003)
+# ---------------------------------------------------------------------------
+def test_r008_flags_schedule_fed_by_set_iteration():
+    src = (
+        "def fire(sim, pending: set):\n"
+        "    for cb in pending:\n"
+        "        sim.schedule(0.0, cb)\n"
+    )
+    assert codes(src) == [("R008", 2)]
+
+
+def test_r008_subsumes_r003_on_the_same_line():
+    src = (
+        "def fire(sim, pending: set):\n"
+        "    for cb in pending:\n"
+        "        sim.schedule(0.0, cb)\n"
+    )
+    found = codes(src)
+    assert ("R003", 2) not in found
+
+
+def test_r008_flags_rng_draw_inside_unordered_loop():
+    src = (
+        "def jitter(rng, peers: set):\n"
+        "    for p in peers:\n"
+        "        p.delay = rng.random()\n"
+    )
+    assert codes(src) == [("R008", 2)]
+
+
+def test_r008_quiet_without_a_sink():
+    src = (
+        "def collect(pending: set):\n"
+        "    out = []\n"
+        "    for cb in pending:\n"
+        "        out.append(cb)\n"
+        "    return out\n"
+    )
+    # plain R003 still applies; the sharper R008 must not fire
+    assert codes(src) == [("R003", 3)]
+
+
+def test_r008_accepts_sorted_iteration():
+    src = (
+        "def fire(sim, pending: set):\n"
+        "    for cb in sorted(pending):\n"
+        "        sim.schedule(0.0, cb)\n"
+    )
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# R010 — environment reads in deterministic packages
+# ---------------------------------------------------------------------------
+def test_r010_flags_environ_and_getenv():
+    src = (
+        "import os\n"
+        "w = os.environ.get('W', '1')\n"
+        "x = os.getenv('X')\n"
+    )
+    assert [c for c, _ in codes(src)] == ["R010", "R010"]
+
+
+def test_r010_flags_from_import_forms():
+    src = "from os import environ\nlevel = environ['LEVEL']\n"
+    assert codes(src) == [("R010", 2)]
+
+
+def test_r010_exempts_orchestration_layer():
+    src = "import os\nw = os.environ.get('W')\n"
+    assert codes(src, module="repro.orchestrate.pool") == []
+    assert codes(src, module="repro.sim.kernel") == [("R010", 2)]
+
+
+# ---------------------------------------------------------------------------
+# R011 — non-commutative float accumulation over unordered collections
+# ---------------------------------------------------------------------------
+def test_r011_flags_float_accumulator_over_set():
+    src = (
+        "def load(peers: set):\n"
+        "    total = 0.0\n"
+        "    for p in peers:\n"
+        "        total += p.load\n"
+        "    return total\n"
+    )
+    assert codes(src) == [("R011", 3)]
+
+
+def test_r011_ignores_int_accumulators_and_ordered_iterables():
+    src = (
+        "def count(peers: set, rows: list):\n"
+        "    n = 0\n"
+        "    for p in peers:\n"
+        "        n += 1\n"
+        "    total = 0.0\n"
+        "    for r in rows:\n"
+        "        total += r\n"
+        "    return n, total\n"
+    )
+    # the set loop accumulates an int (R003 only); the float loop is ordered
+    assert codes(src) == [("R003", 3)]
+
+
+def test_r011_accepts_sorted_accumulation():
+    src = (
+        "def load(peers: set):\n"
+        "    total = 0.0\n"
+        "    for p in sorted(peers):\n"
+        "        total += p.load\n"
+        "    return total\n"
+    )
+    assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# R012 — fork-unsafe lazy module caches
+# ---------------------------------------------------------------------------
+def test_r012_flags_lazy_dict_fill_and_global_rebind():
+    src = (
+        "_CACHE = {}\n"
+        "_rows = None\n"
+        "def lookup(k, build):\n"
+        "    if k not in _CACHE:\n"
+        "        _CACHE[k] = build(k)\n"
+        "    return _CACHE[k]\n"
+        "def rows(build):\n"
+        "    global _rows\n"
+        "    if _rows is None:\n"
+        "        _rows = build()\n"
+        "    return _rows\n"
+    )
+    assert [(c, ln) for c, ln in codes(src)] == [("R012", 5), ("R012", 10)]
+
+
+def test_r012_flags_mutator_calls_on_lazy_containers():
+    src = (
+        "_SEEN = set()\n"
+        "def remember(x):\n"
+        "    _SEEN.add(x)\n"
+    )
+    assert codes(src) == [("R012", 3)]
+
+
+def test_r012_ignores_shadowing_locals_and_eager_builds():
+    src = (
+        "_TABLE = {k: k * 2 for k in range(4)}\n"
+        "def local_cache(xs):\n"
+        "    _CACHE = {}\n"
+        "    for x in xs:\n"
+        "        _CACHE[x] = x\n"
+        "    return _CACHE\n"
+    )
+    assert codes(src) == []

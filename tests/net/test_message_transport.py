@@ -22,10 +22,16 @@ def make_transport(n=10, seed=0, buckets=None, loss_rate=0.0, rng=None):
 
 
 class TestMessage:
-    def test_unique_query_ids(self):
+    def test_query_id_is_an_explicit_engine_concern(self):
+        # No hidden module-level counter (it was process-global: id sequences
+        # depended on which simulations shared a pool worker — repro-lint
+        # R007). Engines allocate ids from their own counters and pass them
+        # explicitly; the default is a plain sentinel.
         a = Message(MessageKind.QUERY, 0, 1, origin=0)
         b = Message(MessageKind.QUERY, 0, 1, origin=0)
-        assert a.query_id != b.query_id
+        assert a.query_id == b.query_id == 0
+        c = Message(MessageKind.QUERY, 0, 1, origin=0, query_id=41)
+        assert c.query_id == 41
 
     def test_forwarded_preserves_identity(self):
         m = Message(MessageKind.QUERY, 0, 1, origin=0, payload="song", path=(1,))

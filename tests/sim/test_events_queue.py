@@ -65,3 +65,39 @@ class TestEventQueue:
         assert not handle.cancelled
         handle.cancel()
         assert handle.cancelled
+
+
+class TestObserverRegistry:
+    def test_mark_observer_registers_and_flags(self):
+        from repro.sim.events import is_observer, mark_observer, observer_registry
+
+        @mark_observer
+        def registry_probe_alpha(engine):
+            return engine
+
+        assert is_observer(registry_probe_alpha)
+        names = observer_registry()
+        assert names == tuple(sorted(names)), "registry must expose sorted names"
+        assert any("registry_probe_alpha" in name for name in names)
+
+    def test_registry_holds_callbacks_weakly(self):
+        import gc
+
+        from repro.sim.events import mark_observer, observer_registry
+
+        @mark_observer
+        def registry_probe_ephemeral(engine):
+            return engine
+
+        marker = registry_probe_ephemeral.__qualname__
+        assert any(marker in name for name in observer_registry())
+        del registry_probe_ephemeral
+        gc.collect()
+        assert not any(marker in name for name in observer_registry())
+
+    def test_production_observers_are_registered_on_import(self):
+        from repro.gnutella import probes  # noqa: F401  (import registers)
+        from repro.sim.events import observer_registry
+
+        names = observer_registry()
+        assert any("consistency" in n or "probe" in n.lower() for n in names)
