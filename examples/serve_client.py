@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Service mode: query a live simulated overlay over TCP.
+
+The ``repro.serve`` front end wraps a running churn simulation in an
+asyncio server speaking newline-delimited JSON. This example does, in one
+process, what ``repro-serve`` + ``repro-loadgen`` do as separate CLIs:
+
+1. start a :class:`repro.serve.QueryServer` on an ephemeral port, warmed
+   up two simulated hours so the overlay has logged users in;
+2. connect a :class:`repro.serve.ServeClient` and issue a few queries,
+   printing the ranked hits as they come back;
+3. run a half-second closed-loop load trial and print the latency tail.
+
+Run with::
+
+    python examples/serve_client.py
+"""
+
+import asyncio
+
+from repro.gnutella.config import GnutellaConfig
+from repro.serve import LoadgenConfig, QueryServer, ServeClient, run_closed_loop
+from repro.serve.server import ServeConfig
+
+HOUR = 3600.0
+
+
+async def main() -> None:
+    config = GnutellaConfig(
+        n_users=60, n_items=3000, horizon=24 * HOUR, warmup_hours=0, dynamic=True
+    )
+    # time_rate=0 freezes simulated time between requests, which keeps this
+    # example deterministic; ``repro-serve`` defaults to 600x wall clock.
+    server = QueryServer(config, ServeConfig(time_rate=0.0, warmup_sim_s=2 * HOUR))
+    host, port = await server.start()
+    print(f"service mode: overlay of {config.n_users} users listening on {host}:{port}")
+
+    client = await ServeClient.connect(host, port)
+    info = await client.info()
+    print(
+        f"world: {info['online']} users online at sim t={info['sim_time'] / HOUR:.1f}h, "
+        f"{info['n_items']} items in {info['n_categories']} categories"
+    )
+
+    for item in (3, 17, 150):
+        reply = await client.query(item)
+        print(f"query item={item}: {reply.status}, {len(reply.results)} result(s)")
+        for hit in reply.results[:3]:
+            print(
+                f"  rank {hit['rank']}: node {hit['responder']} "
+                f"at {hit['hops']} hop(s), {hit['delay_ms']:.0f} ms"
+            )
+
+    print("closed-loop trial: 2 connections, zero think time...")
+    report = await run_closed_loop(
+        LoadgenConfig(host=host, port=port, connections=2, duration_s=0.5)
+    )
+    latency = report.latency
+    print(
+        f"  {report.ok} queries ok, {report.achieved_qps:.0f} QPS, "
+        f"hit fraction {report.hit_fraction:.2f}"
+    )
+    print(
+        f"  latency p50={latency.p50_ms:.2f} ms  p95={latency.p95_ms:.2f} ms  "
+        f"p99={latency.p99_ms:.2f} ms"
+    )
+
+    await client.close()
+    await server.shutdown()
+    print("server drained and stopped.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -82,6 +82,11 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the figure-scale smoke runs (kernels + digest gate only)",
     )
     parser.add_argument(
+        "--skip-serving",
+        action="store_true",
+        help="skip the closed-loop serving trial (repro.serve front end)",
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=Path("."),
@@ -119,6 +124,13 @@ def main(argv: list[str] | None = None) -> int:
             f"figure 1: {figure.seconds:.1f}s, hits static={figure.static_hits} "
             f"dynamic={figure.dynamic_hits}"
         )
+
+    if not args.skip_serving:
+        from repro.bench.serving import serving_smoke
+
+        _log(f"serving closed-loop trial at preset {preset!r} ...")
+        serving = serving_smoke(preset=preset, seed=args.seed, log=_log)
+        snapshot["serving"] = serving.as_dict()
 
     gate = digest_gate(preset=preset, seed=args.seed, log=_log)
     snapshot["digest_gate"] = gate.as_dict()

@@ -118,6 +118,53 @@ def _kernel_params(metrics: Mapping[str, Any]) -> dict[str, float]:
     }
 
 
+def _compare_block(
+    old_block: Mapping[str, Any],
+    new_block: Mapping[str, Any],
+    *,
+    kind: str,
+    prefix: str,
+    threshold: float,
+    deltas: list[MetricDelta],
+    skipped: list[str],
+) -> None:
+    """Judge one ``{name: {metric: value}}`` block, appending in place."""
+    for name in sorted(old_block):
+        label = f"{prefix}{name}"
+        if name not in new_block:
+            skipped.append(f"{kind} {name!r} missing from new snapshot")
+            continue
+        old_metrics, new_metrics = old_block[name], new_block[name]
+        if _kernel_params(old_metrics) != _kernel_params(new_metrics):
+            skipped.append(
+                f"{kind} {name!r} workload parameters differ; timings not comparable"
+            )
+            continue
+        for metric in sorted(old_metrics):
+            direction = _direction(metric)
+            if direction is None:
+                continue
+            if metric not in new_metrics:
+                skipped.append(f"metric {label}.{metric} missing from new snapshot")
+                continue
+            old_val = float(old_metrics[metric])
+            new_val = float(new_metrics[metric])
+            if old_val <= 1e-12:
+                skipped.append(f"metric {label}.{metric} has a zero baseline")
+                continue
+            ratio = new_val / old_val
+            if direction == "lower":
+                regressed = ratio > 1.0 + threshold
+            else:
+                regressed = ratio < 1.0 - threshold
+            deltas.append(
+                MetricDelta(label, metric, direction, old_val, new_val, ratio, regressed)
+            )
+    for name in sorted(new_block):
+        if name not in old_block:
+            skipped.append(f"{kind} {name!r} is new (no baseline)")
+
+
 def compare_snapshots(
     old: Mapping[str, Any],
     new: Mapping[str, Any],
@@ -134,43 +181,29 @@ def compare_snapshots(
     """
     if not 0 <= threshold:
         raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
-    old_kernels = old.get("kernels") or {}
-    new_kernels = new.get("kernels") or {}
     deltas: list[MetricDelta] = []
     skipped: list[str] = []
-    for name in sorted(old_kernels):
-        if name not in new_kernels:
-            skipped.append(f"kernel {name!r} missing from new snapshot")
-            continue
-        old_metrics, new_metrics = old_kernels[name], new_kernels[name]
-        if _kernel_params(old_metrics) != _kernel_params(new_metrics):
-            skipped.append(
-                f"kernel {name!r} workload parameters differ; timings not comparable"
-            )
-            continue
-        for metric in sorted(old_metrics):
-            direction = _direction(metric)
-            if direction is None:
-                continue
-            if metric not in new_metrics:
-                skipped.append(f"metric {name}.{metric} missing from new snapshot")
-                continue
-            old_val = float(old_metrics[metric])
-            new_val = float(new_metrics[metric])
-            if old_val <= 1e-12:
-                skipped.append(f"metric {name}.{metric} has a zero baseline")
-                continue
-            ratio = new_val / old_val
-            if direction == "lower":
-                regressed = ratio > 1.0 + threshold
-            else:
-                regressed = ratio < 1.0 - threshold
-            deltas.append(
-                MetricDelta(name, metric, direction, old_val, new_val, ratio, regressed)
-            )
-    for name in sorted(new_kernels):
-        if name not in old_kernels:
-            skipped.append(f"kernel {name!r} is new (no baseline)")
+    _compare_block(
+        old.get("kernels") or {},
+        new.get("kernels") or {},
+        kind="kernel",
+        prefix="",
+        threshold=threshold,
+        deltas=deltas,
+        skipped=skipped,
+    )
+    # The serving section (repro.bench.serving) uses the same shape and the
+    # same direction vocabulary; judge it under a "serving:" namespace so
+    # the report distinguishes a slow kernel from a slow front end.
+    _compare_block(
+        old.get("serving") or {},
+        new.get("serving") or {},
+        kind="serving section",
+        prefix="serving:",
+        threshold=threshold,
+        deltas=deltas,
+        skipped=skipped,
+    )
     return ComparisonReport(
         old_rev=str(old.get("rev", "unknown")),
         new_rev=str(new.get("rev", "unknown")),

@@ -152,6 +152,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             records=list(outcome.run.records),
             cache_dir=cache_dir,
             wall_s=outcome.run.wall_s,
+            cache_stats=cache.stats() if cache is not None else None,
         )
         print(f"[manifest written to {write_manifest(manifest, args.manifest)}]")
     return 1 if failed else 0

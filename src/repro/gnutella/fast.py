@@ -38,7 +38,7 @@ from repro.net.latency import LatencyModel
 from repro.obs.trace import NULL_TRACER, PID_CHURN, emit_flood_query
 from repro.rng import RngStreams
 from repro.sim.kernel import Simulator
-from repro.types import NodeId
+from repro.types import NodeId, QueryOutcome
 from repro.workload.catalog import MusicCatalog
 from repro.workload.churn import ChurnModel, SessionSchedule
 from repro.workload.library import LibraryConfig, generate_libraries
@@ -459,8 +459,16 @@ class FastGnutellaEngine:
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
-    def run(self) -> SimulationMetrics:
-        """Execute the simulation once; returns the populated metrics."""
+    def start(self) -> None:
+        """Schedule the whole churn timeline without executing any of it.
+
+        Splitting scheduling from execution lets a caller drive the world
+        incrementally with :meth:`advance` (the ``repro.serve`` front end
+        paces simulated time against the wall clock this way). The kernel
+        guarantees that N incremental ``run(until=...)`` calls execute the
+        exact same event sequence as one call to the horizon, so chunked
+        advancement is digest-identical to :meth:`run`.
+        """
         if self._ran:
             raise ConfigurationError("engine instances are single-use; build a new one")
         self._ran = True
@@ -470,8 +478,42 @@ class FastGnutellaEngine:
                 self.sim.schedule(0.0, self._login, node)
             for t in schedule.transitions:
                 self.sim.schedule_at(t, self._toggle, node)
+
+    def advance(self, until: float) -> float:
+        """Execute events up to ``min(until, horizon)``; returns the clock.
+
+        Requires :meth:`start`. Targets at or behind the current clock are
+        a no-op (never an error), so pacers can call this unconditionally.
+        """
+        if not self._ran:
+            raise ConfigurationError("advance() requires start() first")
+        target = min(until, self.config.horizon)
+        if target > self.sim.now:
+            self.sim.run(until=target)
+        return self.sim.now
+
+    def run(self) -> SimulationMetrics:
+        """Execute the simulation once; returns the populated metrics."""
+        self.start()
         self.sim.run(until=self.config.horizon)
         return self.metrics
+
+    def serve_query(self, node: NodeId, item: int) -> QueryOutcome:
+        """Answer one externally submitted query against the live overlay.
+
+        The serving front end (:mod:`repro.serve`) calls this between
+        :meth:`advance` steps. It is read-only with respect to the
+        simulation: no RNG draws, no kernel events, no metrics or library
+        mutation — so a served query cannot perturb the event-stream digest
+        (test-enforced by ``tests/serve/test_digest_neutral.py``). Served
+        queries always flood (the case-study strategy); the engine's own
+        workload keeps whatever strategy was configured.
+        """
+        if self._fastpath is not None:
+            return self._fastpath.search(node, item, issued_at=self.sim.now)
+        return generic_search(
+            self.view, node, item, self.termination, issued_at=self.sim.now
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -88,15 +88,67 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_jsonl_lenient(path: Path) -> tuple[list[dict[str, Any]], list[str]]:
+    """Every parseable event line, plus human-readable notes on the rest.
+
+    A trace cut off mid-write (crashed run, full disk, ctrl-C) ends in a
+    truncated line; earlier tooling raised on it and hid the thousands of
+    valid events before it. Malformed lines are skipped with a note instead
+    — JSONL is prefix-valid, so everything up to the damage is real data.
+    """
+    events: list[dict[str, Any]] = []
+    notes: list[str] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                notes.append(
+                    f"line {lineno}: malformed JSON skipped (truncated trace?)"
+                )
+                continue
+            if isinstance(payload, dict):
+                events.append(payload)
+            else:
+                notes.append(f"line {lineno}: not a JSON object; skipped")
+    return events, notes
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     path = Path(args.trace)
+    if not path.is_file():
+        print(f"repro-trace: error: no such trace: {path}", file=sys.stderr)
+        return 1
+    notes: list[str] = []
     if path.suffix == ".json":
-        document = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            print(
+                f"repro-trace: error: {path} is not valid JSON ({exc.msg}); "
+                "for a JSONL trace use the .jsonl extension",
+                file=sys.stderr,
+            )
+            return 1
         events = document.get("traceEvents", [])
         events = [ev for ev in events if ev.get("ph") != "M"]
     else:
-        events = read_jsonl(path)
-    print(json.dumps(summarize_events(events), indent=2, sort_keys=True))
+        events, notes = _read_jsonl_lenient(path)
+    summary = summarize_events(events)
+    if notes:
+        summary["skipped_lines"] = len(notes)
+        for note in notes:
+            print(f"repro-trace: warning: {note}", file=sys.stderr)
+    if not events:
+        print(
+            f"repro-trace: note: {path} holds no events "
+            "(empty or fully truncated trace)",
+            file=sys.stderr,
+        )
+    print(json.dumps(summary, indent=2, sort_keys=True))
     return 0
 
 

@@ -508,18 +508,126 @@ def _render_manifest(manifest: Mapping[str, Any]) -> str:
 
 
 # ----------------------------------------------------------------------
+# Serving report (repro-loadgen output)
+# ----------------------------------------------------------------------
+def _serving_trial_body(report: Mapping[str, Any]) -> list[str]:
+    """Cards + latency-tail bars for one loadgen trial."""
+    latency = report.get("latency") or {}
+    body: list[str] = []
+    body.append(
+        _cards(
+            [
+                ("mode", report.get("mode")),
+                ("connections", report.get("connections")),
+                ("requests", report.get("requests")),
+                ("achieved qps", f"{float(report.get('achieved_qps') or 0.0):.1f}"),
+                ("offered qps", report.get("offered_qps")),
+                ("errors", report.get("error_count")),
+                ("dropped", report.get("dropped")),
+                ("hit fraction", f"{float(report.get('hit_fraction') or 0.0):.3f}"),
+            ]
+        )
+    )
+    labels = ["p50", "p95", "p99", "p99.9", "mean", "max"]
+    values = [
+        float(latency.get(key) or 0.0)
+        for key in ("p50_ms", "p95_ms", "p99_ms", "p999_ms", "mean_ms", "max_ms")
+    ]
+    body.append(
+        _svg_bar_chart(
+            "Latency tail (ms)", labels, [("latency ms", values)], x_label="percentile"
+        )
+    )
+    if report.get("errors"):
+        body.append("<h2>Errors</h2>")
+        body.append(
+            _table(["code", "count"], sorted(dict(report["errors"]).items()))
+        )
+    return body
+
+
+def _render_serving(report: Mapping[str, Any]) -> str:
+    """The serving panel: one trial, or a saturation sweep with its knee."""
+    schema = str(report.get("schema", ""))
+    body: list[str] = []
+    if schema.startswith("repro.serve/sweep"):
+        steps = [dict(step) for step in report.get("steps", [])]
+        body.append(
+            _cards(
+                [
+                    ("sweep steps", len(steps)),
+                    ("knee qps", report.get("knee_qps")),
+                    ("degraded at qps", report.get("degraded_at_qps")),
+                ]
+            )
+        )
+        offered = [float(step.get("offered_qps") or 0.0) for step in steps]
+        achieved = [float(step.get("achieved_qps") or 0.0) for step in steps]
+        p99 = [float((step.get("latency") or {}).get("p99_ms") or 0.0) for step in steps]
+        markers: list[tuple[float, str]] = []
+        if report.get("knee_qps") is not None:
+            markers.append((float(report["knee_qps"]), "knee"))
+        body.append(
+            _svg_line_chart(
+                "Offered vs achieved QPS",
+                offered,
+                [("offered", offered), ("achieved", achieved)],
+                x_label="offered qps",
+                markers=markers,
+            )
+        )
+        body.append(
+            _svg_line_chart(
+                "p99 latency (ms) vs offered QPS",
+                offered,
+                [("p99 ms", p99)],
+                x_label="offered qps",
+                markers=markers,
+            )
+        )
+        body.append("<h2>Steps</h2>")
+        rows = [
+            [
+                f"{float(step.get('offered_qps') or 0.0):.0f}",
+                f"{float(step.get('achieved_qps') or 0.0):.0f}",
+                f"{float((step.get('latency') or {}).get('p50_ms') or 0.0):.2f}",
+                f"{float((step.get('latency') or {}).get('p99_ms') or 0.0):.2f}",
+                step.get("error_count"),
+                step.get("dropped"),
+            ]
+            for step in steps
+        ]
+        body.append(
+            _table(
+                ["offered qps", "achieved qps", "p50 ms", "p99 ms", "errors", "dropped"],
+                rows,
+            )
+        )
+        if steps:
+            body.append("<h2>Last step detail</h2>")
+            body.extend(_serving_trial_body(steps[-1]))
+        return _page("repro serving report — saturation sweep", "".join(body))
+    body.extend(_serving_trial_body(report))
+    return _page(f"repro serving report — {report.get('mode', 'trial')} loop", "".join(body))
+
+
+# ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
 def render_report(source: str | Path) -> str:
-    """Render ``source`` (record directory or manifest JSON) to HTML."""
+    """Render ``source`` — record directory, manifest, or loadgen report."""
     path = Path(source)
     if path.is_dir():
         return _render_record(path)
     if path.is_file():
         document = json.loads(path.read_text(encoding="utf-8"))
-        if not str(document.get("schema", "")).startswith("repro.orchestrate/manifest"):
+        schema = str(document.get("schema", ""))
+        if schema.startswith("repro.serve/"):
+            return _render_serving(document)
+        if not schema.startswith("repro.orchestrate/manifest"):
             raise ConfigurationError(
-                f"{path} is not an orchestrate manifest (missing schema tag)"
+                f"{path} is not an orchestrate manifest or serving report "
+                "(missing schema tag)"
             )
         return _render_manifest(document)
     raise ConfigurationError(f"no such record directory or manifest: {path}")

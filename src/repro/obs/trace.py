@@ -43,6 +43,7 @@ __all__ = [
     "PID_CHURN",
     "PID_PROTOCOL",
     "PID_QUERY",
+    "PID_SERVE",
     "PROCESS_NAMES",
     "TRACE_ENV",
     "TraceEvent",
@@ -63,10 +64,12 @@ _DEFAULT_TRACE_PATH = "repro-trace.jsonl"
 PID_QUERY = 1
 PID_PROTOCOL = 2
 PID_CHURN = 3
+PID_SERVE = 4
 PROCESS_NAMES: dict[int, str] = {
     PID_QUERY: "queries",
     PID_PROTOCOL: "protocol",
     PID_CHURN: "churn",
+    PID_SERVE: "serve",
 }
 
 #: Seconds -> trace microseconds (the Chrome trace-event time unit).

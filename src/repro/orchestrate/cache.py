@@ -106,6 +106,13 @@ class ResultCache:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Runtime tallies for this process's use of the cache. Volatile by
+        #: nature (they depend on what happened to be cached when the run
+        #: started), so the manifest carries them in a ``stable_view()``-
+        #: stripped block only.
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
 
     def _entry(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -128,13 +135,29 @@ class ResultCache:
             with self._entry(key).open("rb") as fh:
                 result = pickle.load(fh)
         except FileNotFoundError:
+            self.misses += 1
             return None
         except Exception:
+            self.misses += 1
             return None
-        return result if isinstance(result, SimulationResult) else None
+        if isinstance(result, SimulationResult):
+            self.hits += 1
+            return result
+        self.misses += 1
+        return None
+
+    def stats(self) -> dict[str, int]:
+        """This process's lookup/store tallies (see ``__init__``)."""
+        return {
+            "lookups": self.hits + self.misses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }
 
     def put(self, key: str, result: SimulationResult, meta: Mapping[str, Any]) -> None:
         """Store ``result`` under ``key`` atomically, with a JSON sidecar."""
+        self.puts += 1
         entry = self._entry(key)
         entry.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=entry.parent, suffix=".tmp")

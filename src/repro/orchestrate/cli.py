@@ -278,6 +278,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             records=list(run.records),
             cache_dir=cache_dir,
             wall_s=run.wall_s,
+            cache_stats=cache.stats() if cache is not None else None,
         )
         written = write_manifest(manifest, args.manifest)
         if not args.quiet:

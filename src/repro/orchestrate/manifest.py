@@ -33,8 +33,12 @@ _VOLATILE_TASK_FIELDS = frozenset({"elapsed_s", "phases"})
 #: change what a grid computes, only how fast; ``obs`` holds aggregate
 #: wall-clock phase totals.
 _VOLATILE_BLOCKS = frozenset({"timing", "host", "jobs", "obs"})
-#: Cache fields tied to a run-local location rather than the computation.
-_VOLATILE_CACHE_FIELDS = frozenset({"dir"})
+#: Cache fields tied to a run-local location or this process's runtime
+#: behaviour rather than the computation. ``runtime`` holds the
+#: :meth:`repro.orchestrate.cache.ResultCache.stats` tallies — what this
+#: invocation actually looked up and stored, which depends on the cache
+#: state the run started from.
+_VOLATILE_CACHE_FIELDS = frozenset({"dir", "runtime"})
 
 
 def _aggregate_phases(records: Sequence[TaskRecord]) -> dict[str, Any]:
@@ -55,6 +59,7 @@ def build_manifest(
     records: Sequence[TaskRecord],
     cache_dir: str | None,
     wall_s: float,
+    cache_stats: Mapping[str, int] | None = None,
 ) -> dict[str, Any]:
     """Assemble the manifest document for one completed grid run."""
     return {
@@ -84,6 +89,9 @@ def build_manifest(
             "hits": sum(1 for r in records if r.cache_hit),
             "executed": sum(1 for r in records if not r.cache_hit and r.error is None),
             "errors": sum(1 for r in records if r.error is not None),
+            # Raw ResultCache lookup/store tallies; volatile (stripped by
+            # stable_view) since they depend on pre-existing cache state.
+            "runtime": dict(cache_stats) if cache_stats is not None else None,
         },
         "timing": {"wall_s": wall_s},
         "host": {

@@ -30,6 +30,11 @@ class ProgressPrinter:
         self.stream = stream if stream is not None else sys.stderr
         self.enabled = enabled
         self.seen = 0
+        #: Running cache tallies over the records seen so far; every line
+        #: carries them so a stalled grid still shows how much of the work
+        #: the cache is absorbing.
+        self.hits = 0
+        self.misses = 0
         self._started = perf_counter()
 
     def _eta(self, done: int, total: int) -> str:
@@ -44,6 +49,10 @@ class ProgressPrinter:
 
     def __call__(self, record: TaskRecord, done: int, total: int) -> None:
         self.seen = done
+        if record.cache_hit:
+            self.hits += 1
+        else:
+            self.misses += 1
         if not self.enabled:
             return
         width = len(str(total))
@@ -58,7 +67,8 @@ class ProgressPrinter:
             detail = f"{record.elapsed_s:.1f}s"
         print(
             f"[{done:>{width}}/{total}] {status} {record.task_id} "
-            f"({detail}){self._eta(done, total)}",
+            f"({detail}) [cache {self.hits}h/{self.misses}m]"
+            f"{self._eta(done, total)}",
             file=self.stream,
             flush=True,
         )

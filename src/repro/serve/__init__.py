@@ -1,0 +1,35 @@
+"""``repro.serve``: a query-serving front end over the live overlay.
+
+The simulation answers *simulated* queries; this package turns the same
+engine into a service that answers *live* ones — an asyncio TCP server
+(:mod:`repro.serve.server`) pacing the simulated world against the wall
+clock while routing client queries through the flood fast path, plus a
+load generator (:mod:`repro.serve.loadgen`) measuring the latency tail
+and the saturation knee. See ``docs/serving.md``.
+"""
+
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    LoadReport,
+    ServeClient,
+    SweepReport,
+    run_closed_loop,
+    run_open_loop,
+    saturation_sweep,
+)
+from repro.serve.protocol import ERROR_CODES, ProtocolError
+from repro.serve.server import QueryServer, ServeConfig
+
+__all__ = [
+    "ERROR_CODES",
+    "LoadgenConfig",
+    "LoadReport",
+    "ProtocolError",
+    "QueryServer",
+    "ServeClient",
+    "ServeConfig",
+    "SweepReport",
+    "run_closed_loop",
+    "run_open_loop",
+    "saturation_sweep",
+]

@@ -1,0 +1,267 @@
+"""``repro-serve`` and ``repro-loadgen``: the service-mode entry points.
+
+Usage::
+
+    repro-serve --preset smoke --seed 0 --port 7411          # serve forever
+    repro-loadgen --port 7411 --mode closed --duration 5     # measure latency
+    repro-loadgen --port 7411 --mode open --qps 200          # offered-rate run
+    repro-loadgen --port 7411 --sweep --start-qps 50 \\
+        --sweep-factor 2 --sweep-steps 5                     # find the knee
+
+``repro-serve`` prints one JSON line (the bound address and world
+parameters) to stdout as soon as it is accepting connections — scripts
+wait for that line — then serves until SIGINT/SIGTERM, draining in-flight
+requests before exiting. ``repro-loadgen`` prints its report as one JSON
+document on stdout and optionally writes it to ``--out`` (the file
+``repro-report`` renders as a serving panel).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.serve.loadgen import (
+    LoadgenConfig,
+    run_closed_loop,
+    run_open_loop,
+    saturation_sweep,
+)
+from repro.serve.server import QueryServer, ServeConfig
+
+__all__ = ["loadgen_main", "serve_main"]
+
+
+# ----------------------------------------------------------------------
+# repro-serve
+# ----------------------------------------------------------------------
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve live overlay queries over newline-JSON TCP.",
+    )
+    parser.add_argument("--preset", default="smoke", help="world-size preset")
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--scheme",
+        default="dynamic",
+        choices=("static", "dynamic"),
+        help="link-management scheme (default: dynamic)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="fast",
+        choices=("fast", "fast-reference"),
+        help="engine variant (default: fast)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (default 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--time-rate",
+        type=float,
+        default=600.0,
+        help="simulated seconds per wall second; 0 freezes churn (default 600)",
+    )
+    parser.add_argument(
+        "--warmup-sim-hours",
+        type=float,
+        default=2.0,
+        help="simulated hours to advance before serving (default 2)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admission-queue capacity (default 256)",
+    )
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=1000.0,
+        help="default per-request deadline (default 1000)",
+    )
+    return parser
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    from repro.experiments.common import preset_config
+
+    config = preset_config(args.preset, seed=args.seed)
+    config = config.as_static() if args.scheme == "static" else config.as_dynamic()
+    server = QueryServer(
+        config,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            default_timeout_ms=args.timeout_ms,
+            time_rate=args.time_rate,
+            warmup_sim_s=args.warmup_sim_hours * 3600.0,
+        ),
+        engine=args.engine,
+    )
+    host, port = await server.start()
+    print(
+        json.dumps(
+            {
+                "serving": {"host": host, "port": port},
+                "preset": args.preset,
+                "seed": args.seed,
+                "scheme": args.scheme,
+                "n_users": config.n_users,
+                "n_items": config.n_items,
+                "online": server.engine.online_count(),
+                "sim_time": server.engine.sim.now,
+                "time_rate": args.time_rate,
+            },
+            sort_keys=True,
+        ),
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+    await stop.wait()
+    print("[repro-serve] draining ...", file=sys.stderr, flush=True)
+    await server.shutdown()
+    print(
+        f"[repro-serve] served {server.counts.ok} ok, "
+        f"{server.counts.as_dict()}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    args = _serve_parser().parse_args(argv)
+    try:
+        return asyncio.run(_serve_async(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# repro-loadgen
+# ----------------------------------------------------------------------
+def _loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Generate query load against a repro-serve server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, required=True, help="server port")
+    parser.add_argument(
+        "--mode",
+        default="closed",
+        choices=("closed", "open"),
+        help="closed loop (saturating, default) or open loop (offered QPS)",
+    )
+    parser.add_argument(
+        "--qps", type=float, default=100.0, help="open loop: offered QPS (default 100)"
+    )
+    parser.add_argument(
+        "--connections", type=int, default=4, help="client connections (default 4)"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=5.0, help="trial seconds (default 5)"
+    )
+    parser.add_argument(
+        "--timeout-ms", type=float, default=1000.0, help="per-query deadline"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="query-mix seed")
+    parser.add_argument(
+        "--zipf-theta",
+        type=float,
+        default=None,
+        help="query-mix skew (default: the server's own theta)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="saturation sweep: step offered QPS until the service degrades",
+    )
+    parser.add_argument(
+        "--start-qps", type=float, default=50.0, help="sweep: first offered rate"
+    )
+    parser.add_argument(
+        "--sweep-factor", type=float, default=2.0, help="sweep: per-step multiplier"
+    )
+    parser.add_argument(
+        "--sweep-steps", type=int, default=6, help="sweep: maximum steps"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the report JSON here"
+    )
+    parser.add_argument(
+        "--fail-on-errors",
+        action="store_true",
+        help="exit non-zero when any request errored, timed out, or dropped",
+    )
+    return parser
+
+
+async def _loadgen_async(args: argparse.Namespace) -> dict[str, Any]:
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        connections=args.connections,
+        duration_s=args.duration,
+        qps=args.qps,
+        timeout_ms=args.timeout_ms,
+        seed=args.seed,
+        zipf_theta=args.zipf_theta,
+    )
+    if args.sweep:
+        sweep = await saturation_sweep(
+            config,
+            start_qps=args.start_qps,
+            factor=args.sweep_factor,
+            max_steps=args.sweep_steps,
+        )
+        return sweep.as_dict()
+    if args.mode == "open":
+        return (await run_open_loop(config)).as_dict()
+    return (await run_closed_loop(config)).as_dict()
+
+
+def _report_has_failures(report: dict[str, Any]) -> bool:
+    steps = report.get("steps")
+    if steps is not None:
+        return any(_report_has_failures(step) for step in steps)
+    return bool(report.get("error_count", 0) or report.get("dropped", 0))
+
+
+def loadgen_main(argv: list[str] | None = None) -> int:
+    args = _loadgen_parser().parse_args(argv)
+    try:
+        report = asyncio.run(_loadgen_async(args))
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-loadgen: error: cannot reach server: {exc}", file=sys.stderr)
+        return 2
+    document = json.dumps(report, indent=2, sort_keys=True)
+    print(document)
+    if args.out is not None:
+        target = Path(args.out)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(document + "\n", encoding="utf-8")
+    if args.fail_on_errors and _report_has_failures(report):
+        print("repro-loadgen: requests failed (see report)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(loadgen_main())

@@ -1,0 +1,59 @@
+"""Wall-clock to simulated-time pacing for the serving front end.
+
+The engine's world (churn, reconfiguration) lives on simulated seconds;
+clients live on wall seconds. :class:`SimTimePacer` maps one onto the
+other: after :meth:`start`, :meth:`target` reports how far the simulation
+*should* have advanced by now, at ``rate`` simulated seconds per wall
+second. The server advances the engine to that target before executing
+each query (and from a periodic tick task), so the overlay keeps churning
+at a controlled pace while queries arrive.
+
+``rate=0`` freezes the world: the overlay stays exactly as the warmup left
+it, which is what latency benchmarks want (no churn noise) and what the
+digest-neutrality test exploits (any chunking of advancement is
+digest-identical anyway, frozen or not).
+
+The pacer is the one deliberately wall-clock-coupled piece of the stack;
+it lives outside the deterministic packages (``repro.lint`` rule R002
+does not apply to ``repro.serve``) and never feeds timestamps *into* the
+simulation — only "run until" targets, which the kernel clamps.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+
+__all__ = ["SimTimePacer"]
+
+
+class SimTimePacer:
+    """Maps elapsed wall seconds onto a simulated-time advancement target."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0 (0 freezes the world), got {rate}")
+        #: Simulated seconds per wall second (0 = frozen world).
+        self.rate = rate
+        self._wall0: float | None = None
+        self._sim0 = 0.0
+
+    def start(self, sim_now: float) -> None:
+        """Anchor the mapping: ``sim_now`` corresponds to *this* wall instant."""
+        self._wall0 = monotonic()
+        self._sim0 = sim_now
+
+    @property
+    def started(self) -> bool:
+        return self._wall0 is not None
+
+    def target(self) -> float:
+        """Where the simulation clock should be right now (simulated seconds).
+
+        Monotone non-decreasing between :meth:`start` calls. Before
+        :meth:`start` this raises — an unanchored target is meaningless.
+        """
+        if self._wall0 is None:
+            raise RuntimeError("pacer.target() before pacer.start()")
+        if self.rate == 0.0:
+            return self._sim0
+        return self._sim0 + (monotonic() - self._wall0) * self.rate

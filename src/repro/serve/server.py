@@ -1,0 +1,561 @@
+"""The asyncio query-serving front end over a live Gnutella engine.
+
+:class:`QueryServer` owns one :class:`~repro.gnutella.fast.FastGnutellaEngine`
+whose world (churn + reconfiguration) advances on a
+:class:`~repro.serve.pacer.SimTimePacer`, and serves concurrent client
+queries over the newline-JSON TCP protocol of :mod:`repro.serve.protocol`.
+
+Design constraints, in order:
+
+* **The engine is not thread- or task-reentrant.** The flood fast path
+  reuses per-search buffers and the kernel forbids re-entrant ``run``.
+  All engine access — advancement and query execution — therefore flows
+  through one worker task draining one bounded admission queue. Query
+  execution is microseconds (an in-process BFS), so a single worker
+  sustains tens of thousands of queries per second; the admission queue
+  is where concurrent clients wait.
+* **Serving must be digest-neutral.** Served queries go through
+  :meth:`~repro.gnutella.fast.FastGnutellaEngine.serve_query`, which draws
+  no RNG, schedules no kernel events, and mutates no simulation state; the
+  world advances via :meth:`~repro.gnutella.fast.FastGnutellaEngine.advance`,
+  and incremental advancement executes the exact same kernel events as one
+  uninterrupted run. A server-driven run's event-stream digest is therefore
+  bit-identical to ``run_simulation`` of the same config
+  (``tests/serve/test_digest_neutral.py``).
+* **Overload fails fast.** A full admission queue answers a typed
+  ``overload`` error immediately — clients never hang on an unbounded
+  backlog. Each request carries a deadline; requests that age out while
+  queued are answered with ``timeout`` instead of being executed late.
+* **Disconnects cancel.** Requests from a connection that has gone away
+  are dropped at dequeue time (counted, never executed).
+* **Shutdown drains.** :meth:`shutdown` stops admitting, lets queued
+  requests finish (bounded by ``drain_timeout_s``), then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.gnutella.config import GnutellaConfig
+from repro.gnutella.fast import FastGnutellaEngine
+from repro.gnutella.simulation import build_engine
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import PID_SERVE
+from repro.serve.pacer import SimTimePacer
+from repro.serve.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_NODE_OFFLINE,
+    ERR_OVERLOAD,
+    ERR_SHUTTING_DOWN,
+    ERR_TIMEOUT,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    encode_line,
+    error_response,
+    parse_request,
+)
+from repro.types import NodeId
+
+__all__ = ["QueryServer", "ServeConfig"]
+
+#: Histogram buckets tuned for in-process serving latency (seconds).
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Front-end knobs, independent of the simulated world's config."""
+
+    host: str = "127.0.0.1"
+    #: 0 asks the OS for an ephemeral port; :meth:`QueryServer.start`
+    #: returns the bound address either way.
+    port: int = 0
+    #: Admission-queue capacity; one more request answers ``overload``.
+    max_queue: int = 256
+    #: Deadline applied when a query names no ``timeout_ms`` of its own.
+    default_timeout_ms: float = 1000.0
+    #: Simulated seconds per wall second (0 freezes churn entirely).
+    time_rate: float = 600.0
+    #: Simulated seconds to advance before accepting the first query, so
+    #: clients face a churned-in overlay rather than a cold start.
+    warmup_sim_s: float = 2 * 3600.0
+    #: Wall seconds between background world-advancement ticks.
+    pacer_interval_s: float = 0.05
+    #: Wall seconds :meth:`QueryServer.shutdown` waits for queued requests.
+    drain_timeout_s: float = 5.0
+
+
+class _Connection:
+    """One client connection: a guarded writer plus a liveness flag."""
+
+    __slots__ = ("writer", "alive")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.alive = True
+
+    def send(self, payload: dict[str, Any]) -> None:
+        """Best-effort line write; a dead connection swallows silently."""
+        if not self.alive or self.writer.is_closing():
+            self.alive = False
+            return
+        try:
+            self.writer.write(encode_line(payload))
+        except (ConnectionError, RuntimeError):
+            self.alive = False
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One admitted query waiting in the admission queue."""
+
+    conn: _Connection
+    request: Request
+    #: Absolute event-loop deadline (``loop.time()`` seconds).
+    deadline: float
+    enqueued_at: float
+
+
+@dataclass(slots=True)
+class _ServeCounts:
+    """Plain counters mirrored into the metrics registry (report-friendly)."""
+
+    #: Queries accepted into the admission queue (includes ones still queued).
+    admitted: int = 0
+    ok: int = 0
+    overload: int = 0
+    timeout: int = 0
+    node_offline: int = 0
+    cancelled: int = 0
+    bad_request: int = 0
+    shutting_down: int = 0
+    internal: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "ok": self.ok,
+            "overload": self.overload,
+            "timeout": self.timeout,
+            "node_offline": self.node_offline,
+            "cancelled": self.cancelled,
+            "bad_request": self.bad_request,
+            "shutting_down": self.shutting_down,
+            "internal": self.internal,
+        }
+
+
+@dataclass(slots=True)
+class _ServerState:
+    """Mutable runtime attached after :meth:`QueryServer.start`."""
+
+    queue: asyncio.Queue[_Pending]
+    worker: asyncio.Task[None]
+    server: asyncio.Server
+    pacer_task: asyncio.Task[None] | None
+    connections: set[_Connection] = field(default_factory=set)
+
+
+class QueryServer:
+    """Serve live queries over a running engine. See the module docstring."""
+
+    def __init__(
+        self,
+        config: GnutellaConfig,
+        serve: ServeConfig | None = None,
+        *,
+        engine: str = "fast",
+        tracer: Any = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if engine not in ("fast", "fast-reference"):
+            raise ValueError(
+                f"serving requires an atomic-query engine (fast/fast-reference), got {engine!r}"
+            )
+        self.config = config
+        self.serve = serve if serve is not None else ServeConfig()
+        built = build_engine(config, engine)
+        assert isinstance(built, FastGnutellaEngine)
+        self.engine: FastGnutellaEngine = built
+        self.tracer = tracer
+        if tracer is not None:
+            self.engine.attach_tracer(tracer)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter("serve.requests")
+        self._latency = self.registry.histogram(
+            "serve.latency_seconds", bounds=LATENCY_BUCKETS
+        )
+        self._queue_depth = self.registry.gauge("serve.queue_depth")
+        self.counts = _ServeCounts()
+        self.pacer = SimTimePacer(self.serve.time_rate)
+        self._state: _ServerState | None = None
+        self._draining = False
+        #: Worker gate: tests clear it to hold the admission queue still
+        #: (making overload and drain deterministic), then set it again.
+        self.processing = asyncio.Event()
+        self.processing.set()
+        self._rr_next = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Warm up the world, start the worker + pacer, bind the socket.
+
+        Returns the bound ``(host, port)``.
+        """
+        if self._state is not None:
+            raise RuntimeError("server already started")
+        self.engine.start()
+        self.engine.advance(self.serve.warmup_sim_s)
+        self.pacer.start(self.engine.sim.now)
+        queue: asyncio.Queue[_Pending] = asyncio.Queue(maxsize=self.serve.max_queue)
+        worker = asyncio.create_task(self._worker_loop(queue), name="serve-worker")
+        pacer_task: asyncio.Task[None] | None = None
+        if self.serve.time_rate > 0:
+            pacer_task = asyncio.create_task(self._pacer_loop(), name="serve-pacer")
+        server = await asyncio.start_server(
+            self._handle_client,
+            host=self.serve.host,
+            port=self.serve.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._state = _ServerState(
+            queue=queue, worker=worker, server=server, pacer_task=pacer_task
+        )
+        sock = server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return str(host), int(port)
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop admitting, finish queued work, close."""
+        state = self._state
+        if state is None:
+            return
+        self._draining = True
+        state.server.close()
+        await state.server.wait_closed()
+        if state.pacer_task is not None:
+            state.pacer_task.cancel()
+            try:
+                await state.pacer_task
+            except asyncio.CancelledError:
+                pass
+        try:
+            await asyncio.wait_for(state.queue.join(), timeout=self.serve.drain_timeout_s)
+        except asyncio.TimeoutError:
+            pass
+        state.worker.cancel()
+        try:
+            await state.worker
+        except asyncio.CancelledError:
+            pass
+        for conn in list(state.connections):
+            conn.alive = False
+            if not conn.writer.is_closing():
+                conn.writer.close()
+        self._state = None
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled; used by the ``repro-serve`` CLI."""
+        state = self._state
+        if state is None:
+            raise RuntimeError("serve_forever() requires start()")
+        await state.server.serve_forever()
+
+    @property
+    def queue_depth(self) -> int:
+        state = self._state
+        return state.queue.qsize() if state is not None else 0
+
+    # ------------------------------------------------------------------
+    # World advancement
+    # ------------------------------------------------------------------
+    def _advance_world(self) -> None:
+        """Catch the simulation up to the pacer's current target."""
+        if self.pacer.started:
+            self.engine.advance(self.pacer.target())
+
+    async def _pacer_loop(self) -> None:
+        """Background tick so churn proceeds even with no traffic."""
+        while True:
+            await asyncio.sleep(self.serve.pacer_interval_s)
+            self._advance_world()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        state = self._state
+        if state is None:
+            writer.close()
+            return
+        conn = _Connection(writer)
+        state.connections.add(conn)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break
+                if not line:
+                    break
+                if line.strip():
+                    self._dispatch(conn, line)
+                    await self._drain_writer(conn)
+        finally:
+            conn.alive = False
+            state.connections.discard(conn)
+            if not writer.is_closing():
+                writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _drain_writer(conn: _Connection) -> None:
+        """Apply transport backpressure to this client's own replies."""
+        if conn.alive and not conn.writer.is_closing():
+            try:
+                await conn.writer.drain()
+            except (ConnectionError, RuntimeError):
+                conn.alive = False
+
+    def _dispatch(self, conn: _Connection, line: bytes) -> None:
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.counts.bad_request += 1
+            self._requests.inc(status=ERR_BAD_REQUEST)
+            conn.send(error_response(exc.req_id, ERR_BAD_REQUEST, str(exc)))
+            return
+        if request.op == "ping":
+            conn.send(
+                {"id": request.req_id, "type": "pong", "sim_time": self.engine.sim.now}
+            )
+            return
+        if request.op == "info":
+            conn.send(self._info_response(request.req_id))
+            return
+        if request.op == "stats":
+            conn.send(
+                {
+                    "id": request.req_id,
+                    "type": "stats",
+                    "counts": self.counts.as_dict(),
+                    "queue_depth": self.queue_depth,
+                    "metrics": self.registry.snapshot(),
+                }
+            )
+            return
+        self._admit_query(conn, request)
+
+    def _info_response(self, req_id: Any) -> dict[str, Any]:
+        cfg = self.config
+        return {
+            "id": req_id,
+            "type": "info",
+            "n_users": cfg.n_users,
+            "n_items": cfg.n_items,
+            "n_categories": cfg.n_categories,
+            "zipf_theta": cfg.zipf_theta,
+            "max_hops": cfg.max_hops,
+            "online": self.engine.online_count(),
+            "sim_time": self.engine.sim.now,
+            "horizon": cfg.horizon,
+            "time_rate": self.serve.time_rate,
+            "draining": self._draining,
+        }
+
+    def _admit_query(self, conn: _Connection, request: Request) -> None:
+        state = self._state
+        if state is None or self._draining:
+            self.counts.shutting_down += 1
+            self._requests.inc(status=ERR_SHUTTING_DOWN)
+            conn.send(
+                error_response(
+                    request.req_id, ERR_SHUTTING_DOWN, "server is draining"
+                )
+            )
+            return
+        if request.item is not None and request.item >= self.config.n_items:
+            self.counts.bad_request += 1
+            self._requests.inc(status=ERR_BAD_REQUEST)
+            conn.send(
+                error_response(
+                    request.req_id,
+                    ERR_BAD_REQUEST,
+                    f"item {request.item} out of range [0, {self.config.n_items})",
+                )
+            )
+            return
+        loop = asyncio.get_running_loop()
+        timeout_ms = (
+            request.timeout_ms
+            if request.timeout_ms is not None
+            else self.serve.default_timeout_ms
+        )
+        pending = _Pending(
+            conn=conn,
+            request=request,
+            deadline=loop.time() + timeout_ms / 1000.0,
+            enqueued_at=loop.time(),
+        )
+        try:
+            state.queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.counts.overload += 1
+            self._requests.inc(status=ERR_OVERLOAD)
+            conn.send(
+                error_response(
+                    request.req_id,
+                    ERR_OVERLOAD,
+                    f"admission queue full ({self.serve.max_queue}); retry later",
+                )
+            )
+            return
+        self.counts.admitted += 1
+        self._queue_depth.set(state.queue.qsize())
+
+    # ------------------------------------------------------------------
+    # The single engine worker
+    # ------------------------------------------------------------------
+    async def _worker_loop(self, queue: asyncio.Queue[_Pending]) -> None:
+        while True:
+            pending = await queue.get()
+            try:
+                await self.processing.wait()
+                self._execute(pending)
+            except Exception as exc:  # keep serving after a bad request
+                self.counts.internal += 1
+                self._requests.inc(status=ERR_INTERNAL)
+                pending.conn.send(
+                    error_response(pending.request.req_id, ERR_INTERNAL, repr(exc))
+                )
+            finally:
+                queue.task_done()
+                self._queue_depth.set(queue.qsize())
+
+    def _execute(self, pending: _Pending) -> None:
+        conn, request = pending.conn, pending.request
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        if not conn.alive:
+            # Client went away while the request queued: cancel, don't run.
+            self.counts.cancelled += 1
+            self._requests.inc(status="cancelled")
+            return
+        if started > pending.deadline:
+            self.counts.timeout += 1
+            self._requests.inc(status=ERR_TIMEOUT)
+            conn.send(
+                error_response(
+                    request.req_id, ERR_TIMEOUT, "deadline expired while queued"
+                )
+            )
+            return
+        self._advance_world()
+        node = self._pick_initiator(request.node)
+        if node is None:
+            self.counts.node_offline += 1
+            self._requests.inc(status=ERR_NODE_OFFLINE)
+            message = (
+                f"node {request.node} is offline"
+                if request.node is not None
+                else "no peers online"
+            )
+            conn.send(error_response(request.req_id, ERR_NODE_OFFLINE, message))
+            return
+        assert request.item is not None
+        outcome = self.engine.serve_query(node, request.item)
+        ranked = sorted(outcome.results, key=lambda r: r.delay)
+        for rank, result in enumerate(ranked):
+            conn.send(
+                {
+                    "id": request.req_id,
+                    "type": "result",
+                    "rank": rank,
+                    "responder": int(result.responder),
+                    "hops": result.hops,
+                    "delay_ms": result.delay * 1e3,
+                }
+            )
+        latency = loop.time() - started
+        conn.send(
+            {
+                "id": request.req_id,
+                "type": "done",
+                "status": "ok",
+                "node": int(node),
+                "item": request.item,
+                "results": len(ranked),
+                "messages": outcome.messages,
+                "nodes_contacted": outcome.nodes_contacted,
+                "sim_time": self.engine.sim.now,
+                "queue_ms": (started - pending.enqueued_at) * 1e3,
+                "latency_ms": latency * 1e3,
+            }
+        )
+        self.counts.ok += 1
+        self._requests.inc(status="ok")
+        self._latency.observe(latency)
+        if self.tracer is not None and self.tracer.enabled:
+            # The span sits at the simulated instant the query executed;
+            # its duration is the measured *wall* processing time (the
+            # one wall quantity in an otherwise simulated-time trace).
+            self.tracer.complete(
+                "serve",
+                "serve",
+                self.engine.sim.now,
+                latency,
+                pid=PID_SERVE,
+                tid=int(node),
+                args={
+                    "item": request.item,
+                    "results": len(ranked),
+                    "messages": outcome.messages,
+                    "queue_ms": (started - pending.enqueued_at) * 1e3,
+                },
+            )
+
+    def _pick_initiator(self, requested: int | None) -> NodeId | None:
+        """The query's initiating peer: the client's choice, or round-robin.
+
+        Explicit nodes must be online (``None`` otherwise). Auto-selection
+        scans the peer table round-robin for an online peer, spreading
+        serve load across the population the way real users would.
+        """
+        peers = self.engine.peers
+        if requested is not None:
+            if requested < len(peers) and peers[requested].online:
+                return NodeId(requested)
+            return None
+        n = len(peers)
+        for offset in range(n):
+            idx = (self._rr_next + offset) % n
+            if peers[idx].online:
+                self._rr_next = idx + 1
+                return NodeId(idx)
+        return None

@@ -149,3 +149,72 @@ def test_committed_baseline_compares_against_itself():
     report = compare_snapshots(snapshot, snapshot)
     assert report.ok
     assert len(report.deltas) >= 4
+
+
+@pytest.fixture()
+def baseline_with_serving(baseline):
+    snapshot = copy.deepcopy(baseline)
+    snapshot["serving"] = {
+        "closed_loop": {
+            "connections": 4.0,
+            "trial_duration": 1.5,
+            "n_users": 40.0,
+            "requests_per_sec": 5000.0,
+            "p50_seconds": 0.0002,
+            "p95_seconds": 0.0005,
+            "p99_seconds": 0.001,
+        }
+    }
+    return snapshot
+
+
+def test_serving_section_judged_like_kernels(baseline_with_serving):
+    report = compare_snapshots(baseline_with_serving, baseline_with_serving)
+    assert report.ok
+    serving_deltas = [d for d in report.deltas if d.kernel.startswith("serving:")]
+    assert len(serving_deltas) == 4  # requests_per_sec + three latency tails
+
+
+def test_serving_throughput_drop_is_a_regression(baseline_with_serving):
+    slow = copy.deepcopy(baseline_with_serving)
+    slow["serving"]["closed_loop"]["requests_per_sec"] = 2000.0
+    report = compare_snapshots(baseline_with_serving, slow)
+    assert not report.ok
+    (regression,) = report.regressions
+    assert regression.kernel == "serving:closed_loop"
+    assert regression.metric == "requests_per_sec"
+    assert regression.direction == "higher"
+
+
+def test_serving_tail_inflation_is_a_regression(baseline_with_serving):
+    slow = copy.deepcopy(baseline_with_serving)
+    slow["serving"]["closed_loop"]["p99_seconds"] *= 3.0
+    report = compare_snapshots(baseline_with_serving, slow)
+    assert not report.ok
+    assert any(r.metric == "p99_seconds" for r in report.regressions)
+
+
+def test_serving_param_change_skips_not_misjudges(baseline_with_serving):
+    changed = copy.deepcopy(baseline_with_serving)
+    changed["serving"]["closed_loop"]["connections"] = 16.0
+    changed["serving"]["closed_loop"]["requests_per_sec"] = 1.0
+    report = compare_snapshots(baseline_with_serving, changed)
+    assert report.ok
+    assert any(
+        "serving section 'closed_loop'" in note and "parameters differ" in note
+        for note in report.skipped
+    )
+
+
+def test_serving_section_new_in_new_snapshot_is_noted(baseline, baseline_with_serving):
+    # Old snapshots predate the serving bench: comparing must not fail.
+    report = compare_snapshots(baseline, baseline_with_serving)
+    assert report.ok
+    assert any(
+        "serving section 'closed_loop'" in note and "is new" in note
+        for note in report.skipped
+    )
+
+
+def test_serving_section_absent_from_both_is_fine(baseline):
+    assert compare_snapshots(baseline, baseline).ok

@@ -1,0 +1,65 @@
+"""The serving bench section: shape, params-vs-metrics split, smoke run."""
+
+from repro.bench.serving import ServingBench, serving_smoke
+from repro.serve.loadgen import LatencySummary, LoadReport
+
+
+def _bench() -> ServingBench:
+    return ServingBench(
+        preset="smoke",
+        connections=4,
+        trial_seconds=1.5,
+        n_users=40,
+        requests_per_sec=5000.0,
+        p50_seconds=0.0002,
+        p95_seconds=0.0005,
+        p99_seconds=0.001,
+        report=LoadReport(
+            mode="closed",
+            connections=4,
+            duration_s=1.5,
+            offered_qps=None,
+            requests=7500,
+            ok=7500,
+            errors={},
+            dropped=0,
+            achieved_qps=5000.0,
+            latency=LatencySummary.from_samples([0.0002]),
+            hit_fraction=0.8,
+            sim_time_start=7200.0,
+            sim_time_end=7200.0,
+        ),
+    )
+
+
+class TestServingBenchShape:
+    def test_as_dict_holds_only_stable_params_and_judged_metrics(self):
+        section = _bench().as_dict()
+        assert set(section) == {"closed_loop"}
+        block = section["closed_loop"]
+        # Params the compare gate uses to decide comparability...
+        assert block["connections"] == 4.0
+        assert block["trial_duration"] == 1.5
+        assert block["n_users"] == 40.0
+        # ...and the judged metrics, named so direction inference works
+        # (per_sec -> higher is better, seconds -> lower is better).
+        assert block["requests_per_sec"] == 5000.0
+        assert block["p50_seconds"] == 0.0002
+        assert block["p99_seconds"] == 0.001
+        # Measured counts (requests, ok) stay out: they vary run to run and
+        # would trip the params-must-match rule on every compare.
+        assert "requests" not in block
+        assert "ok" not in block
+
+    def test_values_are_plain_floats(self):
+        block = _bench().as_dict()["closed_loop"]
+        assert all(isinstance(v, float) for v in block.values())
+
+
+class TestServingSmoke:
+    def test_measures_a_live_server(self):
+        bench = serving_smoke(duration_s=0.5, connections=2)
+        assert bench.requests_per_sec > 0
+        assert bench.report.error_count == 0
+        assert bench.report.ok == bench.report.requests
+        assert 0 < bench.p50_seconds <= bench.p99_seconds

@@ -84,3 +84,46 @@ class TestRecordCommand:
         from repro.obs.chrome import validate_chrome
 
         assert validate_chrome(json.loads((tmp_path / "t.json").read_text())) == []
+
+
+class TestSummarizeTolerance:
+    """`repro-trace summarize` on damaged traces: degrade, never crash."""
+
+    def test_empty_trace_summarizes_to_zero_events(self, tmp_path, capsys):
+        empty = tmp_path / "trace.jsonl"
+        empty.write_text("")
+        assert main(["summarize", str(empty)]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["events"] == 0
+        assert "holds no events" in captured.err
+
+    def test_truncated_final_line_is_skipped_with_warning(self, jsonl_trace, capsys):
+        # Simulate a crash mid-write: chop the last line in half.
+        text = jsonl_trace.read_text()
+        lines = text.splitlines()
+        jsonl_trace.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        assert main(["summarize", str(jsonl_trace)]) == 0
+        captured = capsys.readouterr()
+        summary = json.loads(captured.out)
+        assert summary["events"] == 2  # the intact prefix
+        assert summary["skipped_lines"] == 1
+        assert "truncated" in captured.err
+
+    def test_non_object_lines_are_skipped(self, jsonl_trace, capsys):
+        with jsonl_trace.open("a") as handle:
+            handle.write("[1, 2, 3]\n")
+        assert main(["summarize", str(jsonl_trace)]) == 0
+        captured = capsys.readouterr()
+        summary = json.loads(captured.out)
+        assert summary["events"] == 3
+        assert summary["skipped_lines"] == 1
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_unparseable_chrome_json_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "trace.json"
+        bad.write_text("{definitely not json")
+        assert main(["summarize", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err

@@ -116,3 +116,63 @@ def test_report_rejects_dir_without_summary(tmp_path):
     (tmp_path / "empty").mkdir()
     with pytest.raises(ConfigurationError):
         render_report(tmp_path / "empty")
+
+
+@pytest.fixture(scope="module")
+def trial_report_dict():
+    from repro.serve.loadgen import LatencySummary, LoadReport
+
+    return LoadReport(
+        mode="closed",
+        connections=4,
+        duration_s=2.0,
+        offered_qps=None,
+        requests=1000,
+        ok=995,
+        errors={"timeout": 5},
+        dropped=0,
+        achieved_qps=497.5,
+        latency=LatencySummary.from_samples([0.001 * (i % 20 + 1) for i in range(200)]),
+        hit_fraction=0.8,
+        sim_time_start=7200.0,
+        sim_time_end=7200.0,
+    ).as_dict()
+
+
+def test_serving_trial_report(tmp_path, trial_report_dict):
+    path = tmp_path / "load.json"
+    path.write_text(json.dumps(trial_report_dict))
+    html_text = render_report(path)
+    assert html_text.startswith("<!DOCTYPE html>")
+    assert "serving report" in html_text
+    assert "Latency tail" in html_text
+    assert "<svg" in html_text
+    assert "timeout" in html_text  # the error table names the error kind
+    # Self-contained like every other report.
+    assert "http://" not in html_text and "<script" not in html_text
+
+
+def test_serving_sweep_report(tmp_path, trial_report_dict):
+    from repro.serve.loadgen import SWEEP_SCHEMA
+
+    steps = []
+    for qps in (50.0, 100.0, 200.0):
+        step = dict(trial_report_dict)
+        step["mode"] = "open"
+        step["offered_qps"] = qps
+        step["achieved_qps"] = qps
+        steps.append(step)
+    sweep = {
+        "schema": SWEEP_SCHEMA,
+        "steps": steps,
+        "offered_qps_axis": [50.0, 100.0, 200.0],
+        "knee_qps": 200.0,
+        "degraded_at_qps": None,
+    }
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(sweep))
+    html_text = render_report(path)
+    assert "saturation sweep" in html_text
+    assert "knee" in html_text.lower()
+    assert "polyline" in html_text  # offered-vs-achieved line chart
+    assert html_text.count("<svg") >= 2  # throughput + p99 charts

@@ -107,3 +107,57 @@ class TestResultCache:
         key = "7f" + "4" * 62
         cache.put(key, tiny_result, {})
         assert (tmp_path / "7f" / f"{key}.pkl").is_file()
+
+
+class TestCacheStats:
+    """Hit/miss/put tallies surfaced in the manifest and progress line."""
+
+    def test_counts_follow_the_lookup_lifecycle(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "5" * 62
+        assert cache.stats() == {"lookups": 0, "hits": 0, "misses": 0, "puts": 0}
+        assert cache.get(key) is None  # cold miss
+        cache.put(key, tiny_result, {})
+        assert cache.get(key) is not None  # hit
+        assert cache.stats() == {"lookups": 2, "hits": 1, "misses": 1, "puts": 1}
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "6" * 62
+        cache.put(key, tiny_result, {})
+        (tmp_path / key[:2] / f"{key}.pkl").write_bytes(b"garbage")
+        assert cache.get(key) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_manifest_carries_runtime_stats_and_stable_view_strips_them(
+        self, tmp_path, tiny_result
+    ):
+        from repro.orchestrate.manifest import build_manifest, stable_view
+
+        cache = ResultCache(tmp_path)
+        key = "ef" + "7" * 62
+        cache.get(key)
+        cache.put(key, tiny_result, {})
+        manifest = build_manifest(
+            grid={"preset": "smoke"},
+            jobs=1,
+            records=[],
+            cache_dir=str(tmp_path),
+            wall_s=0.1,
+            cache_stats=cache.stats(),
+        )
+        assert manifest["cache"]["runtime"] == {
+            "lookups": 1,
+            "hits": 0,
+            "misses": 1,
+            "puts": 1,
+        }
+        assert "runtime" not in stable_view(manifest)["cache"]
+
+    def test_manifest_without_stats_has_null_runtime(self):
+        from repro.orchestrate.manifest import build_manifest
+
+        manifest = build_manifest(
+            grid={}, jobs=1, records=[], cache_dir=None, wall_s=0.0
+        )
+        assert manifest["cache"]["runtime"] is None

@@ -63,3 +63,21 @@ class TestProgressPrinter:
         printer(_record(), done=1, total=1)
         printer.summary(hits=0, executed=1, errors=0, wall_s=3.0)
         assert "orchestrated 1 task(s)" in stream.getvalue()
+
+    def test_cache_tally_in_every_line(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(_record(cache_hit=True, elapsed_s=0.0), done=1, total=3)
+        printer(_record(), done=2, total=3)
+        lines = stream.getvalue().splitlines()
+        assert "[cache 1h/0m]" in lines[0]
+        assert "[cache 1h/1m]" in lines[1]
+
+    def test_disabled_printer_still_tallies_cache(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream, enabled=False)
+        printer(_record(cache_hit=True, elapsed_s=0.0), done=1, total=2)
+        printer(_record(), done=2, total=2)
+        assert stream.getvalue() == ""
+        assert printer.hits == 1
+        assert printer.misses == 1

@@ -1,0 +1,90 @@
+"""Digest neutrality: serving queries does not perturb the simulated world.
+
+The serving front end interleaves ``engine.advance()`` with
+``engine.serve_query()``. Queries execute *outside* the kernel — no RNG
+draws, no scheduled events, no library mutation — so the kernel's event
+stream must be bit-identical to a plain ``run_simulation`` of the same
+config. This is the property that makes the service mode a trustworthy
+window onto the reproduction rather than a fork of it.
+"""
+
+import asyncio
+
+from repro.gnutella.config import GnutellaConfig
+from repro.gnutella.simulation import build_engine
+from repro.lint.sanitize import attach_hasher, run_hashed
+from repro.serve.loadgen import ServeClient
+from repro.serve.server import QueryServer, ServeConfig
+
+
+def _config() -> GnutellaConfig:
+    return GnutellaConfig(
+        n_users=40,
+        n_items=2000,
+        horizon=3 * 3600.0,
+        warmup_hours=0,
+        dynamic=True,
+    )
+
+
+class TestDigestNeutrality:
+    def test_advance_chunking_matches_single_run(self):
+        """Chunked advancement alone replays the identical event stream."""
+        config = _config()
+        _, baseline = run_hashed(config, "fast", sanitize=False)
+
+        eng = build_engine(config, "fast")
+        hasher = attach_hasher(eng.sim)
+        eng.start()
+        for target in (600.0, 1800.0, 3600.0, 7200.0, config.horizon):
+            eng.advance(target)
+        assert hasher.hexdigest() == baseline
+
+    def test_served_queries_leave_digest_unchanged(self):
+        """Interleaving serve_query() between advances changes nothing."""
+        config = _config()
+        _, baseline = run_hashed(config, "fast", sanitize=False)
+
+        eng = build_engine(config, "fast")
+        hasher = attach_hasher(eng.sim)
+        eng.start()
+        served = 0
+        for target in (600.0, 1800.0, 3600.0, 7200.0):
+            eng.advance(target)
+            for peer in eng.peers:
+                if peer.online:
+                    eng.serve_query(peer.node, served % config.n_items)
+                    served += 1
+                    if served % 7 == 0:
+                        break
+        eng.advance(config.horizon)
+        assert served > 0
+        assert hasher.hexdigest() == baseline
+
+    def test_query_server_stream_is_digest_neutral(self):
+        """The full asyncio server (warmup + live traffic) is neutral too."""
+        config = _config()
+        _, baseline = run_hashed(config, "fast", sanitize=False)
+
+        async def scenario() -> str:
+            server = QueryServer(
+                config,
+                # Frozen pacer: the test advances the world itself so the
+                # interleaving is deterministic, not wall-clock-dependent.
+                ServeConfig(time_rate=0.0, warmup_sim_s=1800.0),
+            )
+            hasher = attach_hasher(server.engine.sim)
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                for target in (3600.0, 7200.0, config.horizon):
+                    for item in range(25):
+                        reply = await client.query(item)
+                        assert reply.status == "ok"
+                    server.engine.advance(target)
+            finally:
+                await client.close()
+                await server.shutdown()
+            return hasher.hexdigest()
+
+        assert asyncio.run(scenario()) == baseline

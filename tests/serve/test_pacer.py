@@ -1,0 +1,39 @@
+"""Simulated-time pacer semantics."""
+
+import time
+
+import pytest
+
+from repro.serve.pacer import SimTimePacer
+
+
+class TestSimTimePacer:
+    def test_target_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            SimTimePacer(1.0).target()
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SimTimePacer(-1.0)
+
+    def test_zero_rate_freezes(self):
+        pacer = SimTimePacer(0.0)
+        pacer.start(1234.5)
+        assert pacer.target() == 1234.5
+        time.sleep(0.01)
+        assert pacer.target() == 1234.5
+
+    def test_target_advances_at_rate(self):
+        pacer = SimTimePacer(1000.0)
+        pacer.start(0.0)
+        time.sleep(0.02)
+        first = pacer.target()
+        assert first > 0.0
+        time.sleep(0.02)
+        assert pacer.target() > first  # monotone
+
+    def test_started_flag(self):
+        pacer = SimTimePacer(1.0)
+        assert not pacer.started
+        pacer.start(0.0)
+        assert pacer.started

@@ -1,0 +1,96 @@
+"""Wire-protocol parsing and validation."""
+
+import pytest
+
+from repro.serve.protocol import (
+    ERR_OVERLOAD,
+    ERROR_CODES,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    parse_request,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        payload = {"op": "query", "id": 7, "item": 3}
+        assert decode_line(encode_line(payload)) == payload
+
+    def test_encode_is_one_newline_terminated_line(self):
+        line = encode_line({"op": "ping", "id": 0})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_garbage_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2]\n")
+
+    def test_invalid_utf8_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"\xff\xfe\n")
+
+
+class TestParseRequest:
+    def test_query_full(self):
+        request = parse_request(
+            b'{"op": "query", "id": 9, "item": 4, "node": 2, "timeout_ms": 50}'
+        )
+        assert request.op == "query"
+        assert request.req_id == 9
+        assert request.item == 4
+        assert request.node == 2
+        assert request.timeout_ms == 50.0
+
+    def test_query_minimal(self):
+        request = parse_request(b'{"op": "query", "id": "abc", "item": 0}')
+        assert request.node is None
+        assert request.timeout_ms is None
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b'{"op": "nope", "id": 1}',
+            b'{"op": "query", "item": 1}',  # missing id
+            b'{"op": "query", "id": 1}',  # missing item
+            b'{"op": "query", "id": 1, "item": -1}',
+            b'{"op": "query", "id": 1, "item": true}',
+            b'{"op": "query", "id": 1, "item": 1, "node": -2}',
+            b'{"op": "query", "id": 1, "item": 1, "timeout_ms": 0}',
+            b'{"op": "query", "id": 1, "item": 1, "timeout_ms": "fast"}',
+        ],
+    )
+    def test_invalid_requests_raise(self, line):
+        with pytest.raises(ProtocolError):
+            parse_request(line)
+
+    def test_error_carries_recovered_id(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(b'{"op": "bogus", "id": 42}')
+        assert excinfo.value.req_id == 42
+
+    def test_non_query_ops_parse(self):
+        for op in ("ping", "info", "stats"):
+            request = parse_request(encode_line({"op": op, "id": 1}))
+            assert request.op == op
+
+
+class TestErrorResponse:
+    def test_shape(self):
+        response = error_response(3, ERR_OVERLOAD, "queue full")
+        assert response == {
+            "id": 3,
+            "type": "error",
+            "error": "overload",
+            "message": "queue full",
+        }
+
+    def test_codes_are_a_closed_set(self):
+        assert "overload" in ERROR_CODES
+        assert "timeout" in ERROR_CODES
+        assert len(ERROR_CODES) == 6

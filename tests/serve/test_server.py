@@ -1,0 +1,298 @@
+"""Server robustness: overload, disconnect cancellation, graceful drain.
+
+These are the satellite-task guarantees: a full admission queue answers a
+typed ``overload`` error instead of hanging, a client that disconnects
+mid-stream has its queued query cancelled (never executed), and shutdown
+drains in-flight requests before closing. The worker gate
+(``QueryServer.processing``) makes each scenario deterministic: clearing
+it holds the admission queue still while the test arranges the race.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.gnutella.config import GnutellaConfig
+from repro.serve.loadgen import ServeClient
+from repro.serve.protocol import encode_line
+from repro.serve.server import QueryServer, ServeConfig
+
+
+def _config(**overrides) -> GnutellaConfig:
+    base = dict(
+        n_users=30,
+        n_items=1000,
+        horizon=12 * 3600.0,
+        warmup_hours=0,
+        dynamic=True,
+    )
+    base.update(overrides)
+    return GnutellaConfig(**base)
+
+
+def _serve_config(**overrides) -> ServeConfig:
+    base = dict(time_rate=0.0, warmup_sim_s=1800.0, drain_timeout_s=5.0)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+async def _poll(predicate, timeout_s: float = 5.0) -> None:
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.005)
+
+
+class TestBasicServing:
+    def test_query_roundtrip_ranked_results(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                # Query enough popular items that at least one hits.
+                hits = 0
+                for item in range(40):
+                    reply = await client.query(item)
+                    assert reply.status == "ok"
+                    assert reply.done["item"] == item
+                    assert reply.done["results"] == len(reply.results)
+                    delays = [r["delay_ms"] for r in reply.results]
+                    assert delays == sorted(delays)
+                    ranks = [r["rank"] for r in reply.results]
+                    assert ranks == list(range(len(reply.results)))
+                    hits += bool(reply.results)
+                assert hits > 0, "no query hit anything; world too cold"
+                assert server.counts.ok == 40
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_info_ping_stats(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                info = await client.info()
+                assert info["n_users"] == 30
+                assert info["n_items"] == 1000
+                assert info["online"] > 0
+                assert info["sim_time"] == 1800.0
+                pong = await client.ping()
+                assert pong["type"] == "pong"
+                await client.query(3)
+                stats = await client.stats()
+                assert stats["counts"]["ok"] == 1
+                snapshot = stats["metrics"]
+                assert snapshot["serve.requests"]["values"]["status=ok"] == 1.0
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_bad_request_keeps_connection_usable(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"this is not json\n")
+                writer.write(encode_line({"op": "query", "id": 1, "item": 99999}))
+                writer.write(encode_line({"op": "ping", "id": 2}))
+                await writer.drain()
+                lines = [await reader.readline() for _ in range(3)]
+                import json
+
+                first, second, third = (json.loads(line) for line in lines)
+                assert first["type"] == "error" and first["error"] == "bad_request"
+                assert second["error"] == "bad_request"  # item out of range
+                assert third["type"] == "pong"
+                assert server.counts.bad_request == 2
+            finally:
+                writer.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_offline_node_is_a_typed_error(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            offline = next(
+                int(p.node) for p in server.engine.peers if not p.online
+            )
+            client = await ServeClient.connect(host, port)
+            try:
+                reply = await client.query(1, node=offline)
+                assert reply.status == "node_offline"
+                assert server.counts.node_offline == 1
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_detailed_engine_rejected(self):
+        with pytest.raises(ValueError):
+            QueryServer(_config(), _serve_config(), engine="detailed")
+
+
+class TestOverload:
+    def test_full_queue_returns_typed_overload_not_a_hang(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config(max_queue=4))
+            host, port = await server.start()
+            server.processing.clear()  # hold the worker still
+            client = await ServeClient.connect(host, port)
+            try:
+                # Capacity while stalled is at most queue (4) + one request
+                # in the worker's hand: six sends must overflow.
+                pending = [
+                    asyncio.create_task(client.query(i)) for i in range(6)
+                ]
+                # The typed error arrives while the worker is stalled —
+                # admission control answers immediately, it does not hang.
+                await asyncio.wait_for(
+                    _poll(lambda: server.counts.overload >= 1), timeout=2.0
+                )
+                assert server.counts.ok == 0
+                server.processing.set()
+                replies = await asyncio.gather(*pending)
+                statuses = [r.status for r in replies]
+                assert "overload" in statuses
+                assert statuses.count("ok") >= 4
+                assert statuses.count("ok") + statuses.count("overload") == 6
+                assert server.counts.overload == statuses.count("overload")
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestDisconnectCancellation:
+    def test_disconnect_mid_stream_cancels_queued_query(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            server.processing.clear()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_line({"op": "query", "id": 1, "item": 3}))
+            await writer.drain()
+            await _poll(lambda: server.counts.admitted >= 1)
+            # Abrupt client departure while the query is still queued.
+            writer.close()
+            await writer.wait_closed()
+            await _poll(lambda: not any(c.alive for c in server._state.connections))
+            ok_before = server.counts.ok
+            server.processing.set()
+            await _poll(lambda: server.counts.cancelled == 1)
+            assert server.counts.ok == ok_before  # never executed
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestGracefulDrain:
+    def test_shutdown_drains_in_flight_requests(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config(max_queue=64))
+            host, port = await server.start()
+            server.processing.clear()
+            client = await ServeClient.connect(host, port)
+            pending = [asyncio.create_task(client.query(i)) for i in range(8)]
+            await _poll(lambda: server.counts.admitted >= 8)
+            shutdown = asyncio.create_task(server.shutdown())
+            await asyncio.sleep(0.02)
+            # Drain mode: already-queued work completes...
+            server.processing.set()
+            replies = await asyncio.gather(*pending)
+            assert [r.status for r in replies] == ["ok"] * 8
+            await asyncio.wait_for(shutdown, timeout=10.0)
+            assert server.counts.ok == 8
+            await client.close()
+
+        asyncio.run(scenario())
+
+    def test_new_queries_rejected_while_draining(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            server.processing.clear()
+            first = asyncio.create_task(client.query(1))
+            await _poll(lambda: server.counts.admitted >= 1)
+            shutdown = asyncio.create_task(server.shutdown())
+            await asyncio.sleep(0.02)
+            reply = await asyncio.wait_for(client.query(2), timeout=2.0)
+            assert reply.status == "shutting_down"
+            server.processing.set()
+            assert (await first).status == "ok"
+            await asyncio.wait_for(shutdown, timeout=10.0)
+            await client.close()
+
+        asyncio.run(scenario())
+
+
+class TestDeadlines:
+    def test_expired_deadline_answers_timeout(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            server.processing.clear()
+            client = await ServeClient.connect(host, port)
+            try:
+                task = asyncio.create_task(client.query(1, timeout_ms=30))
+                await asyncio.sleep(0.1)  # let the deadline lapse in queue
+                server.processing.set()
+                reply = await task
+                assert reply.status == "timeout"
+                assert server.counts.timeout == 1
+                assert server.counts.ok == 0
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestWorldAdvancement:
+    def test_paced_server_advances_simulated_time(self):
+        async def scenario():
+            server = QueryServer(
+                _config(),
+                _serve_config(time_rate=36000.0, pacer_interval_s=0.01),
+            )
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                start = (await client.info())["sim_time"]
+                await asyncio.sleep(0.1)
+                end = (await client.info())["sim_time"]
+                assert end > start
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_frozen_server_keeps_simulated_time_still(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config(time_rate=0.0))
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                start = (await client.info())["sim_time"]
+                await client.query(1)
+                await asyncio.sleep(0.05)
+                assert (await client.info())["sim_time"] == start
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())

@@ -20,6 +20,7 @@ EXPECTED_PHRASES = {
     "olap_cache.py": ["warehouse offload", "saved an extra"],
     "strategy_comparison.py": ["directed BFT", "local indices"],
     "convergence.py": ["taste clustering over", "mean neighbor degree"],
+    "serve_client.py": ["service mode", "latency p50="],
 }
 
 
