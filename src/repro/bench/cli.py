@@ -87,6 +87,28 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the closed-loop serving trial (repro.serve front end)",
     )
     parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the large-population scale tiers (see repro.bench.scale)",
+    )
+    parser.add_argument(
+        "--scale-tiers",
+        type=int,
+        nargs="+",
+        metavar="N_USERS",
+        help="tier populations for --scale (default: 10000 50000)",
+    )
+    parser.add_argument(
+        "--scale-digest-max",
+        type=int,
+        default=None,
+        metavar="N_USERS",
+        help=(
+            "largest tier that also runs the fast-vs-reference digest gate "
+            "(default: 10000; the reference engine is a constant factor slower)"
+        ),
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=Path("."),
@@ -132,6 +154,27 @@ def main(argv: list[str] | None = None) -> int:
         serving = serving_smoke(preset=preset, seed=args.seed, log=_log)
         snapshot["serving"] = serving.as_dict()
 
+    scale_ok = True
+    if args.scale:
+        from repro.bench.scale import (
+            DEFAULT_DIGEST_MAX_USERS,
+            DEFAULT_SCALE_TIERS,
+            run_scale_tiers,
+        )
+
+        tiers = args.scale_tiers or list(DEFAULT_SCALE_TIERS)
+        digest_max = (
+            args.scale_digest_max
+            if args.scale_digest_max is not None
+            else DEFAULT_DIGEST_MAX_USERS
+        )
+        _log(f"scale tiers {tiers} (digest gate up to {digest_max} users) ...")
+        reports = run_scale_tiers(
+            tiers, seed=args.seed, digest_max_users=digest_max, log=_log
+        )
+        snapshot["scale"] = {name: r.as_dict() for name, r in reports.items()}
+        scale_ok = all(r.digest_match is not False for r in reports.values())
+
     gate = digest_gate(preset=preset, seed=args.seed, log=_log)
     snapshot["digest_gate"] = gate.as_dict()
 
@@ -145,6 +188,9 @@ def main(argv: list[str] | None = None) -> int:
             "FAIL: fast-path digest differs from reference digest "
             f"({gate.fast_digest[:16]}... != {gate.reference_digest[:16]}...)"
         )
+        return 1
+    if not scale_ok:
+        _log("FAIL: a scale tier's fast-path digest differs from its reference")
         return 1
     _log("digest gate: fast path and reference are bit-identical")
     return 0

@@ -32,8 +32,9 @@ __all__ = ["ComparisonReport", "MetricDelta", "compare_snapshots", "main"]
 #: Default maximum tolerated slowdown (fraction of the old value).
 DEFAULT_THRESHOLD = 0.15
 
-#: Metric-name fragments marking lower-is-better timings.
-_LOWER_BETTER = ("seconds", "us_per_query")
+#: Metric-name fragments marking lower-is-better timings (``rss`` covers the
+#: scale tiers' ``peak_rss_mb`` memory column).
+_LOWER_BETTER = ("seconds", "us_per_query", "rss")
 #: Metric-name fragments marking higher-is-better throughputs.
 _HIGHER_BETTER = ("per_sec", "speedup")
 
@@ -200,6 +201,20 @@ def compare_snapshots(
         new.get("serving") or {},
         kind="serving section",
         prefix="serving:",
+        threshold=threshold,
+        deltas=deltas,
+        skipped=skipped,
+    )
+    # Scale tiers (repro.bench.scale): same vocabulary again, judged under
+    # "scale:". Deterministic outcome fields (events, queries, hits,
+    # digest_match) double as parameters — they only differ between
+    # snapshots when behaviour changed, in which case timings should indeed
+    # be skipped as incomparable.
+    _compare_block(
+        old.get("scale") or {},
+        new.get("scale") or {},
+        kind="scale tier",
+        prefix="scale:",
         threshold=threshold,
         deltas=deltas,
         skipped=skipped,

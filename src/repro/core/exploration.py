@@ -12,6 +12,9 @@ fetching content it returns, per reached node, a summary: which of the asked
 items the node holds. The caller folds the reports into its
 :class:`~repro.core.statistics.StatsTable` with whatever benefit it deems
 appropriate (the framework default credits coverage over round-trip delay).
+Folding a large exploration round is cheap: ``add_benefit`` only marks the
+touched candidates dirty, and the table re-ranks incrementally on the next
+read instead of re-sorting per report.
 
 The Gnutella case study does not run a separate exploration step (Section
 4.1: "the absence of a central repository and directory information enforces

@@ -56,13 +56,100 @@ from bisect import bisect_right
 from time import perf_counter
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.neighbors import NeighborList
+from repro.core.soa import NeighborTable
 from repro.types import ItemId, NodeId, QueryOutcome, QueryResult
 
-__all__ = ["AdjacencySnapshot", "FloodFastPath"]
+__all__ = ["AdjacencySnapshot", "FloodFastPath", "HolderIndex"]
 
 #: Shared holder set for items nobody holds (no per-query allocation).
 _NO_HOLDERS: frozenset[NodeId] = frozenset()
+
+
+class HolderIndex:
+    """Compact inverted holder index: item -> set of holders, CSR-backed.
+
+    The dict-of-sets index :class:`FloodFastPath` builds from raw holdings
+    is the right shape per query but the wrong shape per *node*: at 50k
+    peers with 50-song libraries it is millions of hash-set entries spread
+    over a million tiny sets — gigabytes of pointer soup, built eagerly for
+    items that are never queried. This index stores the initial libraries
+    as two parallel int64 arrays sorted by item (a CSR without the offsets
+    column — the per-item slice is recovered by binary search), which is
+    ~16 bytes per (item, holder) entry, and materializes a *set* per item
+    only on first query, cached thereafter. Query skew (the Zipf catalog)
+    keeps the cache to the popular tail that actually gets asked about.
+
+    Downloads (:meth:`add_holder`) land in the cached set when the item has
+    one, else in a per-item overflow list that is folded in when the set is
+    first built — so reads always observe every add, in either order.
+
+    ``get(item, default)`` is dict-compatible on purpose: the search kernel
+    uses ``holders.get(item, _NO_HOLDERS)`` without caring which index
+    implementation is behind it (``default`` is never needed here — every
+    item resolves to a real, possibly empty, set).
+    """
+
+    __slots__ = ("n_nodes", "_item_ids", "_owners", "_cache", "_extra")
+
+    def __init__(self, libraries: Sequence[Iterable[ItemId]]) -> None:
+        self.n_nodes = len(libraries)
+        chunks: list[tuple[int, np.ndarray]] = []
+        for node, library in enumerate(libraries):
+            size = len(library)  # type: ignore[arg-type]
+            if size:
+                # Per-user item order is irrelevant: entries are re-grouped
+                # by item below, and within an item the stable sort leaves
+                # owners in ascending node order by construction.
+                chunks.append(
+                    (node, np.fromiter(library, dtype=np.int64, count=size))
+                )
+        if chunks:
+            items = np.concatenate([c for _, c in chunks])
+            owners = np.concatenate(
+                [np.full(len(c), node, dtype=np.int64) for node, c in chunks]
+            )
+            order = np.argsort(items, kind="stable")
+            self._item_ids = items[order]
+            self._owners = owners[order]
+        else:
+            self._item_ids = np.empty(0, dtype=np.int64)
+            self._owners = np.empty(0, dtype=np.int64)
+        #: Materialized per-item holder sets (only for items ever queried).
+        self._cache: dict[ItemId, set[NodeId]] = {}
+        #: Post-construction adds for items not yet materialized.
+        self._extra: dict[ItemId, list[NodeId]] = {}
+
+    def get(self, item: ItemId, default: object = None) -> set[NodeId]:
+        """The live holder set of ``item`` (materialized on first use)."""
+        members = self._cache.get(item)
+        if members is None:
+            lo = int(np.searchsorted(self._item_ids, item, side="left"))
+            hi = int(np.searchsorted(self._item_ids, item, side="right"))
+            members = set(self._owners[lo:hi].tolist())
+            extra = self._extra.pop(item, None)
+            if extra is not None:
+                members.update(extra)
+            self._cache[item] = members
+        return members
+
+    def add_holder(self, node: NodeId, item: ItemId) -> None:
+        """Record that ``node`` now holds ``item`` (idempotent)."""
+        members = self._cache.get(item)
+        if members is not None:
+            members.add(node)
+        else:
+            self._extra.setdefault(item, []).append(node)
+
+    @property
+    def items_cached(self) -> int:
+        """Number of per-item sets materialized so far (introspection)."""
+        return len(self._cache)
+
+    def __len__(self) -> int:
+        return self.n_nodes
 
 
 class AdjacencySnapshot:
@@ -117,6 +204,9 @@ class FloodFastPath:
 
     __slots__ = (
         "_rows",
+        "_slab_ids",
+        "_slab_deg",
+        "_slab_stride",
         "_holders_of",
         "_delay_rows",
         "max_hops",
@@ -133,8 +223,8 @@ class FloodFastPath:
 
     def __init__(
         self,
-        adjacency: AdjacencySnapshot,
-        holdings: Sequence[set[ItemId]],
+        adjacency: AdjacencySnapshot | NeighborTable,
+        holdings: Sequence[set[ItemId]] | HolderIndex,
         delay_rows: Sequence[Sequence[float]],
         max_hops: int,
     ) -> None:
@@ -146,22 +236,38 @@ class FloodFastPath:
             )
         if max_hops < 1:
             raise ValueError(f"max_hops must be >= 1, got {max_hops}")
-        self._rows = adjacency.rows
+        if isinstance(adjacency, NeighborTable):
+            # Struct-of-arrays mode: walk the live id slab directly (row u =
+            # ids[u*slots : u*slots+deg[u]]), no per-node row objects at all.
+            self._rows = None
+            self._slab_ids = adjacency.ids
+            self._slab_deg = adjacency.deg
+            self._slab_stride = adjacency.slots
+        else:
+            self._rows = adjacency.rows
+            self._slab_ids = None
+            self._slab_deg = None
+            self._slab_stride = 0
         self._delay_rows = delay_rows
         self.max_hops = max_hops
-        # Inverted holder index: _holders_of[item] is the set of nodes
-        # holding item. `node in _holders_of[item]` == `item in
-        # holdings[node]`, but the set-of-holders orientation also lets a
-        # whole hop level be checked with one set.intersection call.
-        holders_of: dict[ItemId, set[NodeId]] = {}
-        for node, library in enumerate(holdings):
-            for item in library:
-                members = holders_of.get(item)
-                if members is None:
-                    holders_of[item] = {NodeId(node)}
-                else:
-                    members.add(NodeId(node))
-        self._holders_of = holders_of
+        if isinstance(holdings, HolderIndex):
+            # Compact CSR-backed index, shared with (and maintained by) the
+            # owning engine across fast-path rebinds.
+            self._holders_of: dict[ItemId, set[NodeId]] | HolderIndex = holdings
+        else:
+            # Inverted holder index: _holders_of[item] is the set of nodes
+            # holding item. `node in _holders_of[item]` == `item in
+            # holdings[node]`, but the set-of-holders orientation also lets a
+            # whole hop level be checked with one set.intersection call.
+            holders_of: dict[ItemId, set[NodeId]] = {}
+            for node, library in enumerate(holdings):
+                for item in library:
+                    members = holders_of.get(item)
+                    if members is None:
+                        holders_of[item] = {NodeId(node)}
+                    else:
+                        members.add(NodeId(node))
+            self._holders_of = holders_of
         # Epoch-stamped visited marks: visited[u] == current epoch <=> u has
         # been delivered the current query. Bumping the epoch "clears" the
         # array in O(1); the buffers below are reused across queries.
@@ -197,9 +303,13 @@ class FloodFastPath:
         index and the library sets must never diverge (idempotent, like
         ``set.add``).
         """
-        members = self._holders_of.get(item)
+        holders = self._holders_of
+        if isinstance(holders, HolderIndex):
+            holders.add_holder(node, item)
+            return
+        members = holders.get(item)
         if members is None:
-            self._holders_of[item] = {node}
+            holders[item] = {node}
         else:
             members.add(node)
 
@@ -238,6 +348,8 @@ class FloodFastPath:
         holdings, and delays — same results in the same order, same message
         and contact counts, delays accumulated in the same order.
         """
+        if self._rows is None:
+            return self._search_slab(initiator, item, issued_at, max_hops)
         # Wall-clock on purpose: the profiler measures real elapsed time and
         # never feeds back into query outcomes.
         t0 = perf_counter() if self.profile is not None else 0.0  # repro-lint: disable=R002
@@ -371,6 +483,148 @@ class FloodFastPath:
             if hits:
                 # Entries are unique, so .index recovers each hit's slot;
                 # sorting restores first-delivery (reply) order.
+                for offset in sorted(level.index(h) for h in hits):
+                    node = level[offset]
+                    parent = span_parent[bisect_right(span_end, start + offset)]
+                    results_append(
+                        QueryResult(
+                            node,
+                            item,
+                            hops,
+                            2.0 * self._path_delay(initiator, node, parent),
+                        )
+                    )
+
+        if level_ends is not None:
+            self.last_level_ends = level_ends
+        if self.profile is not None:
+            self.profile.add("fastpath.search", perf_counter() - t0)  # repro-lint: disable=R002
+        return QueryOutcome(
+            initiator, item, issued_at, tuple(results), messages, len(trace_node)
+        )
+
+    def _search_slab(
+        self,
+        initiator: NodeId,
+        item: ItemId,
+        issued_at: float,
+        max_hops: int | None,
+    ) -> QueryOutcome:
+        """:meth:`search` over a :class:`~repro.core.soa.NeighborTable` slab.
+
+        Byte-for-byte the same BFS as the row-mode body — same enqueue-time
+        visited marks, span compression, level hoisting, message accounting
+        and result order — with each node's row read as a slice of the flat
+        id slab (``ids[u*stride : u*stride+deg[u]]``) instead of a per-node
+        list object. The two bodies are pinned together by the randomized
+        equivalence tests in ``tests/core/test_fastpath.py`` and the
+        engine-level digest matrix (``soa`` vs object engine).
+        """
+        t0 = perf_counter() if self.profile is not None else 0.0  # repro-lint: disable=R002
+        limit = self.max_hops if max_hops is None else max_hops
+        self.queries_run += 1
+        self._epoch += 1
+        epoch = self._epoch
+        visited = self._visited
+        ids = self._slab_ids
+        deg = self._slab_deg
+        stride = self._slab_stride
+        delay_rows = self._delay_rows
+        holders = self._holders_of.get(item, _NO_HOLDERS)
+        trace_node = self._trace_node
+        span_parent = self._span_parent
+        span_end = self._span_end
+        del trace_node[:]
+        del span_parent[:]
+        del span_end[:]
+        extend_node = trace_node.extend
+        parent_append = span_parent.append
+        end_append = span_end.append
+
+        results: list[QueryResult] = []
+        results_append = results.append
+
+        visited[initiator] = epoch
+        base = initiator * stride
+        first_row = ids[base : base + deg[initiator]]
+        messages = len(first_row)
+        for t in first_row:
+            visited[t] = epoch
+        extend_node(first_row)
+        parent_append(-1)
+        end_append(len(first_row))
+        node_append = trace_node.append
+        level_ends = [len(first_row)] if self.collect_levels else None
+
+        if limit > 1:
+            for idx, node in enumerate(first_row):
+                if node in holders:
+                    results_append(
+                        QueryResult(node, item, 1, 2.0 * delay_rows[initiator][node])
+                    )
+                    continue
+                base = node * stride
+                row = ids[base : base + deg[node]]
+                messages += len(row) - (initiator in row)
+                before = len(trace_node)
+                for t in row:
+                    if visited[t] != epoch:
+                        visited[t] = epoch
+                        node_append(t)
+                grown = len(trace_node)
+                if grown != before:
+                    parent_append(idx)
+                    end_append(grown)
+            start, end = len(first_row), len(trace_node)
+            if level_ends is not None and end > start:
+                level_ends.append(end)
+            hops = 2
+            level_span = 1
+        else:
+            start, end = 0, len(first_row)
+            hops = 1
+
+        while start < end and hops < limit:
+            n_spans = len(span_parent)
+            seg_lo = start
+            for k in range(level_span, n_spans):
+                seg_hi = span_end[k]
+                parent = span_parent[k]
+                sender = trace_node[parent]
+                for idx, node in enumerate(trace_node[seg_lo:seg_hi], seg_lo):
+                    if node in holders:
+                        results_append(
+                            QueryResult(
+                                node,
+                                item,
+                                hops,
+                                2.0 * self._path_delay(initiator, node, parent),
+                            )
+                        )
+                        continue
+                    base = node * stride
+                    row = ids[base : base + deg[node]]
+                    messages += len(row) - (sender in row)
+                    before = len(trace_node)
+                    for t in row:
+                        if visited[t] != epoch:
+                            visited[t] = epoch
+                            node_append(t)
+                    grown = len(trace_node)
+                    if grown != before:
+                        parent_append(idx)
+                        end_append(grown)
+                seg_lo = seg_hi
+            level_span = n_spans
+            start, end = end, len(trace_node)
+            if level_ends is not None and end > start:
+                level_ends.append(end)
+            hops += 1
+
+        if start < end:
+            level = trace_node[start:end]
+            hits = holders.intersection(level)
+            if hits:
                 for offset in sorted(level.index(h) for h in hits):
                     node = level[offset]
                     parent = span_parent[bisect_right(span_end, start + offset)]

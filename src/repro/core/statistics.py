@@ -9,11 +9,35 @@ encountered through search and exploration."
 encountered peer. Eviction resets the evictor's entry (Algo 5
 Process_Eviction: "reset n's statistics, so that n_i will not attempt to
 reconnect to n in the near future").
+
+Ranking is *incremental*: the table keeps a benefit-descending order of the
+known peers and a dirty set of the peers whose benefit changed since the
+order was last consulted. Consulting the ranking repairs only the dirty
+entries (filter out + binary-search re-insert), so a reconfiguration after a
+couple of queries re-ranks the two or three peers those queries touched
+instead of re-sorting the whole ledger — the full-scan behaviour it
+replaces is O(m log m) per decision.
+
+Invariants of the cached order (the dirty-candidate contract):
+
+* ``_order`` holds exactly ``_benefit``'s keys minus the dirty set's
+  members, sorted by benefit **descending**; equal-benefit runs carry no
+  promised internal order (``decay`` can collapse distinct values into new
+  exact ties without dirtying anything, so a total (-benefit, id) order
+  could not survive it).
+* Every mutation that changes a peer's benefit (``add_benefit``, ``reset``)
+  marks that peer dirty; ``decay`` multiplies every benefit by one
+  non-negative factor, which is order-preserving, and therefore dirties
+  nothing.
+* Consumers restore the deterministic total order by sorting each
+  equal-benefit run by ascending id on the fly (runs are tiny in practice),
+  so :meth:`ranked` returns exactly the (-benefit, id) order it always did.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from bisect import insort
+from typing import Callable, Iterable, Iterator
 
 from repro.types import NodeId
 
@@ -27,11 +51,15 @@ class StatsTable:
     two same-seed runs reconfigure identically.
     """
 
-    __slots__ = ("_benefit", "_encounters")
+    __slots__ = ("_benefit", "_encounters", "_order", "_dirty")
 
     def __init__(self) -> None:
         self._benefit: dict[NodeId, float] = {}
         self._encounters: dict[NodeId, int] = {}
+        # Benefit-descending order of the non-dirty known peers, plus the
+        # dirty set awaiting repair (see the module docstring's invariants).
+        self._order: list[NodeId] = []
+        self._dirty: set[NodeId] = set()
 
     def add_benefit(self, node: NodeId, amount: float) -> None:
         """Credit ``amount`` of benefit to ``node`` (one result observed)."""
@@ -39,6 +67,7 @@ class StatsTable:
             raise ValueError(f"benefit must be non-negative, got {amount}")
         self._benefit[node] = self._benefit.get(node, 0.0) + amount
         self._encounters[node] = self._encounters.get(node, 0) + 1
+        self._dirty.add(node)
 
     def benefit_of(self, node: NodeId) -> float:
         """Cumulative benefit credited to ``node`` (0 if never seen)."""
@@ -52,15 +81,22 @@ class StatsTable:
         """All peers with recorded statistics, in id order."""
         return tuple(sorted(self._benefit))
 
+    def knows(self, node: NodeId) -> bool:
+        """Whether any statistics are recorded for ``node``."""
+        return node in self._benefit
+
     def reset(self, node: NodeId) -> None:
         """Forget everything about ``node`` (Process_Eviction semantics)."""
         self._benefit.pop(node, None)
         self._encounters.pop(node, None)
+        self._dirty.add(node)
 
     def clear(self) -> None:
         """Forget everything about everyone."""
         self._benefit.clear()
         self._encounters.clear()
+        self._order.clear()
+        self._dirty.clear()
 
     def decay(self, factor: float) -> None:
         """Multiply every benefit by ``factor`` in [0, 1].
@@ -68,11 +104,57 @@ class StatsTable:
         Not used by the paper's case study but a standard aging mechanism for
         environments with faster-drifting access patterns (Section 3.4 notes
         exploration frequency should track content-change frequency).
+
+        One shared non-negative factor is order-preserving, so the cached
+        ranking needs no repair — though distinct values may collapse into
+        new exact ties, which is why the cache only promises a descending
+        order, never a tie order (consumers sort runs by id on demand).
         """
         if not 0.0 <= factor <= 1.0:
             raise ValueError(f"decay factor must be in [0, 1], got {factor}")
         for node in self._benefit:
             self._benefit[node] *= factor
+
+    def _repaired_order(self) -> list[NodeId]:
+        """The benefit-descending order with all dirty entries re-ranked."""
+        dirty = self._dirty
+        if dirty:
+            benefit = self._benefit
+            if len(dirty) * 4 >= len(benefit):
+                # Majority dirty (first consult, or post-clear rebuild): a
+                # full sort beats per-entry insertion.
+                self._order = sorted(benefit, key=benefit.__getitem__, reverse=True)
+            else:
+                order = [n for n in self._order if n not in dirty]
+                for n in sorted(dirty):
+                    if n in benefit:
+                        insort(order, n, key=lambda m: -benefit[m])
+                self._order = order
+            dirty.clear()
+        return self._order
+
+    def iter_ranked_runs(self) -> Iterator[tuple[float, list[NodeId]]]:
+        """Yield ``(benefit, nodes)`` runs in benefit-descending order.
+
+        Each run holds every known peer at exactly that benefit, sorted by
+        ascending id. The walk is lazy: a consumer that stops after filling
+        ``k`` slots never pays for the tail (the early-exit
+        :func:`~repro.core.update.plan_reconfiguration` relies on this).
+        Do not mutate the table while iterating.
+        """
+        order = self._repaired_order()
+        benefit = self._benefit
+        i, m = 0, len(order)
+        while i < m:
+            b = benefit[order[i]]
+            j = i + 1
+            while j < m and benefit[order[j]] == b:
+                j += 1
+            run = order[i:j]
+            if j - i > 1:
+                run.sort()
+            yield b, run
+            i = j
 
     def ranked(
         self,
@@ -90,13 +172,12 @@ class StatsTable:
             currently offline cannot be invited).
         """
         excluded = set(exclude)
-        nodes = [
-            n
-            for n in self._benefit
-            if n not in excluded and (eligible is None or eligible(n))
-        ]
-        nodes.sort(key=lambda n: (-self._benefit[n], n))
-        return nodes
+        out: list[NodeId] = []
+        for _, run in self.iter_ranked_runs():
+            for n in run:
+                if n not in excluded and (eligible is None or eligible(n)):
+                    out.append(n)
+        return out
 
     def top_k(
         self,
@@ -104,10 +185,24 @@ class StatsTable:
         exclude: Iterable[NodeId] = (),
         eligible: Callable[[NodeId], bool] | None = None,
     ) -> list[NodeId]:
-        """The ``k`` most beneficial eligible peers."""
+        """The ``k`` most beneficial eligible peers.
+
+        Early-exits the ranking walk once ``k`` peers qualify, so the cost
+        tracks ``k`` plus the dirty-repair work, not the ledger size.
+        """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        return self.ranked(exclude=exclude, eligible=eligible)[:k]
+        excluded = set(exclude)
+        out: list[NodeId] = []
+        if k == 0:
+            return out
+        for _, run in self.iter_ranked_runs():
+            for n in run:
+                if n not in excluded and (eligible is None or eligible(n)):
+                    out.append(n)
+                    if len(out) == k:
+                        return out
+        return out
 
     def __len__(self) -> int:
         return len(self._benefit)

@@ -35,6 +35,7 @@ __all__ = [
     "InvitationDecision",
     "asymmetric_update",
     "plan_reconfiguration",
+    "plan_reconfiguration_full_scan",
     "process_invitation",
     "reconfiguration_actions",
 ]
@@ -98,6 +99,75 @@ def plan_reconfiguration(
     encountered by exploration" together). Ties and zero-benefit candidates
     order deterministically: benefit desc, then current-neighbor first, then
     node id.
+
+    Incremental: walks the table's cached benefit-descending ranking
+    (:meth:`~repro.core.statistics.StatsTable.iter_ranked_runs`) and stops
+    as soon as ``k`` slots fill, so only dirty candidates are re-ranked and
+    the ``eligible`` predicate runs on the walked prefix instead of every
+    known peer. Returns exactly what the full-scan reference
+    (:func:`plan_reconfiguration_full_scan`) returns — a hypothesis
+    equivalence test and the engine digest tests enforce the identity.
+    """
+    if k < 0:
+        raise FrameworkError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return []
+    excluded = set(exclude)
+    current_set = set(current)
+    # Current neighbors without a statistics entry compete at benefit zero
+    # (``current`` is duplicate-free by NeighborList construction, so this
+    # iterates a deterministic sequence, not a set).
+    extras = sorted(n for n in current if not stats.knows(n) and n not in excluded)
+    desired: list[NodeId] = []
+
+    def take(run: list[NodeId]) -> bool:
+        # Within an equal-benefit run the full sort key orders current
+        # neighbors first, then non-current, each by ascending id (the run
+        # is already id-sorted). Current neighbors bypass ``eligible`` —
+        # they already occupy a slot.
+        for n in run:
+            if n in current_set and n not in excluded:
+                desired.append(n)
+                if len(desired) == k:
+                    return True
+        for n in run:
+            if n not in current_set and n not in excluded and (
+                eligible is None or eligible(n)
+            ):
+                desired.append(n)
+                if len(desired) == k:
+                    return True
+        return False
+
+    merged_extras = False
+    for benefit, run in stats.iter_ranked_runs():
+        if benefit == 0.0 and extras:
+            # Zero-benefit known peers tie with the statless current
+            # neighbors; merge so the shared id tiebreak interleaves them
+            # exactly as the full sort would.
+            run = sorted(run + extras)
+            merged_extras = True
+        if take(run):
+            return desired
+    if not merged_extras and extras:
+        take(extras)
+    return desired
+
+
+def plan_reconfiguration_full_scan(
+    current: Sequence[NodeId],
+    stats: StatsTable,
+    k: int,
+    exclude: Sequence[NodeId] = (),
+    eligible: Callable[[NodeId], bool] | None = None,
+) -> list[NodeId]:
+    """Reference implementation of :func:`plan_reconfiguration`.
+
+    The original full-scan version: materialize every candidate, filter,
+    sort by the total ``(-benefit, not-current, id)`` key, take ``k``. Kept
+    as the semantics oracle for the incremental walk — the property test
+    drives both over arbitrary ledgers and the digest test matrix swaps this
+    into the live protocol to prove whole-run event streams are identical.
     """
     if k < 0:
         raise FrameworkError(f"k must be non-negative, got {k}")

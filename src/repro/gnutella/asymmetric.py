@@ -110,7 +110,7 @@ class AsymmetricProtocol(GnutellaProtocol):
             peer.stats,
             self.slots,
             exclude=(node,),
-            eligible=lambda n: self.peers[n].online,
+            eligible=self._is_online,
         )
         current_set = set(current)
         desired_set = set(desired)
@@ -165,7 +165,7 @@ class AsymmetricProtocol(GnutellaProtocol):
         for candidate in candidates:
             if not peer.has_free_slot:
                 break
-            if self.peers[candidate].online:
+            if self._is_online(candidate):
                 self.link(node, candidate)
                 formed += 1
         return formed
@@ -186,7 +186,10 @@ class AsymmetricFastEngine(FastGnutellaEngine):
     """The fast engine over directed relations, plus service-load tracking."""
 
     def __init__(self, config) -> None:
-        super().__init__(config)
+        # The asymmetric population needs unbounded incoming lists, which
+        # the fixed-stride SoA slabs cannot express — build (and keep) the
+        # object layout.
+        super().__init__(config, soa=False)
         # Rebuild peers with unbounded incoming lists and swap the protocol.
         self.peers = [
             _asymmetric_peer(NodeId(u), config.neighbor_slots)

@@ -23,8 +23,9 @@ live libraries differ; arrival times never do.)
 from __future__ import annotations
 
 from repro.core.exploration import generic_explore
-from repro.core.fastpath import AdjacencySnapshot, FloodFastPath
+from repro.core.fastpath import AdjacencySnapshot, FloodFastPath, HolderIndex
 from repro.core.search import generic_search, iterative_deepening_search
+from repro.core.soa import PeerArrays
 from repro.core.selection import SelectRandomK, SelectTopKBenefit
 from repro.core.termination import TTLTermination
 from repro.errors import ConfigurationError
@@ -97,7 +98,20 @@ class FastGnutellaEngine:
         delay_matrix`). Required by (and forced on by) the fast path; kept
         on for the reference mode so ``fast`` and ``fast-reference`` runs
         observe identical per-pair floats. The detailed engine turns it off
-        to preserve its historical lazy first-touch sampling.
+        to preserve its historical lazy first-touch sampling. Above
+        :data:`~repro.net.latency.LAZY_DELAY_NODE_THRESHOLD` nodes the
+        latency model refuses to materialize the O(n^2) matrix and
+        ``delay_rows()`` transparently returns a lazy per-pair view — the
+        flag is then effectively ignored.
+    soa:
+        Keep the per-node hot state (online flags, counters, neighbor rows)
+        in the flat struct-of-arrays slabs of :mod:`repro.core.soa` instead
+        of one :class:`~repro.gnutella.node.PeerState` object per peer.
+        This is a pure layout change — every lifecycle method runs the same
+        code over ``PeerState``-shaped views, so same-seed event-stream
+        digests are bit-identical either way (test-enforced by
+        ``tests/gnutella/test_soa_digest.py``). ``True`` by default; the
+        ``fast-aos`` engine name builds the object layout for A/B runs.
     """
 
     def __init__(
@@ -106,6 +120,7 @@ class FastGnutellaEngine:
         *,
         use_fastpath: bool = True,
         eager_delay_matrix: bool = True,
+        soa: bool = True,
     ) -> None:
         self.config = config
         #: Observability (repro.obs): a no-op tracer by default; swap in a
@@ -147,7 +162,20 @@ class FastGnutellaEngine:
 
         self.sim = Simulator()
         self.metrics = SimulationMetrics(config.horizon)
-        self.peers = [PeerState(NodeId(u), config.neighbor_slots) for u in range(config.n_users)]
+        if soa:
+            # Struct-of-arrays peer state: the slabs hold the data, the
+            # SoAPeer views give the protocol the PeerState interface. The
+            # views are built once here, never per event.
+            self.arrays: PeerArrays | None = PeerArrays(
+                config.n_users, config.neighbor_slots
+            )
+            self.peers = self.arrays.peers()
+        else:
+            self.arrays = None
+            self.peers = [
+                PeerState(NodeId(u), config.neighbor_slots)
+                for u in range(config.n_users)
+            ]
         self.bootstrap = BootstrapServer()
         self.protocol = GnutellaProtocol(
             self.peers, self.bootstrap, self.metrics, config.neighbor_slots
@@ -165,10 +193,16 @@ class FastGnutellaEngine:
         # mode too — not only when the fast path engages — so a ``fast`` and
         # a ``fast-reference`` run of the same config observe the exact same
         # per-pair floats, which is what makes their event-stream digests
-        # bit-identical.
-        self._delay_rows: list[list[float]] | None = None
+        # bit-identical. Above the lazy threshold ``delay_rows()`` returns a
+        # per-pair lazy view instead of the O(n^2) matrix; the keyed draws
+        # behind it are touch-order independent, so the fast/fast-reference
+        # pairing survives at scale too.
+        self._delay_rows = None
         if eager_delay_matrix:
             self._delay_rows = self.latency.delay_rows()
+        # Compact inverted holder index, built lazily on the first fast-path
+        # bind and shared across rebinds (downloads keep mutating one index).
+        self._holder_index: HolderIndex | None = None
 
         self._bootstrap_rng = streams.get("bootstrap")
         # Timing and item choice draw from separate streams so that query
@@ -216,12 +250,27 @@ class FastGnutellaEngine:
         if self._delay_rows is None:
             # The fast path needs the precomputed rows; force the build.
             self._delay_rows = self.latency.delay_rows()
-        self._fastpath = FloodFastPath(
-            AdjacencySnapshot(p.neighbors.outgoing for p in self.peers),
-            self.live_libraries,
-            self._delay_rows,
-            self.termination.max_hops,
-        )
+        arrays = getattr(self.peers, "arrays", None)
+        if arrays is not None:
+            # Struct-of-arrays population: hand the kernel the live id slab
+            # (no per-node row objects) and the compact CSR-backed holder
+            # index. The index survives rebinds — downloads recorded through
+            # add_holder must never be lost to a peer-population rebuild.
+            if self._holder_index is None:
+                self._holder_index = HolderIndex(self.live_libraries)
+            self._fastpath = FloodFastPath(
+                arrays.out,
+                self._holder_index,
+                self._delay_rows,
+                self.termination.max_hops,
+            )
+        else:
+            self._fastpath = FloodFastPath(
+                AdjacencySnapshot(p.neighbors.outgoing for p in self.peers),
+                self.live_libraries,
+                self._delay_rows,
+                self.termination.max_hops,
+            )
         # Per-hop level collection rides the tracer: free when untraced.
         self._fastpath.collect_levels = self.tracer.enabled
 

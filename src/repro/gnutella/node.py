@@ -15,6 +15,14 @@ class PeerState:
     Content (the music library) lives in the shared
     :class:`~repro.workload.library.UserLibraries`; this object holds only
     the mutable, per-session pieces.
+
+    This is the *object-layout* representation (engine name ``fast-aos``).
+    The default struct-of-arrays engine stores the same state columnar in
+    :class:`repro.core.soa.PeerArrays` and hands out
+    :class:`repro.core.soa.SoAPeer` flyweights that present this exact
+    interface; any field added here must be mirrored there (the digest
+    tests in ``tests/gnutella/test_soa_digest.py`` hold the two layouts
+    bit-identical).
     """
 
     __slots__ = (

@@ -89,6 +89,37 @@ class GnutellaProtocol:
         #: tests) run at a frozen t=0. Used for trace timestamps and the
         #: per-hour reconfiguration series.
         self.now = lambda: 0.0
+        # Hot-path predicates, bound once. Over a struct-of-arrays population
+        # (repro.core.soa — signalled by the `.arrays` attribute) these read
+        # the online bitmap and degree column directly: the `eligible` check
+        # inside plan_reconfiguration and the candidate filter in
+        # fill_random are the protocol's innermost loops, and a bytearray
+        # index beats a view-object property chase. Both predicates return
+        # exactly what the PeerState properties return, so decisions — and
+        # event-stream digests — are identical either way.
+        arrays = getattr(peers, "arrays", None)
+        if arrays is not None:
+            online = arrays.online
+            deg = arrays.out.deg
+            cap = arrays.out.slots
+
+            def _is_online(n: NodeId) -> bool:
+                return online[n] != 0
+
+            def _is_linkable(n: NodeId) -> bool:
+                return online[n] != 0 and deg[n] < cap
+
+        else:
+
+            def _is_online(n: NodeId) -> bool:
+                return self.peers[n].online
+
+            def _is_linkable(n: NodeId) -> bool:
+                p = self.peers[n]
+                return p.online and p.has_free_slot
+
+        self._is_online = _is_online
+        self._is_linkable = _is_linkable
 
     # ------------------------------------------------------------------
     # Link primitives
@@ -165,7 +196,7 @@ class GnutellaProtocol:
             peer.stats,
             self.slots,
             exclude=(node,),
-            eligible=lambda n: self.peers[n].online,
+            eligible=self._is_online,
         )
         invites, evicts = reconfiguration_actions(node, current, desired)
         if max_swaps is None:
@@ -263,11 +294,11 @@ class GnutellaProtocol:
             if not candidates:
                 break
             linked_this_round = 0
+            linkable = self._is_linkable
             for candidate in candidates:
                 if not peer.has_free_slot:
                     break
-                other = self.peers[candidate]
-                if other.online and other.has_free_slot:
+                if linkable(candidate):
                     self.link(node, candidate)
                     formed += 1
                     linked_this_round += 1

@@ -20,6 +20,24 @@ vectorized draw (canonical upper-triangle order), after which
 :meth:`~LatencyModel.delay_rows` hands the flood fast path raw per-row lists
 with no method dispatch at all. The matrix is built lazily (first request)
 and never invalidated.
+
+The precompute is O(n^2): at the paper's 2,000 users it is 32 MB and the
+right call; at 100k it would be a 10^10-entry allocation. Above
+:data:`LAZY_DELAY_NODE_THRESHOLD` nodes the model therefore refuses to
+materialize and switches to *stateless keyed* per-pair draws: each unordered
+pair's delay comes from its own counter-based :class:`numpy.random.Philox`
+stream (keyed once from the model's RNG at construction, counter = the
+pair's canonical index), cached on first touch. Keyed draws make a pair's
+float a pure function of ``(seed, pair)`` — independent of the order pairs
+are first touched — so a fast-path run and a reference run, which touch
+pairs in different orders, still observe identical floats, preserving the
+digest gate at every scale. :meth:`~LatencyModel.delay_rows` then returns a
+lazy row view (``rows[a][b]`` computes through the pair cache) instead of
+list-of-lists. The per-pair *values* differ between the two regimes (same
+truncated-Gaussian distribution, different draw mechanism); the overlay
+evolution does not, because delays never feed back into event scheduling or
+benefit under the delay-independent benefit options — the engine digest
+tests pin a lazy run against an eager run of the same seed.
 """
 
 from __future__ import annotations
@@ -32,7 +50,14 @@ from repro.errors import NetworkError
 from repro.net.bandwidth import CLASS_DELAY_MEAN, BandwidthClass, BandwidthModel
 from repro.types import NodeId
 
-__all__ = ["DelayParameters", "LatencyModel"]
+__all__ = ["DelayParameters", "LatencyModel", "LAZY_DELAY_NODE_THRESHOLD"]
+
+#: Above this many nodes :meth:`LatencyModel.delay_matrix` refuses to
+#: materialize (the n^2 table would dwarf the rest of the simulation) and
+#: per-pair delays switch to stateless keyed draws. 4096 nodes is a 128 MB
+#: float64 matrix plus a ~3x-larger ``tolist`` — the last size where eager
+#: is clearly the better trade.
+LAZY_DELAY_NODE_THRESHOLD = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +113,11 @@ class LatencyModel:
         pair; lookups are symmetric (``delay(a, b) == delay(b, a)``).
     params:
         Distribution parameters; defaults to the paper's values.
+    lazy_threshold:
+        Node count above which the pairwise regime goes lazy (stateless
+        keyed draws, no matrix). ``None`` uses the module default
+        :data:`LAZY_DELAY_NODE_THRESHOLD`; tests pass explicit values to
+        force either regime at any size.
     """
 
     def __init__(
@@ -95,6 +125,8 @@ class LatencyModel:
         bandwidth: BandwidthModel,
         rng: np.random.Generator,
         params: DelayParameters | None = None,
+        *,
+        lazy_threshold: int | None = None,
     ) -> None:
         self.bandwidth = bandwidth
         self.params = params or DelayParameters()
@@ -104,6 +136,17 @@ class LatencyModel:
         self._n = bandwidth.n_nodes
         self._matrix: np.ndarray | None = None
         self._rows: list[list[float]] | None = None
+        if lazy_threshold is None:
+            lazy_threshold = LAZY_DELAY_NODE_THRESHOLD
+        self._pairwise_lazy = self._n > lazy_threshold
+        self._lazy_rows: _LazyDelayRows | None = None
+        # One draw anchors every keyed pair stream to this model's RNG
+        # stream (and therefore to the simulation seed). Drawn eagerly so
+        # the latency stream's consumption is identical no matter which
+        # pairs later get touched.
+        self._philox_key: int | None = None
+        if self._pairwise_lazy:
+            self._philox_key = int(self._rng.integers(0, 2**63, dtype=np.int64))
 
     def _pair_key(self, a: NodeId, b: NodeId) -> int:
         lo, hi = (a, b) if a <= b else (b, a)
@@ -126,7 +169,7 @@ class LatencyModel:
         key = self._pair_key(a, b)
         delay = self._cache.get(key)
         if delay is None:
-            delay = self._draw(a, b)
+            delay = self._keyed_draw(key) if self._pairwise_lazy else self._draw(a, b)
             self._cache[key] = delay
         return delay
 
@@ -140,7 +183,18 @@ class LatencyModel:
         per-pair cache), so a warm model stays self-consistent. After the
         build, :meth:`one_way_delay` reads from this table. Treat the
         returned array as read-only.
+
+        Raises :class:`~repro.errors.NetworkError` in the lazy regime (node
+        count above the threshold): the n^2 allocation is exactly what the
+        lazy mode exists to avoid. Use :meth:`delay_rows` /
+        :meth:`one_way_delay`, which work in both regimes.
         """
+        if self._pairwise_lazy:
+            raise NetworkError(
+                f"refusing to materialize a {self._n}x{self._n} delay matrix "
+                f"(population above the lazy threshold); use delay_rows() or "
+                f"one_way_delay(), which draw pairs on demand"
+            )
         if self._matrix is None:
             n = self._n
             p = self.params
@@ -167,13 +221,20 @@ class LatencyModel:
             self._rows = matrix.tolist()
         return self._matrix
 
-    def delay_rows(self) -> list[list[float]]:
-        """Per-row Python lists of :meth:`delay_matrix` (hot-path view).
+    def delay_rows(self) -> "list[list[float]] | _LazyDelayRows":
+        """Indexable ``rows[a][b]`` delays (hot-path view).
 
-        ``delay_rows()[a][b]`` is the exact float ``one_way_delay(a, b)``
-        returns, with zero method dispatch — the representation the flood
-        fast path indexes per path edge. Treat as read-only.
+        Below the lazy threshold: per-row Python lists of
+        :meth:`delay_matrix` — the exact float ``one_way_delay(a, b)``
+        returns, with zero method dispatch. Above it: a lazy row view whose
+        ``[a][b]`` computes through the keyed per-pair cache (same floats as
+        ``one_way_delay``, materializing only the pairs actually touched).
+        Treat as read-only either way.
         """
+        if self._pairwise_lazy:
+            if self._lazy_rows is None:
+                self._lazy_rows = _LazyDelayRows(self)
+            return self._lazy_rows
         if self._rows is None:
             self.delay_matrix()
             assert self._rows is not None
@@ -193,6 +254,35 @@ class LatencyModel:
         hi = mean + p.truncation_sigmas * p.std
         return float(min(max(raw, lo), hi))
 
+    def _keyed_draw(self, key: int) -> float:
+        """Stateless per-pair draw for the lazy regime.
+
+        The pair's canonical index seeds a private counter-based Philox
+        stream, so the value is a pure function of ``(model key, pair)`` —
+        two runs that touch pairs in different orders (fast path vs
+        reference) still observe identical floats, which is what keeps the
+        digest gate valid above the matrix threshold. Same truncated
+        Gaussian as :meth:`_draw`, different (order-independent) mechanism.
+        """
+        a, b = divmod(key, self._n)
+        p = self.params
+        mean = float(self._means[self.bandwidth.slowest_class(a, b)])
+        if p.std == 0.0:
+            return max(mean, p.floor)
+        # Each pair gets its own 2^64-block region of the keyed stream.
+        gen = np.random.Generator(
+            np.random.Philox(key=self._philox_key, counter=key << 64)  # repro-lint: disable=R001
+        )
+        raw = float(gen.normal(mean, p.std))
+        lo = max(mean - p.truncation_sigmas * p.std, p.floor)
+        hi = mean + p.truncation_sigmas * p.std
+        return min(max(raw, lo), hi)
+
+    @property
+    def is_lazy(self) -> bool:
+        """Whether the model is in the above-threshold lazy regime."""
+        return self._pairwise_lazy
+
     @property
     def cached_pairs(self) -> int:
         """Number of pair delays drawn so far (memory introspection).
@@ -207,3 +297,41 @@ class LatencyModel:
     def has_matrix(self) -> bool:
         """Whether the full pairwise matrix has been materialized."""
         return self._matrix is not None
+
+
+class _LazyDelayRow:
+    """One source's delays, computed per target through the pair cache."""
+
+    __slots__ = ("_model", "_a")
+
+    def __init__(self, model: LatencyModel, a: NodeId) -> None:
+        self._model = model
+        self._a = a
+
+    def __getitem__(self, b: NodeId) -> float:
+        return self._model.one_way_delay(self._a, b)
+
+    def __len__(self) -> int:
+        return self._model.bandwidth.n_nodes
+
+
+class _LazyDelayRows:
+    """``rows[a][b]`` view over a lazy :class:`LatencyModel`.
+
+    Duck-type compatible with the eager list-of-lists where it matters (the
+    flood fast path indexes ``rows[a][b]`` per path edge and takes
+    ``len(rows)`` once at bind time). Rows are materialized as tiny proxy
+    objects per access, never as n-float lists — caching a full row would
+    quietly rebuild the O(n^2) table one source at a time.
+    """
+
+    __slots__ = ("_model",)
+
+    def __init__(self, model: LatencyModel) -> None:
+        self._model = model
+
+    def __getitem__(self, a: NodeId) -> _LazyDelayRow:
+        return _LazyDelayRow(self._model, a)
+
+    def __len__(self) -> int:
+        return self._model.bandwidth.n_nodes

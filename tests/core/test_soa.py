@@ -1,0 +1,261 @@
+"""The struct-of-arrays slabs vs the object-per-peer layout, state for state.
+
+``NeighborTable`` must be a dense array of ``NeighborList`` semantics —
+insertion order, duplicate/overflow rejection, left-shifting removal — and
+``PeerArrays``' views must give every consumer the exact ``PeerState``
+interface. The hypothesis oracle drives a full :class:`GnutellaProtocol`
+over both layouts with identical operation streams (login, logoff, random
+fill, reconfigure, benefit credit, evict) and asserts the decoded state —
+neighbor rows *in order*, degrees, online flags, counters, and benefit
+ledgers — never diverges.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.neighbors import NeighborList
+from repro.core.soa import NeighborTable, PeerArrays, SlotNeighborList
+from repro.errors import NeighborListError
+from repro.gnutella.bootstrap import BootstrapServer
+from repro.gnutella.metrics import SimulationMetrics
+from repro.gnutella.node import PeerState
+from repro.gnutella.protocol import GnutellaProtocol
+
+
+class TestNeighborTable:
+    def test_add_preserves_insertion_order(self):
+        table = NeighborTable(4, 3)
+        table.add(0, 2)
+        table.add(0, 1)
+        table.add(0, 3)
+        assert table.row(0) == [2, 1, 3]
+        assert table.row_tuple(0) == (2, 1, 3)
+        assert table.degree(0) == 3
+
+    def test_rejects_duplicates_and_overflow(self):
+        table = NeighborTable(4, 2)
+        table.add(0, 1)
+        with pytest.raises(NeighborListError, match="already a neighbor"):
+            table.add(0, 1)
+        table.add(0, 2)
+        with pytest.raises(NeighborListError, match="full"):
+            table.add(0, 3)
+
+    def test_remove_left_shifts(self):
+        table = NeighborTable(2, 4)
+        for other in (5, 6, 7, 8):
+            table.add(1, other)
+        table.remove(1, 6)
+        assert table.row(1) == [5, 7, 8]
+        with pytest.raises(NeighborListError, match="not a neighbor"):
+            table.remove(1, 6)
+
+    def test_discard_and_clear_row(self):
+        table = NeighborTable(2, 4)
+        table.add(0, 1)
+        assert table.discard(0, 1) is True
+        assert table.discard(0, 1) is False
+        table.add(0, 1)
+        table.clear_row(0)
+        assert table.row(0) == []
+        assert not table.contains(0, 1)
+
+    def test_rows_are_independent(self):
+        table = NeighborTable(3, 2)
+        table.add(0, 1)
+        table.add(1, 0)
+        table.add(2, 0)
+        assert table.row(0) == [1]
+        assert table.row(1) == [0]
+        assert table.row(2) == [0]
+        assert len(table) == 3
+
+
+class TestSlotNeighborList:
+    def test_matches_neighbor_list_interface(self):
+        table = NeighborTable(3, 2)
+        row = SlotNeighborList(table, 0)
+        assert row.capacity == 2
+        assert not row.is_full and row.free_slots == 2
+        row.add(2)
+        assert 2 in row and len(row) == 1 and list(row) == [2]
+        row.add(1)
+        assert row.is_full and row.free_slots == 0
+        assert row.as_tuple() == (2, 1)
+        assert row.view() == [2, 1]
+        row.remove(2)
+        assert row.as_tuple() == (1,)
+        assert row.discard(1) is True and row.discard(1) is False
+        row.add(1)
+        row.clear()
+        assert len(row) == 0
+
+    def test_view_is_a_copy(self):
+        table = NeighborTable(2, 2)
+        row = SlotNeighborList(table, 0)
+        row.add(1)
+        snapshot = row.view()
+        row.add(0)  # mutate after the copy
+        assert snapshot == [1]
+
+
+class TestSoAPeerViews:
+    def test_scalar_fields_land_in_arrays(self):
+        arrays = PeerArrays(3, 2)
+        peers = arrays.peers()
+        peer = peers[1]
+        assert not peer.online
+        peer.online = True
+        assert arrays.online[1] == 1
+        peer.sessions += 1
+        peer.query_epoch += 2
+        peer.requests_since_update = 5
+        assert arrays.sessions[1] == 1
+        assert arrays.query_epoch[1] == 2
+        assert arrays.requests_since_update[1] == 5
+        assert peer.stats is arrays.stats[1]
+
+    def test_neighbor_views_land_in_tables(self):
+        arrays = PeerArrays(3, 2)
+        peer = arrays.peers()[0]
+        assert peer.has_free_slot and peer.degree == 0
+        peer.neighbors.outgoing.add(2)
+        peer.neighbors.incoming.add(2)
+        assert arrays.out.row(0) == [2]
+        assert arrays.incoming.row(0) == [2]
+        assert peer.degree == 1
+
+    def test_peer_list_exposes_arrays(self):
+        arrays = PeerArrays(2, 2)
+        peers = arrays.peers()
+        assert peers.arrays is arrays
+        assert len(peers) == 2
+        assert [p.node for p in peers] == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis oracle: protocol over slabs == protocol over objects
+# ---------------------------------------------------------------------------
+N_PEERS = 10
+SLOTS = 3
+
+
+def _build(soa: bool):
+    if soa:
+        arrays = PeerArrays(N_PEERS, SLOTS)
+        peers = arrays.peers()
+    else:
+        peers = [PeerState(i, SLOTS) for i in range(N_PEERS)]
+    bootstrap = BootstrapServer()
+    metrics = SimulationMetrics(horizon=3600.0)
+    protocol = GnutellaProtocol(peers, bootstrap, metrics, SLOTS)
+    return peers, bootstrap, protocol
+
+
+def _apply(ops, seed, peers, bootstrap, protocol):
+    rng = np.random.default_rng(seed)
+    for op, node, arg in ops:
+        peer = peers[node]
+        if op == 0:  # toggle churn
+            if peer.online:
+                peer.online = False
+                peer.query_epoch += 1
+                bootstrap.leave(node)
+                protocol.sever_all(node)
+            else:
+                peer.online = True
+                peer.sessions += 1
+                bootstrap.join(node)
+        elif op == 1 and peer.online:
+            protocol.fill_random(node, rng)
+        elif op == 2 and peer.online:
+            protocol.reconfigure(node, max_swaps=1, swap_margin=0.0)
+        elif op == 3 and arg != node:  # credit benefit toward a future invite
+            peer.stats.add_benefit(arg, float((node + arg) % 5) + 0.25)
+            peer.requests_since_update += 1
+        elif op == 4 and peer.online:  # direct eviction of a current neighbor
+            out = peer.neighbors.outgoing.as_tuple()
+            if out:
+                protocol.evict(node, out[arg % len(out)])
+
+
+def _decode(peers):
+    """Layout-independent snapshot of everything the slabs store."""
+    return [
+        {
+            "online": peer.online,
+            "sessions": peer.sessions,
+            "epoch": peer.query_epoch,
+            "requests": peer.requests_since_update,
+            "out": peer.neighbors.outgoing.as_tuple(),
+            "in": peer.neighbors.incoming.as_tuple(),
+            "benefit": {
+                n: peer.stats.benefit_of(n) for n in peer.stats.known_nodes()
+            },
+            "encounters": {
+                n: peer.stats.encounters_of(n) for n in peer.stats.known_nodes()
+            },
+            "ranked": peer.stats.ranked(),
+        }
+        for peer in peers
+    ]
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(
+        st.tuples(
+            st.integers(0, 4),
+            st.integers(0, N_PEERS - 1),
+            st.integers(0, N_PEERS - 1),
+        ),
+        min_size=5,
+        max_size=100,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_soa_protocol_state_matches_object_oracle(seed, ops):
+    """Same op stream, same RNG seed: both layouts decode to identical state."""
+    ref_peers, ref_bootstrap, ref_protocol = _build(soa=False)
+    soa_peers, soa_bootstrap, soa_protocol = _build(soa=True)
+    _apply(ops, seed, ref_peers, ref_bootstrap, ref_protocol)
+    _apply(ops, seed, soa_peers, soa_bootstrap, soa_protocol)
+    assert _decode(soa_peers) == _decode(ref_peers)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 7)),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_neighbor_table_row_matches_neighbor_list(ops):
+    """One slab row driven op-for-op against a real NeighborList."""
+    table = NeighborTable(1, SLOTS)
+    slab_row = SlotNeighborList(table, 0)
+    reference = NeighborList(capacity=SLOTS)
+    for op, other in ops:
+        if op == 0:
+            slab_err = ref_err = None
+            try:
+                slab_row.add(other)
+            except NeighborListError as exc:
+                slab_err = str(exc)
+            try:
+                reference.add(other)
+            except NeighborListError as exc:
+                ref_err = str(exc)
+            assert (slab_err is None) == (ref_err is None)
+        elif op == 1:
+            assert slab_row.discard(other) == reference.discard(other)
+        elif op == 2:
+            assert (other in slab_row) == (other in reference)
+        else:
+            assert slab_row.as_tuple() == reference.as_tuple()
+    assert slab_row.as_tuple() == reference.as_tuple()
+    assert len(slab_row) == len(reference)
+    assert slab_row.is_full == reference.is_full

@@ -125,3 +125,67 @@ class TestRanking:
         assert values == sorted(values, reverse=True)
         assert ranked == s.ranked()  # stable across calls
         assert len(ranked) == len(benefits)
+
+
+class TestIncrementalRankingOracle:
+    """The dirty-candidate cache must be invisible: after any mutation
+    sequence, ranked()/top_k()/iter_ranked_runs() equal a from-scratch sort
+    by the total (-benefit, id) key."""
+
+    # op: 0 = add_benefit, 1 = reset, 2 = decay, 3 = consult (repairs the
+    # cache mid-sequence, exercising the filter + insort path), 4 = clear.
+    # Benefits come from a tiny grid so exact ties — and decay-induced tie
+    # collapses — happen constantly.
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 4),
+                st.integers(0, 12),
+                st.sampled_from([0.0, 0.25, 0.5, 1.0, 1.0, 2.0]),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_matches_brute_force_after_any_mutation_sequence(self, ops):
+        s = StatsTable()
+        for op, node, value in ops:
+            if op == 0:
+                s.add_benefit(node, value)
+            elif op == 1:
+                s.reset(node)
+            elif op == 2:
+                s.decay(value if value <= 1.0 else 0.5)
+            elif op == 3:
+                s.ranked()
+            else:
+                s.clear()
+        expected = sorted(s.known_nodes(), key=lambda n: (-s.benefit_of(n), n))
+        assert s.ranked() == expected
+        for k in (0, 1, 3, len(expected) + 2):
+            assert s.top_k(k) == expected[:k]
+        flattened = []
+        run_benefits = []
+        for benefit, run in s.iter_ranked_runs():
+            run_benefits.append(benefit)
+            assert run == sorted(run)
+            assert all(s.benefit_of(n) == benefit for n in run)
+            flattened.extend(run)
+        assert flattened == expected
+        assert run_benefits == sorted(set(run_benefits), reverse=True)
+
+    def test_decay_collapsed_ties_still_ranked_by_id(self):
+        s = StatsTable()
+        s.add_benefit(7, 4.0)
+        s.add_benefit(2, 2.0)
+        s.ranked()  # cache the order [7, 2]
+        s.decay(0.0)  # both collapse to 0.0 without dirtying anything
+        assert s.ranked() == [2, 7]
+
+    def test_knows(self):
+        s = StatsTable()
+        assert not s.knows(1)
+        s.add_benefit(1, 1.0)
+        assert s.knows(1)
+        s.reset(1)
+        assert not s.knows(1)

@@ -1,6 +1,8 @@
 """Tests for the neighbor-update decision functions (Algos 3-4)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.neighbors import NeighborState
 from repro.core.statistics import StatsTable
@@ -9,6 +11,7 @@ from repro.core.update import (
     InviteAction,
     asymmetric_update,
     plan_reconfiguration,
+    plan_reconfiguration_full_scan,
     process_invitation,
     reconfiguration_actions,
 )
@@ -65,6 +68,59 @@ class TestPlanReconfiguration:
     def test_deterministic_tie_breaking(self):
         stats = stats_of(n5=2.0, n3=2.0, n8=2.0)
         assert plan_reconfiguration([], stats, k=3) == [3, 5, 8]
+
+
+# Benefit values drawn from a tiny grid so ties — including the exact-tie
+# runs the incremental ranking must re-sort by id — occur constantly.
+_LEDGERS = st.dictionaries(
+    st.integers(0, 15), st.sampled_from([0.0, 0.5, 1.0, 1.0, 2.0]), max_size=12
+)
+
+
+class TestIncrementalPlanMatchesFullScan:
+    """The early-exit ranked walk is an optimization, never a policy change."""
+
+    @given(
+        _LEDGERS,
+        st.lists(st.integers(0, 15), max_size=4, unique=True),
+        st.integers(0, 6),
+        st.lists(st.integers(0, 15), max_size=3, unique=True),
+        st.sets(st.integers(0, 15)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_equivalence_over_arbitrary_ledgers(
+        self, ledger, current, k, exclude, offline
+    ):
+        stats = StatsTable()
+        for node, benefit in ledger.items():
+            stats.add_benefit(node, benefit)
+        eligible = lambda n: n not in offline  # noqa: E731
+
+        def both(*args, **kwargs):
+            return (
+                plan_reconfiguration(*args, **kwargs),
+                plan_reconfiguration_full_scan(*args, **kwargs),
+            )
+
+        fast, oracle = both(current, stats, k, exclude=exclude, eligible=eligible)
+        assert fast == oracle
+        # Repeat after mutations that dirty / reset / decay the cached order.
+        for node in current[:2]:
+            stats.add_benefit(node, 0.5)
+        if ledger:
+            stats.reset(next(iter(ledger)))
+        stats.decay(0.5)
+        fast, oracle = both(current, stats, k, exclude=exclude, eligible=eligible)
+        assert fast == oracle
+
+    def test_statless_current_neighbors_interleave_with_zero_benefit_peers(self):
+        # Nodes 2 and 6 are known at benefit zero; current neighbors 4 and 5
+        # have no stats at all. The shared id tiebreak must interleave them
+        # (current-first within the zero run): 2 and 4,5 are current.
+        stats = stats_of(n2=0.0, n6=0.0, n9=3.0)
+        plan = plan_reconfiguration([4, 5, 2], stats, k=4)
+        assert plan == [9, 2, 4, 5]
+        assert plan == plan_reconfiguration_full_scan([4, 5, 2], stats, k=4)
 
 
 class TestReconfigurationActions:

@@ -7,15 +7,17 @@ from hypothesis import strategies as st
 
 from repro.errors import NetworkError
 from repro.net.bandwidth import BandwidthModel
-from repro.net.latency import DelayParameters, LatencyModel
+from repro.net.latency import LAZY_DELAY_NODE_THRESHOLD, DelayParameters, LatencyModel
 
 
-def make_model(n=100, seed=0, params=None, classes=None):
+def make_model(n=100, seed=0, params=None, classes=None, lazy_threshold=None):
     rng = np.random.default_rng(seed)
     bw = BandwidthModel(n, rng)
     if classes is not None:
         bw.classes[:] = classes
-    return LatencyModel(bw, np.random.default_rng(seed + 1), params)
+    return LatencyModel(
+        bw, np.random.default_rng(seed + 1), params, lazy_threshold=lazy_threshold
+    )
 
 
 class TestDelayParameters:
@@ -158,3 +160,67 @@ class TestDelayMatrix:
         matrix = lm.delay_matrix()
         off_diag = matrix[~np.eye(20, dtype=bool)]
         assert np.all(off_diag == 0.070)
+
+
+class TestLazyRegime:
+    """Above the node threshold: no matrix, keyed on-demand pair draws."""
+
+    def test_threshold_selects_regime(self):
+        assert not make_model(n=50, lazy_threshold=50).is_lazy
+        assert make_model(n=51, lazy_threshold=50).is_lazy
+        # The default threshold is far above test-sized populations.
+        assert not make_model(n=100).is_lazy
+        assert LAZY_DELAY_NODE_THRESHOLD == 4096
+
+    def test_delay_matrix_refuses(self):
+        lm = make_model(n=40, lazy_threshold=10)
+        with pytest.raises(NetworkError, match="refusing to materialize"):
+            lm.delay_matrix()
+        assert not lm.has_matrix
+
+    def test_rows_proxy_matches_one_way_delay(self):
+        lm = make_model(n=40, lazy_threshold=10)
+        rows = lm.delay_rows()
+        assert len(rows) == 40
+        assert len(rows[0]) == 40
+        for a, b in [(0, 1), (1, 0), (5, 39), (12, 12)]:
+            assert rows[a][b] == lm.one_way_delay(a, b)
+        assert lm.delay_rows() is rows  # the proxy is cached
+
+    def test_touch_order_independent(self):
+        """The keyed draw makes pair values a pure function of (seed, pair),
+        so two models touching pairs in opposite orders agree float-for-float
+        — the property that keeps the digest gate valid at scale."""
+        pairs = [(0, 1), (3, 17), (2, 9), (18, 19), (4, 4)]
+        forward = make_model(n=20, seed=3, lazy_threshold=5)
+        backward = make_model(n=20, seed=3, lazy_threshold=5)
+        got_forward = {p: forward.one_way_delay(*p) for p in pairs}
+        got_backward = {p: backward.one_way_delay(*p) for p in reversed(pairs)}
+        assert got_forward == got_backward
+
+    def test_symmetric_cached_and_bounded(self):
+        lm = make_model(n=30, lazy_threshold=10)
+        p = lm.params
+        for a in range(10):
+            for b in range(a + 1, 10):
+                d = lm.one_way_delay(a, b)
+                assert d == lm.one_way_delay(b, a)
+                mean = p.means[lm.bandwidth.slowest_class(a, b)]
+                assert mean - 3 * p.std - 1e-12 <= d <= mean + 3 * p.std + 1e-12
+                assert d >= p.floor
+        assert lm.cached_pairs == 45  # only the touched pairs materialized
+
+    def test_deterministic_across_models(self):
+        a = make_model(n=25, seed=11, lazy_threshold=5).one_way_delay(2, 9)
+        b = make_model(n=25, seed=11, lazy_threshold=5).one_way_delay(2, 9)
+        assert a == b
+
+    def test_zero_std_lazy_gives_exact_means(self):
+        params = DelayParameters(std=0.0)
+        lm = make_model(n=20, classes=[2] * 20, params=params, lazy_threshold=5)
+        assert lm.one_way_delay(0, 1) == 0.070
+
+    def test_round_trip_and_self_delay(self):
+        lm = make_model(n=20, lazy_threshold=5)
+        assert lm.one_way_delay(4, 4) == 0.0
+        assert lm.round_trip(1, 2) == pytest.approx(2 * lm.one_way_delay(1, 2))
