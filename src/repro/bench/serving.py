@@ -40,6 +40,9 @@ class ServingBench:
     p50_seconds: float
     p95_seconds: float
     p99_seconds: float
+    #: Server-side mean service latency, derived from the registry
+    #: histogram's exact ``sum``/``count`` (not the client-side samples).
+    mean_seconds: float
     #: Kept for the log line, not serialized (it varies run to run).
     report: LoadReport
 
@@ -58,6 +61,7 @@ class ServingBench:
                 "p50_seconds": self.p50_seconds,
                 "p95_seconds": self.p95_seconds,
                 "p99_seconds": self.p99_seconds,
+                "mean_seconds": self.mean_seconds,
             }
         }
 
@@ -75,7 +79,7 @@ def serving_smoke(
 
     config = preset_config(preset, seed=seed).as_dynamic()
 
-    async def run() -> tuple[LoadReport, int]:
+    async def run() -> tuple[LoadReport, float]:
         server = QueryServer(
             config,
             ServeConfig(port=0, time_rate=0.0, warmup_sim_s=2 * 3600.0),
@@ -93,9 +97,12 @@ def serving_smoke(
             )
         finally:
             await server.shutdown()
-        return report, server.counts.ok
+        latency = server.registry.histogram("serve.latency_seconds")
+        served = latency.count()
+        mean_s = latency.sum() / served if served else 0.0
+        return report, mean_s
 
-    report, _served = asyncio.run(run())
+    report, mean_seconds = asyncio.run(run())
     if log is not None:
         log(
             f"serving closed loop: {report.achieved_qps:.0f} req/s over "
@@ -112,5 +119,6 @@ def serving_smoke(
         p50_seconds=report.latency.p50_ms / 1e3,
         p95_seconds=report.latency.p95_ms / 1e3,
         p99_seconds=report.latency.p99_ms / 1e3,
+        mean_seconds=mean_seconds,
         report=report,
     )

@@ -30,6 +30,7 @@ __all__ = [
     "ENGINE_ATTRS",
     "PROJECT_RULES",
     "ProjectRule",
+    "TELEMETRY_SINK_NAMES",
     "all_project_rules",
     "register_project",
 ]
@@ -39,6 +40,18 @@ __all__ = [
 #: state*: observers may read it but never write it.
 ENGINE_ATTRS = frozenset(
     {"engine", "sim", "peers", "protocol", "transport", "kernel", "simulator"}
+)
+
+#: Parameter/variable names that denote telemetry *sinks*: registries,
+#: tracers, rolling windows, access loggers, exporters.  Observer callbacks
+#: are handed these precisely so they can write observations into them —
+#: a telemetry sink is observer-owned state, not engine state, so writes and
+#: mutating calls on it are the observer doing its job.  (A chain that walks
+#: from a sink back into :data:`ENGINE_ATTRS` — ``registry.engine.peers`` —
+#: still classifies as engine state.)
+TELEMETRY_SINK_NAMES = frozenset(
+    {"registry", "tracer", "rolling", "access_log", "accesslog",
+     "logger", "exporter", "sidecar", "snapshotter"}
 )
 
 #: Method tails that mutate an engine-state receiver when called on it.
@@ -142,14 +155,18 @@ class ObserverPurityRule(ProjectRule):
     def _top_env(record: FunctionRecord) -> dict[str, str]:
         """Initial root classification for the observer's own parameters.
 
-        ``self`` is the observer's own object; every other parameter is
-        conservatively treated as engine state (observers are handed engine
-        or simulator handles, never data they own).
+        ``self`` is the observer's own object, and telemetry-sink parameters
+        (:data:`TELEMETRY_SINK_NAMES` — the registry/tracer/logger handles a
+        telemetry callback exists to feed) are observer-owned; every other
+        parameter is conservatively treated as engine state (observers are
+        handed engine or simulator handles, never data they own).
         """
         env: dict[str, str] = {}
         params = record.effects.params
         for i, p in enumerate(params):
             if i == 0 and (record.is_method or p == "self"):
+                env[p] = _OBSERVER
+            elif p in TELEMETRY_SINK_NAMES:
                 env[p] = _OBSERVER
             else:
                 env[p] = _ENGINE
@@ -175,6 +192,13 @@ class ObserverPurityRule(ProjectRule):
             # Free variable named like engine state: closure observers
             # (``def probe(): ... engine.peers ...``) capture these.
             return _ENGINE, chain
+        if root in TELEMETRY_SINK_NAMES:
+            # Free variable named like a telemetry sink: closure exporters
+            # (``lambda: render_prometheus(registry.snapshot())``) capture
+            # the sink they feed — observer-owned, not engine state.
+            if any(seg in ENGINE_ATTRS for seg in chain[1:]):
+                return _ENGINE, chain
+            return _OBSERVER, chain
         return _UNKNOWN, chain
 
     def _via(self, record: FunctionRecord, observer: FunctionRecord) -> str:

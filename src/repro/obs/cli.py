@@ -66,6 +66,9 @@ def _cmd_record(args: argparse.Namespace) -> int:
             args.engine,
             hash_events=not args.no_digest,
             topology_interval=args.topology_interval,
+            telemetry_port=args.telemetry_port,
+            access_log=args.access_log,
+            access_log_sample=args.access_log_sample,
         )
         summary["record_dir"] = str(args.record_dir)
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -75,6 +78,9 @@ def _cmd_record(args: argparse.Namespace) -> int:
         args.engine,
         hash_events=not args.no_digest,
         topology_interval=args.topology_interval,
+        telemetry_port=args.telemetry_port,
+        access_log=args.access_log,
+        access_log_sample=args.access_log_sample,
     )
     out = recorded.tracer.write_jsonl(args.out)
     report: dict[str, Any] = recorded.summary()
@@ -224,6 +230,28 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="also snapshot the overlay every SECONDS of simulated time "
         "(e.g. 3600 for hourly)",
+    )
+    record.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live Prometheus exposition on this HTTP port while the "
+        "run executes (0 = ephemeral; scrape /metrics or point repro-top "
+        "--url at it)",
+    )
+    record.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="write sampled structured access-log lines derived from query "
+        "spans (with --record-dir, relative paths land inside it)",
+    )
+    record.add_argument(
+        "--access-log-sample",
+        type=float,
+        default=1.0,
+        help="deterministic hash-based access-log sampling rate (default 1.0)",
     )
     record.set_defaults(func=_cmd_record)
 

@@ -115,16 +115,18 @@ class LabeledGauge:
 class _HistogramSeries:
     """One labeled series of a histogram: bucket counts + running moments."""
 
-    __slots__ = ("counts", "stats")
+    __slots__ = ("counts", "stats", "sum")
 
     def __init__(self, n_buckets: int) -> None:
         # counts[i] tallies observations <= bounds[i]; the final slot is the
         # +inf overflow bucket.
         self.counts = [0] * (n_buckets + 1)
         self.stats = WelfordStats()
+        self.sum = 0.0
 
     def observe(self, value: float, bounds: tuple[float, ...]) -> None:
         self.stats.add(value)
+        self.sum += value
         for i, bound in enumerate(bounds):
             if value <= bound:
                 self.counts[i] += 1
@@ -159,6 +161,28 @@ class LabeledHistogram:
         series = self._series.get(_label_key(labels))
         return series.stats.count if series is not None else 0
 
+    def sum(self, **labels: Any) -> float:
+        """Sum of all observations in the labeled series (0.0 when empty)."""
+        series = self._series.get(_label_key(labels))
+        return series.sum if series is not None else 0.0
+
+    def cumulative(self, **labels: Any) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative buckets: ``[(le, count<=le), ...]``.
+
+        The final entry is always ``(inf, total_count)`` — the explicit
+        ``+Inf`` bucket the exposition format requires — so the list has
+        ``len(bounds) + 1`` entries even for an empty series.
+        """
+        series = self._series.get(_label_key(labels))
+        counts = series.counts if series is not None else [0] * (len(self.bounds) + 1)
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((math.inf, running + counts[-1]))
+        return out
+
     def snapshot(self) -> dict[str, Any]:
         out: dict[str, Any] = {"type": "histogram", "bounds": list(self.bounds)}
         values: dict[str, Any] = {}
@@ -167,6 +191,7 @@ class LabeledHistogram:
             values[_label_str(key)] = {
                 "buckets": list(series.counts),
                 "count": stats.count,
+                "sum": series.sum,
                 "mean": stats.mean,
                 "std": stats.std,
                 "min": stats.min,

@@ -286,6 +286,49 @@ def _phase_rows(phases: Mapping[str, Any]) -> list[list[Any]]:
     return rows
 
 
+def _telemetry_rows(aggregate: Mapping[str, Any]) -> list[list[Any]]:
+    """Flatten a merged registry snapshot into ``[metric, kind, value]`` rows.
+
+    Renders the scalar-ish kinds (counters, gauges, computed values, Welford
+    summaries, histogram totals); series-shaped entries (buckets,
+    timeseries) reduce to their totals/lengths — the report is a digest, not
+    a re-plot of every instrument.
+    """
+    rows: list[list[Any]] = []
+    for name in sorted(aggregate):
+        entry = aggregate[name]
+        kind = entry.get("type")
+        if kind in ("counter", "gauge"):
+            for label, value in sorted(entry.get("values", {}).items()):
+                rows.append([f"{name}{{{label}}}" if label else name, kind, value])
+        elif kind == "value":
+            rows.append([name, "value", entry.get("value")])
+        elif kind == "welford":
+            rows.append(
+                [
+                    name,
+                    "welford",
+                    f"n={entry.get('count')} mean={_fmt(entry.get('mean'))} "
+                    f"max={_fmt(entry.get('max'))}",
+                ]
+            )
+        elif kind == "histogram":
+            for label, series in sorted(entry.get("values", {}).items()):
+                rows.append(
+                    [
+                        f"{name}{{{label}}}" if label else name,
+                        "histogram",
+                        f"n={series.get('count')} sum={_fmt(series.get('sum'))} "
+                        f"mean={_fmt(series.get('mean'))}",
+                    ]
+                )
+        elif kind == "buckets":
+            rows.append([name, "buckets", f"total={sum(entry.get('counts', []))}"])
+        elif kind == "timeseries":
+            rows.append([name, "timeseries", f"points={len(entry.get('values', []))}"])
+    return rows
+
+
 def _convergence_text(convergence: Mapping[str, Any] | None) -> str:
     if not convergence:
         return "not measured"
@@ -451,6 +494,18 @@ def _render_record(record_dir: Path) -> str:
                 sorted((trace.get("by_category") or {}).items()),
             )
         )
+    telemetry = summary.get("telemetry") or {}
+    if telemetry.get("access_log") or telemetry.get("port") is not None:
+        body.append("<h2>Live telemetry</h2>")
+        body.append(
+            _cards(
+                [
+                    ("exposition port", telemetry.get("port")),
+                    ("access log", telemetry.get("access_log")),
+                    ("access-log lines", telemetry.get("access_log_lines")),
+                ]
+            )
+        )
     digest = summary.get("event_digest")
     if digest:
         body.append(f"<p>Event-stream digest: <code>{_esc(digest)}</code></p>")
@@ -500,6 +555,10 @@ def _render_manifest(manifest: Mapping[str, Any]) -> str:
     if phases:
         body.append("<h2>Aggregate wall-clock phases</h2>")
         body.append(_table(["phase", "seconds", "count"], _phase_rows(phases)))
+    telemetry = (manifest.get("obs") or {}).get("telemetry") or {}
+    if telemetry:
+        body.append("<h2>Aggregate telemetry (all tasks merged)</h2>")
+        body.append(_table(["metric", "kind", "value"], _telemetry_rows(telemetry)))
     grid = manifest.get("grid") or {}
     if grid:
         body.append("<h2>Grid</h2>")

@@ -1,0 +1,96 @@
+"""Sampled structured access logs: one JSON line per admitted request.
+
+Sampling is *deterministic*: the decision hashes the trace id (SHA-256,
+first 8 bytes as an integer against ``sample * 2**64``), so the same run
+logs the same requests every time, replays reproduce the exact log, and
+turning sampling up or down never consumes RNG state — access logging
+stays digest-neutral by construction.
+
+Each line is a sorted-key JSON object with the fields in
+:data:`ACCESS_LOG_FIELDS`; ``schema`` identifies the format for
+downstream tooling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, IO, Mapping
+
+__all__ = ["ACCESS_LOG_FIELDS", "ACCESS_LOG_SCHEMA", "AccessLogger", "sampled_in"]
+
+#: Schema identifier stamped on every line.
+ACCESS_LOG_SCHEMA = "repro.serve/accesslog/v1"
+
+#: The canonical field set of one access-log line (beyond ``schema``).
+ACCESS_LOG_FIELDS: tuple[str, ...] = (
+    "trace_id",
+    "op",
+    "initiator",
+    "item",
+    "deadline_s",
+    "queue_wait_s",
+    "service_s",
+    "outcome",
+)
+
+_SAMPLE_SPACE = 2**64
+
+
+def sampled_in(trace_id: str, sample: float) -> bool:
+    """Deterministic sampling decision for ``trace_id`` at rate ``sample``.
+
+    ``sample >= 1.0`` keeps everything, ``<= 0.0`` nothing; in between,
+    the first 8 bytes of ``sha256(trace_id)`` decide — uniformly and
+    stably, with no RNG involved.
+    """
+    if sample >= 1.0:
+        return True
+    if sample <= 0.0:
+        return False
+    digest = hashlib.sha256(trace_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") < int(sample * _SAMPLE_SPACE)
+
+
+class AccessLogger:
+    """Append sampled JSON access-log lines to a file (or open stream)."""
+
+    __slots__ = ("sample", "_fh", "_owns", "written", "seen")
+
+    def __init__(self, target: str | Path | IO[str], sample: float = 1.0) -> None:
+        self.sample = float(sample)
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            if path.parent != Path(""):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh: IO[str] = path.open("a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        #: Lines actually written / requests offered, for stats reporting.
+        self.written = 0
+        self.seen = 0
+
+    def log(self, record: Mapping[str, Any]) -> bool:
+        """Write one record if its trace id samples in; returns whether it did."""
+        self.seen += 1
+        trace_id = str(record.get("trace_id", ""))
+        if not sampled_in(trace_id, self.sample):
+            return False
+        line = dict(record)
+        line["schema"] = ACCESS_LOG_SCHEMA
+        self._fh.write(json.dumps(line, sort_keys=True) + "\n")
+        self.written += 1
+        return True
+
+    def flush(self) -> None:
+        """Flush the underlying stream."""
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush, and close the stream if this logger opened it."""
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()

@@ -1,0 +1,219 @@
+"""Cross-process aggregation: merge registry snapshots into one view.
+
+Workers (orchestrate pool tasks, the coming sharded engine) each produce
+a :meth:`~repro.obs.registry.MetricsRegistry.snapshot` dict; this module
+folds any number of them into a single snapshot with the obvious
+semantics per instrument type:
+
+* **counter** — per-label values sum;
+* **gauge** — per-label last-wins, in input order (callers pass snapshots
+  in deterministic task order, so the merge is deterministic too);
+* **histogram** — bucket bounds must agree; per-label bucket counts add
+  element-wise, ``sum``/``count`` add, mean/std recombine via the
+  parallel Welford merge, min/max combine;
+* **welford** — same moment merge;
+* **value** — numeric values sum, anything else last-wins;
+* **buckets** — widths must agree; counts add element-wise (padded to
+  the longer horizon);
+* **timeseries** — observations interleave sorted by time.
+
+A name carrying different types across snapshots is a configuration
+error, not a silent coercion. The merged dict round-trips through
+:func:`repro.obs.telemetry.exposition.render_prometheus` exactly like a
+single-process snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["merge_snapshots"]
+
+
+def _moments(block: Mapping[str, Any]) -> tuple[int, float, float, float, float]:
+    """Snapshot moments → ``(count, mean, m2, min, max)`` for Welford math."""
+    count = int(block.get("count", 0))
+    mean = float(block.get("mean", math.nan))
+    std = float(block.get("std", math.nan))
+    m2 = std * std * (count - 1) if count >= 2 and not math.isnan(std) else 0.0
+    lo = float(block.get("min", math.inf))
+    hi = float(block.get("max", -math.inf))
+    return count, mean, m2, lo, hi
+
+
+def _merge_moments(
+    a: tuple[int, float, float, float, float],
+    b: tuple[int, float, float, float, float],
+) -> tuple[int, float, float, float, float]:
+    """Parallel Welford merge on ``(count, mean, m2, min, max)`` tuples."""
+    if b[0] == 0:
+        return a
+    if a[0] == 0:
+        return b
+    count_a, mean_a, m2_a, lo_a, hi_a = a
+    count_b, mean_b, m2_b, lo_b, hi_b = b
+    total = count_a + count_b
+    delta = mean_b - mean_a
+    m2 = m2_a + m2_b + delta * delta * count_a * count_b / total
+    mean = mean_a + delta * count_b / total
+    return total, mean, m2, min(lo_a, lo_b), max(hi_a, hi_b)
+
+
+def _moments_out(m: tuple[int, float, float, float, float]) -> dict[str, Any]:
+    count, mean, m2, lo, hi = m
+    std = math.sqrt(m2 / (count - 1)) if count >= 2 else math.nan
+    return {
+        "count": count,
+        "mean": mean if count else math.nan,
+        "std": std,
+        "min": lo,
+        "max": hi,
+    }
+
+
+def _merge_histogram(
+    name: str, into: dict[str, Any], block: Mapping[str, Any]
+) -> None:
+    bounds = [float(b) for b in block.get("bounds", [])]
+    if into.get("bounds") is None:
+        into["bounds"] = bounds
+    elif into["bounds"] != bounds:
+        raise ConfigurationError(
+            f"metric {name!r}: histogram bounds differ across snapshots "
+            f"({into['bounds']} vs {bounds})"
+        )
+    values = into.setdefault("values", {})
+    for label, series in block.get("values", {}).items():
+        counts = [int(c) for c in series["buckets"]]
+        observed_sum = float(
+            series.get("sum", series.get("mean", 0.0) * series.get("count", 0))
+        )
+        if math.isnan(observed_sum):
+            observed_sum = 0.0
+        moments = _moments(series)
+        existing = values.get(label)
+        if existing is None:
+            merged_counts = counts
+            merged_sum = observed_sum
+            merged_moments = moments
+        else:
+            if len(existing["buckets"]) != len(counts):
+                raise ConfigurationError(
+                    f"metric {name!r}: bucket layouts differ across snapshots"
+                )
+            merged_counts = [a + b for a, b in zip(existing["buckets"], counts)]
+            merged_sum = existing["sum"] + observed_sum
+            merged_moments = _merge_moments(existing["_moments"], moments)
+        values[label] = {
+            "buckets": merged_counts,
+            "sum": merged_sum,
+            "_moments": merged_moments,
+        }
+
+
+def _finish_histogram(block: dict[str, Any]) -> dict[str, Any]:
+    values: dict[str, Any] = {}
+    for label, series in block.get("values", {}).items():
+        out = _moments_out(series["_moments"])
+        values[label] = {
+            "buckets": series["buckets"],
+            "count": out["count"],
+            "sum": series["sum"],
+            "mean": out["mean"],
+            "std": out["std"],
+            "min": out["min"],
+            "max": out["max"],
+        }
+    return {"type": "histogram", "bounds": block.get("bounds") or [], "values": values}
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold registry snapshots into one, per the module's merge semantics."""
+    merged: dict[str, dict[str, Any]] = {}
+    kinds: dict[str, str] = {}
+    for snapshot in snapshots:
+        for name in sorted(snapshot):
+            block = snapshot[name]
+            if not isinstance(block, Mapping):
+                raise ConfigurationError(f"metric {name!r}: not a snapshot block")
+            kind = str(block.get("type"))
+            if name in kinds and kinds[name] != kind:
+                raise ConfigurationError(
+                    f"metric {name!r}: type changed across snapshots "
+                    f"({kinds[name]} vs {kind})"
+                )
+            kinds[name] = kind
+            if kind in ("counter", "gauge"):
+                entry = merged.setdefault(name, {"values": {}})
+                for label, value in block.get("values", {}).items():
+                    if kind == "counter":
+                        entry["values"][label] = (
+                            entry["values"].get(label, 0.0) + float(value)
+                        )
+                    else:
+                        entry["values"][label] = float(value)
+            elif kind == "histogram":
+                _merge_histogram(name, merged.setdefault(name, {}), block)
+            elif kind == "welford":
+                entry = merged.setdefault(name, {"_moments": (0, math.nan, 0.0, math.inf, -math.inf)})
+                entry["_moments"] = _merge_moments(entry["_moments"], _moments(block))
+            elif kind == "value":
+                entry = merged.setdefault(name, {})
+                value = block.get("value")
+                numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+                if numeric and isinstance(entry.get("value"), (int, float)):
+                    entry["value"] = entry["value"] + value
+                else:
+                    entry["value"] = value
+            elif kind == "buckets":
+                entry = merged.setdefault(name, {"width": block.get("width")})
+                if float(entry["width"]) != float(block.get("width", 0.0)):
+                    raise ConfigurationError(
+                        f"metric {name!r}: bucket widths differ across snapshots"
+                    )
+                counts = [int(c) for c in block.get("counts", [])]
+                existing_counts = entry.get("counts", [])
+                size = max(len(existing_counts), len(counts))
+                entry["counts"] = [
+                    (existing_counts[i] if i < len(existing_counts) else 0)
+                    + (counts[i] if i < len(counts) else 0)
+                    for i in range(size)
+                ]
+            elif kind == "timeseries":
+                entry = merged.setdefault(name, {"points": []})
+                entry["points"].extend(
+                    zip(block.get("times", []), block.get("values", []))
+                )
+            else:
+                raise ConfigurationError(
+                    f"metric {name!r}: unmergeable snapshot type {kind!r}"
+                )
+    out: dict[str, Any] = {}
+    for name in sorted(merged):
+        kind = kinds[name]
+        entry = merged[name]
+        if kind in ("counter", "gauge"):
+            out[name] = {"type": kind, "values": dict(sorted(entry["values"].items()))}
+        elif kind == "histogram":
+            out[name] = _finish_histogram(entry)
+        elif kind == "welford":
+            out[name] = {"type": "welford", **_moments_out(entry["_moments"])}
+        elif kind == "value":
+            out[name] = {"type": "value", "value": entry["value"]}
+        elif kind == "buckets":
+            out[name] = {
+                "type": "buckets",
+                "width": entry["width"],
+                "counts": entry.get("counts", []),
+            }
+        else:  # timeseries
+            points = sorted(entry["points"], key=lambda p: p[0])
+            out[name] = {
+                "type": "timeseries",
+                "times": [p[0] for p in points],
+                "values": [p[1] for p in points],
+            }
+    return out

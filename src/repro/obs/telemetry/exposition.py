@@ -1,0 +1,260 @@
+"""Prometheus text-format v0.0.4 exposition over registry snapshots.
+
+:func:`render_prometheus` takes the JSON-ready dict that
+:meth:`repro.obs.registry.MetricsRegistry.snapshot` produces — *not* the
+live registry — so the same renderer serves an in-process scrape, a
+sidecar thread holding only a snapshot callable, and a cross-process
+aggregate merged by :mod:`repro.obs.telemetry.aggregate`.
+
+Rendering rules per snapshot type:
+
+* ``counter`` → one ``# TYPE`` counter family, one sample per label set;
+* ``gauge`` → gauge family (unset series render as ``NaN``, which the
+  format allows);
+* ``histogram`` → spec-correct cumulative ``_bucket{le="..."}`` samples
+  including the explicit ``le="+Inf"`` bucket, plus ``_sum`` and
+  ``_count``;
+* ``welford`` (adopted :class:`~repro.sim.monitor.WelfordStats`) →
+  ``_count`` / ``_mean`` / ``_min`` / ``_max`` gauges;
+* ``value`` (adopted callables) → a gauge when numeric, skipped otherwise;
+* ``buckets`` (adopted :class:`~repro.sim.monitor.HourlyBuckets`) → a
+  ``_total`` counter over all buckets;
+* ``timeseries`` → a gauge holding the last recorded value.
+
+:func:`parse_prometheus` is the deliberately minimal inverse used by the
+round-trip tests and the CI scrape validation: it understands ``# TYPE``
+lines and ``name{labels} value`` samples, nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+__all__ = ["CONTENT_TYPE", "parse_prometheus", "render_prometheus", "sanitize_name"]
+
+#: The content type a conforming scrape endpoint must announce.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def sanitize_name(name: str) -> str:
+    """Registry name → valid Prometheus metric name (dots become underscores)."""
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isascii() and (ch.isalpha() or ch == "_" or ch == ":" or (ch.isdigit() and i > 0)):
+            out.append(ch)
+        else:
+            out.append("_")
+    return "".join(out) or "_"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_from_str(label_str: str) -> list[tuple[str, str]]:
+    """Registry ``"k=v,k2=v2"`` label rendering → ``[(k, v), ...]``."""
+    if not label_str:
+        return []
+    pairs = []
+    for part in label_str.split(","):
+        key, _, value = part.partition("=")
+        pairs.append((key, value))
+    return pairs
+
+
+def _render_labels(pairs: list[tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    """Float → exposition text (``+Inf``/``-Inf``/``NaN`` per the spec)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_counter(name: str, block: Mapping[str, Any], lines: list[str]) -> None:
+    lines.append(f"# TYPE {name} counter")
+    for label_str, value in block.get("values", {}).items():
+        labels = _render_labels(_labels_from_str(label_str))
+        lines.append(f"{name}{labels} {_fmt(float(value))}")
+
+
+def _render_gauge(name: str, block: Mapping[str, Any], lines: list[str]) -> None:
+    lines.append(f"# TYPE {name} gauge")
+    for label_str, value in block.get("values", {}).items():
+        labels = _render_labels(_labels_from_str(label_str))
+        lines.append(f"{name}{labels} {_fmt(float(value))}")
+
+
+def _render_histogram(name: str, block: Mapping[str, Any], lines: list[str]) -> None:
+    bounds = [float(b) for b in block.get("bounds", [])]
+    lines.append(f"# TYPE {name} histogram")
+    for label_str, series in block.get("values", {}).items():
+        base = _labels_from_str(label_str)
+        counts = [int(c) for c in series["buckets"]]
+        running = 0
+        for bound, bucket in zip(bounds, counts):
+            running += bucket
+            labels = _render_labels([*base, ("le", _fmt(bound))])
+            lines.append(f"{name}_bucket{labels} {running}")
+        total = running + (counts[-1] if len(counts) > len(bounds) else 0)
+        labels = _render_labels([*base, ("le", "+Inf")])
+        lines.append(f"{name}_bucket{labels} {total}")
+        count = int(series.get("count", total))
+        # Older snapshots predate the explicit sum; reconstruct from the
+        # moments so exposition stays spec-shaped either way.
+        if "sum" in series:
+            total_sum = float(series["sum"])
+        else:
+            mean = float(series.get("mean", math.nan))
+            total_sum = mean * count if count and not math.isnan(mean) else 0.0
+        base_labels = _render_labels(base)
+        lines.append(f"{name}_sum{base_labels} {_fmt(total_sum)}")
+        lines.append(f"{name}_count{base_labels} {count}")
+
+
+def _render_welford(name: str, block: Mapping[str, Any], lines: list[str]) -> None:
+    count = int(block.get("count", 0))
+    for suffix, value in (
+        ("count", float(count)),
+        ("mean", float(block.get("mean", math.nan))),
+        ("min", float(block.get("min", math.inf))),
+        ("max", float(block.get("max", -math.inf))),
+    ):
+        family = f"{name}_{suffix}"
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_fmt(value)}")
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a registry snapshot as Prometheus text-format v0.0.4."""
+    lines: list[str] = []
+    for raw_name in sorted(snapshot):
+        block = snapshot[raw_name]
+        if not isinstance(block, Mapping):
+            continue
+        name = sanitize_name(raw_name)
+        kind = block.get("type")
+        if kind == "counter":
+            _render_counter(name, block, lines)
+        elif kind == "gauge":
+            _render_gauge(name, block, lines)
+        elif kind == "histogram":
+            _render_histogram(name, block, lines)
+        elif kind == "welford":
+            _render_welford(name, block, lines)
+        elif kind == "value":
+            value = block.get("value")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_fmt(float(value))}")
+        elif kind == "buckets":
+            family = f"{name}_total"
+            total = sum(int(c) for c in block.get("counts", []))
+            lines.append(f"# TYPE {family} counter")
+            lines.append(f"{family} {total}")
+        elif kind == "timeseries":
+            values = block.get("values", [])
+            if values:
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_fmt(float(values[-1]))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Minimal parser (round-trip tests, CI scrape validation, repro-top)
+# ----------------------------------------------------------------------
+def _parse_value(text: str) -> float:
+    lowered = text.strip().lower()
+    if lowered in {"+inf", "inf"}:
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(body: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.index("=", i)
+        key = body[i:eq].strip()
+        i = eq + 1
+        if i >= n or body[i] != '"':
+            raise ValueError(f"expected quoted label value at {body[i:]!r}")
+        i += 1
+        chunks: list[str] = []
+        while i < n:
+            ch = body[i]
+            if ch == "\\" and i + 1 < n:
+                nxt = body[i + 1]
+                chunks.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                i += 2
+                continue
+            if ch == '"':
+                i += 1
+                break
+            chunks.append(ch)
+            i += 1
+        labels[key] = "".join(chunks)
+        while i < n and body[i] in ", ":
+            i += 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Parse exposition text into ``{name: {"type": ..., "samples": [...]}}``.
+
+    Each sample is ``(labels_dict, value)``. ``type`` comes from the
+    ``# TYPE`` line naming the *family*; samples are keyed by the full
+    sample name (so a histogram contributes ``x_bucket``/``x_sum``/
+    ``x_count`` entries whose ``type`` falls back to the family's).
+    """
+    metrics: dict[str, dict[str, Any]] = {}
+    types: dict[str, str] = {}
+
+    def entry(name: str) -> dict[str, Any]:
+        if name not in metrics:
+            family_type = types.get(name)
+            if family_type is None:
+                for suffix in ("_bucket", "_sum", "_count", "_total"):
+                    if name.endswith(suffix) and name[: -len(suffix)] in types:
+                        family_type = types[name[: -len(suffix)]]
+                        break
+            metrics[name] = {"type": family_type, "samples": []}
+        return metrics[name]
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            body, value_text = rest.rsplit("}", 1)
+            labels = _parse_labels(body)
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = {}
+        entry(name.strip())["samples"].append((labels, _parse_value(value_text)))
+    # Late # TYPE lines (or families whose samples appeared first) still get
+    # their type attached.
+    for name, info in metrics.items():
+        if info["type"] is None and name in types:
+            info["type"] = types[name]
+    return metrics

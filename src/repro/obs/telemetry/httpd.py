@@ -1,0 +1,105 @@
+"""Stdlib ``http.server`` exposition sidecar for non-serve runs.
+
+``repro-serve`` exposes metrics over its own newline-JSON protocol; a
+plain ``repro-trace record`` run has no listener at all, so this sidecar
+provides one: a daemon-threaded :class:`http.server.ThreadingHTTPServer`
+answering ``GET /metrics`` with whatever the render callable returns at
+scrape time. The simulation thread never blocks on it and the callable
+is a pure snapshot-and-render — the sidecar cannot move a digest.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.obs.telemetry.exposition import CONTENT_TYPE
+
+__all__ = ["TelemetrySidecar"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per-server in TelemetrySidecar.start().
+    render: Callable[[], str] = staticmethod(lambda: "")
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served")
+            return
+        try:
+            body = type(self).render().encode("utf-8")
+        except Exception as exc:  # pragma: no cover - render bugs surface as 500s
+            self.send_error(500, f"render failed: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging."""
+
+
+class TelemetrySidecar:
+    """A `/metrics` HTTP listener around a render callable.
+
+    ``port=0`` asks the OS for an ephemeral port; :attr:`port` holds the
+    bound one after :meth:`start`.
+    """
+
+    __slots__ = ("host", "port", "_render", "_server", "_thread")
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._render = render
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Bind, start the serving thread, and return the bound port."""
+        if self._server is not None:
+            return self.port
+        handler = type("_BoundHandler", (_Handler,), {"render": staticmethod(self._render)})
+        server = ThreadingHTTPServer((self.host, self.port), handler)
+        server.daemon_threads = True
+        self._server = server
+        self.port = server.server_address[1]
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name=f"repro-telemetry:{self.port}",
+            daemon=True,
+        )
+        thread.start()
+        self._thread = thread
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        """The scrape URL (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def __enter__(self) -> "TelemetrySidecar":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

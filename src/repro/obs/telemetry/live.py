@@ -1,0 +1,89 @@
+"""Live telemetry for simulation runs: a tracer that also feeds the plane.
+
+:class:`LiveTelemetry` is a drop-in :class:`~repro.obs.trace.Tracer`: the
+engines emit spans into it exactly as before, and on every completed
+``query`` span it *additionally* updates the metrics registry, the
+rolling windows, and the sampled access log — so a long
+``repro-trace record --telemetry-port`` run exposes live QPS and tail
+latencies while it executes.
+
+Everything here is derived from the span the engine was already
+emitting: no RNG is drawn, no event is scheduled, timestamps are the
+simulated seconds the engine passed in. Telemetry on vs. off therefore
+leaves event-stream digests bit-identical (test-enforced alongside the
+plain-tracer invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry.accesslog import AccessLogger
+from repro.obs.telemetry.rolling import RollingTelemetry
+from repro.obs.trace import PID_QUERY, Tracer
+from repro.sim.events import mark_observer
+
+__all__ = ["LiveTelemetry"]
+
+
+class LiveTelemetry(Tracer):
+    """A tracer that mirrors query spans into the live telemetry plane."""
+
+    __slots__ = ("registry", "rolling", "access_log", "prefix")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        rolling: RollingTelemetry | None = None,
+        access_log: AccessLogger | None = None,
+        prefix: str = "telemetry",
+    ) -> None:
+        super().__init__()
+        self.registry = registry
+        self.rolling = rolling
+        self.access_log = access_log
+        self.prefix = prefix
+
+    @mark_observer
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        t: float,
+        duration: float,
+        *,
+        pid: int = PID_QUERY,
+        tid: int = 0,
+        args: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Buffer the span, then mirror ``query`` spans into the plane."""
+        super().complete(name, cat, t, duration, pid=pid, tid=tid, args=args)
+        if name != "query" or cat != "query":
+            return
+        span_args = args or {}
+        hit = bool(span_args.get("hit", False))
+        finished = t + duration
+        outcome = "hit" if hit else "miss"
+        self.registry.counter(f"{self.prefix}.queries").inc(outcome=outcome)
+        self.registry.histogram(f"{self.prefix}.query_seconds").observe(duration)
+        if self.rolling is not None:
+            self.rolling.observe(finished, duration, ok=hit)
+            self.rolling.publish(self.registry, finished)
+        if self.access_log is not None:
+            # Issue time in microseconds makes the id unique per (node, query)
+            # and identical across replays of the same seed.
+            trace_id = f"q-{tid:x}-{round(t * 1e6):x}"
+            self.access_log.log(
+                {
+                    "trace_id": trace_id,
+                    "op": "query",
+                    "initiator": int(tid),
+                    "item": span_args.get("item"),
+                    "deadline_s": None,
+                    "queue_wait_s": 0.0,
+                    "service_s": duration,
+                    "outcome": outcome,
+                }
+            )

@@ -1,0 +1,235 @@
+"""``repro-top``: a live text dashboard over the exposition endpoint.
+
+Polls either a ``repro-serve`` instance (the ``metrics`` op of its
+newline-JSON protocol, ``--port``) or any HTTP exposition endpoint such
+as the :mod:`~repro.obs.telemetry.httpd` sidecar (``--url``), parses the
+Prometheus text with the in-repo parser, and renders QPS, request-status
+deltas, windowed tail latencies, queue depth, and SLO error-budget burn.
+
+On a TTY the screen redraws in place (ANSI home+clear — a plain-text
+"curses" that needs no terminal setup); with ``--plain`` or a pipe each
+poll appends one block, which is what the CI smoke test and the tests
+consume. ``--iterations N`` bounds the run (0 = until interrupted).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import time
+import urllib.request
+from typing import Any, Mapping
+
+from repro.obs.telemetry.exposition import parse_prometheus
+
+__all__ = ["main", "render_dashboard", "scrape"]
+
+#: Row order for the request-status table (everything else appends after).
+_STATUS_ORDER = ("ok", "overload", "timeout", "node_offline", "cancelled")
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+# ----------------------------------------------------------------------
+# Scraping
+# ----------------------------------------------------------------------
+def _scrape_serve(host: str, port: int, timeout_s: float) -> str:
+    """One ``metrics`` op round-trip over the newline-JSON protocol."""
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(
+            json.dumps({"op": "metrics", "id": 0}).encode("utf-8") + b"\n"
+        )
+        with sock.makefile("r", encoding="utf-8") as fh:
+            line = fh.readline()
+    payload = json.loads(line)
+    if payload.get("type") != "metrics":
+        raise ConnectionError(f"unexpected response type {payload.get('type')!r}")
+    return str(payload["text"])
+
+
+def _scrape_http(url: str, timeout_s: float) -> str:
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return response.read().decode("utf-8")
+
+
+def scrape(
+    *,
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    url: str | None = None,
+    timeout_s: float = 5.0,
+) -> dict[str, dict[str, Any]]:
+    """Fetch and parse one exposition document from either source kind."""
+    if (port is None) == (url is None):
+        raise ValueError("exactly one of port/url is required")
+    if port is not None:
+        text = _scrape_serve(host, port, timeout_s)
+    else:
+        assert url is not None
+        text = _scrape_http(url, timeout_s)
+    return parse_prometheus(text)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _samples(
+    metrics: Mapping[str, Mapping[str, Any]], name: str
+) -> list[tuple[dict[str, str], float]]:
+    entry = metrics.get(name)
+    return list(entry["samples"]) if entry else []
+
+
+def _value(
+    metrics: Mapping[str, Mapping[str, Any]], name: str, **labels: str
+) -> float | None:
+    for sample_labels, value in _samples(metrics, name):
+        if all(sample_labels.get(k) == v for k, v in labels.items()):
+            return value
+    return None
+
+
+def _status_totals(metrics: Mapping[str, Mapping[str, Any]]) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for labels, value in _samples(metrics, "serve_requests"):
+        status = labels.get("status", "")
+        totals[status] = totals.get(status, 0.0) + value
+    return totals
+
+
+def _fmt_latency(seconds: float | None) -> str:
+    if seconds is None or seconds != seconds:  # None or NaN
+        return "     -"
+    return f"{seconds * 1e3:6.2f}"
+
+
+def render_dashboard(
+    prev: Mapping[str, Mapping[str, Any]] | None,
+    curr: Mapping[str, Mapping[str, Any]],
+    dt: float,
+) -> str:
+    """One dashboard frame from two consecutive scrapes (``prev`` may be None)."""
+    lines: list[str] = []
+    totals = _status_totals(curr)
+    before = _status_totals(prev) if prev else {}
+    grand = sum(totals.values())
+    delta = grand - sum(before.values())
+    qps = delta / dt if prev and dt > 0 else float("nan")
+    qps_text = f"{qps:8.1f}" if qps == qps else "       -"
+    lines.append(f"requests {grand:>10.0f} total   interval QPS {qps_text}")
+    statuses = [s for s in _STATUS_ORDER if s in totals]
+    statuses += sorted(set(totals) - set(_STATUS_ORDER))
+    for status in statuses:
+        inc = totals[status] - before.get(status, 0.0)
+        lines.append(f"  {status:<13} {totals[status]:>10.0f}  (+{inc:.0f})")
+    depth = _value(curr, "serve_queue_depth")
+    if depth is not None:
+        lines.append(f"queue depth {depth:>7.0f}")
+    windows: list[str] = sorted(
+        {labels["window"] for labels, _ in _samples(curr, "serve_rolling_qps")},
+        key=lambda w: float(w.rstrip("s") or 0),
+    )
+    if windows:
+        lines.append("")
+        lines.append(
+            "window      qps    p50ms   p95ms   p99ms  p999ms    burn"
+        )
+        for window in windows:
+            rate = _value(curr, "serve_rolling_qps", window=window)
+            burn = _value(curr, "serve_slo_burn_rate", window=window)
+            tails = [
+                _value(
+                    curr,
+                    "serve_rolling_latency_seconds",
+                    window=window,
+                    quantile=q,
+                )
+                for q in ("0.5", "0.95", "0.99", "0.999")
+            ]
+            rate_text = f"{rate:7.1f}" if rate is not None else "      -"
+            burn_text = f"{burn:7.2f}" if burn is not None else "      -"
+            lines.append(
+                f"{window:<9}{rate_text}  "
+                + "  ".join(_fmt_latency(t) for t in tails)
+                + f" {burn_text}"
+            )
+    total_sum = _value(curr, "serve_latency_seconds_sum")
+    total_count = _value(curr, "serve_latency_seconds_count")
+    if total_sum is not None and total_count:
+        lines.append("")
+        lines.append(
+            f"lifetime mean service latency {total_sum / total_count * 1e3:.3f} ms "
+            f"over {total_count:.0f} requests"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live telemetry dashboard for repro-serve / sidecar endpoints.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="repro-serve address")
+    parser.add_argument(
+        "--port", type=int, default=None, help="repro-serve port (metrics op)"
+    )
+    parser.add_argument(
+        "--url", default=None, help="HTTP exposition URL (e.g. the sidecar)"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="poll seconds (default 1)"
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="polls before exiting; 0 = run until interrupted (default)",
+    )
+    parser.add_argument(
+        "--plain",
+        action="store_true",
+        help="append one block per poll instead of redrawing the screen",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if (args.port is None) == (args.url is None):
+        _parser().error("exactly one of --port or --url is required")
+    redraw = sys.stdout.isatty() and not args.plain
+    prev: dict[str, dict[str, Any]] | None = None
+    prev_at = 0.0
+    polls = 0
+    try:
+        while True:
+            try:
+                curr = scrape(host=args.host, port=args.port, url=args.url)
+            except (OSError, ValueError, ConnectionError, json.JSONDecodeError) as exc:
+                print(f"repro-top: scrape failed: {exc}", file=sys.stderr)
+                return 2
+            now = time.monotonic()
+            frame = render_dashboard(prev, curr, now - prev_at)
+            if redraw:
+                sys.stdout.write(_CLEAR + frame + "\n")
+            else:
+                target = args.url if args.url else f"{args.host}:{args.port}"
+                print(f"--- repro-top poll {polls + 1} ({target}) ---")
+                print(frame)
+            sys.stdout.flush()
+            prev, prev_at = curr, now
+            polls += 1
+            if args.iterations and polls >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

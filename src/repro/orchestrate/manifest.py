@@ -52,6 +52,21 @@ def _aggregate_phases(records: Sequence[TaskRecord]) -> dict[str, Any]:
     return totals.as_dict()
 
 
+def _aggregate_telemetry(records: Sequence[TaskRecord]) -> dict[str, Any]:
+    """Fold the per-task registry snapshots into one cross-process view.
+
+    Each worker (or the cache-hit path) emits a plain-dict
+    :class:`~repro.obs.registry.MetricsRegistry` snapshot on its record;
+    :func:`repro.obs.telemetry.merge_snapshots` sums counters and buckets
+    and merges distribution moments across them. Per-task snapshots are
+    deterministic, so this aggregate is identical for ``jobs=1`` and
+    ``jobs=N`` — the equality the orchestration determinism test asserts.
+    """
+    from repro.obs.telemetry import merge_snapshots
+
+    return merge_snapshots([r.metrics for r in records if r.metrics])
+
+
 def build_manifest(
     *,
     grid: Mapping[str, Any],
@@ -82,7 +97,10 @@ def build_manifest(
             }
             for record in records
         ],
-        "obs": {"phases": _aggregate_phases(records)},
+        "obs": {
+            "phases": _aggregate_phases(records),
+            "telemetry": _aggregate_telemetry(records),
+        },
         "cache": {
             "dir": cache_dir,
             "enabled": cache_dir is not None,

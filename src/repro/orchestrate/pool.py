@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.common import SimRequest
 from repro.gnutella.config import GnutellaConfig
 from repro.gnutella.simulation import SimulationResult, simulate_profiled
+from repro.obs.registry import MetricsRegistry, bind_simulation_metrics
 from repro.orchestrate.cache import ResultCache, task_key
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "result_digest",
     "run_requests",
     "run_tasks",
+    "task_metrics_snapshot",
 ]
 
 #: Progress callback signature: ``(record, done_count, total_count)``.
@@ -77,6 +79,11 @@ class TaskRecord:
     #: from the result. Deterministic — unlike ``phases``, it stays in the
     #: manifest's ``stable_view``.
     convergence: dict | None = None
+    #: Per-task :class:`~repro.obs.registry.MetricsRegistry` snapshot,
+    #: produced in the worker process (or rebuilt from the cached result on
+    #: a hit). ``None`` on failure. The manifest folds these into one
+    #: cross-process aggregate via ``repro.obs.telemetry.merge_snapshots``.
+    metrics: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -144,15 +151,32 @@ def requests_to_tasks(
     return tuple(tasks.values()), mapping
 
 
+def task_metrics_snapshot(result: SimulationResult) -> dict:
+    """A registry snapshot of one result's metrics, built where the task ran.
+
+    Binds the result's :class:`~repro.gnutella.metrics.SimulationMetrics`
+    into a throwaway :class:`~repro.obs.registry.MetricsRegistry` and
+    snapshots it immediately — a plain-dict, picklable emission each worker
+    process ships home so the parent can fold every task into one aggregate
+    (``repro.obs.telemetry.merge_snapshots``) without holding live metric
+    objects across process boundaries. Deterministic for a given result, so
+    serial and parallel runs emit identical snapshots.
+    """
+    registry = MetricsRegistry()
+    bind_simulation_metrics(registry, result.metrics)
+    return registry.snapshot()
+
+
 def _execute(
     config: GnutellaConfig, engine: str, hash_events: bool
-) -> tuple[SimulationResult, str | None, float, dict]:
+) -> tuple[SimulationResult, str | None, float, dict, dict]:
     """Worker body: run one simulation, timed and phase-profiled (in the child)."""
     started = time.perf_counter()
     result, event_digest, phases = simulate_profiled(
         config, engine, hash_events=hash_events
     )
-    return result, event_digest, time.perf_counter() - started, phases
+    elapsed = time.perf_counter() - started
+    return result, event_digest, elapsed, phases, task_metrics_snapshot(result)
 
 
 def run_tasks(
@@ -204,13 +228,15 @@ def run_tasks(
                 elapsed_s=0.0,
                 result_digest=result_digest(cached),
                 convergence=getattr(cached, "convergence", None),
+                metrics=task_metrics_snapshot(cached),
             )
         )
 
     def complete(
-        task: SimTask, outcome: tuple[SimulationResult, str | None, float, dict]
+        task: SimTask,
+        outcome: tuple[SimulationResult, str | None, float, dict, dict],
     ) -> None:
-        result, event_digest, elapsed, phases = outcome
+        result, event_digest, elapsed, phases, metrics_snapshot = outcome
         digest = result_digest(result)
         results[task.key] = result
         if cache is not None:
@@ -240,6 +266,7 @@ def run_tasks(
                 event_digest=event_digest,
                 phases=phases,
                 convergence=result.convergence,
+                metrics=metrics_snapshot,
             )
         )
 
@@ -268,7 +295,8 @@ def run_tasks(
     elif misses:
         with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as executor:
             pending: dict[
-                Future[tuple[SimulationResult, str | None, float, dict]], SimTask
+                Future[tuple[SimulationResult, str | None, float, dict, dict]],
+                SimTask,
             ]
             pending = {
                 executor.submit(_execute, task.config, task.engine, hash_events): task

@@ -87,6 +87,30 @@ def _serve_parser() -> argparse.ArgumentParser:
         default=1000.0,
         help="default per-request deadline (default 1000)",
     )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="write one sampled JSON access-log line per admitted request",
+    )
+    parser.add_argument(
+        "--access-log-sample",
+        type=float,
+        default=1.0,
+        help="deterministic access-log sampling rate in [0, 1] (default 1.0)",
+    )
+    parser.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=100.0,
+        help="latency objective for SLO burn-rate gauges (default 100)",
+    )
+    parser.add_argument(
+        "--slo-error-budget",
+        type=float,
+        default=0.01,
+        help="tolerated bad-request fraction for burn rate (default 0.01)",
+    )
     return parser
 
 
@@ -104,6 +128,10 @@ async def _serve_async(args: argparse.Namespace) -> int:
             default_timeout_ms=args.timeout_ms,
             time_rate=args.time_rate,
             warmup_sim_s=args.warmup_sim_hours * 3600.0,
+            slo_latency_ms=args.slo_latency_ms,
+            slo_error_budget=args.slo_error_budget,
+            access_log=args.access_log,
+            access_log_sample=args.access_log_sample,
         ),
         engine=args.engine,
     )

@@ -194,6 +194,10 @@ class ServeClient:
     async def stats(self) -> dict[str, Any]:
         return await self._simple("stats")
 
+    async def metrics(self) -> dict[str, Any]:
+        """One Prometheus exposition scrape (``text`` holds the document)."""
+        return await self._simple("metrics")
+
     async def close(self) -> None:
         if self._closed:
             return

@@ -13,6 +13,7 @@ Request ops::
     {"op": "ping", "id": 3}                         # liveness + sim clock
     {"op": "info", "id": 4}                         # world parameters
     {"op": "stats", "id": 5}                        # metrics-registry snapshot
+    {"op": "metrics", "id": 6}                      # Prometheus text exposition
 
 A ``query`` streams zero or more ``result`` lines (ranked by one-way
 discovery delay) followed by exactly one terminal line: ``done`` on
@@ -71,7 +72,7 @@ ERROR_CODES = frozenset(
 #: Reader limit for one request line; a line this long is never legitimate.
 MAX_LINE_BYTES = 64 * 1024
 
-_OPS = frozenset({"query", "ping", "info", "stats"})
+_OPS = frozenset({"query", "ping", "info", "stats", "metrics"})
 
 
 class ProtocolError(ValueError):

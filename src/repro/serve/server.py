@@ -42,6 +42,9 @@ from repro.gnutella.config import GnutellaConfig
 from repro.gnutella.fast import FastGnutellaEngine
 from repro.gnutella.simulation import build_engine
 from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry.accesslog import AccessLogger
+from repro.obs.telemetry.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.telemetry.rolling import DEFAULT_WINDOWS, RollingTelemetry
 from repro.obs.trace import PID_SERVE
 from repro.serve.pacer import SimTimePacer
 from repro.serve.protocol import (
@@ -102,6 +105,16 @@ class ServeConfig:
     pacer_interval_s: float = 0.05
     #: Wall seconds :meth:`QueryServer.shutdown` waits for queued requests.
     drain_timeout_s: float = 5.0
+    #: Rolling telemetry horizons in wall seconds (10s/1m/5m by default).
+    rolling_windows: tuple[float, ...] = DEFAULT_WINDOWS
+    #: Latency objective: an ok reply slower than this burns error budget.
+    slo_latency_ms: float = 100.0
+    #: Tolerated bad fraction; burn rate 1.0 spends budget exactly at accrual.
+    slo_error_budget: float = 0.01
+    #: Structured access-log path (``None`` disables logging entirely).
+    access_log: str | None = None
+    #: Deterministic hash-based sampling rate for access-log lines.
+    access_log_sample: float = 1.0
 
 
 class _Connection:
@@ -133,6 +146,8 @@ class _Pending:
     #: Absolute event-loop deadline (``loop.time()`` seconds).
     deadline: float
     enqueued_at: float
+    #: Server-assigned admission id; the access log and ``done`` line carry it.
+    trace_id: str
 
 
 @dataclass(slots=True)
@@ -205,6 +220,13 @@ class QueryServer:
             "serve.latency_seconds", bounds=LATENCY_BUCKETS
         )
         self._queue_depth = self.registry.gauge("serve.queue_depth")
+        self.rolling = RollingTelemetry(
+            self.serve.rolling_windows,
+            slo_latency_s=self.serve.slo_latency_ms / 1000.0,
+            slo_error_budget=self.serve.slo_error_budget,
+        )
+        self.access_log: AccessLogger | None = None
+        self._admit_seq = 0
         self.counts = _ServeCounts()
         self.pacer = SimTimePacer(self.serve.time_rate)
         self._state: _ServerState | None = None
@@ -225,6 +247,10 @@ class QueryServer:
         """
         if self._state is not None:
             raise RuntimeError("server already started")
+        if self.serve.access_log is not None and self.access_log is None:
+            self.access_log = AccessLogger(
+                self.serve.access_log, sample=self.serve.access_log_sample
+            )
         self.engine.start()
         self.engine.advance(self.serve.warmup_sim_s)
         self.pacer.start(self.engine.sim.now)
@@ -273,6 +299,12 @@ class QueryServer:
             conn.alive = False
             if not conn.writer.is_closing():
                 conn.writer.close()
+        # The worker only refreshes the gauge on dequeue; after a drain (or a
+        # drain timeout that leaves requests queued) report the true depth.
+        self._queue_depth.set(state.queue.qsize())
+        if self.access_log is not None:
+            self.access_log.close()
+            self.access_log = None
         self._state = None
 
     async def serve_forever(self) -> None:
@@ -360,17 +392,36 @@ class QueryServer:
             conn.send(self._info_response(request.req_id))
             return
         if request.op == "stats":
+            now = asyncio.get_running_loop().time()
+            self._refresh_telemetry(now)
             conn.send(
                 {
                     "id": request.req_id,
                     "type": "stats",
                     "counts": self.counts.as_dict(),
                     "queue_depth": self.queue_depth,
+                    "rolling": self.rolling.as_dict(now),
                     "metrics": self.registry.snapshot(),
                 }
             )
             return
+        if request.op == "metrics":
+            self._refresh_telemetry(asyncio.get_running_loop().time())
+            conn.send(
+                {
+                    "id": request.req_id,
+                    "type": "metrics",
+                    "content_type": CONTENT_TYPE,
+                    "text": render_prometheus(self.registry.snapshot()),
+                }
+            )
+            return
         self._admit_query(conn, request)
+
+    def _refresh_telemetry(self, now: float) -> None:
+        """Bring the scrape-time gauges (rolling windows, depth) up to date."""
+        self.rolling.publish(self.registry, now)
+        self._queue_depth.set(self.queue_depth)
 
     def _info_response(self, req_id: Any) -> dict[str, Any]:
         cfg = self.config
@@ -417,11 +468,13 @@ class QueryServer:
             if request.timeout_ms is not None
             else self.serve.default_timeout_ms
         )
+        self._admit_seq += 1
         pending = _Pending(
             conn=conn,
             request=request,
             deadline=loop.time() + timeout_ms / 1000.0,
             enqueued_at=loop.time(),
+            trace_id=f"t-{self._admit_seq:08x}",
         )
         try:
             state.queue.put_nowait(pending)
@@ -458,6 +511,42 @@ class QueryServer:
                 queue.task_done()
                 self._queue_depth.set(queue.qsize())
 
+    def _finish(
+        self,
+        pending: _Pending,
+        outcome: str,
+        *,
+        dequeued: float,
+        finished: float,
+        node: int | None = None,
+        ok: bool | None = None,
+    ) -> None:
+        """Terminal bookkeeping shared by every outcome of one admission.
+
+        Feeds the rolling windows with the *end-to-end* latency (queue wait
+        plus service — what the client experienced) unless ``ok`` is ``None``
+        (a cancelled request has no user-visible outcome to judge; the
+        latency objective itself is applied inside the windows), and writes
+        the sampled access-log line. Pure observation: no engine state is
+        touched.
+        """
+        if ok is not None:
+            self.rolling.observe(finished, finished - pending.enqueued_at, ok=ok)
+        if self.access_log is not None:
+            request = pending.request
+            self.access_log.log(
+                {
+                    "trace_id": pending.trace_id,
+                    "op": request.op,
+                    "initiator": node,
+                    "item": request.item,
+                    "deadline_s": pending.deadline - pending.enqueued_at,
+                    "queue_wait_s": dequeued - pending.enqueued_at,
+                    "service_s": finished - dequeued,
+                    "outcome": outcome,
+                }
+            )
+
     def _execute(self, pending: _Pending) -> None:
         conn, request = pending.conn, pending.request
         loop = asyncio.get_running_loop()
@@ -466,6 +555,7 @@ class QueryServer:
             # Client went away while the request queued: cancel, don't run.
             self.counts.cancelled += 1
             self._requests.inc(status="cancelled")
+            self._finish(pending, "cancelled", dequeued=started, finished=started)
             return
         if started > pending.deadline:
             self.counts.timeout += 1
@@ -474,6 +564,9 @@ class QueryServer:
                 error_response(
                     request.req_id, ERR_TIMEOUT, "deadline expired while queued"
                 )
+            )
+            self._finish(
+                pending, ERR_TIMEOUT, dequeued=started, finished=started, ok=False
             )
             return
         self._advance_world()
@@ -487,6 +580,13 @@ class QueryServer:
                 else "no peers online"
             )
             conn.send(error_response(request.req_id, ERR_NODE_OFFLINE, message))
+            self._finish(
+                pending,
+                ERR_NODE_OFFLINE,
+                dequeued=started,
+                finished=loop.time(),
+                ok=False,
+            )
             return
         assert request.item is not None
         outcome = self.engine.serve_query(node, request.item)
@@ -502,7 +602,8 @@ class QueryServer:
                     "delay_ms": result.delay * 1e3,
                 }
             )
-        latency = loop.time() - started
+        finished = loop.time()
+        latency = finished - started
         conn.send(
             {
                 "id": request.req_id,
@@ -516,11 +617,15 @@ class QueryServer:
                 "sim_time": self.engine.sim.now,
                 "queue_ms": (started - pending.enqueued_at) * 1e3,
                 "latency_ms": latency * 1e3,
+                "trace_id": pending.trace_id,
             }
         )
         self.counts.ok += 1
         self._requests.inc(status="ok")
         self._latency.observe(latency)
+        self._finish(
+            pending, "ok", dequeued=started, finished=finished, node=int(node), ok=True
+        )
         if self.tracer is not None and self.tracer.enabled:
             # The span sits at the simulated instant the query executed;
             # its duration is the measured *wall* processing time (the

@@ -14,6 +14,7 @@ def _bench() -> ServingBench:
         p50_seconds=0.0002,
         p95_seconds=0.0005,
         p99_seconds=0.001,
+        mean_seconds=0.0003,
         report=LoadReport(
             mode="closed",
             connections=4,
@@ -46,6 +47,7 @@ class TestServingBenchShape:
         assert block["requests_per_sec"] == 5000.0
         assert block["p50_seconds"] == 0.0002
         assert block["p99_seconds"] == 0.001
+        assert block["mean_seconds"] == 0.0003
         # Measured counts (requests, ok) stay out: they vary run to run and
         # would trip the params-must-match rule on every compare.
         assert "requests" not in block

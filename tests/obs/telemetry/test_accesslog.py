@@ -1,0 +1,102 @@
+"""Access log: deterministic sampling, line schema, and stream ownership."""
+
+import io
+import json
+
+from repro.obs.telemetry.accesslog import (
+    ACCESS_LOG_FIELDS,
+    ACCESS_LOG_SCHEMA,
+    AccessLogger,
+    sampled_in,
+)
+
+
+def _record(trace_id: str = "t-00000001") -> dict:
+    return {
+        "trace_id": trace_id,
+        "op": "query",
+        "initiator": 7,
+        "item": 123,
+        "deadline_s": 0.5,
+        "queue_wait_s": 0.001,
+        "service_s": 0.02,
+        "outcome": "ok",
+    }
+
+
+class TestSampledIn:
+    def test_full_rate_keeps_everything(self):
+        assert sampled_in("anything", 1.0)
+        assert sampled_in("anything", 2.0)
+
+    def test_zero_rate_keeps_nothing(self):
+        assert not sampled_in("anything", 0.0)
+        assert not sampled_in("anything", -0.5)
+
+    def test_decision_is_deterministic(self):
+        ids = [f"t-{i:08x}" for i in range(200)]
+        first = [sampled_in(t, 0.3) for t in ids]
+        second = [sampled_in(t, 0.3) for t in ids]
+        assert first == second
+
+    def test_fraction_roughly_matches_rate(self):
+        ids = [f"t-{i:08x}" for i in range(2000)]
+        kept = sum(sampled_in(t, 0.25) for t in ids)
+        assert 0.15 < kept / len(ids) < 0.35
+
+    def test_raising_the_rate_never_drops_a_kept_id(self):
+        ids = [f"t-{i:08x}" for i in range(500)]
+        low = {t for t in ids if sampled_in(t, 0.1)}
+        high = {t for t in ids if sampled_in(t, 0.5)}
+        assert low <= high
+
+
+class TestAccessLogger:
+    def test_writes_schema_stamped_sorted_json_lines(self):
+        stream = io.StringIO()
+        logger = AccessLogger(stream)
+        assert logger.log(_record())
+        logger.close()
+        line = json.loads(stream.getvalue())
+        assert line["schema"] == ACCESS_LOG_SCHEMA
+        assert all(field in line for field in ACCESS_LOG_FIELDS)
+        # Sorted keys: byte-stable output for identical records.
+        raw = stream.getvalue().strip()
+        assert raw == json.dumps(line, sort_keys=True)
+
+    def test_sampling_filters_lines_and_counts_both_sides(self):
+        stream = io.StringIO()
+        logger = AccessLogger(stream, sample=0.3)
+        ids = [f"t-{i:08x}" for i in range(100)]
+        for trace_id in ids:
+            logger.log(_record(trace_id))
+        expected = sum(sampled_in(t, 0.3) for t in ids)
+        assert logger.seen == 100
+        assert logger.written == expected
+        assert len(stream.getvalue().splitlines()) == expected
+
+    def test_path_target_appends_and_creates_parents(self, tmp_path):
+        target = tmp_path / "logs" / "access.jsonl"
+        logger = AccessLogger(target)
+        logger.log(_record("t-aa"))
+        logger.close()
+        # Reopening appends rather than truncating.
+        logger = AccessLogger(target)
+        logger.log(_record("t-bb"))
+        logger.close()
+        lines = target.read_text().splitlines()
+        assert [json.loads(line)["trace_id"] for line in lines] == ["t-aa", "t-bb"]
+
+    def test_close_leaves_borrowed_streams_open(self):
+        stream = io.StringIO()
+        logger = AccessLogger(stream)
+        logger.log(_record())
+        logger.close()
+        assert not stream.closed
+
+    def test_close_closes_owned_files(self, tmp_path):
+        target = tmp_path / "access.jsonl"
+        logger = AccessLogger(target)
+        logger.log(_record())
+        logger.close()
+        assert logger._fh.closed

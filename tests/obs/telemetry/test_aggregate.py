@@ -1,0 +1,186 @@
+"""Snapshot merging: per-type semantics and equivalence to single-process runs."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry.aggregate import merge_snapshots
+from repro.obs.telemetry.exposition import parse_prometheus, render_prometheus
+from repro.sim.monitor import HourlyBuckets, TimeSeries, WelfordStats
+
+
+def _counter_snapshot(**values: float) -> dict:
+    registry = MetricsRegistry()
+    counter = registry.counter("requests")
+    for status, amount in values.items():
+        counter.inc(amount, status=status)
+    return registry.snapshot()
+
+
+class TestCounterAndGauge:
+    def test_counters_sum_per_label(self):
+        merged = merge_snapshots(
+            [_counter_snapshot(ok=3.0, timeout=1.0), _counter_snapshot(ok=2.0)]
+        )
+        assert merged["requests"]["type"] == "counter"
+        assert merged["requests"]["values"] == {
+            "status=ok": 5.0,
+            "status=timeout": 1.0,
+        }
+
+    def test_gauges_last_write_wins_in_input_order(self):
+        def gauge_snapshot(value: float) -> dict:
+            registry = MetricsRegistry()
+            registry.gauge("depth").set(value)
+            return registry.snapshot()
+
+        merged = merge_snapshots([gauge_snapshot(3.0), gauge_snapshot(7.0)])
+        assert merged["depth"]["values"][""] == 7.0
+
+    def test_empty_input_merges_to_empty(self):
+        assert merge_snapshots([]) == {}
+
+
+class TestHistogram:
+    def test_merge_equals_single_histogram_over_combined_data(self):
+        bounds = (0.01, 0.1, 1.0)
+        batches = ([0.005, 0.05, 0.5], [0.02, 0.2, 2.0, 0.08])
+
+        def snapshot(values) -> dict:
+            registry = MetricsRegistry()
+            hist = registry.histogram("latency", bounds=bounds)
+            for v in values:
+                hist.observe(v)
+            return registry.snapshot()
+
+        merged = merge_snapshots([snapshot(b) for b in batches])
+        combined = snapshot([v for batch in batches for v in batch])
+        got = merged["latency"]["values"][""]
+        want = combined["latency"]["values"][""]
+        assert got["buckets"] == want["buckets"]
+        assert got["count"] == want["count"]
+        assert got["sum"] == pytest.approx(want["sum"])
+        assert got["mean"] == pytest.approx(want["mean"])
+        assert got["std"] == pytest.approx(want["std"])
+        assert got["min"] == want["min"]
+        assert got["max"] == want["max"]
+        assert merged["latency"]["bounds"] == list(bounds)
+
+    def test_bounds_mismatch_raises(self):
+        def snapshot(bounds) -> dict:
+            registry = MetricsRegistry()
+            registry.histogram("latency", bounds=bounds).observe(0.05)
+            return registry.snapshot()
+
+        with pytest.raises(ConfigurationError, match="bounds differ"):
+            merge_snapshots([snapshot((0.01, 0.1)), snapshot((0.01, 1.0))])
+
+
+class TestAdoptedTypes:
+    def test_welford_merge_matches_direct_accumulation(self):
+        def snapshot(values) -> dict:
+            stats = WelfordStats()
+            for v in values:
+                stats.add(v)
+            registry = MetricsRegistry()
+            registry.register("delay", stats)
+            return registry.snapshot()
+
+        batches = ([1.0, 2.0, 3.0], [10.0, 20.0])
+        merged = merge_snapshots([snapshot(b) for b in batches])
+        direct = WelfordStats()
+        for batch in batches:
+            for v in batch:
+                direct.add(v)
+        block = merged["delay"]
+        assert block["type"] == "welford"
+        assert block["count"] == direct.count
+        assert block["mean"] == pytest.approx(direct.mean)
+        assert block["std"] == pytest.approx(direct.std)
+        assert block["min"] == direct.min
+        assert block["max"] == direct.max
+
+    def test_numeric_values_sum(self):
+        def snapshot(n: int) -> dict:
+            registry = MetricsRegistry()
+            registry.register("total", lambda: n)
+            return registry.snapshot()
+
+        merged = merge_snapshots([snapshot(3), snapshot(4)])
+        assert merged["total"] == {"type": "value", "value": 7}
+
+    def test_non_numeric_values_last_win(self):
+        merged = merge_snapshots(
+            [
+                {"engine": {"type": "value", "value": "fast"}},
+                {"engine": {"type": "value", "value": "detailed"}},
+            ]
+        )
+        assert merged["engine"]["value"] == "detailed"
+
+    def test_buckets_pad_to_longer_horizon(self):
+        def snapshot(horizon: float, times) -> dict:
+            buckets = HourlyBuckets(horizon=horizon, width=3600.0)
+            for t in times:
+                buckets.add(t)
+            registry = MetricsRegistry()
+            registry.register("hits", buckets)
+            return registry.snapshot()
+
+        merged = merge_snapshots(
+            [snapshot(7200.0, [100.0, 4000.0]), snapshot(10800.0, [8000.0])]
+        )
+        assert merged["hits"]["counts"] == [1, 1, 1]
+
+    def test_bucket_width_mismatch_raises(self):
+        a = {"hits": {"type": "buckets", "width": 3600.0, "counts": [1]}}
+        b = {"hits": {"type": "buckets", "width": 1800.0, "counts": [1]}}
+        with pytest.raises(ConfigurationError, match="widths differ"):
+            merge_snapshots([a, b])
+
+    def test_timeseries_interleave_sorted_by_time(self):
+        def snapshot(points) -> dict:
+            series = TimeSeries("peers")
+            for t, v in points:
+                series.record(t, v)
+            registry = MetricsRegistry()
+            registry.register("peers", series)
+            return registry.snapshot()
+
+        merged = merge_snapshots(
+            [snapshot([(1.0, 10.0), (3.0, 30.0)]), snapshot([(2.0, 20.0)])]
+        )
+        assert merged["peers"]["times"] == [1.0, 2.0, 3.0]
+        assert merged["peers"]["values"] == [10.0, 20.0, 30.0]
+
+
+class TestErrors:
+    def test_type_change_across_snapshots_raises(self):
+        a = _counter_snapshot(ok=1.0)
+        b = {"requests": {"type": "gauge", "values": {"": 1.0}}}
+        with pytest.raises(ConfigurationError, match="type changed"):
+            merge_snapshots([a, b])
+
+    def test_unmergeable_type_raises(self):
+        with pytest.raises(ConfigurationError, match="unmergeable"):
+            merge_snapshots([{"x": {"type": "mystery"}}])
+
+
+class TestExpositionCompatibility:
+    def test_merged_snapshot_renders_like_a_single_process_one(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(5.0, status="ok")
+        hist = registry.histogram("latency", bounds=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        merged = merge_snapshots([registry.snapshot(), registry.snapshot()])
+        parsed = parse_prometheus(render_prometheus(merged))
+        (_, total), = parsed["requests"]["samples"]
+        assert total == 10.0
+        by_le = {labels["le"]: v for labels, v in parsed["latency_bucket"]["samples"]}
+        assert by_le["+Inf"] == 4.0
+        (_, total_sum), = parsed["latency_sum"]["samples"]
+        assert total_sum == pytest.approx(2 * (0.05 + 0.5))
+        assert not math.isnan(total_sum)

@@ -1,0 +1,158 @@
+"""Prometheus exposition: rendering rules, escaping, and the parser round-trip."""
+
+import math
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry.exposition import (
+    CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_name,
+)
+from repro.sim.monitor import HourlyBuckets, TimeSeries, WelfordStats
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("serve.latency_seconds") == "serve_latency_seconds"
+
+    def test_leading_digit_is_replaced(self):
+        assert sanitize_name("9lives") == "_lives"
+
+    def test_interior_digits_and_colons_survive(self):
+        assert sanitize_name("engine:v2.count") == "engine:v2_count"
+
+    def test_empty_name_maps_to_underscore(self):
+        assert sanitize_name("") == "_"
+
+
+class TestContentType:
+    def test_announces_v0_0_4(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _registry_with_traffic() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("serve.requests")
+    requests.inc(status="ok")
+    requests.inc(status="ok")
+    requests.inc(status="timeout")
+    registry.gauge("serve.queue_depth").set(3.0)
+    latency = registry.histogram("serve.latency_seconds", bounds=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+        latency.observe(value)
+    return registry
+
+
+class TestRenderRoundTrip:
+    def test_counter_samples_round_trip(self):
+        parsed = parse_prometheus(render_prometheus(_registry_with_traffic().snapshot()))
+        family = parsed["serve_requests"]
+        assert family["type"] == "counter"
+        samples = {tuple(sorted(labels.items())): v for labels, v in family["samples"]}
+        assert samples[(("status", "ok"),)] == 2.0
+        assert samples[(("status", "timeout"),)] == 1.0
+
+    def test_gauge_round_trips(self):
+        parsed = parse_prometheus(render_prometheus(_registry_with_traffic().snapshot()))
+        family = parsed["serve_queue_depth"]
+        assert family["type"] == "gauge"
+        assert family["samples"] == [({}, 3.0)]
+
+    def test_histogram_buckets_are_cumulative_with_explicit_inf(self):
+        parsed = parse_prometheus(render_prometheus(_registry_with_traffic().snapshot()))
+        buckets = parsed["serve_latency_seconds_bucket"]
+        # The TYPE line names the family; sample names fall back to it.
+        assert buckets["type"] == "histogram"
+        by_le = {labels["le"]: v for labels, v in buckets["samples"]}
+        assert by_le["0.01"] == 1.0
+        assert by_le["0.1"] == 3.0
+        assert by_le["1"] == 4.0
+        assert by_le["+Inf"] == 5.0
+
+    def test_histogram_sum_and_count_round_trip(self):
+        parsed = parse_prometheus(render_prometheus(_registry_with_traffic().snapshot()))
+        (_, total_sum), = parsed["serve_latency_seconds_sum"]["samples"]
+        (_, count), = parsed["serve_latency_seconds_count"]["samples"]
+        assert total_sum == sum((0.005, 0.05, 0.05, 0.5, 5.0))
+        assert count == 5.0
+
+    def test_legacy_snapshot_without_sum_reconstructs_from_mean(self):
+        snapshot = _registry_with_traffic().snapshot()
+        series = snapshot["serve.latency_seconds"]["values"][""]
+        expected = series["mean"] * series["count"]
+        del series["sum"]
+        parsed = parse_prometheus(render_prometheus(snapshot))
+        (_, total_sum), = parsed["serve_latency_seconds_sum"]["samples"]
+        assert total_sum == expected
+
+
+class TestAdoptedRendering:
+    def test_welford_renders_moment_gauges(self):
+        stats = WelfordStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.add(v)
+        registry = MetricsRegistry()
+        registry.register("sim.delay", stats)
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        assert parsed["sim_delay_count"]["samples"] == [({}, 3.0)]
+        assert parsed["sim_delay_mean"]["samples"] == [({}, 2.0)]
+        assert parsed["sim_delay_min"]["samples"] == [({}, 1.0)]
+        assert parsed["sim_delay_max"]["samples"] == [({}, 3.0)]
+
+    def test_numeric_value_renders_as_gauge_and_non_numeric_is_skipped(self):
+        registry = MetricsRegistry()
+        registry.register("sim.total_queries", lambda: 17)
+        registry.register("sim.engine_name", lambda: "fast")
+        text = render_prometheus(registry.snapshot())
+        parsed = parse_prometheus(text)
+        assert parsed["sim_total_queries"]["samples"] == [({}, 17.0)]
+        assert "sim_engine_name" not in parsed
+
+    def test_hourly_buckets_render_as_total_counter(self):
+        buckets = HourlyBuckets(horizon=7200.0, width=3600.0)
+        buckets.add(100.0)
+        buckets.add(4000.0)
+        buckets.add(4100.0)
+        registry = MetricsRegistry()
+        registry.register("sim.hits", buckets)
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        assert parsed["sim_hits_total"]["type"] == "counter"
+        assert parsed["sim_hits_total"]["samples"] == [({}, 3.0)]
+
+    def test_timeseries_renders_last_value(self):
+        series = TimeSeries("peers")
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        registry = MetricsRegistry()
+        registry.register("sim.peers", series)
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        assert parsed["sim_peers"]["samples"] == [({}, 20.0)]
+
+
+class TestEdgeCases:
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+        assert parse_prometheus("") == {}
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("odd.labels").inc(path='a"b\\c', note="line\nbreak")
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        (labels, value), = parsed["odd_labels"]["samples"]
+        assert value == 1.0
+        assert labels["path"] == 'a"b\\c'
+        assert labels["note"] == "line\nbreak"
+
+    def test_unset_gauge_renders_nan(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("maybe.value")
+        gauge.set(math.nan)
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        (_, value), = parsed["maybe_value"]["samples"]
+        assert math.isnan(value)
+
+    def test_parser_handles_inf_values(self):
+        parsed = parse_prometheus("x 0\ny +Inf\nz -Inf\n")
+        assert parsed["y"]["samples"] == [({}, math.inf)]
+        assert parsed["z"]["samples"] == [({}, -math.inf)]

@@ -1,0 +1,73 @@
+"""The exposition sidecar: a /metrics listener over a render callable."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry.exposition import (
+    CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.telemetry.httpd import TelemetrySidecar
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode("utf-8")
+
+
+class TestTelemetrySidecar:
+    def test_serves_metrics_with_the_exposition_content_type(self):
+        registry = MetricsRegistry()
+        registry.counter("demo.requests").inc(3.0, status="ok")
+        with TelemetrySidecar(lambda: render_prometheus(registry.snapshot())) as sidecar:
+            status, headers, body = _get(sidecar.url)
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        parsed = parse_prometheus(body)
+        assert parsed["demo_requests"]["samples"] == [({"status": "ok"}, 3.0)]
+
+    def test_scrapes_see_live_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("demo.ticks")
+        with TelemetrySidecar(lambda: render_prometheus(registry.snapshot())) as sidecar:
+            counter.inc()
+            _, _, first = _get(sidecar.url)
+            counter.inc()
+            _, _, second = _get(sidecar.url)
+        assert parse_prometheus(first)["demo_ticks"]["samples"] == [({}, 1.0)]
+        assert parse_prometheus(second)["demo_ticks"]["samples"] == [({}, 2.0)]
+
+    def test_unknown_path_is_404(self):
+        with TelemetrySidecar(lambda: "") as sidecar:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://{sidecar.host}:{sidecar.port}/nope")
+            assert err.value.code == 404
+
+    def test_ephemeral_port_is_bound_on_start(self):
+        sidecar = TelemetrySidecar(lambda: "")
+        assert sidecar.port == 0
+        try:
+            port = sidecar.start()
+            assert port != 0
+            assert sidecar.port == port
+            assert sidecar.url.endswith(f":{port}/metrics")
+        finally:
+            sidecar.stop()
+
+    def test_stop_refuses_further_connections(self):
+        sidecar = TelemetrySidecar(lambda: "")
+        sidecar.start()
+        url = sidecar.url
+        sidecar.stop()
+        with pytest.raises(urllib.error.URLError):
+            _get(url)
+
+    def test_stop_is_idempotent(self):
+        sidecar = TelemetrySidecar(lambda: "")
+        sidecar.start()
+        sidecar.stop()
+        sidecar.stop()

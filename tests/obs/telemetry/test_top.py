@@ -1,0 +1,94 @@
+"""repro-top: scrape target validation and dashboard rendering."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry.exposition import parse_prometheus, render_prometheus
+from repro.obs.telemetry.httpd import TelemetrySidecar
+from repro.obs.telemetry.rolling import RollingTelemetry
+from repro.obs.telemetry.top import main, render_dashboard, scrape
+
+
+def _metrics(ok: float, timeout: float, depth: float, now: float) -> dict:
+    registry = MetricsRegistry()
+    requests = registry.counter("serve.requests")
+    requests.inc(ok, status="ok")
+    requests.inc(timeout, status="timeout")
+    registry.gauge("serve.queue_depth").set(depth)
+    latency = registry.histogram("serve.latency_seconds")
+    rolling = RollingTelemetry((10.0,), slo_latency_s=0.5)
+    for i in range(int(ok)):
+        latency.observe(0.02)
+        rolling.observe(now - 1.0, 0.02, ok=True)
+    rolling.publish(registry, now)
+    return parse_prometheus(render_prometheus(registry.snapshot()))
+
+
+class TestScrape:
+    def test_requires_exactly_one_target(self):
+        with pytest.raises(ValueError):
+            scrape()
+        with pytest.raises(ValueError):
+            scrape(port=1234, url="http://localhost:1/metrics")
+
+    def test_scrapes_an_http_endpoint(self):
+        registry = MetricsRegistry()
+        registry.counter("demo.polls").inc()
+        with TelemetrySidecar(lambda: render_prometheus(registry.snapshot())) as sidecar:
+            metrics = scrape(url=sidecar.url)
+        assert metrics["demo_polls"]["samples"] == [({}, 1.0)]
+
+
+class TestRenderDashboard:
+    def test_first_frame_has_totals_but_no_rate(self):
+        frame = render_dashboard(None, _metrics(10, 2, 3, now=5.0), dt=0.0)
+        assert "requests         12 total" in frame
+        assert "ok" in frame and "timeout" in frame
+        assert "queue depth       3" in frame
+        # No previous scrape: interval QPS is unknowable, shown as '-'.
+        assert "interval QPS        -" in frame
+
+    def test_delta_frame_computes_interval_qps(self):
+        prev = _metrics(10, 2, 3, now=5.0)
+        curr = _metrics(30, 2, 1, now=7.0)
+        frame = render_dashboard(prev, curr, dt=2.0)
+        # (32 - 12) requests over 2 seconds.
+        assert "interval QPS     10.0" in frame
+        assert "(+20)" in frame
+
+    def test_window_table_and_lifetime_mean(self):
+        frame = render_dashboard(None, _metrics(5, 0, 0, now=5.0), dt=0.0)
+        assert "window" in frame and "burn" in frame
+        assert "10s" in frame
+        assert "lifetime mean service latency 20.000 ms over 5 requests" in frame
+
+    def test_empty_scrape_renders_without_crashing(self):
+        frame = render_dashboard(None, {}, dt=0.0)
+        assert "requests" in frame
+
+
+class TestMain:
+    def test_one_plain_poll_against_a_sidecar(self, capsys):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(4.0, status="ok")
+        with TelemetrySidecar(lambda: render_prometheus(registry.snapshot())) as sidecar:
+            code = main(["--url", sidecar.url, "--iterations", "1", "--plain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro-top poll 1" in out
+        assert "requests          4 total" in out
+
+    def test_unreachable_target_exits_2(self, capsys):
+        sidecar = TelemetrySidecar(lambda: "")
+        sidecar.start()
+        url = sidecar.url
+        sidecar.stop()
+        code = main(["--url", url, "--iterations", "1", "--plain"])
+        assert code == 2
+        assert "scrape failed" in capsys.readouterr().err
+
+    def test_requires_exactly_one_of_port_and_url(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--iterations", "1"])
+        with pytest.raises(SystemExit):
+            main(["--port", "1", "--url", "http://x/metrics"])

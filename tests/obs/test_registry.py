@@ -77,6 +77,33 @@ class TestLabeledHistogram:
         with pytest.raises(ConfigurationError):
             LabeledHistogram("x", bounds=())
 
+    def test_sum_tracks_exact_total(self):
+        h = LabeledHistogram("delay", bounds=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(100.0)
+        assert h.sum() == pytest.approx(105.5)
+        assert h.sum(scheme="other") == 0.0
+
+    def test_cumulative_ends_with_explicit_inf_bucket(self):
+        h = LabeledHistogram("delay", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 1), (10.0, 2), (math.inf, 3)]
+
+    def test_cumulative_of_empty_series_keeps_full_shape(self):
+        h = LabeledHistogram("delay", bounds=(1.0, 10.0))
+        assert h.cumulative() == [(1.0, 0), (10.0, 0), (math.inf, 0)]
+
+    def test_snapshot_series_carries_sum_alongside_moments(self):
+        h = LabeledHistogram("delay", bounds=(1.0,))
+        h.observe(0.25)
+        h.observe(0.75)
+        series = h.snapshot()["values"][""]
+        assert series["sum"] == pytest.approx(1.0)
+        # Backward-compatible: the pre-sum keys are all still present.
+        assert set(series) == {"buckets", "count", "sum", "mean", "std", "min", "max"}
+
 
 class TestMetricsRegistry:
     def test_get_or_create_is_idempotent(self):
@@ -122,6 +149,42 @@ class TestMetricsRegistry:
             registry.register("native", lambda: 3)
         with pytest.raises(ConfigurationError):
             registry.counter("a")  # adopted name can't become native
+
+    def test_adopted_callable_may_return_nested_values(self):
+        registry = MetricsRegistry()
+        registry.register("nested", lambda: {"a": 1, "b": [2, 3]})
+        snap = registry.snapshot()
+        assert snap["nested"] == {"type": "value", "value": {"a": 1, "b": [2, 3]}}
+
+    def test_adopted_snapshots_are_live_reads(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        registry.register("live", lambda: state["n"])
+        assert registry.snapshot()["live"]["value"] == 0
+        state["n"] = 7
+        assert registry.snapshot()["live"]["value"] == 7
+
+    def test_duck_typed_instrument_is_rejected(self):
+        class FakeCounter:
+            """Looks like a Counter but isn't one (no isinstance match)."""
+
+            name = "fake"
+            value = 3
+
+            def increment(self, amount: int = 1) -> None:
+                self.value += amount
+
+        with pytest.raises(ConfigurationError, match="unsupported instrument"):
+            MetricsRegistry().register("fake", FakeCounter())
+
+    def test_adopted_name_collisions_report_the_name(self):
+        registry = MetricsRegistry()
+        registry.register("sim.hits", Counter("hits", 1))
+        with pytest.raises(ConfigurationError, match="sim.hits"):
+            registry.register("sim.hits", Counter("hits", 2))
+        registry.histogram("sim.delay")
+        with pytest.raises(ConfigurationError, match="sim.delay"):
+            registry.register("sim.delay", WelfordStats())
 
     def test_names_contains_len(self):
         registry = MetricsRegistry()

@@ -1,0 +1,93 @@
+"""Cross-process telemetry aggregation: jobs=1 and jobs=N report as one.
+
+Each pool task emits a per-task metrics-registry snapshot (built inside the
+worker process); the manifest folds them into ``obs.telemetry`` via
+:func:`repro.obs.telemetry.merge_snapshots`. Per-task snapshots are pure
+functions of the task results, so the merged aggregate must be identical
+whether the tasks ran inline or across a process pool — and the volatile
+``obs`` block must not disturb the stable-view byte-equality contract.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry.exposition import parse_prometheus, render_prometheus
+from repro.orchestrate.grid import expand_grid, grid_tasks
+from repro.orchestrate.manifest import build_manifest, stable_view
+from repro.orchestrate.pool import run_tasks, task_metrics_snapshot
+
+from .conftest import TINY
+
+GRID = {"figures": ["fig1"], "preset": "smoke", "seeds": [0, 1]}
+
+
+def _run(jobs: int):
+    tasks, _ = grid_tasks(
+        expand_grid(GRID["figures"], GRID["preset"], GRID["seeds"], overrides=TINY)
+    )
+    return run_tasks(tasks, jobs=jobs)
+
+
+def _manifest(run, jobs: int) -> dict:
+    return build_manifest(
+        grid=GRID, jobs=jobs, records=run.records, cache_dir=None, wall_s=run.wall_s
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_and_parallel():
+    serial = _manifest(_run(jobs=1), jobs=1)
+    parallel = _manifest(_run(jobs=2), jobs=2)
+    return serial, parallel
+
+
+class TestParallelAggregation:
+    def test_parallel_aggregate_equals_serial(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        telemetry = serial["obs"]["telemetry"]
+        assert telemetry, "aggregate telemetry must not be empty"
+        assert json.dumps(telemetry, sort_keys=True) == json.dumps(
+            parallel["obs"]["telemetry"], sort_keys=True
+        )
+
+    def test_stable_views_stay_byte_identical(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert json.dumps(stable_view(serial), sort_keys=True) == json.dumps(
+            stable_view(parallel), sort_keys=True
+        )
+
+    def test_aggregate_is_volatile_in_stable_view(self, serial_and_parallel):
+        serial, _ = serial_and_parallel
+        assert "obs" not in stable_view(serial)
+
+    def test_aggregate_sums_task_values(self):
+        run = _run(jobs=1)
+        telemetry = _manifest(run, jobs=1)["obs"]["telemetry"]
+        per_task = [r.metrics for r in run.records]
+        assert all(per_task)
+        expected = sum(s["sim.total_queries"]["value"] for s in per_task)
+        assert telemetry["sim.total_queries"]["value"] == expected
+        assert telemetry["sim.queries"]["type"] == "buckets"
+        # The merged welford moments span every task's delay samples.
+        assert telemetry["sim.first_result_delay"]["count"] == sum(
+            s["sim.first_result_delay"]["count"] for s in per_task
+        )
+
+    def test_task_records_carry_worker_snapshots(self):
+        run = _run(jobs=2)
+        for record in run.records:
+            assert record.error is None
+            assert record.metrics
+            assert record.metrics["sim.total_queries"]["type"] == "value"
+            # Rebuilding from the result reproduces the worker's snapshot
+            # (the cache-hit path relies on this equivalence).
+            rebuilt = task_metrics_snapshot(run.results[record.key])
+            assert json.dumps(rebuilt, sort_keys=True) == json.dumps(
+                record.metrics, sort_keys=True
+            )
+
+    def test_aggregate_renders_as_exposition(self):
+        telemetry = _manifest(_run(jobs=1), jobs=1)["obs"]["telemetry"]
+        parsed = parse_prometheus(render_prometheus(telemetry))
+        assert parsed["sim_total_queries"]["samples"][0][1] > 0

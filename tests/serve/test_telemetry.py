@@ -1,0 +1,258 @@
+"""The serve telemetry plane: metrics op, rolling stats, queue-depth
+freshness, and access-log integration."""
+
+import asyncio
+import json
+
+from repro.gnutella.config import GnutellaConfig
+from repro.obs.telemetry.accesslog import ACCESS_LOG_SCHEMA
+from repro.obs.telemetry.exposition import CONTENT_TYPE, parse_prometheus
+from repro.serve.loadgen import ServeClient
+from repro.serve.server import QueryServer, ServeConfig
+
+
+def _config(**overrides) -> GnutellaConfig:
+    base = dict(
+        n_users=30,
+        n_items=1000,
+        horizon=12 * 3600.0,
+        warmup_hours=0,
+        dynamic=True,
+    )
+    base.update(overrides)
+    return GnutellaConfig(**base)
+
+
+def _serve_config(**overrides) -> ServeConfig:
+    base = dict(time_rate=0.0, warmup_sim_s=1800.0, drain_timeout_s=5.0)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+async def _poll(predicate, timeout_s: float = 5.0) -> None:
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.005)
+
+
+class TestMetricsOp:
+    def test_scrape_is_parseable_and_announces_content_type(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                for item in range(5):
+                    await client.query(item)
+                reply = await client.metrics()
+                assert reply["type"] == "metrics"
+                assert reply["content_type"] == CONTENT_TYPE
+                parsed = parse_prometheus(reply["text"])
+                totals = [
+                    v
+                    for labels, v in parsed["serve_requests"]["samples"]
+                    if labels.get("status") == "ok"
+                ]
+                assert totals == [5.0]
+                # Histogram exposition is spec-shaped: +Inf closes the
+                # buckets and sum/count are present.
+                by_le = {
+                    labels["le"]: v
+                    for labels, v in parsed["serve_latency_seconds_bucket"]["samples"]
+                }
+                assert by_le["+Inf"] == 5.0
+                (_, count), = parsed["serve_latency_seconds_count"]["samples"]
+                assert count == 5.0
+                (_, total_sum), = parsed["serve_latency_seconds_sum"]["samples"]
+                assert total_sum > 0.0
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_request_counters_are_monotonic_across_scrapes(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                await client.query(1)
+                first = parse_prometheus((await client.metrics())["text"])
+                for item in range(2, 6):
+                    await client.query(item)
+                second = parse_prometheus((await client.metrics())["text"])
+
+                def totals(parsed):
+                    return {
+                        tuple(sorted(labels.items())): v
+                        for labels, v in parsed["serve_requests"]["samples"]
+                    }
+
+                before, after = totals(first), totals(second)
+                assert all(after[key] >= value for key, value in before.items())
+                assert sum(after.values()) > sum(before.values())
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_scrape_publishes_rolling_gauges(self):
+        async def scenario():
+            server = QueryServer(
+                _config(), _serve_config(rolling_windows=(10.0, 60.0))
+            )
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                await client.query(1)
+                parsed = parse_prometheus((await client.metrics())["text"])
+                windows = {
+                    labels["window"]
+                    for labels, _ in parsed["serve_rolling_qps"]["samples"]
+                }
+                assert windows == {"10s", "60s"}
+                assert "serve_slo_burn_rate" in parsed
+                assert "serve_rolling_latency_seconds" in parsed
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestStatsRollingBlock:
+    def test_stats_carries_slo_windows(self):
+        async def scenario():
+            server = QueryServer(
+                _config(),
+                _serve_config(
+                    rolling_windows=(10.0,),
+                    slo_latency_ms=250.0,
+                    slo_error_budget=0.05,
+                ),
+            )
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                await client.query(1)
+                rolling = (await client.stats())["rolling"]
+                assert rolling["slo_latency_s"] == 0.25
+                assert rolling["slo_error_budget"] == 0.05
+                window = rolling["windows"]["10s"]
+                assert window["requests"] >= 1.0
+                assert window["burn_rate"] == 0.0
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestQueueDepthFreshness:
+    def test_gauge_tracks_admission_and_drain(self):
+        async def scenario():
+            server = QueryServer(_config(), _serve_config(max_queue=64))
+            host, port = await server.start()
+            gauge = server.registry.gauge("serve.queue_depth")
+            server.processing.clear()
+            client = await ServeClient.connect(host, port)
+            pending = [asyncio.create_task(client.query(i)) for i in range(6)]
+            await _poll(lambda: server.counts.admitted >= 6)
+            # Stalled worker: admissions alone must move the gauge.
+            assert gauge.get() >= 5.0
+            server.processing.set()
+            await asyncio.gather(*pending)
+            # Every dequeue refreshes it; after the last one it reads empty
+            # without any scrape in between.
+            await _poll(lambda: gauge.get() == 0.0)
+            await client.close()
+            await server.shutdown()
+            assert gauge.get() == 0.0
+
+        asyncio.run(scenario())
+
+    def test_gauge_not_stale_after_disconnect_cancellation(self):
+        from repro.serve.protocol import encode_line
+
+        async def scenario():
+            server = QueryServer(_config(), _serve_config())
+            host, port = await server.start()
+            gauge = server.registry.gauge("serve.queue_depth")
+            server.processing.clear()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_line({"op": "query", "id": 1, "item": 3}))
+            await writer.drain()
+            await _poll(lambda: server.counts.admitted >= 1)
+            assert gauge.get() >= 1.0
+            writer.close()
+            await writer.wait_closed()
+            await _poll(
+                lambda: not any(c.alive for c in server._state.connections)
+            )
+            server.processing.set()
+            await _poll(lambda: server.counts.cancelled == 1)
+            # The cancelled entry left the queue and the gauge noticed.
+            await _poll(lambda: gauge.get() == 0.0)
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestAccessLog:
+    def test_lines_match_served_requests(self, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+
+        async def scenario():
+            server = QueryServer(
+                _config(), _serve_config(access_log=str(log_path))
+            )
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                replies = [await client.query(item) for item in range(4)]
+            finally:
+                await client.close()
+                await server.shutdown()
+            return replies
+
+        replies = asyncio.run(scenario())
+        lines = [json.loads(line) for line in log_path.read_text().splitlines()]
+        assert len(lines) == 4
+        by_trace = {line["trace_id"]: line for line in lines}
+        for reply in replies:
+            line = by_trace[reply.done["trace_id"]]
+            assert line["schema"] == ACCESS_LOG_SCHEMA
+            assert line["op"] == "query"
+            assert line["outcome"] == "ok"
+            assert line["item"] == reply.done["item"]
+            assert line["queue_wait_s"] >= 0.0
+            assert line["service_s"] >= 0.0
+
+    def test_sampling_reduces_lines_deterministically(self, tmp_path):
+        log_path = tmp_path / "sampled.jsonl"
+
+        async def scenario():
+            server = QueryServer(
+                _config(),
+                _serve_config(access_log=str(log_path), access_log_sample=0.5),
+            )
+            host, port = await server.start()
+            client = await ServeClient.connect(host, port)
+            try:
+                for item in range(40):
+                    await client.query(item)
+                written = server.access_log.written
+                seen = server.access_log.seen
+            finally:
+                await client.close()
+                await server.shutdown()
+            return written, seen
+
+        written, seen = asyncio.run(scenario())
+        assert seen == 40
+        assert 0 < written < 40
+        assert len(log_path.read_text().splitlines()) == written
