@@ -86,6 +86,14 @@ class ComparisonReport:
     deltas: tuple[MetricDelta, ...]
     #: Human-readable notes on what could not be compared and why.
     skipped: tuple[str, ...]
+    #: Set when the snapshots carry host provenance and it differs —
+    #: timings are judged anyway, but the verdicts deserve suspicion.
+    host_warning: str | None = None
+    #: Regression attribution: the frames whose self-time moved most
+    #: between the snapshots' ``profile`` blocks, present only when a
+    #: timing regressed and both snapshots were profiled
+    #: (:func:`repro.obs.perf.recorder.diff_profiles` rows).
+    attribution: tuple[Mapping[str, Any], ...] = ()
 
     @property
     def regressions(self) -> tuple[MetricDelta, ...]:
@@ -107,6 +115,8 @@ class ComparisonReport:
             "regressions": [d.as_dict() for d in self.regressions],
             "deltas": [d.as_dict() for d in self.deltas],
             "skipped": list(self.skipped),
+            "host_warning": self.host_warning,
+            "attribution": [dict(m) for m in self.attribution],
         }
 
 
@@ -166,6 +176,34 @@ def _compare_block(
             skipped.append(f"{kind} {name!r} is new (no baseline)")
 
 
+def _host_warning(
+    old: Mapping[str, Any], new: Mapping[str, Any]
+) -> str | None:
+    """A warning string when both snapshots name hosts and they differ.
+
+    Snapshots without a ``host`` block (pre-provenance history) compare
+    silently, exactly as before; the warning needs evidence on both sides.
+    """
+    old_host = old.get("host") or {}
+    new_host = new.get("host") or {}
+    if not old_host or not new_host:
+        return None
+    differing = [
+        key
+        for key in ("cpu", "cores", "platform")
+        if old_host.get(key) != new_host.get(key)
+    ]
+    if not differing:
+        return None
+    detail = "; ".join(
+        f"{key}: {old_host.get(key)!r} vs {new_host.get(key)!r}" for key in differing
+    )
+    return (
+        "snapshots were produced on different hosts — timings judged "
+        f"anyway, treat verdicts with care ({detail})"
+    )
+
+
 def compare_snapshots(
     old: Mapping[str, Any],
     new: Mapping[str, Any],
@@ -179,6 +217,12 @@ def compare_snapshots(
     missing from either snapshot, metrics with a near-zero baseline, and
     kernels whose workload parameters differ are skipped (with a note), not
     judged.
+
+    When anything *did* regress and both snapshots carry a ``profile``
+    block (``repro-bench --profile``), the report also names the frames
+    whose self-time moved most between the two profiles — the regression's
+    attribution. An old snapshot without the block yields an "is new" note
+    instead, mirroring how new serving/scale sections are introduced.
     """
     if not 0 <= threshold:
         raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
@@ -219,12 +263,26 @@ def compare_snapshots(
         deltas=deltas,
         skipped=skipped,
     )
+    # Regression attribution from the profile blocks (repro-bench
+    # --profile). The block itself is never judged — profile numbers are
+    # sampling-noisy — it is *evidence* read out when a judged timing moved.
+    old_profile = old.get("profile") or {}
+    new_profile = new.get("profile") or {}
+    attribution: tuple[Mapping[str, Any], ...] = ()
+    if new_profile and not old_profile:
+        skipped.append("profile block is new (no baseline)")
+    elif old_profile and new_profile and any(d.regressed for d in deltas):
+        from repro.obs.perf.recorder import diff_profiles
+
+        attribution = tuple(diff_profiles(old_profile, new_profile))
     return ComparisonReport(
         old_rev=str(old.get("rev", "unknown")),
         new_rev=str(new.get("rev", "unknown")),
         threshold=threshold,
         deltas=tuple(deltas),
         skipped=tuple(skipped),
+        host_warning=_host_warning(old, new),
+        attribution=attribution,
     )
 
 
@@ -262,6 +320,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-bench compare: error: {exc}", file=sys.stderr)
         return 2
     print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    if report.host_warning:
+        print(
+            f"repro-bench compare: WARNING: {report.host_warning}",
+            file=sys.stderr,
+        )
     for delta in report.regressions:
         limit = (
             1.0 + report.threshold if delta.direction == "lower" else 1.0 - report.threshold
@@ -270,6 +333,15 @@ def main(argv: list[str] | None = None) -> int:
             f"repro-bench compare: REGRESSION {delta.kernel}.{delta.metric}: "
             f"{delta.old:.4g} -> {delta.new:.4g} "
             f"({delta.ratio:.2f}x, allowed {limit:.2f}x)",
+            file=sys.stderr,
+        )
+    for mover in report.attribution:
+        sign = "+" if float(mover["delta"]) >= 0 else ""
+        print(
+            "repro-bench compare: ATTRIBUTION "
+            f"{mover['frame']}: {mover['metric']} "
+            f"{float(mover['old']):.4g} -> {float(mover['new']):.4g} "
+            f"({sign}{float(mover['delta']):.4g})",
             file=sys.stderr,
         )
     return 0 if report.ok else 1

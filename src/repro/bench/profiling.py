@@ -1,0 +1,83 @@
+"""The ``repro-bench --profile`` block: a profiled smoke run, floats only.
+
+Runs one smoke-preset simulation with the full profiling plane attached
+(:class:`~repro.obs.perf.recorder.PerfRecorder`: stack sampler +
+per-event-type counters) and renders the result as the snapshot's
+``profile`` block. Every leaf value is a float, so two blocks diff
+numerically, and the frame/event-type tables are exactly what
+``repro-bench compare`` feeds to :func:`~repro.obs.perf.recorder.
+diff_profiles` when a timing regression needs attribution.
+
+The block is *informational*, never judged: profile numbers are noisy by
+nature (sampling, host load) and the comparator treats the block as
+attribution evidence, not as a gate. Hence no ``_LOWER_BETTER`` metric
+names appear at judged positions — the block lives beside ``kernels``,
+not inside it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.perf.recorder import PerfRecorder
+from repro.obs.perf.stack_sampler import DEFAULT_HZ
+
+__all__ = ["profile_smoke"]
+
+#: Frames kept in the snapshot's frame table.
+TOP_FRAMES = 20
+#: Event classes kept in the snapshot's per-event-type table.
+TOP_EVENT_TYPES = 16
+
+
+def profile_smoke(
+    preset: str = "smoke",
+    seed: int = 0,
+    *,
+    hz: float = DEFAULT_HZ,
+    log: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run one profiled smoke simulation; return the ``profile`` block.
+
+    Shape (floats at every leaf)::
+
+        {
+          "hz": 97.0, "samples": 212.0, "wall_seconds": 2.19,
+          "frames": {"mod:qualname": {"self_seconds": ..., "cum_seconds": ...,
+                                      "self_count": ..., "cum_count": ...}},
+          "event_types": {"Engine._fire_query": {"events": ..., "seconds": ...,
+                                                 "events_per_sec": ...}},
+        }
+    """
+    from repro.experiments.common import preset_config
+    from repro.gnutella.simulation import build_engine
+
+    config = preset_config(preset, seed=seed).as_dynamic()
+    recorder = PerfRecorder(mode="sampler", hz=hz, alloc=False)
+    engine = build_engine(config, "fast")
+    recorder.attach(engine)
+    with recorder:
+        engine.run()
+    report = recorder.report(top_frames=TOP_FRAMES)
+    event_types = {
+        label: {
+            "events": float(entry["events"]),
+            "seconds": float(entry["seconds"]),
+            "events_per_sec": float(entry["events_per_sec"]),
+        }
+        for label, entry in list(report["event_types"].items())[:TOP_EVENT_TYPES]
+    }
+    block: dict[str, Any] = {
+        "hz": float(hz),
+        "samples": float(report["samples"]),
+        "wall_seconds": float(report["wall_seconds"]),
+        "frames": report["frames"],
+        "event_types": event_types,
+    }
+    if log is not None:
+        top = next(iter(report["frames"]), "n/a")
+        log(
+            f"profile: {int(block['samples'])} samples over "
+            f"{block['wall_seconds']:.1f}s at {hz:g} hz; hottest frame {top}"
+        )
+    return block

@@ -219,6 +219,7 @@ class FloodFastPath:
         "collect_levels",
         "last_level_ends",
         "profile",
+        "perf",
     )
 
     def __init__(
@@ -291,10 +292,15 @@ class FloodFastPath:
         #: events read it). ``profile`` is an optional
         #: :class:`repro.obs.profile.PhaseTimers` accumulating this kernel's
         #: wall time under ``"fastpath.search"`` (one branch per query when
-        #: unset). Neither hook touches outcomes, RNG, or event order.
+        #: unset). ``perf`` is an optional :class:`repro.obs.perf.
+        #: perf_counters.EventTypeCounters` charging the same wall time to
+        #: a ``"fastpath.search"`` sub-account, so per-event-type tables can
+        #: split an event's total from its kernel-only share. None of the
+        #: hooks touches outcomes, RNG, or event order.
         self.collect_levels = False
         self.last_level_ends: list[int] | None = None
         self.profile = None
+        self.perf = None
 
     def add_holder(self, node: NodeId, item: ItemId) -> None:
         """Mirror ``holdings[node].add(item)`` into the inverted index.
@@ -352,7 +358,8 @@ class FloodFastPath:
             return self._search_slab(initiator, item, issued_at, max_hops)
         # Wall-clock on purpose: the profiler measures real elapsed time and
         # never feeds back into query outcomes.
-        t0 = perf_counter() if self.profile is not None else 0.0  # repro-lint: disable=R002
+        timed = self.profile is not None or self.perf is not None
+        t0 = perf_counter() if timed else 0.0  # repro-lint: disable=R002
         limit = self.max_hops if max_hops is None else max_hops
         self.queries_run += 1
         self._epoch += 1
@@ -497,8 +504,12 @@ class FloodFastPath:
 
         if level_ends is not None:
             self.last_level_ends = level_ends
-        if self.profile is not None:
-            self.profile.add("fastpath.search", perf_counter() - t0)  # repro-lint: disable=R002
+        if timed:
+            elapsed = perf_counter() - t0  # repro-lint: disable=R002
+            if self.profile is not None:
+                self.profile.add("fastpath.search", elapsed)
+            if self.perf is not None:
+                self.perf.record_named("fastpath.search", elapsed)
         return QueryOutcome(
             initiator, item, issued_at, tuple(results), messages, len(trace_node)
         )
@@ -520,7 +531,8 @@ class FloodFastPath:
         equivalence tests in ``tests/core/test_fastpath.py`` and the
         engine-level digest matrix (``soa`` vs object engine).
         """
-        t0 = perf_counter() if self.profile is not None else 0.0  # repro-lint: disable=R002
+        timed = self.profile is not None or self.perf is not None
+        t0 = perf_counter() if timed else 0.0  # repro-lint: disable=R002
         limit = self.max_hops if max_hops is None else max_hops
         self.queries_run += 1
         self._epoch += 1
@@ -639,8 +651,12 @@ class FloodFastPath:
 
         if level_ends is not None:
             self.last_level_ends = level_ends
-        if self.profile is not None:
-            self.profile.add("fastpath.search", perf_counter() - t0)  # repro-lint: disable=R002
+        if timed:
+            elapsed = perf_counter() - t0  # repro-lint: disable=R002
+            if self.profile is not None:
+                self.profile.add("fastpath.search", elapsed)
+            if self.perf is not None:
+                self.perf.record_named("fastpath.search", elapsed)
         return QueryOutcome(
             initiator, item, issued_at, tuple(results), messages, len(trace_node)
         )

@@ -247,6 +247,7 @@ class FastGnutellaEngine:
         """
         if not self._use_fastpath:
             return
+        previous = self._fastpath
         if self._delay_rows is None:
             # The fast path needs the precomputed rows; force the build.
             self._delay_rows = self.latency.delay_rows()
@@ -273,6 +274,11 @@ class FastGnutellaEngine:
             )
         # Per-hop level collection rides the tracer: free when untraced.
         self._fastpath.collect_levels = self.tracer.enabled
+        if previous is not None:
+            # Observability hooks survive a rebind: a recorder attached its
+            # profiler/counters to the instance being replaced.
+            self._fastpath.profile = previous.profile
+            self._fastpath.perf = previous.perf
 
     def attach_tracer(self, tracer) -> None:
         """Install a live :class:`~repro.obs.trace.Tracer` on this engine.

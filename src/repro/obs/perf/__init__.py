@@ -1,0 +1,51 @@
+"""Host-side profiling: where does the *reproduction's* wall time go?
+
+The telemetry plane (:mod:`repro.obs.telemetry`) answers questions about
+the simulated world; this package answers questions about the host that
+simulates it — which Python frames burn the wall-clock, which event classes
+dominate the kernel's ~12k events/s ceiling, which call sites allocate.
+
+Everything here is digest-neutral **by construction**: profilers read the
+host (wall clock, interpreter frames, allocator counters) and never the
+simulation, so attaching any of them cannot move an event-stream digest.
+``tests/obs/perf/test_perf_digest.py`` enforces the equality on every
+engine, the same way the tracer and live-telemetry planes are enforced.
+
+Pieces
+------
+* :class:`~repro.obs.perf.collapse.FoldedStacks` — collapsed-stack folds
+  (``frame;frame;frame count``), the lingua franca of flame-graph tooling.
+* :class:`~repro.obs.perf.stack_sampler.StackSampler` — background-thread
+  ``sys._current_frames()`` sampler at a configurable hz.
+* :class:`~repro.obs.perf.stack_sampler.CountingProfiler` — deterministic
+  ``sys.setprofile`` call counter for environments where sampling is too
+  coarse (folds depend only on the code path, never on timing).
+* :class:`~repro.obs.perf.perf_counters.EventTypeCounters` — per-event-type
+  cost accounting fed by the opt-in ``.perf`` hooks on
+  :class:`~repro.sim.kernel.Simulator` and
+  :class:`~repro.core.fastpath.FloodFastPath`.
+* :class:`~repro.obs.perf.alloc.AllocSnapshots` — tracemalloc top-N
+  allocation sites at phase boundaries.
+* :mod:`~repro.obs.perf.flamegraph` — self-contained inline-SVG flame
+  graphs (no external refs, same discipline as ``repro-report``).
+* :class:`~repro.obs.perf.recorder.PerfRecorder` — one handle bundling all
+  of the above for ``repro-trace record --perf`` and ``repro-bench
+  --profile``.
+"""
+
+from repro.obs.perf.alloc import AllocSnapshots
+from repro.obs.perf.collapse import FoldedStacks
+from repro.obs.perf.flamegraph import render_flamegraph_svg
+from repro.obs.perf.perf_counters import EventTypeCounters
+from repro.obs.perf.recorder import PerfRecorder
+from repro.obs.perf.stack_sampler import CountingProfiler, StackSampler
+
+__all__ = [
+    "AllocSnapshots",
+    "CountingProfiler",
+    "EventTypeCounters",
+    "FoldedStacks",
+    "PerfRecorder",
+    "StackSampler",
+    "render_flamegraph_svg",
+]

@@ -1,0 +1,161 @@
+"""Collapsed-stack folds: the wire format of flame-graph tooling.
+
+A *fold* is one observed call stack rendered root-first as
+``frame;frame;frame`` with an integer count — the format Brendan Gregg's
+``flamegraph.pl`` and every compatible tool (speedscope, inferno, Firefox
+Profiler) ingest. :class:`FoldedStacks` accumulates folds from any source
+(the sampler, the counting profiler, a parsed export), merges across
+sources, and answers the two aggregate questions a profile exists for:
+per-frame *self* counts (samples with the frame on top) and per-frame
+*cumulative* counts (samples with the frame anywhere on the stack).
+
+Frame labels must not contain ``;`` or newlines; :meth:`FoldedStacks.add`
+sanitizes rather than rejects, so an exotic ``co_qualname`` cannot corrupt
+the export.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["FoldedStacks"]
+
+
+def _clean(frame: str) -> str:
+    """A fold-safe frame label (no separators, no line breaks)."""
+    if ";" in frame or "\n" in frame or "\r" in frame:
+        frame = frame.replace(";", ":").replace("\n", " ").replace("\r", " ")
+    return frame or "?"
+
+
+class FoldedStacks:
+    """An accumulator of collapsed call-stack folds.
+
+    Example
+    -------
+    >>> folds = FoldedStacks()
+    >>> folds.add(("main", "work", "inner"), 3)
+    >>> folds.add(("main", "work"), 1)
+    >>> folds.render_collapsed()
+    'main;work 1\\nmain;work;inner 3'
+    >>> folds.self_counts()["inner"]
+    3
+    >>> folds.cum_counts()["main"]
+    4
+    """
+
+    __slots__ = ("_folds",)
+
+    def __init__(self) -> None:
+        #: stack tuple (root first) -> observation count.
+        self._folds: dict[tuple[str, ...], int] = {}
+
+    def add(self, stack: Sequence[str], count: int = 1) -> None:
+        """Fold one observed stack (root first) in, ``count`` times."""
+        if count <= 0:
+            raise ValueError(f"fold count must be positive, got {count!r}")
+        if not stack:
+            return
+        key = tuple(_clean(frame) for frame in stack)
+        self._folds[key] = self._folds.get(key, 0) + count
+
+    def merge(self, other: "FoldedStacks") -> None:
+        """Fold every stack of ``other`` into this accumulator."""
+        for stack, count in other._folds.items():
+            self._folds[stack] = self._folds.get(stack, 0) + count
+
+    @property
+    def total(self) -> int:
+        """Total observation count across all folds."""
+        return sum(self._folds.values())
+
+    def __len__(self) -> int:
+        return len(self._folds)
+
+    def __iter__(self) -> Iterator[tuple[tuple[str, ...], int]]:
+        """Iterate ``(stack, count)`` in deterministic (sorted) order."""
+        return iter(sorted(self._folds.items()))
+
+    def self_counts(self) -> dict[str, int]:
+        """Per-frame counts of folds where the frame is the *leaf*."""
+        out: dict[str, int] = {}
+        for stack, count in self._folds.items():
+            leaf = stack[-1]
+            out[leaf] = out.get(leaf, 0) + count
+        return out
+
+    def cum_counts(self) -> dict[str, int]:
+        """Per-frame counts of folds with the frame *anywhere* on the stack.
+
+        A frame appearing multiple times in one stack (recursion) is counted
+        once per fold, so cumulative counts never exceed :attr:`total`.
+        """
+        out: dict[str, int] = {}
+        for stack, count in self._folds.items():
+            for frame in set(stack):
+                out[frame] = out.get(frame, 0) + count
+        return out
+
+    def render_collapsed(self) -> str:
+        """The canonical collapsed-stack text: ``a;b;c count`` per line.
+
+        Lines are sorted by stack, so the rendering is deterministic for a
+        given fold multiset regardless of accumulation order.
+        """
+        return "\n".join(
+            f"{';'.join(stack)} {count}" for stack, count in sorted(self._folds.items())
+        )
+
+    @classmethod
+    def parse_collapsed(cls, text: str) -> "FoldedStacks":
+        """Parse :meth:`render_collapsed` output (or any compatible export).
+
+        Malformed lines (no count, non-integer count) are skipped rather
+        than fatal: truncated exports should still render a partial graph.
+        """
+        folds = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            stack_text, _, count_text = line.rpartition(" ")
+            if not stack_text:
+                continue
+            try:
+                count = int(count_text)
+            except ValueError:
+                continue
+            if count > 0:
+                folds.add(stack_text.split(";"), count)
+        return folds
+
+    def as_dict(self) -> dict[str, int]:
+        """``{"a;b;c": count}`` — JSON-ready, sorted by stack."""
+        return {
+            ";".join(stack): count for stack, count in sorted(self._folds.items())
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "FoldedStacks":
+        """Inverse of :meth:`as_dict`."""
+        folds = cls()
+        for stack_text, count in data.items():
+            folds.add(stack_text.split(";"), int(count))
+        return folds
+
+    def top_frames(
+        self, n: int, *, key: str = "self"
+    ) -> list[tuple[str, int]]:
+        """The ``n`` hottest frames by ``"self"`` or ``"cum"`` count.
+
+        Ties break on the frame name, so the ordering is stable under
+        fold-insertion permutations.
+        """
+        if key == "self":
+            totals: Iterable[tuple[str, int]] = self.self_counts().items()
+        elif key == "cum":
+            totals = self.cum_counts().items()
+        else:
+            raise ValueError(f"key must be 'self' or 'cum', got {key!r}")
+        ranked = sorted(totals, key=lambda item: (-item[1], item[0]))
+        return ranked[: max(n, 0)]

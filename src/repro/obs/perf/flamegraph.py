@@ -1,0 +1,212 @@
+"""Self-contained inline-SVG flame graphs from collapsed-stack folds.
+
+Same rendering discipline as ``repro-report``: one SVG string, no external
+stylesheets, no scripts, no fonts, no ``http(s)`` references of any kind —
+the graph must render identically from a file:// URL on an air-gapped
+host. Hover detail rides native ``<title>`` elements instead of
+JavaScript.
+
+The layout is the classic icicle: the root row spans the full width, each
+frame's width is proportional to its fold count, children stack below
+their parent in deterministic (sorted) order. Colors derive from a CRC of
+the frame name, so the same frame keeps its color across graphs and
+re-renders — visual diffing between two profiles works by eye.
+
+``repro-flamegraph`` (:func:`main`) is the CLI: collapsed text in, SVG
+out, summary JSON on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import zlib
+from pathlib import Path
+from typing import Any
+from xml.sax.saxutils import escape
+
+from repro.obs.perf.collapse import FoldedStacks
+
+__all__ = ["main", "render_flamegraph_svg"]
+
+_ROW_H = 17
+_FONT_PX = 11
+#: Frames narrower than this many pixels draw as unlabeled slivers.
+_MIN_LABEL_W = 35
+#: Frames narrower than this are dropped entirely (sub-pixel noise).
+_MIN_W = 0.3
+
+
+class _Node:
+    __slots__ = ("name", "count", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.children: dict[str, _Node] = {}
+
+
+def _build_tree(folds: FoldedStacks) -> _Node:
+    root = _Node("all")
+    for stack, count in folds:
+        root.count += count
+        node = root
+        for frame in stack:
+            child = node.children.get(frame)
+            if child is None:
+                child = _Node(frame)
+                node.children[frame] = child
+            child.count += count
+            node = child
+    return root
+
+
+def _color(name: str) -> str:
+    """A deterministic warm fill for ``name`` (flame palette)."""
+    h = zlib.crc32(name.encode("utf-8"))
+    r = 205 + (h & 0xFF) % 50
+    g = 70 + ((h >> 8) & 0xFF) % 110
+    b = ((h >> 16) & 0xFF) % 55
+    return f"rgb({r},{g},{b})"
+
+
+def _label_fit(name: str, width: float) -> str:
+    """``name`` truncated with an ellipsis to fit ``width`` pixels."""
+    max_chars = int(width / (_FONT_PX * 0.62))
+    if len(name) <= max_chars:
+        return name
+    if max_chars < 3:
+        return ""
+    return name[: max_chars - 1] + "…"
+
+
+def render_flamegraph_svg(
+    folds: FoldedStacks,
+    *,
+    title: str = "Flame graph",
+    width: int = 1160,
+    unit: str = "samples",
+    standalone: bool = False,
+) -> str:
+    """Render folds as one self-contained SVG icicle graph.
+
+    ``unit`` names what counts measure in hover titles ("samples" for the
+    stack sampler, "calls" for the counting profiler). An empty fold set
+    renders a placeholder graph rather than failing — a report panel must
+    degrade, not crash, on a run too short to sample.
+
+    The default rendering carries no ``xmlns`` declaration — exactly like
+    the other ``repro-report`` inline charts — so an embedding report stays
+    free of *any* ``http(s)`` byte sequence and the CI grep can be strict.
+    ``standalone=True`` adds the mandatory SVG namespace identifier (an
+    identifier the renderer never fetches), which a ``.svg`` file on disk
+    needs to open in a browser.
+    """
+    total = folds.total
+    root = _build_tree(folds)
+
+    def depth_of(node: _Node) -> int:
+        if not node.children:
+            return 1
+        return 1 + max(depth_of(child) for child in node.children.values())
+
+    rows = depth_of(root) if total else 1
+    height = (rows + 1) * _ROW_H + 26
+    # Assembled from pieces so the embedded form contains no "http"
+    # substring at all (the namespace identifier only appears standalone).
+    xmlns = 'xmlns="' + "".join(("http", "://www.w3.org/2000/svg")) + '" '
+    parts: list[str] = []
+    parts.append(
+        f'<svg {xmlns if standalone else ""}width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+        f'font-family="monospace" font-size="{_FONT_PX}px">'
+    )
+    parts.append(
+        f'<text x="{width / 2:.0f}" y="15" text-anchor="middle" '
+        f'font-size="13px">{escape(title)} '
+        f"({total} {escape(unit)})</text>"
+    )
+    if total == 0:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="{height / 2:.0f}" '
+            'text-anchor="middle" fill="#888">no samples recorded</text>'
+        )
+        parts.append("</svg>")
+        return "".join(parts)
+
+    def emit(node: _Node, x: float, y: int, w: float) -> None:
+        if w < _MIN_W:
+            return
+        pct = 100.0 * node.count / total
+        tip = f"{node.name} — {node.count} {unit} ({pct:.2f}%)"
+        parts.append(
+            f'<g><title>{escape(tip)}</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{_ROW_H - 1}" '
+            f'fill="{_color(node.name)}" rx="1"/>'
+        )
+        if w >= _MIN_LABEL_W:
+            label = _label_fit(node.name, w - 6)
+            if label:
+                parts.append(
+                    f'<text x="{x + 3:.2f}" y="{y + _ROW_H - 5}" '
+                    f'fill="#1a1a1a">{escape(label)}</text>'
+                )
+        parts.append("</g>")
+        child_x = x
+        for name in sorted(node.children):
+            child = node.children[name]
+            child_w = w * child.count / node.count
+            emit(child, child_x, y + _ROW_H, child_w)
+            child_x += child_w
+
+    emit(root, 0.0, 24, float(width))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-flamegraph",
+        description=(
+            "Render a collapsed-stack file (repro-trace record --perf, or "
+            "any flamegraph.pl-compatible export) as a self-contained SVG."
+        ),
+    )
+    parser.add_argument("collapsed", help="collapsed-stack text file (a;b;c N)")
+    parser.add_argument(
+        "--out", default="flamegraph.svg", help="SVG output path (default: %(default)s)"
+    )
+    parser.add_argument("--title", default="Flame graph", help="graph title")
+    parser.add_argument("--width", type=int, default=1160, help="SVG width in px")
+    parser.add_argument(
+        "--unit", default="samples", help="what the counts measure (hover text)"
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.collapsed)
+    if not path.is_file():
+        print(f"repro-flamegraph: error: no such file: {path}", file=sys.stderr)
+        return 1
+    folds = FoldedStacks.parse_collapsed(path.read_text(encoding="utf-8"))
+    if not len(folds):
+        print(
+            f"repro-flamegraph: warning: {path} holds no folds; "
+            "rendering a placeholder",
+            file=sys.stderr,
+        )
+    svg = render_flamegraph_svg(
+        folds, title=args.title, width=args.width, unit=args.unit, standalone=True
+    )
+    out = Path(args.out)
+    out.write_text(svg, encoding="utf-8")
+    report: dict[str, Any] = {
+        "svg": str(out),
+        "folds": len(folds),
+        "total": folds.total,
+    }
+    print(json.dumps(report, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

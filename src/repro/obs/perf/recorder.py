@@ -1,0 +1,238 @@
+"""One handle over the whole profiling plane: sampler + counters + alloc.
+
+:class:`PerfRecorder` is what the surface commands drive — ``repro-trace
+record --perf`` and ``repro-bench --profile`` each create one, attach it to
+an engine, bracket the run with :meth:`start` / :meth:`stop`, mark phase
+boundaries, and either :meth:`write` the artifacts into a record directory
+(``perf.collapsed`` + ``perf.json``) or fold :meth:`report` into a bench
+snapshot.
+
+Attachment is the only point where the recorder touches the engine, and it
+only *sets* the opt-in ``.perf`` hooks (``Simulator.perf``,
+``FloodFastPath.perf``) to its :class:`~repro.obs.perf.perf_counters.
+EventTypeCounters` — observation flows kernel → counter, never back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.obs.perf.alloc import DEFAULT_TOP_N, AllocSnapshots
+from repro.obs.perf.collapse import FoldedStacks
+from repro.obs.perf.perf_counters import EventTypeCounters
+from repro.obs.perf.stack_sampler import DEFAULT_HZ, CountingProfiler, StackSampler
+
+__all__ = ["PERF_SCHEMA", "PerfRecorder", "diff_profiles"]
+
+#: Schema tag written into ``perf.json``.
+PERF_SCHEMA = 1
+
+#: Valid ``mode`` values for :class:`PerfRecorder`.
+MODES = ("sampler", "counting")
+
+#: Frames kept in the ``frames`` table of reports and bench blocks.
+DEFAULT_TOP_FRAMES = 20
+
+
+class PerfRecorder:
+    """Bundle a stack profiler, event-type counters, and alloc snapshots.
+
+    Parameters
+    ----------
+    mode:
+        ``"sampler"`` (wall-clock stack sampling, the default) or
+        ``"counting"`` (deterministic ``sys.setprofile`` call counting).
+    hz:
+        Sampling rate for sampler mode (ignored when counting).
+    alloc:
+        Whether to take tracemalloc snapshots at phase boundaries.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "sampler",
+        hz: float = DEFAULT_HZ,
+        alloc: bool = True,
+        alloc_top: int = DEFAULT_TOP_N,
+    ) -> None:
+        if mode not in MODES:
+            raise ConfigurationError(
+                f"perf mode must be one of {MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self.hz = float(hz)
+        self.counters = EventTypeCounters()
+        self.alloc: AllocSnapshots | None = (
+            AllocSnapshots(alloc_top) if alloc else None
+        )
+        self.sampler: StackSampler | None = None
+        self.counting: CountingProfiler | None = None
+        if mode == "sampler":
+            self.sampler = StackSampler(hz)
+        else:
+            self.counting = CountingProfiler()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, engine: Any) -> None:
+        """Install the per-event-type counter hooks on ``engine``.
+
+        Works with any engine exposing a ``sim`` kernel; the flood
+        fast-path hook is installed when the engine has one engaged.
+        """
+        engine.sim.perf = self.counters
+        fastpath = getattr(engine, "_fastpath", None)
+        if fastpath is not None:
+            fastpath.perf = self.counters
+
+    def start(self) -> "PerfRecorder":
+        """Start the stack profiler (and tracemalloc when enabled)."""
+        if self.alloc is not None:
+            self.alloc.start()
+        if self.sampler is not None:
+            self.sampler.start()
+        if self.counting is not None:
+            self.counting.start()
+        return self
+
+    def boundary(self, phase: str) -> None:
+        """Mark a phase boundary (one allocation snapshot when enabled)."""
+        if self.alloc is not None:
+            self.alloc.snapshot(phase)
+
+    def stop(self) -> None:
+        """Stop the profilers (counters need no stopping; they just are)."""
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.counting is not None:
+            self.counting.stop()
+        if self.alloc is not None:
+            self.alloc.stop()
+
+    def __enter__(self) -> "PerfRecorder":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def folds(self) -> FoldedStacks:
+        """The profiler's collapsed-stack folds (empty if none ran)."""
+        if self.sampler is not None:
+            return self.sampler.folds
+        if self.counting is not None:
+            return self.counting.folds
+        return FoldedStacks()
+
+    @property
+    def unit(self) -> str:
+        """What the fold counts measure (``samples`` or ``calls``)."""
+        return "samples" if self.mode == "sampler" else "calls"
+
+    def frame_table(self, top_n: int = DEFAULT_TOP_FRAMES) -> dict[str, dict[str, float]]:
+        """Top-N frames by self count, with estimated self/cum *seconds*.
+
+        Sampler mode converts counts to seconds via the achieved sampling
+        rate; counting mode has no time base, so seconds are reported as
+        0.0 and the counts stand on their own (``*_count`` keys carry
+        them in both modes). Float-valued throughout — the bench snapshot's
+        ``profile`` block embeds this table directly.
+        """
+        folds = self.folds
+        per_sample = (
+            self.sampler.seconds_per_sample() if self.sampler is not None else 0.0
+        )
+        cum = folds.cum_counts()
+        table: dict[str, dict[str, float]] = {}
+        for frame, self_count in folds.top_frames(top_n, key="self"):
+            cum_count = cum.get(frame, self_count)
+            table[frame] = {
+                "self_count": float(self_count),
+                "cum_count": float(cum_count),
+                "self_seconds": self_count * per_sample,
+                "cum_seconds": cum_count * per_sample,
+            }
+        return table
+
+    def report(self, *, top_frames: int = DEFAULT_TOP_FRAMES) -> dict[str, Any]:
+        """The ``perf.json`` document (also the bench ``profile`` block core)."""
+        out: dict[str, Any] = {
+            "schema": PERF_SCHEMA,
+            "mode": self.mode,
+            "unit": self.unit,
+            "hz": self.hz if self.mode == "sampler" else 0.0,
+            "samples": float(self.folds.total),
+            "wall_seconds": (
+                self.sampler.wall_seconds if self.sampler is not None else 0.0
+            ),
+            "frames": self.frame_table(top_frames),
+            "event_types": self.counters.as_dict(),
+        }
+        if self.alloc is not None:
+            out["alloc"] = self.alloc.as_dict()
+        return out
+
+    def write(self, out_dir: str | Path) -> list[str]:
+        """Write ``perf.collapsed`` and ``perf.json`` into ``out_dir``.
+
+        Returns the file names written (for a record summary's ``files``
+        list). The collapsed text round-trips through ``repro-flamegraph``
+        and any flamegraph.pl-compatible tool.
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "perf.collapsed").write_text(
+            self.folds.render_collapsed() + "\n", encoding="utf-8"
+        )
+        (out / "perf.json").write_text(
+            json.dumps(self.report(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return ["perf.collapsed", "perf.json"]
+
+
+def diff_profiles(
+    old: dict[str, Any], new: dict[str, Any], *, top_n: int = 5
+) -> list[dict[str, Any]]:
+    """Attribute a timing move: which frames' self-time shifted most?
+
+    Takes two ``profile`` blocks (bench snapshots) or ``perf.json``
+    documents and ranks the union of their frame tables by absolute
+    self-seconds delta — seconds when both profiles have a time base,
+    self-counts otherwise (two counting profiles diff deterministically).
+    Ties break on the frame name, so the ranking is stable under
+    frame-table permutations.
+    """
+    old_frames = old.get("frames") or {}
+    new_frames = new.get("frames") or {}
+    key = "self_seconds"
+    if not any(
+        entry.get("self_seconds") for entry in (*old_frames.values(), *new_frames.values())
+    ):
+        key = "self_count"
+    movers: list[dict[str, Any]] = []
+    for frame in set(old_frames) | set(new_frames):
+        old_val = float((old_frames.get(frame) or {}).get(key, 0.0))
+        new_val = float((new_frames.get(frame) or {}).get(key, 0.0))
+        delta = new_val - old_val
+        if delta == 0.0:
+            continue
+        movers.append(
+            {
+                "frame": frame,
+                "metric": key,
+                "old": old_val,
+                "new": new_val,
+                "delta": delta,
+            }
+        )
+    movers.sort(key=lambda m: (-abs(float(m["delta"])), str(m["frame"])))
+    return movers[:top_n]

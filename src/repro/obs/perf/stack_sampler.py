@@ -1,0 +1,204 @@
+"""Stack profilers: a wall-clock sampler and a deterministic call counter.
+
+:class:`StackSampler` is the default: a daemon thread wakes at a
+configurable hz, reads the target thread's current frame stack through
+``sys._current_frames()``, and folds it into a
+:class:`~repro.obs.perf.collapse.FoldedStacks`. Sampling observes the
+interpreter from the outside — the profiled thread runs unmodified Python
+at full speed, and sample counts divided by the sampling rate estimate
+per-frame wall seconds. The cost is statistical resolution: a 2-second
+smoke run at 97 hz yields ~200 samples, enough to rank hot frames but not
+to see rare ones.
+
+:class:`CountingProfiler` is the deterministic fallback for exactly that
+regime: a ``sys.setprofile`` hook that counts *calls* per stack instead of
+sampling time. Its folds depend only on the code path — two identical runs
+produce identical folds — at the price of tracing overhead on every call
+and of measuring call counts, not seconds. Pick the sampler for "where do
+the seconds go", the counter for "did this change add calls" and for CI
+environments too noisy to sample.
+
+Neither profiler touches the simulation: no RNG draws, no event
+scheduling, no engine attribute writes — the digest-neutrality tests hold
+with either attached.
+
+Default rate: 97 hz, a prime, so the sampler cannot phase-lock with
+periodic work scheduled at round frequencies.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from time import perf_counter, sleep
+from types import FrameType
+from typing import Any
+
+from repro.obs.perf.collapse import FoldedStacks
+
+__all__ = ["DEFAULT_HZ", "CountingProfiler", "StackSampler", "frame_label"]
+
+#: Default sampling rate. Prime on purpose: see module docstring.
+DEFAULT_HZ = 97.0
+
+#: Stacks deeper than this are truncated at the root end; the leaf frames
+#: (where time is actually spent) always survive.
+_MAX_DEPTH = 128
+
+
+def frame_label(frame: FrameType) -> str:
+    """``module:qualname`` for one interpreter frame.
+
+    ``co_qualname`` (3.11+) distinguishes methods sharing a name; on 3.10
+    the plain ``co_name`` is the best available.
+    """
+    code = frame.f_code
+    name = getattr(code, "co_qualname", code.co_name)
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{name}"
+
+
+def _fold_of(frame: FrameType | None) -> list[str]:
+    """The root-first label stack of ``frame`` (truncated at ``_MAX_DEPTH``)."""
+    labels: list[str] = []
+    while frame is not None and len(labels) < _MAX_DEPTH:
+        labels.append(frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return labels
+
+
+class StackSampler:
+    """Background-thread stack sampler over ``sys._current_frames()``.
+
+    Parameters
+    ----------
+    hz:
+        Target sampling rate. The effective rate is reported as
+        ``samples / wall_seconds`` and is what estimates should divide by.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`. The
+    sampled thread is the one that calls :meth:`start`.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ) -> None:
+        if hz <= 0:
+            raise ValueError(f"sampling hz must be positive, got {hz!r}")
+        self.hz = float(hz)
+        self.folds = FoldedStacks()
+        self.samples = 0
+        self.wall_seconds = 0.0
+        self._target_ident: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t0 = 0.0
+
+    def start(self) -> "StackSampler":
+        """Begin sampling the *calling* thread."""
+        if self._thread is not None:
+            raise RuntimeError("StackSampler is already running")
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._t0 = perf_counter()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="repro-perf-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sampling thread and freeze the wall-clock total."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        self.wall_seconds += perf_counter() - self._t0
+
+    def __enter__(self) -> "StackSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    @property
+    def effective_hz(self) -> float:
+        """Achieved sampling rate (samples over wall seconds)."""
+        return self.samples / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def seconds_per_sample(self) -> float:
+        """Wall seconds each sample represents (0.0 before any sample)."""
+        return self.wall_seconds / self.samples if self.samples else 0.0
+
+    def _sample_loop(self) -> None:
+        interval = 1.0 / self.hz
+        target = self._target_ident
+        folds = self.folds
+        while not self._stop.is_set():
+            # A point-in-time view of every thread's stack; reading it does
+            # not pause the target thread (no GIL-release tricks needed —
+            # frames are plain interpreter objects).
+            frame = sys._current_frames().get(target)  # type: ignore[arg-type]
+            if frame is not None:
+                stack = _fold_of(frame)
+                if stack:
+                    folds.add(stack)
+                    self.samples += 1
+            sleep(interval)
+
+
+class CountingProfiler:
+    """Deterministic per-stack *call* counter via ``sys.setprofile``.
+
+    Each Python ``call`` event folds the current label stack in with count
+    1, so a fold's count is the number of times that exact stack was
+    entered. Counts are a property of the code path alone: identical runs
+    yield identical folds, which makes this the profiler of choice for
+    diffing ("did the change add calls?") and for hosts where wall-clock
+    sampling is noise.
+
+    Only the installing thread is profiled (``sys.setprofile`` is
+    per-thread). C-function events are ignored — the sampler is the tool
+    for native time.
+    """
+
+    def __init__(self) -> None:
+        self.folds = FoldedStacks()
+        self.calls = 0
+        self._stack: list[str] = []
+        self._active = False
+
+    def start(self) -> "CountingProfiler":
+        """Install the profile hook on the calling thread."""
+        if self._active:
+            raise RuntimeError("CountingProfiler is already running")
+        self._stack = []
+        self._active = True
+        sys.setprofile(self._hook)
+        return self
+
+    def stop(self) -> None:
+        """Remove the profile hook."""
+        if not self._active:
+            return
+        sys.setprofile(None)
+        self._active = False
+
+    def __enter__(self) -> "CountingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _hook(self, frame: FrameType, event: str, arg: Any) -> None:
+        if event == "call":
+            self._stack.append(frame_label(frame))
+            if len(self._stack) <= _MAX_DEPTH:
+                self.folds.add(self._stack)
+                self.calls += 1
+        elif event == "return":
+            # Frames already live when the hook was installed return without
+            # a matching call; ignore the underflow.
+            if self._stack:
+                self._stack.pop()

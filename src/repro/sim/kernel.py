@@ -51,6 +51,13 @@ class Simulator:
         #: never per event, and purely observational — it cannot change
         #: event order or the event-stream digest.
         self.profile: Any = None
+        #: Optional per-event-type cost accounting (:class:`repro.obs.perf.
+        #: perf_counters.EventTypeCounters`); when set, the run loop times
+        #: each dispatched callback and charges it to the callback's event
+        #: class. Branchless when unset (the run loop splits once, up
+        #: front); purely observational like :attr:`profile` — the perf
+        #: digest-neutrality tests enforce it.
+        self.perf: Any = None
 
     # ------------------------------------------------------------------
     # Clock and introspection
@@ -200,6 +207,30 @@ class Simulator:
             return time
         return None
 
+    def _step_timed(self, perf: Any) -> float | None:
+        """:meth:`step` with the callback's wall time routed into ``perf``.
+
+        A separate body (rather than a branch inside :meth:`step`) keeps
+        the unprofiled hot path free of per-event overhead. The timing is
+        wall-clock on purpose — it measures the host, never the simulation
+        — and recording happens *after* the callback returns, so the
+        observation cannot affect event order.
+        """
+        if not self._queue:
+            raise SchedulingError("event queue is empty")
+        while self._queue:
+            time, handle = self._queue.pop()
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_executed += 1
+            fn = handle.fn
+            t0 = perf_counter()  # repro-lint: disable=R002
+            fn(*handle.args)
+            perf.record(fn, perf_counter() - t0)  # repro-lint: disable=R002
+            return time
+        return None
+
     def run(self, until: float | None = None) -> None:
         """Run until the queue drains, or until the clock reaches ``until``.
 
@@ -213,16 +244,27 @@ class Simulator:
         self._running = True
         self._stopped = False
         profile = self.profile
+        perf = self.perf
         # Wall-clock on purpose: profiling measures real elapsed time, not
         # simulated time, and never feeds back into the simulation.
         t0 = perf_counter() if profile is not None else 0.0  # repro-lint: disable=R002
         try:
-            while self._queue and not self._stopped:
-                # Skip over cancelled entries without advancing the clock.
-                next_time = self._queue.peek_time()
-                if until is not None and next_time > until:
-                    break
-                self.step()
+            if perf is None:
+                while self._queue and not self._stopped:
+                    # Skip over cancelled entries without advancing the clock.
+                    next_time = self._queue.peek_time()
+                    if until is not None and next_time > until:
+                        break
+                    self.step()
+            else:
+                # Identical loop with the per-event timing step: the split
+                # is hoisted out of the loop so the unprofiled path carries
+                # zero extra branches per event.
+                while self._queue and not self._stopped:
+                    next_time = self._queue.peek_time()
+                    if until is not None and next_time > until:
+                        break
+                    self._step_timed(perf)
         finally:
             self._running = False
             if profile is not None:

@@ -218,3 +218,150 @@ def test_serving_section_new_in_new_snapshot_is_noted(baseline, baseline_with_se
 
 def test_serving_section_absent_from_both_is_fine(baseline):
     assert compare_snapshots(baseline, baseline).ok
+
+
+def _profile_block(hot_seconds):
+    return {
+        "hz": 97.0,
+        "samples": 400.0,
+        "wall_seconds": 4.0,
+        "frames": {
+            "repro.core.fastpath:search": {
+                "self_count": 300.0,
+                "cum_count": 380.0,
+                "self_seconds": hot_seconds,
+                "cum_seconds": hot_seconds + 0.5,
+            },
+            "repro.sim.kernel:run": {
+                "self_count": 50.0,
+                "cum_count": 400.0,
+                "self_seconds": 0.4,
+                "cum_seconds": 4.0,
+            },
+        },
+        "event_types": {
+            "fastpath.search": {
+                "events": 2000.0, "seconds": 1.0, "events_per_sec": 2000.0
+            }
+        },
+    }
+
+
+@pytest.fixture()
+def profiled_pair(baseline):
+    """A profiled baseline plus a regressed candidate whose profile moved."""
+    old = copy.deepcopy(baseline)
+    old["profile"] = _profile_block(2.0)
+    slow = copy.deepcopy(old)
+    slow["rev"] = "cccc333"
+    slow["kernels"]["event_queue"]["seconds"] *= 2.0
+    slow["profile"] = _profile_block(3.5)
+    return old, slow
+
+
+class TestProfileAttribution:
+    def test_regression_names_the_moved_frame(self, profiled_pair):
+        old, slow = profiled_pair
+        report = compare_snapshots(old, slow)
+        assert not report.ok
+        assert report.attribution
+        top = report.attribution[0]
+        assert top["frame"] == "repro.core.fastpath:search"
+        assert top["metric"] == "self_seconds"
+        assert top["delta"] == pytest.approx(1.5)
+        assert report.as_dict()["attribution"][0]["frame"] == top["frame"]
+
+    def test_no_regression_means_no_attribution(self, profiled_pair):
+        old, slow = profiled_pair
+        slow = copy.deepcopy(slow)
+        slow["kernels"] = copy.deepcopy(old["kernels"])  # undo the slowdown
+        report = compare_snapshots(old, slow)
+        assert report.ok
+        assert report.attribution == ()
+
+    def test_attribution_stable_under_frame_order_permutation(self, profiled_pair):
+        old, slow = profiled_pair
+        shuffled = copy.deepcopy(slow)
+        shuffled["profile"]["frames"] = dict(
+            reversed(list(shuffled["profile"]["frames"].items()))
+        )
+        assert (
+            compare_snapshots(old, slow).attribution
+            == compare_snapshots(old, shuffled).attribution
+        )
+
+    def test_profile_block_new_in_new_snapshot_is_noted(self, baseline):
+        profiled = copy.deepcopy(baseline)
+        profiled["profile"] = _profile_block(2.0)
+        report = compare_snapshots(baseline, profiled)
+        assert report.ok
+        assert "profile block is new (no baseline)" in report.skipped
+        assert report.attribution == ()
+
+    def test_old_profile_without_new_is_silent(self, baseline):
+        profiled = copy.deepcopy(baseline)
+        profiled["profile"] = _profile_block(2.0)
+        report = compare_snapshots(profiled, baseline)
+        assert report.ok
+        assert report.attribution == ()
+
+    def test_profile_block_itself_is_never_judged(self, profiled_pair):
+        # Sampling noise in the profile must not create regressions: only
+        # kernel/serving/scale metrics are judged.
+        old, slow = profiled_pair
+        slow = copy.deepcopy(slow)
+        slow["kernels"] = copy.deepcopy(old["kernels"])
+        slow["profile"] = _profile_block(50.0)  # wild profile swing
+        report = compare_snapshots(old, slow)
+        assert report.ok
+        assert all("profile" not in d.kernel for d in report.deltas)
+
+    def test_cli_prints_attribution_and_keeps_exit_code(
+        self, tmp_path, profiled_pair, capsys
+    ):
+        old, slow = profiled_pair
+        assert compare_main(
+            [_write(tmp_path, "old.json", old), _write(tmp_path, "new.json", slow)]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "ATTRIBUTION repro.core.fastpath:search" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["attribution"][0]["frame"] == "repro.core.fastpath:search"
+
+
+class TestHostWarning:
+    def _hosted(self, baseline, cpu="Xeon", cores=8, plat="Linux-x86_64"):
+        snapshot = copy.deepcopy(baseline)
+        snapshot["host"] = {"cpu": cpu, "cores": cores, "platform": plat}
+        return snapshot
+
+    def test_same_host_no_warning(self, baseline):
+        a = self._hosted(baseline)
+        report = compare_snapshots(a, a)
+        assert report.host_warning is None
+        assert report.as_dict()["host_warning"] is None
+
+    def test_differing_cpu_warns_but_still_judges(self, baseline):
+        old = self._hosted(baseline, cpu="Xeon")
+        new = self._hosted(baseline, cpu="EPYC")
+        new["kernels"]["event_queue"]["seconds"] *= 2.0
+        report = compare_snapshots(old, new)
+        assert report.host_warning is not None
+        assert "'Xeon' vs 'EPYC'" in report.host_warning
+        assert not report.ok  # warned, not excused
+
+    def test_missing_host_blocks_compare_silently(self, baseline):
+        # Pre-provenance snapshots have no host block: no warning.
+        hosted = self._hosted(baseline)
+        assert compare_snapshots(baseline, hosted).host_warning is None
+        assert compare_snapshots(hosted, baseline).host_warning is None
+        assert compare_snapshots(baseline, baseline).host_warning is None
+
+    def test_cli_prints_host_warning(self, tmp_path, baseline, capsys):
+        old = self._hosted(baseline, cores=8)
+        new = self._hosted(baseline, cores=64)
+        assert compare_main(
+            [_write(tmp_path, "old.json", old), _write(tmp_path, "new.json", new)]
+        ) == 0
+        assert "WARNING" in capsys.readouterr().err

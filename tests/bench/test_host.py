@@ -1,0 +1,45 @@
+"""Host provenance: CPU identification and graceful degradation."""
+
+from repro.bench.host import _cpu_model, host_provenance
+
+
+def test_host_provenance_shape():
+    host = host_provenance()
+    assert set(host) == {"cpu", "cores", "platform"}
+    assert isinstance(host["cpu"], str) and host["cpu"]
+    assert isinstance(host["cores"], int) and host["cores"] >= 0
+    assert isinstance(host["platform"], str) and host["platform"]
+
+
+def test_cpu_model_prefers_model_name(tmp_path):
+    cpuinfo = tmp_path / "cpuinfo"
+    cpuinfo.write_text(
+        "processor\t: 0\n"
+        "vendor_id\t: GenuineIntel\n"
+        "model name\t: Intel(R) Xeon(R) CPU @ 2.20GHz\n"
+        "processor\t: 1\n"
+        "model name\t: Intel(R) Xeon(R) CPU @ 2.20GHz\n",
+        encoding="utf-8",
+    )
+    assert _cpu_model(cpuinfo) == "Intel(R) Xeon(R) CPU @ 2.20GHz"
+
+
+def test_cpu_model_arm_hardware_key(tmp_path):
+    cpuinfo = tmp_path / "cpuinfo"
+    cpuinfo.write_text(
+        "processor\t: 0\nBogoMIPS\t: 48.00\nHardware\t: BCM2835\n",
+        encoding="utf-8",
+    )
+    assert _cpu_model(cpuinfo) == "BCM2835"
+
+
+def test_cpu_model_missing_file_degrades(tmp_path):
+    # No cpuinfo at all: platform.processor() or "unknown", never a raise.
+    model = _cpu_model(tmp_path / "does-not-exist")
+    assert isinstance(model, str) and model
+
+
+def test_cpu_model_ignores_keyless_lines(tmp_path):
+    cpuinfo = tmp_path / "cpuinfo"
+    cpuinfo.write_text("just noise\n\nmodel name : Fast CPU\n", encoding="utf-8")
+    assert _cpu_model(cpuinfo) == "Fast CPU"

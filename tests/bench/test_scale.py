@@ -48,6 +48,28 @@ class TestRunScaleTier:
         assert d["digest_match"] is True
         assert d["events_per_sec"] == report.events_per_sec
 
+    def test_tier_reports_per_event_type_costs(self):
+        logs = []
+        report = run_scale_tier(120, seed=1, log=logs.append)
+        assert report.event_types
+        # Kernel event classes account against events_executed; the
+        # fastpath.search sub-account rides inside those events, so it is
+        # excluded from the conservation check.
+        kernel_events = sum(
+            e["events"]
+            for label, e in report.event_types.items()
+            if label != "fastpath.search"
+        )
+        assert 0 < kernel_events <= report.events_executed
+        for entry in report.event_types.values():
+            assert set(entry) == {"events", "seconds", "events_per_sec"}
+            assert entry["events"] > 0
+        # The fast engine's flood searches show up as their own class.
+        assert "fastpath.search" in report.event_types
+        assert report.as_dict()["event_types"] == report.event_types
+        # ... and the tier log names the hot classes.
+        assert any("fastpath.search" in line for line in logs)
+
     def test_digest_skip_omits_gate_fields(self):
         report = run_scale_tier(120, seed=1, digest_check=False)
         assert report.digest_match is None
@@ -137,3 +159,21 @@ class TestCompareScaleBlock:
         report = compare_snapshots(scale_baseline, grown)
         assert report.ok
         assert any("100000" in note and "new" in note for note in report.skipped)
+
+    def test_event_type_table_is_invisible_to_the_comparator(self, scale_baseline):
+        # The nested per-event-type table is neither a judged metric nor a
+        # workload parameter: its presence, absence, or drift must not
+        # change any verdict (old snapshots predate it entirely).
+        enriched = copy.deepcopy(scale_baseline)
+        enriched["scale"]["10000"]["event_types"] = {
+            "fastpath.search": {
+                "events": 80000, "seconds": 2.0, "events_per_sec": 40000.0
+            }
+        }
+        assert compare_snapshots(scale_baseline, enriched).ok
+        assert compare_snapshots(enriched, scale_baseline).ok
+        drifted = copy.deepcopy(enriched)
+        drifted["scale"]["10000"]["event_types"]["fastpath.search"]["seconds"] = 99.0
+        report = compare_snapshots(enriched, drifted)
+        assert report.ok
+        assert report.skipped == ()

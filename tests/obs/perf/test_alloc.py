@@ -1,0 +1,77 @@
+"""AllocSnapshots: tracemalloc lifecycle and snapshot shape."""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs.perf.alloc import AllocSnapshots, _short_site
+
+
+def test_rejects_bad_top_n():
+    with pytest.raises(ValueError):
+        AllocSnapshots(top_n=0)
+
+
+def test_snapshot_requires_start():
+    snaps = AllocSnapshots()
+    if tracemalloc.is_tracing():  # pragma: no cover - depends on env
+        pytest.skip("tracemalloc already active in this process")
+    with pytest.raises(RuntimeError):
+        snaps.snapshot("phase")
+
+
+def test_snapshot_shape_and_phase_ordering():
+    snaps = AllocSnapshots(top_n=3)
+    with snaps:
+        ballast = [bytearray(4096) for _ in range(50)]
+        first = snaps.snapshot("build")
+        more = [bytearray(4096) for _ in range(50)]
+        snaps.snapshot("run")
+        del ballast, more
+    assert list(snaps.snapshots) == ["build", "run"]
+    assert first["phase"] == "build"
+    assert first["traced_kb"] > 0.0
+    assert first["peak_kb"] >= first["traced_kb"]
+    assert len(first["sites"]) <= 3
+    site = first["sites"][0]
+    assert set(site) == {"site", "size_kb", "blocks"}
+    assert ":" in site["site"]
+
+
+def test_stop_releases_tracing_only_when_owned():
+    if tracemalloc.is_tracing():  # pragma: no cover - depends on env
+        pytest.skip("tracemalloc already active in this process")
+    snaps = AllocSnapshots()
+    snaps.start()
+    assert tracemalloc.is_tracing()
+    snaps.stop()
+    assert not tracemalloc.is_tracing()
+    # Pre-existing tracing survives a start/stop cycle.
+    tracemalloc.start()
+    try:
+        inner = AllocSnapshots()
+        inner.start()
+        inner.stop()
+        assert tracemalloc.is_tracing()
+    finally:
+        tracemalloc.stop()
+
+
+def test_as_dict_holds_top_n_and_phases():
+    snaps = AllocSnapshots(top_n=2)
+    with snaps:
+        snaps.snapshot("only")
+    doc = snaps.as_dict()
+    assert doc["top_n"] == 2
+    assert list(doc["phases"]) == ["only"]
+
+
+def test_short_site_repro_relative():
+    assert (
+        _short_site("/home/x/repo/src/repro/sim/kernel.py", 42)
+        == "repro/sim/kernel.py:42"
+    )
+    assert _short_site("/usr/lib/python3.12/json/decoder.py", 7) == "decoder.py:7"
+    assert _short_site("C:\\work\\src\\repro\\core\\fastpath.py", 9) == (
+        "repro/core/fastpath.py:9"
+    )

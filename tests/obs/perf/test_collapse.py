@@ -1,0 +1,115 @@
+"""FoldedStacks: accumulation, rendering, parsing, aggregation."""
+
+import pytest
+
+from repro.obs.perf.collapse import FoldedStacks
+
+
+def test_add_accumulates_counts():
+    folds = FoldedStacks()
+    folds.add(("a", "b"))
+    folds.add(("a", "b"), 2)
+    folds.add(("a",))
+    assert folds.total == 4
+    assert len(folds) == 2
+
+
+def test_add_rejects_nonpositive_count():
+    folds = FoldedStacks()
+    with pytest.raises(ValueError):
+        folds.add(("a",), 0)
+    with pytest.raises(ValueError):
+        folds.add(("a",), -1)
+
+
+def test_empty_stack_is_a_noop():
+    folds = FoldedStacks()
+    folds.add(())
+    assert folds.total == 0
+
+
+def test_frame_labels_are_sanitized():
+    folds = FoldedStacks()
+    folds.add(("bad;name", "multi\nline", ""))
+    (stack, _), = list(folds)
+    assert stack == ("bad:name", "multi line", "?")
+
+
+def test_render_collapsed_is_deterministic():
+    a = FoldedStacks()
+    a.add(("main", "work", "inner"), 3)
+    a.add(("main", "other"), 1)
+    b = FoldedStacks()
+    b.add(("main", "other"), 1)
+    b.add(("main", "work", "inner"), 2)
+    b.add(("main", "work", "inner"), 1)
+    assert a.render_collapsed() == b.render_collapsed()
+    assert "main;work;inner 3" in a.render_collapsed()
+
+
+def test_parse_round_trips_render():
+    folds = FoldedStacks()
+    folds.add(("main", "work", "inner"), 3)
+    folds.add(("main", "other"), 7)
+    parsed = FoldedStacks.parse_collapsed(folds.render_collapsed())
+    assert parsed.as_dict() == folds.as_dict()
+
+
+def test_parse_skips_malformed_lines():
+    text = "a;b 3\nnot a fold line\nc;d nan\n\na 2"
+    folds = FoldedStacks.parse_collapsed(text)
+    assert folds.as_dict() == {"a": 2, "a;b": 3}
+
+
+def test_self_and_cum_counts():
+    folds = FoldedStacks()
+    folds.add(("main", "work", "inner"), 3)
+    folds.add(("main", "work"), 2)
+    folds.add(("main",), 1)
+    assert folds.self_counts() == {"inner": 3, "work": 2, "main": 1}
+    cum = folds.cum_counts()
+    assert cum["main"] == 6
+    assert cum["work"] == 5
+    assert cum["inner"] == 3
+
+
+def test_recursion_counts_once_per_fold():
+    folds = FoldedStacks()
+    folds.add(("f", "f", "f"), 4)
+    assert folds.cum_counts() == {"f": 4}
+    assert folds.self_counts() == {"f": 4}
+
+
+def test_merge_folds_other_in():
+    a = FoldedStacks()
+    a.add(("x",), 1)
+    b = FoldedStacks()
+    b.add(("x",), 2)
+    b.add(("y", "z"), 3)
+    a.merge(b)
+    assert a.as_dict() == {"x": 3, "y;z": 3}
+
+
+def test_top_frames_stable_under_permutation():
+    a = FoldedStacks()
+    b = FoldedStacks()
+    entries = [("alpha", 5), ("beta", 5), ("gamma", 2)]
+    for name, count in entries:
+        a.add((name,), count)
+    for name, count in reversed(entries):
+        b.add((name,), count)
+    assert a.top_frames(3) == b.top_frames(3)
+    # Equal counts tie-break on the name.
+    assert a.top_frames(2) == [("alpha", 5), ("beta", 5)]
+
+
+def test_top_frames_rejects_bad_key():
+    with pytest.raises(ValueError):
+        FoldedStacks().top_frames(1, key="nope")
+
+
+def test_from_dict_round_trip():
+    folds = FoldedStacks()
+    folds.add(("a", "b"), 2)
+    again = FoldedStacks.from_dict(folds.as_dict())
+    assert again.as_dict() == folds.as_dict()

@@ -1,0 +1,96 @@
+"""Flame-graph SVG rendering: self-containment, structure, CLI."""
+
+import json
+import xml.etree.ElementTree as ET
+
+from repro.obs.perf.collapse import FoldedStacks
+from repro.obs.perf.flamegraph import main, render_flamegraph_svg
+
+
+def _folds() -> FoldedStacks:
+    folds = FoldedStacks()
+    folds.add(("main", "engine.run", "flood"), 60)
+    folds.add(("main", "engine.run", "route"), 30)
+    folds.add(("main", "report"), 10)
+    return folds
+
+
+def test_embedded_svg_has_no_external_references():
+    svg = render_flamegraph_svg(_folds(), title="t")
+    assert svg.startswith("<svg")
+    assert "http" not in svg
+    assert "url(" not in svg
+    assert "<script" not in svg
+
+
+def test_embedded_svg_parses_and_represents_folds():
+    svg = render_flamegraph_svg(_folds(), title="Hot paths", unit="samples")
+    root = ET.fromstring(svg)
+    assert root.tag == "svg"
+    text = svg
+    for frame in ("engine.run", "flood", "route", "report"):
+        assert frame in text
+    # Hover titles carry the unit and percentages.
+    assert "100.00%" in text
+    assert "samples" in text
+
+
+def test_standalone_svg_declares_the_namespace():
+    svg = render_flamegraph_svg(_folds(), standalone=True)
+    assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+    # Namespaced parse: the tag resolves inside the SVG namespace.
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_empty_folds_render_a_placeholder():
+    svg = render_flamegraph_svg(FoldedStacks(), title="empty")
+    assert "no samples recorded" in svg
+    assert "http" not in svg
+    ET.fromstring(svg)
+
+
+def test_widths_are_proportional_to_counts():
+    svg = render_flamegraph_svg(_folds(), width=1000)
+    root = ET.fromstring(svg)
+    rects = {title.text.split(" — ")[0]: rect
+             for g in root.iter("g")
+             for title, rect in [(g.find("title"), g.find("rect"))]}
+    flood_w = float(rects["flood"].get("width"))
+    route_w = float(rects["route"].get("width"))
+    assert flood_w / route_w == 60 / 30
+
+
+def test_frame_names_are_escaped():
+    folds = FoldedStacks()
+    folds.add(("<evil>&frame",), 1)
+    svg = render_flamegraph_svg(folds)
+    assert "<evil>" not in svg
+    ET.fromstring(svg)
+
+
+def test_cli_writes_standalone_svg(tmp_path, capsys):
+    collapsed = tmp_path / "perf.collapsed"
+    collapsed.write_text(_folds().render_collapsed(), encoding="utf-8")
+    out = tmp_path / "graph.svg"
+    assert main([str(collapsed), "--out", str(out), "--title", "cli run"]) == 0
+    svg = out.read_text(encoding="utf-8")
+    assert 'xmlns="http://www.w3.org/2000/svg"' in svg
+    assert "cli run" in svg
+    summary = json.loads(capsys.readouterr().out)
+    assert summary == {"svg": str(out), "folds": 3, "total": 100}
+
+
+def test_cli_missing_file(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.collapsed")]) == 1
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_empty_folds_warns(tmp_path, capsys):
+    collapsed = tmp_path / "empty.collapsed"
+    collapsed.write_text("", encoding="utf-8")
+    out = tmp_path / "graph.svg"
+    assert main([str(collapsed), "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "placeholder" in captured.err
+    assert "no samples recorded" in out.read_text(encoding="utf-8")

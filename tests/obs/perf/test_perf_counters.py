@@ -1,0 +1,88 @@
+"""EventTypeCounters: labeling, accumulation, stable rendering."""
+
+from repro.obs.perf.perf_counters import EventTypeCounters
+
+
+class _Engine:
+    def fire(self):
+        pass
+
+    def toggle(self):
+        pass
+
+
+def test_record_resolves_bound_methods_to_one_label():
+    counters = EventTypeCounters()
+    engine = _Engine()
+    # Fresh bound-method objects each time, like ScheduledCallback handles.
+    counters.record(engine.fire, 0.1)
+    counters.record(engine.fire, 0.2)
+    counters.record(engine.toggle, 0.1)
+    table = counters.as_dict()
+    assert table["_Engine.fire"]["events"] == 2
+    assert table["_Engine.fire"]["seconds"] == 0.30000000000000004
+    assert table["_Engine.toggle"]["events"] == 1
+
+
+def test_record_plain_function_and_unnamed_callable():
+    counters = EventTypeCounters()
+
+    def tick():
+        pass
+
+    class Cb:
+        def __call__(self):
+            pass
+
+    counters.record(tick, 0.5)
+    counters.record(Cb(), 0.5)
+    labels = set(counters.as_dict())
+    assert any(label.endswith("tick") for label in labels)
+    # A callable instance labels via its __call__ qualname or type name.
+    assert len(labels) == 2
+
+
+def test_record_named_sub_account():
+    counters = EventTypeCounters()
+    counters.record_named("fastpath.search", 0.25)
+    counters.record_named("fastpath.search", 0.25)
+    entry = counters.as_dict()["fastpath.search"]
+    assert entry["events"] == 2
+    assert entry["seconds"] == 0.5
+    assert entry["events_per_sec"] == 4.0
+
+
+def test_as_dict_sorted_by_descending_seconds():
+    counters = EventTypeCounters()
+    counters.record_named("cheap", 0.1)
+    counters.record_named("expensive", 2.0)
+    counters.record_named("middle", 0.5)
+    assert list(counters.as_dict()) == ["expensive", "middle", "cheap"]
+
+
+def test_rows_top_n():
+    counters = EventTypeCounters()
+    for i in range(5):
+        counters.record_named(f"label{i}", float(i + 1))
+    rows = counters.rows(2)
+    assert [r[0] for r in rows] == ["label4", "label3"]
+    label, events, seconds, per_sec = rows[0]
+    assert (events, seconds, per_sec) == (1, 5.0, 0.2)
+
+
+def test_merge_and_totals():
+    a = EventTypeCounters()
+    b = EventTypeCounters()
+    a.record_named("x", 1.0)
+    b.record_named("x", 2.0)
+    b.record_named("y", 3.0)
+    a.merge(b)
+    assert a.total_events == 3
+    assert a.total_seconds == 6.0
+    assert len(a) == 2
+
+
+def test_zero_seconds_is_safe():
+    counters = EventTypeCounters()
+    counters.record_named("instant", 0.0)
+    assert counters.as_dict()["instant"]["events_per_sec"] == 0.0

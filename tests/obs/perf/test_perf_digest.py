@@ -1,0 +1,77 @@
+"""Profiler neutrality: the perf plane is pure host observation.
+
+Same gate style as ``tests/obs/telemetry/test_live_digest.py``: a run with
+the stack sampler (or counting profiler), per-event-type cost accounting,
+and tracemalloc snapshots all enabled must produce an event-stream digest
+bit-identical to a plain run's, on every engine.
+"""
+
+import pytest
+
+from repro.gnutella.config import GnutellaConfig
+from repro.gnutella.simulation import simulate_task
+from repro.obs.record import record_run
+
+
+def _config(**overrides) -> GnutellaConfig:
+    base = dict(
+        n_users=25,
+        n_items=1000,
+        horizon=2 * 3600.0,
+        warmup_hours=0,
+        dynamic=True,
+    )
+    base.update(overrides)
+    return GnutellaConfig(**base)
+
+
+@pytest.mark.parametrize("engine", ["fast", "fast-reference", "detailed"])
+def test_sampled_run_digest_matches_plain(engine):
+    config = _config()
+    _, plain = simulate_task(config, engine, hash_events=True)
+    recorded = record_run(config, engine, perf="sampler")
+    assert recorded.event_digest == plain
+    # And the plane actually observed the run, not an empty world: event
+    # classes were attributed even if the sampler happened to miss a short
+    # run's stacks.
+    perf = recorded.perf
+    assert perf is not None
+    assert perf.counters.total_events > 0
+    assert perf.counters.total_seconds > 0.0
+    assert "engine.run" in perf.alloc.snapshots
+
+
+@pytest.mark.parametrize("engine", ["fast", "fast-reference", "detailed"])
+def test_counting_run_digest_matches_plain(engine):
+    config = _config()
+    _, plain = simulate_task(config, engine, hash_events=True)
+    recorded = record_run(config, engine, perf="counting")
+    assert recorded.event_digest == plain
+    perf = recorded.perf
+    assert perf.unit == "calls"
+    assert perf.folds.total > 0
+
+
+def test_fast_engine_attributes_fastpath_and_event_classes():
+    recorded = record_run(_config(), "fast", perf="sampler")
+    table = recorded.perf.counters.as_dict()
+    assert "fastpath.search" in table
+    # Engine event handlers resolve to qualified names, not raw repr()s.
+    assert any("." in label and "bound method" not in label for label in table)
+    assert all(entry["events"] > 0 for entry in table.values())
+
+
+def test_perf_summary_block():
+    recorded = record_run(_config(), "fast", perf="sampler", perf_hz=50.0)
+    summary = recorded.summary()
+    perf = summary["perf"]
+    assert perf["mode"] == "sampler"
+    assert perf["unit"] == "samples"
+    assert perf["hz"] == 50.0
+    assert perf["event_types"] > 0
+
+
+def test_unprofiled_run_has_no_perf_block():
+    recorded = record_run(_config(), "fast")
+    assert recorded.perf is None
+    assert "perf" not in recorded.summary()

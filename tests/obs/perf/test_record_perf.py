@@ -1,0 +1,74 @@
+"""Profiled record directories and the report's flamegraph panel."""
+
+import json
+
+import pytest
+
+from repro.gnutella.config import GnutellaConfig
+from repro.obs.perf.collapse import FoldedStacks
+from repro.obs.record import record_run_dir
+from repro.obs.report import render_report
+
+HOUR = 3600.0
+
+
+def _config(**overrides):
+    base = dict(
+        n_users=30, n_items=1500, horizon=3 * HOUR, warmup_hours=0, dynamic=True
+    )
+    base.update(overrides)
+    return GnutellaConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def perf_record_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("rec") / "run"
+    summary = record_run_dir(_config(), out, perf="counting")
+    return out, summary
+
+
+def test_record_run_dir_writes_perf_artifacts(perf_record_dir):
+    out, summary = perf_record_dir
+    assert (out / "perf.collapsed").is_file()
+    assert (out / "perf.json").is_file()
+    assert "perf.collapsed" in summary["files"]
+    assert "perf.json" in summary["files"]
+    perf = summary["perf"]
+    assert perf["mode"] == "counting"
+    assert perf["unit"] == "calls"
+    assert perf["samples"] > 0
+    assert perf["event_types"] > 0
+
+
+def test_perf_json_and_collapsed_agree(perf_record_dir):
+    out, _ = perf_record_dir
+    doc = json.loads((out / "perf.json").read_text(encoding="utf-8"))
+    folds = FoldedStacks.parse_collapsed(
+        (out / "perf.collapsed").read_text(encoding="utf-8")
+    )
+    assert doc["samples"] == folds.total
+    assert doc["event_types"]
+    # The engine.run boundary snapshot made it into the alloc block.
+    assert "engine.run" in doc["alloc"]["phases"]
+
+
+def test_report_renders_profiling_panel(perf_record_dir):
+    out, _ = perf_record_dir
+    html_text = render_report(out)
+    assert "Profiling" in html_text
+    assert "Host flame graph" in html_text
+    assert "Per-event-type cost" in html_text
+    assert "Hot frames" in html_text
+    # Still fully self-contained with the flamegraph SVG embedded.
+    assert "http://" not in html_text
+    assert "https://" not in html_text
+    assert "<script" not in html_text
+
+
+def test_unprofiled_record_has_no_panel(tmp_path):
+    out = tmp_path / "plain"
+    summary = record_run_dir(_config(horizon=2 * HOUR), out)
+    assert summary["perf"] is None
+    assert "perf.json" not in summary["files"]
+    html_text = render_report(out)
+    assert "Host flame graph" not in html_text

@@ -1,0 +1,136 @@
+"""PerfRecorder lifecycle, artifacts, and diff_profiles attribution."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.perf.recorder import PERF_SCHEMA, PerfRecorder, diff_profiles
+
+
+def _spin(n: int = 20000) -> int:
+    return sum(i * i for i in range(n))
+
+
+def test_rejects_unknown_mode():
+    with pytest.raises(ConfigurationError):
+        PerfRecorder(mode="cprofile")
+
+
+def test_counting_report_shape():
+    recorder = PerfRecorder(mode="counting", alloc=False)
+    with recorder:
+        _spin()
+    recorder.counters.record_named("fake.event", 0.25)
+    report = recorder.report()
+    assert report["schema"] == PERF_SCHEMA
+    assert report["mode"] == "counting"
+    assert report["unit"] == "calls"
+    assert report["hz"] == 0.0
+    assert report["samples"] > 0
+    assert "alloc" not in report
+    assert report["event_types"]["fake.event"]["events"] == 1
+    # Counting mode has no time base: counts carry the table.
+    for entry in report["frames"].values():
+        assert entry["self_seconds"] == 0.0
+        assert entry["self_count"] >= 1.0
+
+
+def test_sampler_report_includes_alloc_phases():
+    recorder = PerfRecorder(mode="sampler", hz=50.0)
+    with recorder:
+        _spin()
+        recorder.boundary("engine.run")
+    report = recorder.report()
+    assert report["mode"] == "sampler"
+    assert report["hz"] == 50.0
+    assert list(report["alloc"]["phases"]) == ["engine.run"]
+
+
+def test_write_produces_round_trippable_artifacts(tmp_path):
+    recorder = PerfRecorder(mode="counting", alloc=False)
+    with recorder:
+        _spin()
+    files = recorder.write(tmp_path)
+    assert files == ["perf.collapsed", "perf.json"]
+    from repro.obs.perf.collapse import FoldedStacks
+
+    folds = FoldedStacks.parse_collapsed(
+        (tmp_path / "perf.collapsed").read_text(encoding="utf-8")
+    )
+    assert folds.as_dict() == recorder.folds.as_dict()
+    doc = json.loads((tmp_path / "perf.json").read_text(encoding="utf-8"))
+    assert doc["schema"] == PERF_SCHEMA
+
+
+def test_attach_sets_the_opt_in_hooks():
+    class Sim:
+        perf = None
+
+    class Fastpath:
+        perf = None
+
+    class Engine:
+        sim = Sim()
+        _fastpath = Fastpath()
+
+    recorder = PerfRecorder(alloc=False)
+    engine = Engine()
+    recorder.attach(engine)
+    assert engine.sim.perf is recorder.counters
+    assert engine._fastpath.perf is recorder.counters
+
+
+def test_diff_profiles_ranks_by_absolute_self_seconds_move():
+    old = {"frames": {
+        "m:hot": {"self_seconds": 0.5},
+        "m:cold": {"self_seconds": 0.2},
+        "m:same": {"self_seconds": 0.1},
+    }}
+    new = {"frames": {
+        "m:hot": {"self_seconds": 1.4},
+        "m:cold": {"self_seconds": 0.1},
+        "m:same": {"self_seconds": 0.1},
+        "m:born": {"self_seconds": 0.3},
+    }}
+    movers = diff_profiles(old, new)
+    assert [m["frame"] for m in movers] == ["m:hot", "m:born", "m:cold"]
+    assert movers[0] == {
+        "frame": "m:hot",
+        "metric": "self_seconds",
+        "old": 0.5,
+        "new": 1.4,
+        "delta": pytest.approx(0.9),
+    }
+
+
+def test_diff_profiles_stable_under_frame_order_permutation():
+    frames = {
+        "m:a": {"self_seconds": 1.0},
+        "m:b": {"self_seconds": 2.0},
+        "m:c": {"self_seconds": 3.0},
+    }
+    old = {"frames": dict(frames)}
+    bumped = {name: {"self_seconds": entry["self_seconds"] + 1.0}
+              for name, entry in frames.items()}
+    forward = {"frames": dict(bumped)}
+    backward = {"frames": dict(reversed(list(bumped.items())))}
+    assert diff_profiles(old, forward) == diff_profiles(old, backward)
+    # Equal deltas tie-break alphabetically on the frame name.
+    assert [m["frame"] for m in diff_profiles(old, forward)] == [
+        "m:a", "m:b", "m:c"
+    ]
+
+
+def test_diff_profiles_falls_back_to_counts_without_a_time_base():
+    old = {"frames": {"m:f": {"self_seconds": 0.0, "self_count": 10.0}}}
+    new = {"frames": {"m:f": {"self_seconds": 0.0, "self_count": 25.0}}}
+    (mover,) = diff_profiles(old, new)
+    assert mover["metric"] == "self_count"
+    assert mover["delta"] == 15.0
+
+
+def test_diff_profiles_empty_when_nothing_moved():
+    block = {"frames": {"m:f": {"self_seconds": 1.0}}}
+    assert diff_profiles(block, block) == []
+    assert diff_profiles({}, {}) == []

@@ -1,0 +1,101 @@
+"""StackSampler and CountingProfiler behaviour."""
+
+import time
+
+import pytest
+
+from repro.obs.perf.stack_sampler import CountingProfiler, StackSampler
+
+
+def _busy_beacon(deadline: float) -> int:
+    """A distinctive hot function for the sampler to catch."""
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+def test_sampler_catches_the_hot_frame():
+    sampler = StackSampler(hz=250.0)
+    with sampler:
+        _busy_beacon(time.perf_counter() + 0.4)
+    assert sampler.samples > 0
+    assert sampler.wall_seconds > 0.3
+    cum = sampler.folds.cum_counts()
+    beacon = [frame for frame in cum if "_busy_beacon" in frame]
+    # The beacon burned essentially all the wall time, so essentially all
+    # samples land under it (pytest's own frames sit above it, tied).
+    assert beacon and cum[beacon[0]] > sampler.samples * 0.8
+
+
+def test_sampler_rejects_bad_hz():
+    with pytest.raises(ValueError):
+        StackSampler(hz=0)
+
+
+def test_sampler_cannot_start_twice():
+    sampler = StackSampler(hz=50.0)
+    sampler.start()
+    try:
+        with pytest.raises(RuntimeError):
+            sampler.start()
+    finally:
+        sampler.stop()
+
+
+def test_sampler_stop_is_idempotent():
+    sampler = StackSampler(hz=50.0)
+    sampler.start()
+    sampler.stop()
+    sampler.stop()
+    assert sampler.effective_hz >= 0.0
+
+
+def test_seconds_per_sample():
+    sampler = StackSampler(hz=200.0)
+    with sampler:
+        _busy_beacon(time.perf_counter() + 0.2)
+    if sampler.samples:
+        per = sampler.seconds_per_sample()
+        assert per * sampler.samples == pytest.approx(sampler.wall_seconds)
+
+
+def _call_tree(n: int) -> int:
+    return sum(_leaf(i) for i in range(n))
+
+
+def _leaf(i: int) -> int:
+    return i * i
+
+
+def test_counting_profiler_counts_calls():
+    profiler = CountingProfiler()
+    with profiler:
+        _call_tree(25)
+    assert profiler.calls > 0
+    self_counts = profiler.folds.self_counts()
+    leaf = [frame for frame in self_counts if frame.endswith("_leaf")]
+    assert leaf and self_counts[leaf[0]] == 25
+
+
+def test_counting_profiler_is_deterministic():
+    def run() -> str:
+        profiler = CountingProfiler()
+        with profiler:
+            _call_tree(40)
+        return profiler.folds.render_collapsed()
+
+    assert run() == run()
+
+
+def test_counting_profiler_survives_preexisting_frames():
+    # "return" events for frames entered before start() must not underflow.
+    def outer():
+        profiler = CountingProfiler()
+        profiler.start()
+        return profiler
+
+    profiler = outer()  # outer's frame returns while profiling is active
+    _call_tree(3)
+    profiler.stop()
+    assert profiler.calls > 0

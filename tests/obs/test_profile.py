@@ -1,6 +1,8 @@
 """Tests for the wall-clock phase timers."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.obs.profile import PhaseTimers
 
@@ -68,3 +70,54 @@ class TestPhaseTimers:
         a.merge(b.as_dict())
         assert a.seconds("run") == pytest.approx(3.0)
         assert a.count("run") == 2
+
+
+_phase_events = st.lists(
+    st.tuples(
+        st.sampled_from(["setup", "run", "teardown", "kernel", "flush"]),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+def _filled(events) -> PhaseTimers:
+    timers = PhaseTimers()
+    for name, seconds in events:
+        timers.add(name, seconds)
+    return timers
+
+
+class TestPhaseTimersMergeProperties:
+    """Merging a timer set and merging its ``as_dict`` rendering must be the
+    same operation — the cross-process aggregation path (JSON over the wire)
+    may not drift from the in-process one."""
+
+    @given(_phase_events, _phase_events)
+    def test_merge_of_rendering_equals_merge_of_timers(self, base, extra):
+        via_timers = _filled(base)
+        via_timers.merge(_filled(extra))
+        via_dict = _filled(base)
+        via_dict.merge(_filled(extra).as_dict())
+        assert via_timers.as_dict() == via_dict.as_dict()
+
+    @given(_phase_events)
+    def test_as_dict_round_trips_through_merge(self, events):
+        original = _filled(events)
+        rebuilt = PhaseTimers()
+        rebuilt.merge(original.as_dict())
+        assert rebuilt.as_dict() == original.as_dict()
+        assert rebuilt.total_seconds == pytest.approx(original.total_seconds)
+
+    @given(_phase_events, _phase_events)
+    def test_merge_conserves_totals_and_counts(self, base, extra):
+        merged = _filled(base)
+        merged.merge(_filled(extra))
+        everything = _filled(base + extra)
+        rendered, expected = merged.as_dict(), everything.as_dict()
+        assert list(rendered) == list(expected)
+        for name, entry in expected.items():
+            assert rendered[name]["count"] == entry["count"]
+            # Merging pre-summed groups reassociates float addition, so
+            # seconds agree to rounding, not bit for bit.
+            assert rendered[name]["seconds"] == pytest.approx(entry["seconds"])
